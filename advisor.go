@@ -1,0 +1,61 @@
+package rangecube
+
+import (
+	"rangecube/internal/core/chooser"
+	"rangecube/internal/core/costmodel"
+	"rangecube/internal/planner"
+)
+
+// The physical-design advisor surfaces §9 of the paper: given a query log,
+// decide which dimensions deserve prefix sums, which cuboids of the lattice
+// to precompute under a space budget, and with what block sizes.
+
+// LoggedQuery summarizes one range-sum query for dimension selection:
+// RangeLen[j] is the selected range length on attribute j when the
+// attribute is active, and 1 when it is passive (singleton or "all").
+type LoggedQuery = chooser.LoggedQuery
+
+// ChooseDimensionsHeuristic returns the attribute subset X′ = {j : R_j ≥ 2m}
+// of the paper's O(md) heuristic (§9.1, Figure 12).
+func ChooseDimensionsHeuristic(log []LoggedQuery) []int {
+	return chooser.HeuristicDimensions(log)
+}
+
+// ChooseDimensionsOptimal returns the cost-optimal attribute subset via the
+// O(m·2^d) Gray-code enumeration of §9.1.
+func ChooseDimensionsOptimal(log []LoggedQuery) []int {
+	return chooser.OptimalDimensions(log)
+}
+
+// CuboidStats aggregates the queries assigned to one cuboid: Dims is the
+// bitmask of range dimensions, NQ the query count, V and S the average
+// volume and surface area (Table 1).
+type CuboidStats = chooser.CuboidStats
+
+// Choice is one advisor decision: precompute a prefix sum over the cuboid
+// Dims with the given block size.
+type Choice = chooser.Choice
+
+// Lattice is the §9.2 input: cube extents, per-cuboid query statistics and
+// the auxiliary-space budget in cells.
+type Lattice = chooser.Lattice
+
+// Planner is the end-to-end §9 pipeline: it profiles a query log, runs the
+// greedy cuboid selection under a space budget, materializes a blocked
+// prefix sum per chosen cuboid, and routes each query to the cheapest
+// structure that covers it (falling back to a base-cube scan).
+type Planner = planner.Planner
+
+// NewPlanner builds a Planner for the cube from a log of rank-domain query
+// regions and an auxiliary-space budget in cells.
+func NewPlanner(c *Cube, log []Region, spaceLimit float64) (*Planner, error) {
+	return planner.New(c, log, spaceLimit)
+}
+
+// OptimalBlockSize returns the block size maximizing benefit/space for a
+// cuboid with average query volume v and surface s in d dimensions, with
+// nq queries against n cells (§9.3). ok is false when no prefix sum pays
+// off at all (v ≤ 2^d).
+func OptimalBlockSize(d int, v, s, nq, n float64) (int, bool) {
+	return costmodel.OptimalBlockSize(costmodel.QueryStats{D: d, V: v, S: s}, nq, n)
+}

@@ -1,0 +1,545 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §3 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results). Wall-clock comes from testing.B; the paper's
+// own cost proxy — elements accessed per query — is attached to each bench
+// as the custom metric "accesses/op".
+package rangecube
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rangecube/internal/core/batchsum"
+	"rangecube/internal/core/blocked"
+	"rangecube/internal/core/costmodel"
+	"rangecube/internal/core/maxtree"
+	"rangecube/internal/core/prefixsum"
+	"rangecube/internal/core/sumtree"
+	"rangecube/internal/denseregion"
+	"rangecube/internal/metrics"
+	"rangecube/internal/naive"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/paging"
+	"rangecube/internal/persist"
+	"rangecube/internal/rstartree"
+	"rangecube/internal/sparse"
+	"rangecube/internal/workload"
+)
+
+// reportAccesses attaches the paper's cost proxy to the bench.
+func reportAccesses(b *testing.B, c *metrics.Counter, queries int64) {
+	b.Helper()
+	if queries > 0 {
+		b.ReportMetric(float64(c.Total())/float64(queries), "accesses/op")
+	}
+}
+
+// BenchmarkFigure1Example times the worked example of Figure 1: building P
+// for the 3×6 cube and answering Sum(2:3,1:2) from 4 prefix sums.
+func BenchmarkFigure1Example(b *testing.B) {
+	a := ndarray.FromSlice([]int64{
+		3, 5, 1, 2, 2, 3,
+		7, 3, 2, 6, 8, 2,
+		2, 4, 2, 3, 3, 5,
+	}, 3, 6)
+	ps := prefixsum.BuildInt(a)
+	r := ndarray.Reg(1, 2, 2, 3)
+	var c metrics.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ps.Sum(r, &c) != 13 {
+			b.Fatal("wrong answer")
+		}
+	}
+	reportAccesses(b, &c, int64(b.N))
+}
+
+// BenchmarkPrefixSumBuild measures the dN construction of §3.3.
+func BenchmarkPrefixSumBuild(b *testing.B) {
+	for _, side := range []int{64, 256} {
+		b.Run(fmt.Sprintf("n=%dx%d", side, side), func(b *testing.B) {
+			a := workload.New(1).UniformCube([]int{side, side}, 1000)
+			b.SetBytes(int64(side * side * 8))
+			for i := 0; i < b.N; i++ {
+				prefixsum.BuildInt(a)
+			}
+		})
+	}
+}
+
+// BenchmarkRangeSumMethods is the paper's prototype experiment: the same
+// query answered by the naive scan, the basic prefix sum, the blocked
+// prefix sum and the hierarchical tree, across query sizes. The advantage
+// of the prefix-sum methods grows with the query volume.
+func BenchmarkRangeSumMethods(b *testing.B) {
+	const n, blk = 512, 16
+	g := workload.New(99)
+	a := g.UniformCube([]int{n, n}, 1000)
+	ps := prefixsum.BuildInt(a)
+	bl := blocked.BuildInt(a, blk)
+	tr := sumtree.BuildInt(a, blk)
+	for _, side := range []int{8, 64, 256} {
+		queries := g.CubeRegions([]int{n, n}, side, 64)
+		run := func(name string, f func(r ndarray.Region, c *metrics.Counter) int64) {
+			b.Run(fmt.Sprintf("side=%d/%s", side, name), func(b *testing.B) {
+				var c metrics.Counter
+				for i := 0; i < b.N; i++ {
+					f(queries[i%len(queries)], &c)
+				}
+				reportAccesses(b, &c, int64(b.N))
+			})
+		}
+		run("naive", func(r ndarray.Region, c *metrics.Counter) int64 { return naive.SumInt64(a, r, c) })
+		run("prefix", ps.Sum)
+		run("blocked", bl.Sum)
+		run("tree", tr.Sum)
+	}
+}
+
+// BenchmarkFigure11TreeVsPrefix measures the §8/Figure 11 comparison
+// directly: blocked prefix sum vs hierarchical tree for queries of side α·b.
+func BenchmarkFigure11TreeVsPrefix(b *testing.B) {
+	const blk = 10
+	for _, alpha := range []int{2, 5, 10} {
+		side := 2 * alpha * blk
+		g := workload.New(int64(alpha))
+		a := g.UniformCube([]int{side, side}, 1000)
+		bl := blocked.BuildInt(a, blk)
+		tr := sumtree.BuildInt(a, blk)
+		queries := g.CubeRegions([]int{side, side}, alpha*blk, 32)
+		b.Run(fmt.Sprintf("alpha=%d/prefix", alpha), func(b *testing.B) {
+			var c metrics.Counter
+			for i := 0; i < b.N; i++ {
+				bl.Sum(queries[i%len(queries)], &c)
+			}
+			reportAccesses(b, &c, int64(b.N))
+		})
+		b.Run(fmt.Sprintf("alpha=%d/tree", alpha), func(b *testing.B) {
+			var c metrics.Counter
+			for i := 0; i < b.N; i++ {
+				tr.Sum(queries[i%len(queries)], &c)
+			}
+			reportAccesses(b, &c, int64(b.N))
+		})
+	}
+}
+
+// BenchmarkFigure14BenefitSpace evaluates the §9.3 benefit/space function
+// and its closed-form optimum across block sizes.
+func BenchmarkFigure14BenefitSpace(b *testing.B) {
+	q := costmodel.QueryStats{D: 2, V: 1004, S: 400}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for blk := 1; blk <= 10; blk++ {
+			sink += costmodel.BenefitPerSpace(q, 0.1, 1, blk)
+		}
+		if best, ok := costmodel.OptimalBlockSize(q, 0.1, 1); !ok || best != 7 {
+			b.Fatal("optimum drifted")
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkTheorem3AccessBound measures the average-case cost of 1-d
+// range-max queries; "accesses/op" must stay below b + 7 + 1/b.
+func BenchmarkTheorem3AccessBound(b *testing.B) {
+	for _, blk := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("b=%d", blk), func(b *testing.B) {
+			g := workload.New(int64(blk))
+			a := g.PermutationCube(4096)
+			tr := maxtree.Build(a, blk)
+			var c metrics.Counter
+			for i := 0; i < b.N; i++ {
+				tr.MaxIndex(g.UniformRegion(a.Shape()), &c)
+			}
+			reportAccesses(b, &c, int64(b.N))
+			bound := float64(blk) + 7 + 1/float64(blk)
+			if avg := float64(c.Total()) / float64(b.N); b.N > 1000 && avg > bound {
+				b.Fatalf("average accesses %.2f exceed Theorem 3 bound %.2f", avg, bound)
+			}
+		})
+	}
+}
+
+// BenchmarkRangeMaxMethods compares the naive scan against the
+// branch-and-bound tree across query sizes.
+func BenchmarkRangeMaxMethods(b *testing.B) {
+	const n, blk = 512, 8
+	g := workload.New(123)
+	a := g.UniformCube([]int{n, n}, 1_000_000)
+	tr := maxtree.Build(a, blk)
+	for _, side := range []int{8, 64, 256} {
+		queries := g.CubeRegions([]int{n, n}, side, 64)
+		b.Run(fmt.Sprintf("side=%d/naive", side), func(b *testing.B) {
+			var c metrics.Counter
+			for i := 0; i < b.N; i++ {
+				naive.Max(a, queries[i%len(queries)], &c)
+			}
+			reportAccesses(b, &c, int64(b.N))
+		})
+		b.Run(fmt.Sprintf("side=%d/maxtree", side), func(b *testing.B) {
+			var c metrics.Counter
+			for i := 0; i < b.N; i++ {
+				tr.MaxIndex(queries[i%len(queries)], &c)
+			}
+			reportAccesses(b, &c, int64(b.N))
+		})
+	}
+}
+
+// BenchmarkBatchUpdate compares the §5 batch algorithm against k sequential
+// point updates of the prefix-sum array (Theorem 2).
+func BenchmarkBatchUpdate(b *testing.B) {
+	const n = 128
+	for _, k := range []int{4, 16, 64} {
+		g := workload.New(int64(k))
+		a := g.UniformCube([]int{n, n}, 1000)
+		raw := g.Updates(a.Shape(), k, 100)
+		ups := make([]batchsum.IntUpdate, k)
+		for i, u := range raw {
+			ups[i] = batchsum.IntUpdate{Coords: u.Coords, Delta: u.Delta}
+		}
+		b.Run(fmt.Sprintf("k=%d/batch", k), func(b *testing.B) {
+			ps := prefixsum.BuildInt(a)
+			b.ResetTimer()
+			var c metrics.Counter
+			for i := 0; i < b.N; i++ {
+				batchsum.ApplyInt(ps, ups, &c)
+			}
+			reportAccesses(b, &c, int64(b.N))
+		})
+		b.Run(fmt.Sprintf("k=%d/sequential", k), func(b *testing.B) {
+			ps := prefixsum.BuildInt(a)
+			b.ResetTimer()
+			var c metrics.Counter
+			for i := 0; i < b.N; i++ {
+				for _, u := range ups {
+					ps.ApplyPoint(u.Coords, u.Delta, &c)
+				}
+			}
+			reportAccesses(b, &c, int64(b.N))
+		})
+	}
+}
+
+// BenchmarkMaxTreeBatchUpdate measures the §7 protocol for increase-heavy
+// and decrease-heavy batches (the latter forces rescans).
+func BenchmarkMaxTreeBatchUpdate(b *testing.B) {
+	const n = 128
+	g := workload.New(5)
+	a := g.UniformCube([]int{n, n}, 1000)
+	mkUpdates := func(incr bool) []maxtree.PointUpdate[int64] {
+		raw := g.Updates(a.Shape(), 32, 100)
+		ups := make([]maxtree.PointUpdate[int64], len(raw))
+		for i, u := range raw {
+			v := a.At(u.Coords...)
+			if incr {
+				ups[i] = maxtree.PointUpdate[int64]{Coords: u.Coords, Value: v + 1000}
+			} else {
+				ups[i] = maxtree.PointUpdate[int64]{Coords: u.Coords, Value: v / 2}
+			}
+		}
+		return ups
+	}
+	for _, mode := range []string{"increase", "decrease"} {
+		b.Run(mode, func(b *testing.B) {
+			tr := maxtree.Build(a.Clone(), 8)
+			ups := mkUpdates(mode == "increase")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.BatchUpdate(ups, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkSparseSum and BenchmarkSparseMax exercise the §10 structures on
+// a clustered ~20%-dense cube against full scans of the dense reference.
+func BenchmarkSparseSum(b *testing.B) {
+	shape := []int{256, 256}
+	g := workload.New(2024)
+	pts, ref := g.ClusteredSparse(shape, 3, 0.9, 0.2)
+	sc := sparse.NewSumCube(shape, pts, denseregion.Params{})
+	queries := g.CubeRegions(shape, 64, 32)
+	b.Run("scan", func(b *testing.B) {
+		var c metrics.Counter
+		for i := 0; i < b.N; i++ {
+			naive.SumInt64(ref, queries[i%len(queries)], &c)
+		}
+		reportAccesses(b, &c, int64(b.N))
+	})
+	b.Run("sparse", func(b *testing.B) {
+		var c metrics.Counter
+		for i := 0; i < b.N; i++ {
+			sc.Sum(queries[i%len(queries)], &c)
+		}
+		reportAccesses(b, &c, int64(b.N))
+	})
+}
+
+func BenchmarkSparseMax(b *testing.B) {
+	shape := []int{256, 256}
+	g := workload.New(2025)
+	pts, ref := g.ClusteredSparse(shape, 3, 0.9, 0.2)
+	mc := sparse.NewMaxCube(shape, pts, denseregion.Params{}, 4)
+	queries := g.CubeRegions(shape, 64, 32)
+	b.Run("scan", func(b *testing.B) {
+		var c metrics.Counter
+		for i := 0; i < b.N; i++ {
+			naive.Max(ref, queries[i%len(queries)], &c)
+		}
+		reportAccesses(b, &c, int64(b.N))
+	})
+	b.Run("sparse", func(b *testing.B) {
+		var c metrics.Counter
+		for i := 0; i < b.N; i++ {
+			mc.Max(queries[i%len(queries)], &c)
+		}
+		reportAccesses(b, &c, int64(b.N))
+	})
+}
+
+// BenchmarkBlockedBlockSize is the ablation for §9.3: query cost across
+// block sizes at fixed query shape, showing the space/time trade-off the
+// optimal-block-size formula navigates.
+func BenchmarkBlockedBlockSize(b *testing.B) {
+	const n = 512
+	g := workload.New(31)
+	a := g.UniformCube([]int{n, n}, 1000)
+	queries := g.CubeRegions([]int{n, n}, 100, 32)
+	for _, blk := range []int{1, 4, 16, 64} {
+		bl := blocked.BuildInt(a, blk)
+		b.Run(fmt.Sprintf("b=%d", blk), func(b *testing.B) {
+			var c metrics.Counter
+			for i := 0; i < b.N; i++ {
+				bl.Sum(queries[i%len(queries)], &c)
+			}
+			reportAccesses(b, &c, int64(b.N))
+			b.ReportMetric(float64(bl.AuxSize()), "aux-cells")
+		})
+	}
+}
+
+// BenchmarkMaxTreeFanout is the fanout ablation for the range-max tree.
+func BenchmarkMaxTreeFanout(b *testing.B) {
+	const n = 512
+	g := workload.New(32)
+	a := g.UniformCube([]int{n, n}, 1_000_000)
+	queries := g.CubeRegions([]int{n, n}, 100, 32)
+	for _, blk := range []int{2, 4, 8, 16} {
+		tr := maxtree.Build(a, blk)
+		b.Run(fmt.Sprintf("b=%d", blk), func(b *testing.B) {
+			var c metrics.Counter
+			for i := 0; i < b.N; i++ {
+				tr.MaxIndex(queries[i%len(queries)], &c)
+			}
+			reportAccesses(b, &c, int64(b.N))
+			b.ReportMetric(float64(tr.Nodes()), "aux-nodes")
+		})
+	}
+}
+
+// BenchmarkExtendedCubeSingleton measures the [GBLP96] extended data cube's
+// one-access singleton queries, the paper's starting point (§1).
+func BenchmarkExtendedCubeSingleton(b *testing.B) {
+	g := workload.New(64)
+	a := g.UniformCube([]int{64, 64}, 1000)
+	e := naive.NewExtendedCube(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Singleton(nil, naive.All, i%64)
+	}
+}
+
+// BenchmarkSumBounds measures the §11 approximate answer: bounds from
+// prefix sums alone, versus the exact blocked query.
+func BenchmarkSumBounds(b *testing.B) {
+	const n, blk = 512, 16
+	g := workload.New(41)
+	a := g.UniformCube([]int{n, n}, 1000)
+	bl := blocked.BuildInt(a, blk)
+	queries := g.CubeRegions([]int{n, n}, 100, 32)
+	b.Run("bounds", func(b *testing.B) {
+		var c metrics.Counter
+		for i := 0; i < b.N; i++ {
+			blocked.Bounds(bl, queries[i%len(queries)], &c)
+		}
+		reportAccesses(b, &c, int64(b.N))
+	})
+	b.Run("exact", func(b *testing.B) {
+		var c metrics.Counter
+		for i := 0; i < b.N; i++ {
+			bl.Sum(queries[i%len(queries)], &c)
+		}
+		reportAccesses(b, &c, int64(b.N))
+	})
+}
+
+// BenchmarkSparse1D compares the unblocked (§10.1) and blocked sparse
+// one-dimensional structures.
+func BenchmarkSparse1D(b *testing.B) {
+	g := workload.New(42)
+	const n = 1 << 20
+	var cells []sparse.Cell
+	step := 7
+	for i := 0; i < n; i += step {
+		cells = append(cells, sparse.Cell{Index: i, Value: int64(i % 97)})
+	}
+	flat := sparse.NewOneDim(n, cells)
+	blk := sparse.NewOneDimBlocked(n, cells, 16)
+	queries := make([]ndarray.Range, 64)
+	for i := range queries {
+		r := g.UniformRegion([]int{n})
+		queries[i] = r[0]
+	}
+	b.Run("b=1", func(b *testing.B) {
+		var c metrics.Counter
+		for i := 0; i < b.N; i++ {
+			flat.Sum(queries[i%len(queries)], &c)
+		}
+		reportAccesses(b, &c, int64(b.N))
+		b.ReportMetric(float64(flat.Len()), "aux-entries")
+	})
+	b.Run("b=16", func(b *testing.B) {
+		var c metrics.Counter
+		for i := 0; i < b.N; i++ {
+			blk.Sum(queries[i%len(queries)], &c)
+		}
+		reportAccesses(b, &c, int64(b.N))
+		b.ReportMetric(float64(blk.AuxSize()), "aux-entries")
+	})
+}
+
+// BenchmarkPagingWalks measures the simulated page-in counts of the two
+// §3.3 build orders.
+func BenchmarkPagingWalks(b *testing.B) {
+	shape := []int{256, 256}
+	for _, mode := range []string{"storage", "dimension"} {
+		b.Run(mode, func(b *testing.B) {
+			pool := paging.NewPool(128, 4)
+			var total int64
+			for i := 0; i < b.N; i++ {
+				pool.Reset()
+				if mode == "storage" {
+					paging.StorageOrderPhase(pool, shape, 0)
+				} else {
+					paging.DimensionOrderPhase(pool, shape, 0)
+				}
+				total += pool.PageIns
+			}
+			b.ReportMetric(float64(total)/float64(b.N), "page-ins/op")
+		})
+	}
+}
+
+// BenchmarkPersistRoundTrip measures index save/load throughput.
+func BenchmarkPersistRoundTrip(b *testing.B) {
+	g := workload.New(43)
+	a := g.UniformCube([]int{256, 256}, 1000)
+	ps := prefixsum.BuildInt(a)
+	b.SetBytes(int64(a.Size() * 8))
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := persist.WritePrefixSum(&buf, ps); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := persist.ReadPrefixSum(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRStarTree measures substrate performance: insertion and range
+// search over clustered rectangles.
+func BenchmarkRStarTree(b *testing.B) {
+	g := workload.New(44)
+	const n = 10000
+	rects := make([]ndarray.Region, n)
+	for i := range rects {
+		r := g.UniformRegion([]int{1000, 1000})
+		// Clamp to small rectangles.
+		for j := range r {
+			if r[j].Len() > 10 {
+				r[j].Hi = r[j].Lo + 9
+			}
+		}
+		rects[i] = r
+	}
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := rstartree.New[int](2)
+			for k, r := range rects {
+				tr.Insert(r, k, int64(k))
+			}
+		}
+	})
+	b.Run("search", func(b *testing.B) {
+		tr := rstartree.New[int](2)
+		for k, r := range rects {
+			tr.Insert(r, k, int64(k))
+		}
+		queries := g.CubeRegions([]int{1000, 1000}, 50, 32)
+		b.ResetTimer()
+		var c metrics.Counter
+		for i := 0; i < b.N; i++ {
+			tr.Search(queries[i%len(queries)], &c, func(ndarray.Region, int, int64) {})
+		}
+		reportAccesses(b, &c, int64(b.N))
+	})
+}
+
+// BenchmarkDenseRegionThreshold is the ablation for the §10.2 classifier's
+// density threshold: lower thresholds absorb more points into regions
+// (fewer outliers, bigger regions); higher thresholds leave more isolated
+// points for the R*-tree. Query cost is reported for each setting.
+func BenchmarkDenseRegionThreshold(b *testing.B) {
+	shape := []int{192, 192}
+	g := workload.New(71)
+	pts, _ := g.ClusteredSparse(shape, 3, 0.85, 0.2)
+	for _, thr := range []float64{0.25, 0.5, 0.75} {
+		sc := sparse.NewSumCube(shape, pts, denseregion.Params{DenseThreshold: thr})
+		queries := g.CubeRegions(shape, 48, 32)
+		b.Run(fmt.Sprintf("threshold=%.2f", thr), func(b *testing.B) {
+			var c metrics.Counter
+			for i := 0; i < b.N; i++ {
+				sc.Sum(queries[i%len(queries)], &c)
+			}
+			reportAccesses(b, &c, int64(b.N))
+			b.ReportMetric(float64(sc.Regions()), "regions")
+			b.ReportMetric(float64(sc.Points()), "outliers")
+		})
+	}
+}
+
+// BenchmarkSparsityCrossover sweeps the overall cube density: the §10
+// sparse structure wins on clustered sparse data, while the §4 blocked
+// prefix sum over the materialized cube wins as density rises — the
+// decision §10's opening sentence alludes to ("if the data cube is
+// uniformly sparse, computing a blocked prefix sum ... solves the
+// problem").
+func BenchmarkSparsityCrossover(b *testing.B) {
+	shape := []int{192, 192}
+	for _, density := range []float64{0.05, 0.2, 0.5} {
+		g := workload.New(int64(100 * density))
+		pts, ref := g.ClusteredSparse(shape, 2, 0.9, density)
+		sc := sparse.NewSumCube(shape, pts, denseregion.Params{})
+		bl := blocked.BuildInt(ref, 12)
+		queries := g.CubeRegions(shape, 48, 32)
+		b.Run(fmt.Sprintf("density=%.2f/sparse", density), func(b *testing.B) {
+			var c metrics.Counter
+			for i := 0; i < b.N; i++ {
+				sc.Sum(queries[i%len(queries)], &c)
+			}
+			reportAccesses(b, &c, int64(b.N))
+		})
+		b.Run(fmt.Sprintf("density=%.2f/blocked", density), func(b *testing.B) {
+			var c metrics.Counter
+			for i := 0; i < b.N; i++ {
+				bl.Sum(queries[i%len(queries)], &c)
+			}
+			reportAccesses(b, &c, int64(b.N))
+		})
+	}
+}

@@ -1,0 +1,64 @@
+// Command cubebench regenerates the paper's tables and figures as text
+// tables (the experiment ids match DESIGN.md §3 and EXPERIMENTS.md):
+//
+//	cubebench                       # run everything
+//	cubebench -exp figure11         # one experiment
+//	cubebench -exp figure11 -quick  # skip the measured columns / shrink sizes
+//
+// Experiments: figure1, figure11, figure12, figure13, figure14, theorem3,
+// rangesum, rangemax, update, sparse.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rangecube/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, figure1, figure11, figure12, figure13, figure14, paging, bounds, theorem3, rangesum, rangemax, update, sparse)")
+	quick := flag.Bool("quick", false, "smaller sizes, skip measured Figure 11 columns")
+	flag.Parse()
+
+	type experiment struct {
+		id  string
+		run func() harness.Table
+	}
+	n := 512
+	trials := 4000
+	if *quick {
+		n = 128
+		trials = 500
+	}
+	experiments := []experiment{
+		{"figure1", harness.Figure1},
+		{"figure11", func() harness.Table { return harness.Figure11(!*quick) }},
+		{"figure12", harness.Figure12},
+		{"figure13", harness.GreedyCuboids},
+		{"figure14", harness.Figure14},
+		{"paging", harness.Paging},
+		{"bounds", func() harness.Table { return harness.Bounds(n, 16) }},
+		{"theorem3", func() harness.Table { return harness.Theorem3(4*n, trials) }},
+		{"rangesum", func() harness.Table { return harness.RangeSumMethods(n, 16) }},
+		{"rangemax", func() harness.Table { return harness.RangeMaxMethods(n, 8) }},
+		{"update", func() harness.Table { return harness.UpdateSweep(n/2, []int{1, 4, 16, 64}) }},
+		{"sparse", func() harness.Table { return harness.SparseExperiment(n / 2) }},
+	}
+
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		tab := e.run()
+		tab.Fprint(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "cubebench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

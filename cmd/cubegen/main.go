@@ -1,0 +1,50 @@
+// Command cubegen emits a synthetic insurance-style record file (CSV) for
+// cubeql, modelled on the paper's §1 running example: columns
+// age,year,state,type,revenue.
+//
+//	cubegen -rows 10000 -seed 1 > records.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+var states = []string{
+	"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+	"HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+	"MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+	"NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+	"SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+}
+
+var types = []string{"home", "auto", "health"}
+
+func main() {
+	rows := flag.Int("rows", 10000, "number of records")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, "age,year,state,type,revenue")
+	for i := 0; i < *rows; i++ {
+		// Ages cluster around 40, revenue is heavy-tailed.
+		age := 1 + rng.Intn(100)
+		if rng.Intn(2) == 0 {
+			age = 25 + rng.Intn(40)
+		}
+		year := 1987 + rng.Intn(10)
+		state := states[rng.Intn(len(states))]
+		typ := types[rng.Intn(len(types))]
+		revenue := 50 + rng.Intn(200)
+		if rng.Intn(20) == 0 {
+			revenue *= 10
+		}
+		fmt.Fprintf(w, "%d,%d,%s,%s,%d\n", age, year, state, typ, revenue)
+	}
+}

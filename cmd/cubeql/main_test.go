@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rangecube"
+	"rangecube/internal/cube"
+)
+
+func testCube(t *testing.T) *cube.Cube {
+	t.Helper()
+	c, _, err := cube.InferCSV(strings.NewReader(
+		"age,year,state,type,revenue\n"+
+			"40,1990,CA,auto,100\n"+
+			"37,1988,NY,auto,75\n"+
+			"52,1996,TX,home,30\n"), "revenue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestParseQueries(t *testing.T) {
+	c := testCube(t)
+	region, op, err := parse(c, "sum age=37..52 type=auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != "sum" {
+		t.Fatalf("op = %q", op)
+	}
+	// age 37..52 maps to ranks 0..15 (domain 37..52); type "auto" is rank 0
+	// of the sorted categories {auto, home}.
+	if region[0].Lo != 0 || region[0].Hi != 15 {
+		t.Fatalf("age range = %v", region[0])
+	}
+	if region[3].Lo != 0 || region[3].Hi != 0 {
+		t.Fatalf("type range = %v", region[3])
+	}
+	// Star selects the whole domain.
+	region, _, err = parse(c, "max state=*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region[2].Lo != 0 || region[2].Hi != 2 {
+		t.Fatalf("state range = %v", region[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	c := testCube(t)
+	for _, q := range []string{"", "sum bogus", "sum nope=3", "sum age=52..37"} {
+		if _, _, err := parse(c, q); err == nil {
+			t.Errorf("parse(%q) did not fail", q)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := testCube(t)
+	got := describe(c, []int{3, 2, 0, 1})
+	if got != "age=40 year=1990 state=CA type=home" {
+		t.Fatalf("describe = %q", got)
+	}
+}
+
+func TestEndToEndQuery(t *testing.T) {
+	c := testCube(t)
+	region, _, err := parse(c, "sum age=37..52 year=1988..1996 type=auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rangecube.NewSumIndex(c.Data()).Sum(region); got != 175 {
+		t.Fatalf("sum = %d, want 175", got)
+	}
+}

@@ -1,0 +1,54 @@
+// Command cubeserver serves an OLAP data cube over HTTP: it loads CSV
+// records (inferring the schema like cubeql), precomputes the range-query
+// structures, and answers concurrent range queries with batched updates —
+// the deployment shape of the paper's model.
+//
+//	cubegen -rows 100000 > records.csv
+//	cubeserver -data records.csv -measure revenue -addr :8080 &
+//	curl 'localhost:8080/schema'
+//	curl 'localhost:8080/query?op=sum&age=37..52&year=1988..1996&type=auto'
+//	curl 'localhost:8080/query?op=max&state=CA..TX'
+//	curl -X POST localhost:8080/update -d '{"updates":[{"coords":[0,0,0,0],"delta":5}]}'
+//	curl 'localhost:8080/advise?space=100000'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"rangecube/internal/cube"
+	"rangecube/internal/server"
+)
+
+func main() {
+	data := flag.String("data", "", "CSV file with a header row")
+	measure := flag.String("measure", "revenue", "name of the integer measure column")
+	addr := flag.String("addr", ":8080", "listen address")
+	block := flag.Int("block", 10, "block size for the blocked prefix sum")
+	fanout := flag.Int("fanout", 4, "per-dimension fanout of the max/min trees")
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "cubeserver: -data is required (generate one with cubegen)")
+		os.Exit(2)
+	}
+	f, err := os.Open(*data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cubeserver: %v\n", err)
+		os.Exit(1)
+	}
+	c, n, err := cube.InferCSV(bufio.NewReader(f), *measure)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cubeserver: %v\n", err)
+		os.Exit(1)
+	}
+	srv := server.New(c, *block, *fanout)
+	fmt.Printf("cubeserver: %d records in a %v cube; listening on %s\n", n, c.Shape(), *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "cubeserver: %v\n", err)
+		os.Exit(1)
+	}
+}

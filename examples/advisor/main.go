@@ -1,0 +1,87 @@
+// Advisor: the paper's §9 physical-design decisions on a workload. Given a
+// query log over a 5-attribute cube, the demo (1) picks which dimensions
+// deserve prefix sums (heuristic vs optimal, Figure 12), (2) computes the
+// benefit/space-optimal block size for the workload (§9.3, Figure 14), and
+// (3) runs the greedy cuboid selection under a space budget (Figure 13).
+//
+//	go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rangecube"
+)
+
+func main() {
+	// A synthetic log: analysts slice ages and years with long ranges,
+	// almost always pin the insurance type, and use "all" for states.
+	rng := rand.New(rand.NewSource(3))
+	var log []rangecube.LoggedQuery
+	for i := 0; i < 200; i++ {
+		q := rangecube.LoggedQuery{RangeLen: []int{1, 1, 1, 1, 1}}
+		q.RangeLen[0] = 5 + rng.Intn(40) // age: active
+		q.RangeLen[1] = 2 + rng.Intn(8)  // year: active
+		if rng.Intn(10) == 0 {
+			q.RangeLen[2] = 5 + rng.Intn(20) // state range: rare
+		}
+		// attributes 3 (type) and 4 (channel) stay passive
+		log = append(log, q)
+	}
+
+	names := []string{"age", "year", "state", "type", "channel"}
+	fmt.Println("== choosing dimensions (§9.1) ==")
+	heur := rangecube.ChooseDimensionsHeuristic(log)
+	opt := rangecube.ChooseDimensionsOptimal(log)
+	fmt.Printf("heuristic (Rj ≥ 2m): %v\n", nameSubset(names, heur))
+	fmt.Printf("optimal (Gray-code): %v\n", nameSubset(names, opt))
+
+	fmt.Println("\n== choosing a block size (§9.3) ==")
+	// Average query on the (age, year) cuboid: 20×5 ranges.
+	v, s := 20.0*5, 2*(20.0*5)/20+2*(20.0*5)/5
+	for _, budget := range []float64{1e6, 1e4} {
+		b, ok := rangecube.OptimalBlockSize(2, v, s, 200, budget)
+		fmt.Printf("budget-normalized n=%8.0f: optimal b = %d (ok=%v)\n", budget, b, ok)
+	}
+
+	fmt.Println("\n== greedy cuboid selection under a budget (§9.2) ==")
+	lat := &rangecube.Lattice{
+		Shape: []int{100, 10, 50},
+		Stats: []rangecube.CuboidStats{
+			{Dims: 0b011, NQ: 180, V: 100, S: 50},  // (age, year)
+			{Dims: 0b111, NQ: 20, V: 2000, S: 900}, // (age, year, state)
+			{Dims: 0b001, NQ: 50, V: 25, S: 2},     // (age)
+		},
+		SpaceLimit: 30_000,
+	}
+	choices := lat.Greedy()
+	for _, c := range choices {
+		fmt.Printf("precompute cuboid %s with block size %d\n", cuboidName(names, c.Dims), c.BlockSize)
+	}
+	fmt.Printf("total space %.0f of %.0f budget; benefit %.0f accesses saved\n",
+		lat.TotalSpace(choices), lat.SpaceLimit, lat.TotalBenefit(choices))
+}
+
+func nameSubset(names []string, idx []int) []string {
+	out := make([]string, len(idx))
+	for i, j := range idx {
+		out[i] = names[j]
+	}
+	return out
+}
+
+func cuboidName(names []string, mask uint64) string {
+	out := "⟨"
+	first := true
+	for j, n := range names {
+		if mask&(1<<uint(j)) != 0 {
+			if !first {
+				out += ","
+			}
+			out += n
+			first = false
+		}
+	}
+	return out + "⟩"
+}

@@ -1,0 +1,67 @@
+// Approximate: the paper's §11 offshoot for interactive exploration. An
+// analyst's dashboard shows an immediate [lower, upper] band for each
+// range query — derived purely from precomputed values in O(2^d) — and
+// then replaces it with the exact answer when the full computation lands.
+// The demo also shows saving the precomputed indexes to disk and reloading
+// them, the nightly-batch deployment shape the paper's update model
+// assumes (§5).
+//
+//	go run ./examples/approximate
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"rangecube"
+)
+
+func main() {
+	// A 1000×1000 sales cube (store × product), non-negative measures.
+	const n = 1000
+	rng := rand.New(rand.NewSource(17))
+	a := rangecube.NewArray(n, n)
+	for i := range a.Data() {
+		a.Data()[i] = int64(rng.Intn(100))
+	}
+	blocked := rangecube.NewBlockedSumIndex(a, 50)
+	max := rangecube.NewMaxIndex(a, 8)
+
+	fmt.Println("interactive range-sum with instant bounds (§11):")
+	for _, q := range []rangecube.Region{
+		rangecube.Reg(100, 899, 100, 899),
+		rangecube.Reg(123, 456, 678, 999),
+		rangecube.Reg(37, 52, 0, 999),
+	} {
+		var ce rangecube.Counter
+		lo, hi := blocked.SumBounds(q)
+		exact := blocked.SumCounted(q, &ce)
+		spread := 100 * float64(hi-lo) / float64(exact)
+		fmt.Printf("  %v: first response [%d, %d] (±%.1f%%), exact %d after %d accesses\n",
+			q, lo, hi, spread/2, exact, ce.Total())
+		if lo > exact || exact > hi {
+			panic("bounds must sandwich the exact answer")
+		}
+	}
+
+	fmt.Println("\ninstant range-max bounds:")
+	q := rangecube.Reg(10, 990, 10, 990)
+	lo, hi, exactNow := max.MaxBounds(q)
+	res := max.Max(q)
+	fmt.Printf("  %v: first response [%d, %d] (already exact: %v), true max %d\n",
+		q, lo, hi, exactNow, res.Value)
+
+	// Persistence: build once, serve many.
+	var buf bytes.Buffer
+	if err := blocked.Save(&buf); err != nil {
+		panic(err)
+	}
+	size := buf.Len()
+	restored, err := rangecube.ReadBlockedSumIndex(&buf)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nindex persisted to %d bytes and reloaded; answers agree: %v\n",
+		size, restored.Sum(q) == blocked.Sum(q))
+}

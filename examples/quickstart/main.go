@@ -1,0 +1,49 @@
+// Quickstart: build a small data cube, precompute the paper's structures,
+// and answer range queries in constant time.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"rangecube"
+)
+
+func main() {
+	// The paper's Figure 1 example: a 3×6 cube.
+	a := rangecube.FromSlice([]int64{
+		3, 5, 1, 2, 2, 3,
+		7, 3, 2, 6, 8, 2,
+		2, 4, 2, 3, 3, 5,
+	}, 3, 6)
+
+	// §3: the prefix-sum index answers any range-sum from at most 2^d
+	// precomputed values.
+	sum := rangecube.NewSumIndex(a)
+	fmt.Println("total:", sum.Sum(rangecube.Reg(0, 2, 0, 5)))                     // 63
+	fmt.Println("Sum(rows 1..2, cols 2..3):", sum.Sum(rangecube.Reg(1, 2, 2, 3))) // 13
+
+	var c rangecube.Counter
+	sum.SumCounted(rangecube.Reg(1, 2, 2, 3), &c)
+	fmt.Printf("that query read %d prefix sums (2^d = 4)\n", c.Aux)
+
+	// §4: trade space for time — keep prefix sums only per 2×2 block.
+	blocked := rangecube.NewBlockedSumIndex(a, 2)
+	fmt.Printf("blocked index: %d auxiliary cells instead of %d\n",
+		blocked.AuxSize(), sum.AuxSize())
+	fmt.Println("same answer:", blocked.Sum(rangecube.Reg(1, 2, 2, 3)))
+
+	// §6: range-max via a tree with branch-and-bound.
+	max := rangecube.NewMaxIndex(a, 2)
+	r := max.Max(rangecube.Reg(0, 2, 0, 5))
+	fmt.Printf("max %d at %v\n", r.Value, r.Coords)
+
+	// §5: batch updates touch each affected prefix sum exactly once.
+	regions := sum.Update([]rangecube.SumUpdate{
+		{Coords: []int{0, 0}, Delta: +10},
+		{Coords: []int{2, 5}, Delta: -3},
+	})
+	fmt.Printf("after batch update (%d regions): total = %d\n",
+		regions, sum.Sum(rangecube.Reg(0, 2, 0, 5)))
+}

@@ -1,0 +1,82 @@
+// Sparsecube: range queries over a cube too sparse to materialize (§10).
+// A customer×product revenue matrix is ~20% dense — the canonical OLAP
+// sparsity the paper cites — with purchases clustered by segment. The demo
+// discovers the dense regions with the decision-tree classifier, builds
+// per-region prefix sums and an R*-tree over regions and outliers, and
+// compares query cost against a full scan.
+//
+//	go run ./examples/sparsecube
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"rangecube"
+)
+
+func main() {
+	const customers, products = 600, 400
+	shape := []int{customers, products}
+	rng := rand.New(rand.NewSource(11))
+
+	// Three customer segments, each buying a contiguous product family
+	// heavily; plus background one-off purchases.
+	segments := []struct{ c0, c1, p0, p1 int }{
+		{0, 149, 0, 99},      // retail customers × household goods
+		{200, 349, 150, 279}, // SMBs × office supplies
+		{450, 599, 300, 399}, // enterprises × infrastructure
+	}
+	occupied := map[[2]int]bool{}
+	var points []rangecube.SparsePoint
+	add := func(c, p int, v int64) {
+		k := [2]int{c, p}
+		if !occupied[k] {
+			occupied[k] = true
+			points = append(points, rangecube.SparsePoint{Coords: []int{c, p}, Value: v})
+		}
+	}
+	for _, s := range segments {
+		for c := s.c0; c <= s.c1; c++ {
+			for p := s.p0; p <= s.p1; p++ {
+				if rng.Float64() < 0.85 {
+					add(c, p, int64(10+rng.Intn(500)))
+				}
+			}
+		}
+	}
+	background := customers * products / 20
+	for i := 0; i < background; i++ {
+		add(rng.Intn(customers), rng.Intn(products), int64(10+rng.Intn(500)))
+	}
+	density := float64(len(points)) / float64(customers*products)
+	fmt.Printf("cube %d×%d, %d non-empty cells (%.0f%% dense)\n",
+		customers, products, len(points), 100*density)
+
+	t0 := time.Now()
+	sumIdx := rangecube.NewSparseSumIndex(shape, points)
+	fmt.Printf("sparse sum index built in %v: %d dense regions, %d outlier points\n",
+		time.Since(t0), sumIdx.Regions(), sumIdx.Points())
+	maxIdx := rangecube.NewSparseMaxIndex(shape, points, 4)
+
+	// Queries: revenue of a customer range × product range.
+	queries := []rangecube.Region{
+		rangecube.Reg(0, 149, 0, 99),     // exactly segment 1
+		rangecube.Reg(100, 399, 50, 299), // straddles two segments
+		rangecube.Reg(0, 599, 0, 399),    // everything
+		rangecube.Reg(380, 420, 0, 399),  // mostly empty band
+	}
+	for _, q := range queries {
+		var c rangecube.Counter
+		total := sumIdx.SumCounted(q, &c)
+		fmt.Printf("\nquery %v (volume %d):\n", q, q.Volume())
+		fmt.Printf("  sum = %-12d with %d accesses (scan would read %d cells)\n",
+			total, c.Total(), q.Volume())
+		if v, ok := maxIdx.Max(q); ok {
+			fmt.Printf("  max purchase = %d\n", v)
+		} else {
+			fmt.Printf("  no purchases in this region\n")
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Timeseries: OLAP over a daily sales series. ROLLING SUM and ROLLING
+// AVERAGE are special cases of range-sum and range-average (§1); range-MIN
+// and range-MAX locate the best and worst trading windows; and the sparse
+// 1-dimensional structure (§10.1) indexes a series with missing days using
+// B-tree predecessor searches.
+//
+//	go run ./examples/timeseries
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rangecube"
+)
+
+func main() {
+	// Five years of daily sales with weekly seasonality and a trend.
+	const days = 5 * 365
+	rng := rand.New(rand.NewSource(7))
+	series := rangecube.NewArray(days)
+	for i := 0; i < days; i++ {
+		base := 1000 + i/2          // slow growth
+		season := 300 * (i % 7) / 6 // weekend bump
+		noise := rng.Intn(200) - 100
+		series.Data()[i] = int64(base + season + noise)
+	}
+
+	sum := rangecube.NewSumIndex(series)
+	fmt.Printf("total sales over %d days: %d\n", days, sum.Sum(rangecube.Reg(0, days-1)))
+
+	// Quarterly revenue: each quarter is one O(1) range-sum.
+	fmt.Println("\nfirst four quarters:")
+	for q := 0; q < 4; q++ {
+		lo, hi := q*91, q*91+90
+		fmt.Printf("  Q%d (days %4d..%4d): %d\n", q+1, lo, hi, sum.Sum(rangecube.Reg(lo, hi)))
+	}
+
+	// 28-day rolling sums and the strongest 4-week window.
+	rolls := sum.RollingSums(28)
+	bestStart, best := 0, int64(math.MinInt64)
+	for i, v := range rolls {
+		if v > best {
+			best, bestStart = v, i
+		}
+	}
+	fmt.Printf("\nbest 28-day window: days %d..%d with %d\n", bestStart, bestStart+27, best)
+
+	// Range-average over an arbitrary window via the (sum,count) machinery.
+	avg := rangecube.NewAvgIndex(series, nil)
+	a, n := avg.Average(rangecube.Reg(365, 729))
+	fmt.Printf("year-2 daily average: %.1f over %d days\n", a, n)
+
+	// Range-min/max with the §6 tree: best and worst single day of year 3.
+	year3 := rangecube.Reg(730, 1094)
+	maxIdx := rangecube.NewMaxIndex(series, 4)
+	minIdx := rangecube.NewMinIndex(series, 4)
+	hi := maxIdx.Max(year3)
+	lo := minIdx.Max(year3)
+	fmt.Printf("year 3: best day %v = %d, worst day %v = %d\n",
+		hi.Coords, hi.Value, lo.Coords, lo.Value)
+	var c rangecube.Counter
+	maxIdx.MaxCounted(year3, &c)
+	fmt.Printf("  (max found with %d accesses; Theorem 3 bound for b=4 is %.2f average)\n",
+		c.Total(), 4+7+1.0/4)
+
+	// A sparse series: only ~15% of days have data (§10.1).
+	var cells []rangecube.SparseCell
+	for i := 0; i < days; i++ {
+		if rng.Float64() < 0.15 {
+			cells = append(cells, rangecube.SparseCell{Index: i, Value: series.Data()[i]})
+		}
+	}
+	sp := rangecube.NewSparse1D(days, cells)
+	fmt.Printf("\nsparse series (%d of %d days): year-1 sum = %d (two B-tree searches)\n",
+		len(cells), days, sp.Sum(0, 364))
+}

@@ -1,0 +1,91 @@
+package rangecube
+
+import (
+	"rangecube/internal/algebra"
+	"rangecube/internal/core/blocked"
+	"rangecube/internal/core/maxtree"
+	"rangecube/internal/core/prefixsum"
+	"rangecube/internal/ndarray"
+)
+
+// Float measure support: the engines are generic over any invertible
+// operator internally (§1); these types expose the float64 SUM and
+// MAX/MIN instantiations for measures like revenue that are not integral.
+// Note the usual caveat: float prefix sums accumulate rounding, so
+// range-sums are exact only up to float64 associativity error.
+
+// FloatArray is a dense d-dimensional float64 measure array.
+type FloatArray = ndarray.Array[float64]
+
+// NewFloatArray allocates a zero-filled float cube.
+func NewFloatArray(shape ...int) *FloatArray { return ndarray.New[float64](shape...) }
+
+// FloatFromSlice wraps a row-major float64 slice as a cube.
+func FloatFromSlice(data []float64, shape ...int) *FloatArray {
+	return ndarray.FromSlice(data, shape...)
+}
+
+// FloatSumIndex is SumIndex for float64 measures (§3).
+type FloatSumIndex struct {
+	ps *prefixsum.Array[float64, algebra.FloatSum]
+}
+
+// NewFloatSumIndex builds the prefix sums of a float cube.
+func NewFloatSumIndex(a *FloatArray) *FloatSumIndex {
+	return &FloatSumIndex{ps: prefixsum.Build[float64, algebra.FloatSum](a)}
+}
+
+// Sum returns the sum over the region.
+func (s *FloatSumIndex) Sum(r Region) float64 { return s.ps.Sum(r, nil) }
+
+// SumCounted is Sum with cost accounting.
+func (s *FloatSumIndex) SumCounted(r Region, c *Counter) float64 { return s.ps.Sum(r, c) }
+
+// Cell reconstructs one cube cell (§3.4).
+func (s *FloatSumIndex) Cell(coords ...int) float64 { return s.ps.Cell(coords, nil) }
+
+// FloatBlockedSumIndex is BlockedSumIndex for float64 measures (§4).
+type FloatBlockedSumIndex struct {
+	bl *blocked.Array[float64, algebra.FloatSum]
+}
+
+// NewFloatBlockedSumIndex builds the blocked structure with block size b.
+func NewFloatBlockedSumIndex(a *FloatArray, b int) *FloatBlockedSumIndex {
+	return &FloatBlockedSumIndex{bl: blocked.Build[float64, algebra.FloatSum](a, b)}
+}
+
+// Sum returns the sum over the region.
+func (s *FloatBlockedSumIndex) Sum(r Region) float64 { return s.bl.Sum(r, nil) }
+
+// SumCounted is Sum with cost accounting.
+func (s *FloatBlockedSumIndex) SumCounted(r Region, c *Counter) float64 { return s.bl.Sum(r, c) }
+
+// FloatMaxResult reports a float range-max (or min) answer.
+type FloatMaxResult struct {
+	Coords []int
+	Value  float64
+	OK     bool
+}
+
+// FloatMaxIndex is MaxIndex for float64 measures (§6).
+type FloatMaxIndex struct {
+	tr *maxtree.Tree[float64]
+}
+
+// NewFloatMaxIndex and NewFloatMinIndex build float max/min trees.
+func NewFloatMaxIndex(a *FloatArray, b int) *FloatMaxIndex {
+	return &FloatMaxIndex{tr: maxtree.Build(a, b)}
+}
+
+func NewFloatMinIndex(a *FloatArray, b int) *FloatMaxIndex {
+	return &FloatMaxIndex{tr: maxtree.BuildMin(a, b)}
+}
+
+// Max returns the position and value of an extreme cell in the region.
+func (m *FloatMaxIndex) Max(r Region) FloatMaxResult {
+	off, v, ok := m.tr.MaxIndex(r, nil)
+	if !ok {
+		return FloatMaxResult{}
+	}
+	return FloatMaxResult{Coords: m.tr.Cube().Coords(off, nil), Value: v, OK: true}
+}

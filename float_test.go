@@ -1,0 +1,53 @@
+package rangecube
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFloatSumIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewFloatArray(20, 15)
+	for i := range a.Data() {
+		a.Data()[i] = rng.Float64() * 100
+	}
+	s := NewFloatSumIndex(a)
+	bl := NewFloatBlockedSumIndex(a, 4)
+	for q := 0; q < 60; q++ {
+		lo0, lo1 := rng.Intn(20), rng.Intn(15)
+		r := Reg(lo0, lo0+rng.Intn(20-lo0), lo1, lo1+rng.Intn(15-lo1))
+		var want float64
+		r.ForEach(func(c []int) { want += a.At(c...) })
+		// Prefix sums accumulate float error; compare with a tolerance
+		// proportional to the total magnitude.
+		tol := 1e-9 * float64(a.Size()) * 100
+		if got := s.Sum(r); math.Abs(got-want) > tol {
+			t.Fatalf("float Sum(%v) = %g, want %g", r, got, want)
+		}
+		if got := bl.Sum(r); math.Abs(got-want) > tol {
+			t.Fatalf("float blocked Sum(%v) = %g, want %g", r, got, want)
+		}
+	}
+	// Cell reconstruction within tolerance.
+	if got := s.Cell(3, 7); math.Abs(got-a.At(3, 7)) > 1e-7 {
+		t.Fatalf("Cell = %g, want %g", got, a.At(3, 7))
+	}
+}
+
+func TestFloatMaxMinIndex(t *testing.T) {
+	a := FloatFromSlice([]float64{1.5, -2.25, 7.75, 0, 3.5, 7.75}, 2, 3)
+	mx := NewFloatMaxIndex(a, 2)
+	res := mx.Max(Reg(0, 1, 0, 2))
+	if !res.OK || res.Value != 7.75 {
+		t.Fatalf("float Max = %+v", res)
+	}
+	mn := NewFloatMinIndex(a, 2)
+	res = mn.Max(Reg(0, 1, 0, 2))
+	if !res.OK || res.Value != -2.25 {
+		t.Fatalf("float Min = %+v", res)
+	}
+	if got := mx.Max(Reg(1, 0, 0, 2)); got.OK {
+		t.Fatal("empty region reported OK")
+	}
+}

@@ -1,0 +1,3 @@
+module rangecube
+
+go 1.22

@@ -1,0 +1,123 @@
+package rangecube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The paper's setting: data cubes typically have 5 to 10 functional
+// attributes (§1). This integration test runs every engine side by side on
+// a 5-dimensional cube, including after interleaved batch updates.
+func TestFiveDimensionalIntegration(t *testing.T) {
+	shape := []int{11, 7, 5, 6, 4} // 9240 cells
+	rng := rand.New(rand.NewSource(1234))
+	a := NewArray(shape...)
+	for i := range a.Data() {
+		a.Data()[i] = int64(rng.Intn(1000))
+	}
+	ref := a.Clone()
+
+	// Every engine that mutates its cube on update gets its own copy, so
+	// the interleaved update rounds below don't double-apply deltas.
+	sum := NewSumIndex(a) // builds its own P; the cube is not retained
+	blk := NewBlockedSumIndex(a.Clone(), 3)
+	blkDims := NewBlockedSumIndexDims(a.Clone(), []int{3, 2, 1, 3, 1})
+	tree := NewTreeSumIndex(a.Clone(), 2)
+	mx := NewMaxIndex(a.Clone(), 2)
+	mn := NewMinIndex(a.Clone(), 2)
+
+	randomRegion := func() Region {
+		r := make(Region, len(shape))
+		for j, n := range shape {
+			lo := rng.Intn(n)
+			r[j] = Range{Lo: lo, Hi: lo + rng.Intn(n-lo)}
+		}
+		return r
+	}
+	naiveSum := func(r Region) int64 {
+		var total int64
+		r.ForEach(func(c []int) { total += ref.At(c...) })
+		return total
+	}
+	naiveMax := func(r Region) (int64, int64) {
+		first := true
+		var mxv, mnv int64
+		r.ForEach(func(c []int) {
+			v := ref.At(c...)
+			if first || v > mxv {
+				mxv = v
+			}
+			if first || v < mnv {
+				mnv = v
+			}
+			first = false
+		})
+		return mxv, mnv
+	}
+
+	check := func(round int) {
+		t.Helper()
+		for q := 0; q < 25; q++ {
+			r := randomRegion()
+			want := naiveSum(r)
+			if got := sum.Sum(r); got != want {
+				t.Fatalf("round %d: SumIndex(%v) = %d, want %d", round, r, got, want)
+			}
+			if got := blk.Sum(r); got != want {
+				t.Fatalf("round %d: Blocked(%v) = %d, want %d", round, r, got, want)
+			}
+			if got := blkDims.Sum(r); got != want {
+				t.Fatalf("round %d: BlockedDims(%v) = %d, want %d", round, r, got, want)
+			}
+			if got := tree.Sum(r); got != want {
+				t.Fatalf("round %d: Tree(%v) = %d, want %d", round, r, got, want)
+			}
+			wantMax, wantMin := naiveMax(r)
+			if res := mx.Max(r); !res.OK || res.Value != wantMax {
+				t.Fatalf("round %d: Max(%v) = %+v, want %d", round, r, res, wantMax)
+			}
+			if res := mn.Max(r); !res.OK || res.Value != wantMin {
+				t.Fatalf("round %d: Min(%v) = %+v, want %d", round, r, res, wantMin)
+			}
+			// §11 bounds sandwich (values are non-negative here).
+			lo, hi := blk.SumBounds(r)
+			if lo > want || want > hi {
+				t.Fatalf("round %d: bounds [%d,%d] miss %d", round, lo, hi, want)
+			}
+			// The paper's headline: prefix-sum cost is 2^d regardless of
+			// volume.
+			var c Counter
+			sum.SumCounted(r, &c)
+			if c.Aux > 32 {
+				t.Fatalf("round %d: 5-d prefix query cost %d > 2^5", round, c.Aux)
+			}
+		}
+	}
+	check(0)
+
+	// Interleave batch updates against all engines and the reference.
+	for round := 1; round <= 3; round++ {
+		k := 5 + rng.Intn(10)
+		sumUps := make([]SumUpdate, k)
+		maxUps := make([]PointUpdate, k)
+		for i := 0; i < k; i++ {
+			coords := make([]int, len(shape))
+			for j, n := range shape {
+				coords[j] = rng.Intn(n)
+			}
+			delta := int64(rng.Intn(200) - 100)
+			sumUps[i] = SumUpdate{Coords: coords, Delta: delta}
+			newVal := ref.At(coords...) + delta
+			maxUps[i] = PointUpdate{Coords: coords, Value: newVal}
+			ref.Set(newVal, coords...)
+		}
+		sum.Update(sumUps)
+		blk.Update(sumUps)
+		blkDims.Update(sumUps)
+		mx.Update(maxUps)
+		mn.Update(maxUps)
+		// The plain tree baseline has no incremental path; rebuild it.
+		tree = NewTreeSumIndex(ref.Clone(), 2)
+		check(round)
+	}
+}

@@ -1,0 +1,76 @@
+// Package algebra defines the invertible aggregation operators the paper's
+// range-sum machinery generalizes over (§1): any binary operator ⊕ with an
+// inverse ⊖ such that (a ⊕ b) ⊖ b = a. SUM, COUNT, AVERAGE (as a
+// (sum,count) pair), bitwise XOR and MULTIPLICATION over a zero-free domain
+// all qualify; MAX/MIN do not, which is why the paper uses tree structures
+// for those instead.
+package algebra
+
+// Group describes a commutative, invertible aggregation operator over T.
+// Implementations are zero-size structs so the methods inline; generic code
+// takes the group as a type parameter and calls methods on its zero value.
+type Group[T any] interface {
+	// Identity returns the neutral element e with a ⊕ e = a.
+	Identity() T
+	// Combine returns a ⊕ b.
+	Combine(a, b T) T
+	// Inverse returns a ⊖ b, the unique x with x ⊕ b = a.
+	Inverse(a, b T) T
+}
+
+// IntSum is (+, −) over int64 — the paper's canonical SUM operator with
+// exact arithmetic (used throughout tests so accelerated paths can be
+// compared bit-for-bit against naive scans).
+type IntSum struct{}
+
+func (IntSum) Identity() int64          { return 0 }
+func (IntSum) Combine(a, b int64) int64 { return a + b }
+func (IntSum) Inverse(a, b int64) int64 { return a - b }
+
+// FloatSum is (+, −) over float64, the typical OLAP measure type.
+type FloatSum struct{}
+
+func (FloatSum) Identity() float64            { return 0 }
+func (FloatSum) Combine(a, b float64) float64 { return a + b }
+func (FloatSum) Inverse(a, b float64) float64 { return a - b }
+
+// Xor is (⊻, ⊻) over uint64; xor is its own inverse.
+type Xor struct{}
+
+func (Xor) Identity() uint64           { return 0 }
+func (Xor) Combine(a, b uint64) uint64 { return a ^ b }
+func (Xor) Inverse(a, b uint64) uint64 { return a ^ b }
+
+// Mul is (×, ÷) over the non-zero float64 domain. Using it on data
+// containing zero yields undefined results, exactly as the paper notes.
+type Mul struct{}
+
+func (Mul) Identity() float64            { return 1 }
+func (Mul) Combine(a, b float64) float64 { return a * b }
+func (Mul) Inverse(a, b float64) float64 { return a / b }
+
+// SumCount carries the (sum, count) pair from which both COUNT and AVERAGE
+// derive (§1): COUNT is a SUM of ones and AVERAGE is Sum/Count.
+type SumCount struct {
+	Sum   float64
+	Count int64
+}
+
+// Average returns Sum/Count, or 0 for an empty aggregate.
+func (s SumCount) Average() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// SumCountGroup is component-wise (+, −) over SumCount pairs.
+type SumCountGroup struct{}
+
+func (SumCountGroup) Identity() SumCount { return SumCount{} }
+func (SumCountGroup) Combine(a, b SumCount) SumCount {
+	return SumCount{a.Sum + b.Sum, a.Count + b.Count}
+}
+func (SumCountGroup) Inverse(a, b SumCount) SumCount {
+	return SumCount{a.Sum - b.Sum, a.Count - b.Count}
+}

@@ -1,0 +1,77 @@
+package algebra
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// checkGroup verifies the (a ⊕ b) ⊖ b = a law and identity behaviour the
+// paper requires of an operator pair (§1).
+func checkGroupInt(t *testing.T, g Group[int64]) {
+	t.Helper()
+	f := func(a, b int64) bool {
+		if g.Inverse(g.Combine(a, b), b) != a {
+			return false
+		}
+		return g.Combine(a, g.Identity()) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntSumLaws(t *testing.T) { checkGroupInt(t, IntSum{}) }
+
+func TestXorLaws(t *testing.T) {
+	g := Xor{}
+	f := func(a, b uint64) bool {
+		return g.Inverse(g.Combine(a, b), b) == a && g.Combine(a, g.Identity()) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatSumLaws(t *testing.T) {
+	g := FloatSum{}
+	if g.Combine(1.5, g.Identity()) != 1.5 {
+		t.Fatal("identity law")
+	}
+	if g.Inverse(g.Combine(2.25, 0.75), 0.75) != 2.25 {
+		t.Fatal("inverse law on exactly representable values")
+	}
+}
+
+func TestMulLaws(t *testing.T) {
+	g := Mul{}
+	if g.Combine(3, g.Identity()) != 3 {
+		t.Fatal("identity law")
+	}
+	got := g.Inverse(g.Combine(3, 4), 4)
+	if math.Abs(got-3) > 1e-12 {
+		t.Fatalf("inverse law: got %g", got)
+	}
+}
+
+func TestSumCount(t *testing.T) {
+	g := SumCountGroup{}
+	a := SumCount{10, 4}
+	b := SumCount{6, 2}
+	c := g.Combine(a, b)
+	if c.Sum != 16 || c.Count != 6 {
+		t.Fatalf("Combine = %+v", c)
+	}
+	if got := g.Inverse(c, b); got != a {
+		t.Fatalf("Inverse = %+v, want %+v", got, a)
+	}
+	if c.Average() != 16.0/6.0 {
+		t.Fatalf("Average = %g", c.Average())
+	}
+	if (SumCount{}).Average() != 0 {
+		t.Fatal("empty average should be 0")
+	}
+	if g.Identity() != (SumCount{}) {
+		t.Fatal("identity should be the zero pair")
+	}
+}

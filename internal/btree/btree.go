@@ -1,0 +1,271 @@
+// Package btree implements the classic B-tree of Comer's survey, the index
+// structure the paper uses for sparse one-dimensional prefix-sum arrays
+// (§10.1): given a range (ℓ:h), the B-tree locates the last stored prefix
+// sum at or below h and at or below ℓ−1 with two predecessor searches.
+//
+// Keys are ints (rank-domain indices) and values are generic.
+package btree
+
+import "fmt"
+
+// degree is the minimum degree t: every node other than the root holds
+// between t−1 and 2t−1 keys. 32 keeps nodes around a cache line multiple.
+const degree = 32
+
+const maxKeys = 2*degree - 1
+
+// Tree is a B-tree map from int keys to values of type V. The zero value is
+// an empty tree ready for use.
+type Tree[V any] struct {
+	root *node[V]
+	size int
+}
+
+type node[V any] struct {
+	keys     []int
+	vals     []V
+	children []*node[V] // nil for leaves
+}
+
+func (n *node[V]) leaf() bool { return n.children == nil }
+
+// Len returns the number of stored keys.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Get returns the value stored at key, if any.
+func (t *Tree[V]) Get(key int) (V, bool) {
+	var zero V
+	n := t.root
+	for n != nil {
+		i := search(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			return zero, false
+		}
+		n = n.children[i]
+	}
+	return zero, false
+}
+
+// search returns the first index i with keys[i] >= key (binary search).
+func search(keys []int, key int) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Put inserts or replaces the value at key.
+func (t *Tree[V]) Put(key int, val V) {
+	if t.root == nil {
+		t.root = &node[V]{keys: []int{key}, vals: []V{val}}
+		t.size = 1
+		return
+	}
+	if len(t.root.keys) == maxKeys {
+		// Split the root: the tree grows upward.
+		old := t.root
+		t.root = &node[V]{children: []*node[V]{old}}
+		t.root.splitChild(0)
+	}
+	if t.root.insertNonFull(key, val) {
+		t.size++
+	}
+}
+
+// splitChild splits the full child at index i, hoisting its median into n.
+func (n *node[V]) splitChild(i int) {
+	child := n.children[i]
+	mid := degree - 1
+	medKey, medVal := child.keys[mid], child.vals[mid]
+	right := &node[V]{
+		keys: append([]int(nil), child.keys[mid+1:]...),
+		vals: append([]V(nil), child.vals[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*node[V](nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+
+	n.keys = append(n.keys, 0)
+	n.vals = append(n.vals, medVal)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = medKey
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = medVal
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// insertNonFull inserts into a node known not to be full; it reports
+// whether a new key was added (false on replacement).
+func (n *node[V]) insertNonFull(key int, val V) bool {
+	i := search(n.keys, key)
+	if i < len(n.keys) && n.keys[i] == key {
+		n.vals[i] = val
+		return false
+	}
+	if n.leaf() {
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		var zero V
+		n.vals = append(n.vals, zero)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		return true
+	}
+	if len(n.children[i].keys) == maxKeys {
+		n.splitChild(i)
+		if key == n.keys[i] {
+			n.vals[i] = val
+			return false
+		}
+		if key > n.keys[i] {
+			i++
+		}
+	}
+	return n.children[i].insertNonFull(key, val)
+}
+
+// Predecessor returns the largest key ≤ key and its value. ok is false when
+// every stored key exceeds key. This is the search the sparse prefix-sum
+// structure performs twice per range query (§10.1).
+func (t *Tree[V]) Predecessor(key int) (int, V, bool) {
+	var bestKey int
+	var bestVal V
+	found := false
+	n := t.root
+	for n != nil {
+		i := search(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			return key, n.vals[i], true
+		}
+		if i > 0 {
+			bestKey, bestVal, found = n.keys[i-1], n.vals[i-1], true
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[i]
+	}
+	return bestKey, bestVal, found
+}
+
+// Successor returns the smallest key ≥ key and its value; ok is false when
+// every stored key is below key.
+func (t *Tree[V]) Successor(key int) (int, V, bool) {
+	var bestKey int
+	var bestVal V
+	found := false
+	n := t.root
+	for n != nil {
+		i := search(n.keys, key)
+		if i < len(n.keys) && n.keys[i] == key {
+			return key, n.vals[i], true
+		}
+		if i < len(n.keys) {
+			bestKey, bestVal, found = n.keys[i], n.vals[i], true
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[i]
+	}
+	return bestKey, bestVal, found
+}
+
+// Ascend visits all (key, value) pairs with lo ≤ key ≤ hi in key order; the
+// visit function returns false to stop early.
+func (t *Tree[V]) Ascend(lo, hi int, visit func(key int, val V) bool) {
+	t.root.ascend(lo, hi, visit)
+}
+
+func (n *node[V]) ascend(lo, hi int, visit func(int, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	i := search(n.keys, lo)
+	for ; i < len(n.keys) && n.keys[i] <= hi; i++ {
+		if !n.leaf() && !n.children[i].ascend(lo, hi, visit) {
+			return false
+		}
+		if !visit(n.keys[i], n.vals[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[i].ascend(lo, hi, visit)
+	}
+	return true
+}
+
+// Height returns the tree height (0 for an empty tree), exposed for tests
+// of the balancing invariant.
+func (t *Tree[V]) Height() int {
+	h := 0
+	for n := t.root; n != nil; {
+		h++
+		if n.leaf() {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// CheckInvariants panics if any B-tree invariant is violated: key ordering,
+// node occupancy, uniform leaf depth. Tests call it after bulk operations.
+func (t *Tree[V]) CheckInvariants() {
+	if t.root == nil {
+		return
+	}
+	leafDepth := -1
+	var walk func(n *node[V], depth, lo, hi int)
+	walk = func(n *node[V], depth, lo, hi int) {
+		if len(n.keys) == 0 || (n != t.root && len(n.keys) < degree-1) || len(n.keys) > maxKeys {
+			panic(fmt.Sprintf("btree: node occupancy %d out of range at depth %d", len(n.keys), depth))
+		}
+		prev := lo
+		for _, k := range n.keys {
+			if k < prev || k > hi {
+				panic(fmt.Sprintf("btree: key %d violates ordering in [%d,%d]", k, lo, hi))
+			}
+			prev = k
+		}
+		if n.leaf() {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				panic("btree: leaves at different depths")
+			}
+			return
+		}
+		if len(n.children) != len(n.keys)+1 {
+			panic("btree: child count mismatch")
+		}
+		for i, c := range n.children {
+			clo, chi := lo, hi
+			if i > 0 {
+				clo = n.keys[i-1] + 1
+			}
+			if i < len(n.keys) {
+				chi = n.keys[i] - 1
+			}
+			walk(c, depth+1, clo, chi)
+		}
+	}
+	const intMax = int(^uint(0) >> 1)
+	walk(t.root, 0, -intMax-1, intMax)
+}

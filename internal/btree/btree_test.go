@@ -1,0 +1,211 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree[int64]
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Fatal("empty tree has wrong size/height")
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, _, ok := tr.Predecessor(5); ok {
+		t.Fatal("Predecessor on empty tree returned ok")
+	}
+	if _, _, ok := tr.Successor(5); ok {
+		t.Fatal("Successor on empty tree returned ok")
+	}
+	tr.Ascend(0, 100, func(int, int64) bool { t.Fatal("visited"); return true })
+}
+
+func TestPutGetReplace(t *testing.T) {
+	var tr Tree[int64]
+	tr.Put(3, 30)
+	tr.Put(1, 10)
+	tr.Put(2, 20)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if v, ok := tr.Get(2); !ok || v != 20 {
+		t.Fatalf("Get(2) = (%d,%v)", v, ok)
+	}
+	tr.Put(2, 99)
+	if tr.Len() != 3 {
+		t.Fatalf("replacement changed Len to %d", tr.Len())
+	}
+	if v, _ := tr.Get(2); v != 99 {
+		t.Fatalf("Get(2) after replace = %d", v)
+	}
+	tr.CheckInvariants()
+}
+
+func TestLargeSequentialInsert(t *testing.T) {
+	var tr Tree[int64]
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Put(i, int64(i*2))
+	}
+	tr.CheckInvariants()
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for _, k := range []int{0, 1, 4999, 9999} {
+		if v, ok := tr.Get(k); !ok || v != int64(k*2) {
+			t.Fatalf("Get(%d) = (%d,%v)", k, v, ok)
+		}
+	}
+	// Height must be logarithmic: with degree 32, 10k keys fit in 3 levels.
+	if tr.Height() > 3 {
+		t.Fatalf("Height = %d for %d keys", tr.Height(), n)
+	}
+}
+
+func TestPredecessorSuccessor(t *testing.T) {
+	var tr Tree[string]
+	for _, k := range []int{10, 20, 30, 40} {
+		tr.Put(k, "v")
+	}
+	cases := []struct {
+		q       int
+		predKey int
+		predOK  bool
+		succKey int
+		succOK  bool
+	}{
+		{5, 0, false, 10, true},
+		{10, 10, true, 10, true},
+		{15, 10, true, 20, true},
+		{40, 40, true, 40, true},
+		{45, 40, true, 0, false},
+	}
+	for _, c := range cases {
+		k, _, ok := tr.Predecessor(c.q)
+		if ok != c.predOK || (ok && k != c.predKey) {
+			t.Fatalf("Predecessor(%d) = (%d,%v), want (%d,%v)", c.q, k, ok, c.predKey, c.predOK)
+		}
+		k, _, ok = tr.Successor(c.q)
+		if ok != c.succOK || (ok && k != c.succKey) {
+			t.Fatalf("Successor(%d) = (%d,%v), want (%d,%v)", c.q, k, ok, c.succKey, c.succOK)
+		}
+	}
+}
+
+func TestAscendRangeAndEarlyStop(t *testing.T) {
+	var tr Tree[int64]
+	for i := 0; i < 100; i++ {
+		tr.Put(i, int64(i))
+	}
+	var got []int
+	tr.Ascend(17, 33, func(k int, v int64) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 17 || got[0] != 17 || got[16] != 33 {
+		t.Fatalf("Ascend(17,33) visited %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("Ascend out of order")
+		}
+	}
+	count := 0
+	tr.Ascend(0, 99, func(int, int64) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d, want 5", count)
+	}
+}
+
+// Property: the B-tree behaves exactly like a sorted map under random
+// insertions (including duplicates), and predecessor/successor match a
+// sorted-slice reference.
+func TestAgainstReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tree[int64]
+		ref := map[int]int64{}
+		for i := 0; i < 500; i++ {
+			k := rng.Intn(300) - 50
+			v := rng.Int63n(1000)
+			tr.Put(k, v)
+			ref[k] = v
+		}
+		tr.CheckInvariants()
+		if tr.Len() != len(ref) {
+			return false
+		}
+		keys := make([]int, 0, len(ref))
+		for k := range ref {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		// Spot-check gets, predecessors and successors over the domain.
+		for q := -60; q <= 260; q += 7 {
+			wantV, wantOK := ref[q]
+			if v, ok := tr.Get(q); ok != wantOK || (ok && v != wantV) {
+				return false
+			}
+			i := sort.SearchInts(keys, q+1) - 1 // last key ≤ q
+			k, v, ok := tr.Predecessor(q)
+			if i < 0 {
+				if ok {
+					return false
+				}
+			} else if !ok || k != keys[i] || v != ref[keys[i]] {
+				return false
+			}
+			j := sort.SearchInts(keys, q) // first key ≥ q
+			k, v, ok = tr.Successor(q)
+			if j >= len(keys) {
+				if ok {
+					return false
+				}
+			} else if !ok || k != keys[j] || v != ref[keys[j]] {
+				return false
+			}
+		}
+		// Full in-order traversal matches.
+		var walked []int
+		tr.Ascend(-100, 400, func(k int, v int64) bool {
+			walked = append(walked, k)
+			return v == ref[k]
+		})
+		if len(walked) != len(keys) {
+			return false
+		}
+		for i := range keys {
+			if walked[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseAndRandomOrderSameTree(t *testing.T) {
+	var asc, desc Tree[int64]
+	for i := 0; i < 2000; i++ {
+		asc.Put(i, int64(i))
+		desc.Put(1999-i, int64(1999-i))
+	}
+	asc.CheckInvariants()
+	desc.CheckInvariants()
+	for i := 0; i < 2000; i++ {
+		va, _ := asc.Get(i)
+		vd, _ := desc.Get(i)
+		if va != vd {
+			t.Fatalf("key %d: asc %d desc %d", i, va, vd)
+		}
+	}
+}

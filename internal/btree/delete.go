@@ -1,0 +1,149 @@
+package btree
+
+// Delete removes key from the tree, reporting whether it was present. The
+// implementation is the classic top-down B-tree deletion: on the way down
+// every visited child is first brought to at least `degree` keys by
+// borrowing from a sibling or merging, so the removal itself never
+// underflows.
+func (t *Tree[V]) Delete(key int) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.root.delete(key)
+	if len(t.root.keys) == 0 {
+		if t.root.leaf() {
+			t.root = nil
+		} else {
+			t.root = t.root.children[0]
+		}
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (n *node[V]) delete(key int) bool {
+	i := search(n.keys, key)
+	if n.leaf() {
+		if i < len(n.keys) && n.keys[i] == key {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.vals = append(n.vals[:i], n.vals[i+1:]...)
+			return true
+		}
+		return false
+	}
+	if i < len(n.keys) && n.keys[i] == key {
+		// The key sits in this internal node.
+		switch {
+		case len(n.children[i].keys) >= degree:
+			// Replace with the in-order predecessor and delete it below.
+			pk, pv := n.children[i].maxEntry()
+			n.keys[i], n.vals[i] = pk, pv
+			return n.children[i].delete(pk)
+		case len(n.children[i+1].keys) >= degree:
+			sk, sv := n.children[i+1].minEntry()
+			n.keys[i], n.vals[i] = sk, sv
+			return n.children[i+1].delete(sk)
+		default:
+			n.merge(i)
+			return n.children[i].delete(key)
+		}
+	}
+	// Descend; top up the child first if it is at minimum occupancy.
+	if len(n.children[i].keys) == degree-1 {
+		i = n.fill(i)
+	}
+	return n.children[i].delete(key)
+}
+
+// maxEntry returns the largest key/value in the subtree.
+func (n *node[V]) maxEntry() (int, V) {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	last := len(n.keys) - 1
+	return n.keys[last], n.vals[last]
+}
+
+// minEntry returns the smallest key/value in the subtree.
+func (n *node[V]) minEntry() (int, V) {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0], n.vals[0]
+}
+
+// fill guarantees children[i] has at least degree keys, borrowing from a
+// sibling when possible and merging otherwise. It returns the index of the
+// child that now contains the original child's key space (merging with the
+// left sibling shifts it).
+func (n *node[V]) fill(i int) int {
+	if i > 0 && len(n.children[i-1].keys) >= degree {
+		n.borrowFromLeft(i)
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].keys) >= degree {
+		n.borrowFromRight(i)
+		return i
+	}
+	if i == len(n.children)-1 {
+		n.merge(i - 1)
+		return i - 1
+	}
+	n.merge(i)
+	return i
+}
+
+// borrowFromLeft rotates the separator down into children[i] and the left
+// sibling's last key up.
+func (n *node[V]) borrowFromLeft(i int) {
+	child, left := n.children[i], n.children[i-1]
+	child.keys = append(child.keys, 0)
+	copy(child.keys[1:], child.keys)
+	child.keys[0] = n.keys[i-1]
+	var zero V
+	child.vals = append(child.vals, zero)
+	copy(child.vals[1:], child.vals)
+	child.vals[0] = n.vals[i-1]
+	last := len(left.keys) - 1
+	n.keys[i-1], n.vals[i-1] = left.keys[last], left.vals[last]
+	left.keys = left.keys[:last]
+	left.vals = left.vals[:last]
+	if !child.leaf() {
+		child.children = append(child.children, nil)
+		copy(child.children[1:], child.children)
+		child.children[0] = left.children[len(left.children)-1]
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+// borrowFromRight rotates the separator down into children[i] and the
+// right sibling's first key up.
+func (n *node[V]) borrowFromRight(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.vals = append(child.vals, n.vals[i])
+	n.keys[i], n.vals[i] = right.keys[0], right.vals[0]
+	right.keys = append(right.keys[:0], right.keys[1:]...)
+	right.vals = append(right.vals[:0], right.vals[1:]...)
+	if !child.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = append(right.children[:0], right.children[1:]...)
+	}
+}
+
+// merge folds the separator keys[i] and children[i+1] into children[i].
+func (n *node[V]) merge(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.vals = append(child.vals, n.vals[i])
+	child.keys = append(child.keys, right.keys...)
+	child.vals = append(child.vals, right.vals...)
+	if !child.leaf() {
+		child.children = append(child.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}

@@ -1,0 +1,123 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeleteBasics(t *testing.T) {
+	var tr Tree[int64]
+	if tr.Delete(5) {
+		t.Fatal("delete from empty tree reported success")
+	}
+	for i := 0; i < 10; i++ {
+		tr.Put(i, int64(i))
+	}
+	if !tr.Delete(3) || tr.Delete(3) {
+		t.Fatal("delete semantics wrong")
+	}
+	if tr.Len() != 9 {
+		t.Fatalf("Len = %d, want 9", tr.Len())
+	}
+	if _, ok := tr.Get(3); ok {
+		t.Fatal("deleted key still present")
+	}
+	if v, ok := tr.Get(4); !ok || v != 4 {
+		t.Fatal("neighbour key damaged")
+	}
+	tr.CheckInvariants()
+}
+
+func TestDeleteAllAscendingAndDescending(t *testing.T) {
+	for _, descending := range []bool{false, true} {
+		var tr Tree[int64]
+		const n = 5000
+		for i := 0; i < n; i++ {
+			tr.Put(i, int64(i))
+		}
+		for i := 0; i < n; i++ {
+			k := i
+			if descending {
+				k = n - 1 - i
+			}
+			if !tr.Delete(k) {
+				t.Fatalf("Delete(%d) failed", k)
+			}
+			if i%512 == 0 {
+				tr.CheckInvariants()
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("Len = %d after deleting everything", tr.Len())
+		}
+		if _, _, ok := tr.Predecessor(n); ok {
+			t.Fatal("empty tree still answers predecessor")
+		}
+	}
+}
+
+// Property: random interleaved puts and deletes track a reference map, and
+// the invariants hold throughout.
+func TestDeleteAgainstReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tr Tree[int64]
+		ref := map[int]int64{}
+		for op := 0; op < 1500; op++ {
+			k := rng.Intn(300)
+			if rng.Intn(3) == 0 {
+				_, inRef := ref[k]
+				if tr.Delete(k) != inRef {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				v := rng.Int63n(1000)
+				tr.Put(k, v)
+				ref[k] = v
+			}
+		}
+		tr.CheckInvariants()
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for k, want := range ref {
+			if v, ok := tr.Get(k); !ok || v != want {
+				return false
+			}
+		}
+		// No phantom keys.
+		count := 0
+		tr.Ascend(-1, 301, func(k int, v int64) bool {
+			if ref[k] != v {
+				count = -1 << 30
+			}
+			count++
+			return true
+		})
+		return count == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRootCollapse(t *testing.T) {
+	var tr Tree[string]
+	// Force multiple levels then delete down to nothing to exercise root
+	// replacement by its single child and by nil.
+	for i := 0; i < 200; i++ {
+		tr.Put(i, "v")
+	}
+	for i := 199; i >= 0; i-- {
+		tr.Delete(i)
+	}
+	if tr.Height() != 0 || tr.Len() != 0 {
+		t.Fatalf("height %d len %d after full deletion", tr.Height(), tr.Len())
+	}
+	tr.Put(42, "back")
+	if v, ok := tr.Get(42); !ok || v != "back" {
+		t.Fatal("tree unusable after full deletion")
+	}
+}

@@ -1,0 +1,37 @@
+package btree
+
+import "testing"
+
+// FuzzOps replays an arbitrary operation tape (put/delete/get) against a
+// reference map; invariants are checked at the end.
+func FuzzOps(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 10, 0, 20, 1, 30})
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 1, 3, 1, 1})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		var tr Tree[int64]
+		ref := map[int]int64{}
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, k := tape[i]%3, int(tape[i+1])
+			switch op {
+			case 0:
+				tr.Put(k, int64(i))
+				ref[k] = int64(i)
+			case 1:
+				if tr.Delete(k) != (func() bool { _, ok := ref[k]; return ok }()) {
+					t.Fatal("delete disagrees with reference")
+				}
+				delete(ref, k)
+			case 2:
+				v, ok := tr.Get(k)
+				want, wantOK := ref[k]
+				if ok != wantOK || (ok && v != want) {
+					t.Fatal("get disagrees with reference")
+				}
+			}
+		}
+		tr.CheckInvariants()
+		if tr.Len() != len(ref) {
+			t.Fatalf("Len = %d, ref %d", tr.Len(), len(ref))
+		}
+	})
+}

@@ -1,0 +1,356 @@
+// Package blocked implements the paper's blocked range-sum algorithm (§4):
+// prefix sums are kept only at block granularity b, shrinking the auxiliary
+// storage from N to about N/b^d cells (packed dense), at the price of
+// touching some original-cube cells near the query boundary.
+//
+// A query region is decomposed, per dimension, into three adjoining
+// sub-ranges ℓ..ℓ′−1, ℓ′..h′−1, h′..h where ℓ′ and h′ are the block-aligned
+// bounds (Figure 4), giving up to 3^d disjoint sub-regions (Figure 5). The
+// block-aligned internal region is answered purely from the blocked prefix
+// sums; each boundary region is answered either by scanning the cube
+// directly or by the superblock-minus-complement trick, whichever touches
+// fewer cells (§4.2).
+package blocked
+
+import (
+	"fmt"
+
+	"rangecube/internal/algebra"
+	"rangecube/internal/core/prefixsum"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// Array is a blocked prefix-sum structure over a retained data cube. Unlike
+// the basic algorithm, the original cube cannot be dropped (§4.1).
+type Array[T any, G algebra.Group[T]] struct {
+	a *ndarray.Array[T] // the original cube, still needed for boundaries
+	// packed holds one prefix sum per block: packed[k1,...,kd] =
+	// P[min((k1+1)b−1, n1−1), ...] in the paper's sparse-P notation,
+	// stored densely as the paper's implementation note prescribes.
+	packed *prefixsum.Array[T, G]
+	// bs is the per-dimension block size; §9.2 notes the block size may be
+	// chosen per dimension (b = 1 in a dimension keeps full resolution
+	// there, e.g. for attributes queried as singletons).
+	bs []int
+	g  G
+}
+
+// IntArray is the blocked structure for the canonical int64 SUM.
+type IntArray = Array[int64, algebra.IntSum]
+
+// BuildInt builds an IntArray with block size b.
+func BuildInt(a *ndarray.Array[int64], b int) *IntArray {
+	return Build[int64, algebra.IntSum](a, b)
+}
+
+// BuildIntDims builds an IntArray with per-dimension block sizes.
+func BuildIntDims(a *ndarray.Array[int64], bs []int) *IntArray {
+	return BuildDims[int64, algebra.IntSum](a, bs)
+}
+
+// Build constructs the blocked prefix-sum array with the two-phase §4.3
+// algorithm: contract A by summing each b×...×b block, then prefix-sum the
+// contracted array in place. Total work is at most N + dN/b^d steps and no
+// buffer beyond the packed array is allocated. Block size b must be ≥ 1;
+// b = 1 degenerates to the basic algorithm of §3.
+func Build[T any, G algebra.Group[T]](a *ndarray.Array[T], b int) *Array[T, G] {
+	bs := make([]int, a.Dims())
+	for i := range bs {
+		bs[i] = b
+	}
+	return BuildDims[T, G](a, bs)
+}
+
+// BuildDims is Build with one block size per dimension (§9.2: "we need to
+// determine what the block size should be in each dimension"). A block
+// size of 1 in a dimension keeps prefix sums at full resolution there,
+// which is the right choice for attributes queried as singletons (§9.1).
+func BuildDims[T any, G algebra.Group[T]](a *ndarray.Array[T], bs []int) *Array[T, G] {
+	if len(bs) != a.Dims() {
+		panic(fmt.Sprintf("blocked: %d block sizes for %d dimensions", len(bs), a.Dims()))
+	}
+	for j, b := range bs {
+		if b < 1 {
+			panic(fmt.Sprintf("blocked: block size %d < 1 in dimension %d", b, j))
+		}
+	}
+	var g G
+	pshape := make([]int, a.Dims())
+	for i, n := range a.Shape() {
+		pshape[i] = (n + bs[i] - 1) / bs[i]
+	}
+	contracted := ndarray.New[T](pshape...)
+	for i := range contracted.Data() {
+		contracted.Data()[i] = g.Identity()
+	}
+	// Phase 1: contract. Walk A once in storage order, adding each cell
+	// into its block's slot.
+	cdata := contracted.Data()
+	coords := make([]int, a.Dims())
+	adata := a.Data()
+	cstrides := contracted.Strides()
+	for off := range adata {
+		boff := 0
+		for j, c := range coords {
+			boff += (c / bs[j]) * cstrides[j]
+		}
+		cdata[boff] = g.Combine(cdata[boff], adata[off])
+		incr(coords, a.Shape())
+	}
+	// Phase 2: prefix-sum the contracted array in place.
+	packed := prefixsum.Wrap[T, G](contracted)
+	return &Array[T, G]{a: a, packed: packed, bs: append([]int(nil), bs...)}
+}
+
+// FromParts reassembles a blocked structure from its persisted pieces: the
+// original cube, the packed prefix-sum array (already prefix-summed) and
+// the per-dimension block sizes. It validates the packed shape.
+func FromParts[T any, G algebra.Group[T]](a *ndarray.Array[T], packed *ndarray.Array[T], bs []int) *Array[T, G] {
+	if len(bs) != a.Dims() || packed.Dims() != a.Dims() {
+		panic("blocked: FromParts dimensionality mismatch")
+	}
+	for j, n := range a.Shape() {
+		if bs[j] < 1 || packed.Shape()[j] != (n+bs[j]-1)/bs[j] {
+			panic(fmt.Sprintf("blocked: packed shape %v inconsistent with cube %v and blocks %v", packed.Shape(), a.Shape(), bs))
+		}
+	}
+	return &Array[T, G]{a: a, packed: prefixsum.FromPrecomputed[T, G](packed), bs: append([]int(nil), bs...)}
+}
+
+func incr(coords, shape []int) {
+	for i := len(coords) - 1; i >= 0; i-- {
+		coords[i]++
+		if coords[i] < shape[i] {
+			return
+		}
+		coords[i] = 0
+	}
+}
+
+// BlockSize returns the block size of dimension 0 (the uniform block size
+// when built with Build); BlockSizes returns the per-dimension vector.
+func (bl *Array[T, G]) BlockSize() int    { return bl.bs[0] }
+func (bl *Array[T, G]) BlockSizes() []int { return bl.bs }
+
+// AuxSize returns the number of stored prefix sums, ∏ ⌈nj/b⌉ ≈ N/b^d.
+func (bl *Array[T, G]) AuxSize() int { return bl.packed.Size() }
+
+// Cube returns the retained original cube.
+func (bl *Array[T, G]) Cube() *ndarray.Array[T] { return bl.a }
+
+// Packed exposes the packed block-level prefix-sum array; the batch-update
+// layer (§5.2) treats it as a basic prefix-sum array over the contracted
+// index space.
+func (bl *Array[T, G]) Packed() *prefixsum.Array[T, G] { return bl.packed }
+
+// rangeKind tags the role of a per-dimension sub-range in the 3^d
+// decomposition.
+type rangeKind int8
+
+const (
+	kindLow    rangeKind = iota // ℓ .. ℓ′−1
+	kindMid                     // ℓ′ .. h′−1 (block aligned)
+	kindHigh                    // h′ .. h
+	kindSingle                  // ℓ .. h, used when the split is invalid (§4.2 case 2)
+)
+
+// dimSplit holds the §4.2 quantities for one dimension (Figure 4).
+type dimSplit struct {
+	parts  []ndarray.Range // the adjoining sub-ranges (empties filtered out later)
+	kinds  []rangeKind
+	l2, h2 int // ℓ″ and h″ (superblock outer bounds)
+	lp, hp int // ℓ′ and h′
+}
+
+// split computes ℓ″, ℓ′, h′, h″ for one dimension and decides between the
+// three-way split (case 1, also covering an empty middle) and the single
+// range (case 2, when the block-aligned bounds cross).
+func (bl *Array[T, G]) split(j int, r ndarray.Range) dimSplit {
+	b := bl.bs[j]
+	n := bl.a.Shape()[j]
+	l2 := b * (r.Lo / b)           // ℓ″ = b⌊ℓ/b⌋
+	lp := b * ((r.Lo + b - 1) / b) // ℓ′ = b⌈ℓ/b⌉
+	hp := b * ((r.Hi + 1) / b)     // h′: largest block boundary ≤ h+1
+	h2 := b * ((r.Hi + b) / b)     // h″ = b⌈(h+1)/b⌉ …
+	if h2 > n {
+		h2 = n // … clamped to n, as in the paper
+	}
+	if r.Hi == n-1 {
+		// The last index nj−1 always has a stored prefix sum (§4.1), so a
+		// query ending there is block-aligned on the high side even when
+		// nj is not a multiple of b.
+		hp = n
+	}
+	ds := dimSplit{l2: l2, h2: h2, lp: lp, hp: hp}
+	if lp <= hp {
+		ds.parts = []ndarray.Range{{Lo: r.Lo, Hi: lp - 1}, {Lo: lp, Hi: hp - 1}, {Lo: hp, Hi: r.Hi}}
+		ds.kinds = []rangeKind{kindLow, kindMid, kindHigh}
+	} else {
+		// The whole range lies strictly inside one block: no aligned middle.
+		ds.parts = []ndarray.Range{r}
+		ds.kinds = []rangeKind{kindSingle}
+	}
+	return ds
+}
+
+// superRange returns the superblock range B_j for a sub-range of the given
+// kind (§4.2): the smallest block-aligned range containing it.
+func (ds dimSplit) superRange(k rangeKind) ndarray.Range {
+	switch k {
+	case kindLow:
+		return ndarray.Range{Lo: ds.l2, Hi: ds.lp - 1}
+	case kindMid:
+		return ndarray.Range{Lo: ds.lp, Hi: ds.hp - 1}
+	case kindHigh:
+		return ndarray.Range{Lo: ds.hp, Hi: ds.h2 - 1}
+	default: // kindSingle
+		return ndarray.Range{Lo: ds.l2, Hi: ds.h2 - 1}
+	}
+}
+
+// Sum answers Sum(ℓ1:h1, ..., ℓd:hd) with the §4.2 blocked algorithm. The
+// region must lie within the cube bounds; an empty region yields the group
+// identity. Costs are attributed to c: packed prefix-sum reads as Aux,
+// original-cube reads as Cells.
+func (bl *Array[T, G]) Sum(r ndarray.Region, c *metrics.Counter) T {
+	d := bl.a.Dims()
+	if len(r) != d {
+		panic(fmt.Sprintf("blocked: query of dimension %d against cube of dimension %d", len(r), d))
+	}
+	if r.Empty() {
+		return bl.g.Identity()
+	}
+	shape := bl.a.Shape()
+	for j, rng := range r {
+		if rng.Lo < 0 || rng.Hi >= shape[j] {
+			panic(fmt.Sprintf("blocked: query %v out of bounds for shape %v", r, shape))
+		}
+	}
+	splits := make([]dimSplit, d)
+	for j := range splits {
+		splits[j] = bl.split(j, r[j])
+	}
+	total := bl.g.Identity()
+	// Odometer over the per-dimension sub-range choices (up to 3^d).
+	choice := make([]int, d)
+	sub := make(ndarray.Region, d)
+	kinds := make([]rangeKind, d)
+	for {
+		allMid := true
+		empty := false
+		for j, ci := range choice {
+			sub[j] = splits[j].parts[ci]
+			kinds[j] = splits[j].kinds[ci]
+			if kinds[j] != kindMid {
+				allMid = false
+			}
+			if sub[j].Empty() {
+				empty = true
+			}
+		}
+		if !empty {
+			if allMid {
+				total = bl.g.Combine(total, bl.alignedSum(sub, c))
+			} else {
+				total = bl.g.Combine(total, bl.boundarySum(sub, kinds, splits, c))
+			}
+			c.AddSteps(1)
+		}
+		// Advance the odometer.
+		j := d - 1
+		for ; j >= 0; j-- {
+			choice[j]++
+			if choice[j] < len(splits[j].parts) {
+				break
+			}
+			choice[j] = 0
+		}
+		if j < 0 {
+			break
+		}
+	}
+	return total
+}
+
+// alignedSum answers a block-aligned region (every Lo a multiple of b and
+// every Hi+1 a multiple of b or equal to nj) purely from the packed prefix
+// sums, in up to 2^d accesses.
+func (bl *Array[T, G]) alignedSum(r ndarray.Region, c *metrics.Counter) T {
+	packed := make(ndarray.Region, len(r))
+	for j, rng := range r {
+		packed[j] = ndarray.Range{Lo: rng.Lo / bl.bs[j], Hi: rng.Hi / bl.bs[j]}
+	}
+	return bl.packed.Sum(packed, c)
+}
+
+// boundarySum answers one boundary region, choosing per region between the
+// direct scan of A and the superblock-minus-complement method (§4.2): the
+// direct method is used when vol(R) ≤ vol(complement) + 2^d − 1.
+func (bl *Array[T, G]) boundarySum(r ndarray.Region, kinds []rangeKind, splits []dimSplit, c *metrics.Counter) T {
+	d := len(r)
+	super := make(ndarray.Region, d)
+	for j := range r {
+		super[j] = splits[j].superRange(kinds[j])
+	}
+	volR := r.Volume()
+	volC := super.Volume() - volR
+	if volR <= volC+(1<<d)-1 {
+		return bl.scan(r, c)
+	}
+	// Superblock sum (pure prefix-sum accesses) minus the complement cells.
+	total := bl.alignedSum(super, c)
+	bl.forEachComplementSlab(super, r, func(slab ndarray.Region) {
+		total = bl.g.Inverse(total, bl.scan(slab, c))
+		c.AddSteps(1)
+	})
+	return total
+}
+
+// scan sums the original-cube cells of region r directly.
+func (bl *Array[T, G]) scan(r ndarray.Region, c *metrics.Counter) T {
+	total := bl.g.Identity()
+	data := bl.a.Data()
+	ndarray.ForEachOffset(bl.a, r, func(off int) {
+		total = bl.g.Combine(total, data[off])
+		c.AddCells(1)
+		c.AddSteps(1)
+	})
+	return total
+}
+
+// forEachComplementSlab decomposes super \ r into disjoint rectangular
+// slabs and visits each. It relies on r[j] ⊆ super[j] per dimension and the
+// identity B \ R = ⋃_j (R_1×…×R_{j−1} × (B_j∖R_j) × B_{j+1}×…×B_d), where
+// B_j ∖ R_j is at most two intervals (one below r[j], one above).
+func (bl *Array[T, G]) forEachComplementSlab(super, r ndarray.Region, visit func(ndarray.Region)) {
+	d := len(r)
+	slab := make(ndarray.Region, d)
+	for j := 0; j < d; j++ {
+		gaps := [2]ndarray.Range{
+			{Lo: super[j].Lo, Hi: r[j].Lo - 1},
+			{Lo: r[j].Hi + 1, Hi: super[j].Hi},
+		}
+		for _, gap := range gaps {
+			if gap.Empty() {
+				continue
+			}
+			for i := 0; i < j; i++ {
+				slab[i] = r[i]
+			}
+			slab[j] = gap
+			for i := j + 1; i < d; i++ {
+				slab[i] = super[i]
+			}
+			if !slab.Empty() {
+				visit(slab.Clone())
+			}
+		}
+	}
+}
+
+// Cell returns a single cube cell (directly — the cube is retained).
+func (bl *Array[T, G]) Cell(coords []int, c *metrics.Counter) T {
+	c.AddCells(1)
+	return bl.a.At(coords...)
+}

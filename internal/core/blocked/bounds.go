@@ -1,0 +1,84 @@
+package blocked
+
+import (
+	"cmp"
+
+	"rangecube/internal/algebra"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// Bounds implements the paper's §11 approximate-answer offshoot: an upper
+// and a lower bound on a range-sum derived purely from the blocked prefix
+// sums, in at most 2^d − 1 steps per decomposed region and no cube
+// accesses, to be shown to the user while the exact sum is computed.
+//
+// The internal (block-aligned) part of the query is exact; each boundary
+// region R contributes 0 to the lower bound and its superblock's sum to
+// the upper bound, since 0 ≤ Sum(R) ≤ Sum(superblock(R)) for non-negative
+// measures. The bounds therefore require every cell value to be
+// non-negative (the usual case for OLAP measures like revenue or counts);
+// with negative values only the trivial ordering lo ≤ hi is guaranteed.
+func Bounds[T cmp.Ordered, G algebra.Group[T]](bl *Array[T, G], r ndarray.Region, c *metrics.Counter) (lo, hi T) {
+	d := bl.a.Dims()
+	if len(r) != d {
+		panic("blocked: bounds query dimensionality mismatch")
+	}
+	lo, hi = bl.g.Identity(), bl.g.Identity()
+	if r.Empty() {
+		return lo, hi
+	}
+	shape := bl.a.Shape()
+	for j, rng := range r {
+		if rng.Lo < 0 || rng.Hi >= shape[j] {
+			panic("blocked: bounds query out of bounds")
+		}
+	}
+	splits := make([]dimSplit, d)
+	for j := range splits {
+		splits[j] = bl.split(j, r[j])
+	}
+	choice := make([]int, d)
+	sub := make(ndarray.Region, d)
+	kinds := make([]rangeKind, d)
+	super := make(ndarray.Region, d)
+	for {
+		allMid := true
+		empty := false
+		for j, ci := range choice {
+			sub[j] = splits[j].parts[ci]
+			kinds[j] = splits[j].kinds[ci]
+			if kinds[j] != kindMid {
+				allMid = false
+			}
+			if sub[j].Empty() {
+				empty = true
+			}
+		}
+		if !empty {
+			if allMid {
+				exact := bl.alignedSum(sub, c)
+				lo = bl.g.Combine(lo, exact)
+				hi = bl.g.Combine(hi, exact)
+			} else {
+				for j := range sub {
+					super[j] = splits[j].superRange(kinds[j])
+				}
+				hi = bl.g.Combine(hi, bl.alignedSum(super, c))
+			}
+			c.AddSteps(1)
+		}
+		j := d - 1
+		for ; j >= 0; j-- {
+			choice[j]++
+			if choice[j] < len(splits[j].parts) {
+				break
+			}
+			choice[j] = 0
+		}
+		if j < 0 {
+			break
+		}
+	}
+	return lo, hi
+}

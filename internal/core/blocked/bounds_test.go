@@ -1,0 +1,94 @@
+package blocked
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rangecube/internal/metrics"
+	"rangecube/internal/naive"
+	"rangecube/internal/ndarray"
+)
+
+// Property (§11): for non-negative measures, lo ≤ Sum(R) ≤ hi, with no
+// cube-cell accesses at all, for random cubes, block sizes and queries.
+func TestBoundsSandwichProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		shape := make([]int, d)
+		for i := range shape {
+			shape[i] = 2 + rng.Intn(20)
+		}
+		a := ndarray.New[int64](shape...)
+		a.Fill(func([]int) int64 { return int64(rng.Intn(100)) }) // non-negative
+		bl := BuildInt(a, 1+rng.Intn(6))
+		for q := 0; q < 8; q++ {
+			r := randomRegion(rng, shape)
+			var c metrics.Counter
+			lo, hi := Bounds(bl, r, &c)
+			exact := naive.SumInt64(a, r, nil)
+			if lo > exact || exact > hi {
+				return false
+			}
+			if c.Cells != 0 {
+				return false // bounds must come from prefix sums alone
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Block-aligned queries have exact bounds: lo == hi == Sum.
+func TestBoundsExactWhenAligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	a := ndarray.New[int64](40, 40)
+	a.Fill(func([]int) int64 { return int64(rng.Intn(50)) })
+	bl := BuildInt(a, 10)
+	r := ndarray.Reg(10, 29, 20, 39)
+	lo, hi := Bounds(bl, r, nil)
+	want := naive.SumInt64(a, r, nil)
+	if lo != want || hi != want {
+		t.Fatalf("aligned bounds = [%d,%d], want exact %d", lo, hi, want)
+	}
+}
+
+// The upper bound is never looser than the superblock hull of the query.
+func TestBoundsTightness(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	a := ndarray.New[int64](60, 60)
+	a.Fill(func([]int) int64 { return int64(rng.Intn(50)) })
+	bl := BuildInt(a, 10)
+	r := ndarray.Reg(13, 47, 5, 52)
+	lo, hi := Bounds(bl, r, nil)
+	// The hull expands each side to its block boundary.
+	hull := ndarray.Reg(10, 49, 0, 59)
+	hullSum := naive.SumInt64(a, hull, nil)
+	if hi > hullSum {
+		t.Fatalf("upper bound %d looser than hull sum %d", hi, hullSum)
+	}
+	if lo <= 0 {
+		t.Fatalf("lower bound %d should include the aligned interior", lo)
+	}
+}
+
+func TestBoundsEmptyAndValidation(t *testing.T) {
+	bl := BuildInt(ndarray.New[int64](10, 10), 4)
+	lo, hi := Bounds(bl, ndarray.Reg(5, 4, 0, 9), nil)
+	if lo != 0 || hi != 0 {
+		t.Fatalf("empty bounds = [%d,%d]", lo, hi)
+	}
+	for _, r := range []ndarray.Region{ndarray.Reg(0, 10, 0, 9), ndarray.Reg(0, 9)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Bounds(%v) did not panic", r)
+				}
+			}()
+			Bounds(bl, r, nil)
+		}()
+	}
+}

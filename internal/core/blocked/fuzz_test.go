@@ -1,0 +1,34 @@
+package blocked
+
+import (
+	"math/rand"
+	"testing"
+
+	"rangecube/internal/naive"
+	"rangecube/internal/ndarray"
+)
+
+// FuzzBlockedSum drives the blocked algorithm with fuzzer-chosen geometry
+// and verifies it against the naive scan; any mismatch or panic is a bug.
+func FuzzBlockedSum(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(5), uint8(0), uint8(2), uint8(1), uint8(4))
+	f.Add(int64(7), uint8(9), uint8(1), uint8(1), uint8(3), uint8(8), uint8(0), uint8(0))
+	f.Add(int64(42), uint8(16), uint8(7), uint8(12), uint8(15), uint8(15), uint8(2), uint8(6))
+	f.Fuzz(func(t *testing.T, seed int64, n0, n1, b0, b1, lo0, len0, lo1 uint8) {
+		shape := []int{int(n0%20) + 1, int(n1%20) + 1}
+		bs := []int{int(b0%8) + 1, int(b1%8) + 1}
+		rng := rand.New(rand.NewSource(seed))
+		a := ndarray.New[int64](shape...)
+		a.Fill(func([]int) int64 { return int64(rng.Intn(201) - 100) })
+		bl := BuildIntDims(a, bs)
+		r := ndarray.Region{
+			{Lo: int(lo0) % shape[0], Hi: 0},
+			{Lo: int(lo1) % shape[1], Hi: 0},
+		}
+		r[0].Hi = r[0].Lo + int(len0)%(shape[0]-r[0].Lo)
+		r[1].Hi = r[1].Lo + int(len0/2)%(shape[1]-r[1].Lo)
+		if got, want := bl.Sum(r, nil), naive.SumInt64(a, r, nil); got != want {
+			t.Fatalf("shape=%v bs=%v r=%v: blocked %d != naive %d", shape, bs, r, got, want)
+		}
+	})
+}

@@ -1,0 +1,252 @@
+package chooser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Figure 12: three queries over five attributes; R = (701, 601, 102, 5, 3)
+// and 2m = 6, so X′ = {d1, d2, d3} (0-indexed 0, 1, 2).
+func TestPaperFigure12Heuristic(t *testing.T) {
+	queries := []LoggedQuery{
+		{RangeLen: []int{1, 100, 1, 3, 1}},
+		{RangeLen: []int{200, 1, 100, 1, 1}},
+		{RangeLen: []int{500, 500, 1, 1, 1}},
+	}
+	got := HeuristicDimensions(queries)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("X′ = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("X′ = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHeuristicThresholdBoundary(t *testing.T) {
+	// Average range length exactly 2 (Rj = 2m) is included; below is not.
+	queries := []LoggedQuery{
+		{RangeLen: []int{2, 1}},
+		{RangeLen: []int{2, 2}},
+	}
+	got := HeuristicDimensions(queries)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("X′ = %v, want [0]", got)
+	}
+}
+
+func TestSubsetCost(t *testing.T) {
+	queries := []LoggedQuery{
+		{RangeLen: []int{10, 3}},
+		{RangeLen: []int{1, 5}},
+	}
+	// mask {0}: q1 = 2·3, q2 = 2·5 → 16; mask {0,1}: 4 + 4 = 8;
+	// mask {}: 30 + 5 = 35.
+	if got := SubsetCost(queries, 0); got != 35 {
+		t.Fatalf("cost(∅) = %g, want 35", got)
+	}
+	if got := SubsetCost(queries, 1); got != 16 {
+		t.Fatalf("cost({0}) = %g, want 16", got)
+	}
+	if got := SubsetCost(queries, 3); got != 8 {
+		t.Fatalf("cost({0,1}) = %g, want 8", got)
+	}
+}
+
+// Property: the Gray-code walk finds exactly the brute-force optimum.
+func TestOptimalDimensionsMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(6)
+		queries := make([]LoggedQuery, m)
+		for i := range queries {
+			r := make([]int, d)
+			for j := range r {
+				if rng.Intn(2) == 0 {
+					r[j] = 1 // passive
+				} else {
+					r[j] = 1 + rng.Intn(30)
+				}
+			}
+			queries[i] = LoggedQuery{RangeLen: r}
+		}
+		got := OptimalDimensions(queries)
+		gotMask := uint64(0)
+		for _, j := range got {
+			gotMask |= 1 << uint(j)
+		}
+		// Brute force.
+		bestMask, bestCost := uint64(0), SubsetCost(queries, 0)
+		for mask := uint64(1); mask < 1<<uint(d); mask++ {
+			if c := SubsetCost(queries, mask); c < bestCost {
+				bestCost, bestMask = c, mask
+			}
+		}
+		return SubsetCost(queries, gotMask) == bestCost && gotMask <= bestMask+0 ||
+			SubsetCost(queries, gotMask) == bestCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The optimum includes every always-long dimension and excludes every
+// always-passive one.
+func TestOptimalDimensionsObvious(t *testing.T) {
+	queries := []LoggedQuery{
+		{RangeLen: []int{50, 1, 3}},
+		{RangeLen: []int{80, 1, 4}},
+	}
+	got := OptimalDimensions(queries)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("optimal = %v, want [0 2]", got)
+	}
+}
+
+func TestDimensionValidation(t *testing.T) {
+	for _, qs := range [][]LoggedQuery{
+		nil,
+		{{RangeLen: []int{2}}, {RangeLen: []int{2, 3}}},
+		{{RangeLen: []int{0}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %v", qs)
+				}
+			}()
+			HeuristicDimensions(qs)
+		}()
+	}
+}
+
+// lattice3 builds the paper's running example: a 3-dimensional cube with
+// query load on ⟨d1,d2⟩ and ⟨d1⟩.
+func lattice3() *Lattice {
+	return &Lattice{
+		Shape: []int{100, 100, 100},
+		Stats: []CuboidStats{
+			// 20×20 queries on ⟨d1,d2⟩: V=400, S=2·400/20·2=80.
+			{Dims: 0b011, NQ: 100, V: 400, S: 80},
+			// length-30 queries on ⟨d1⟩: V=30, S=2.
+			{Dims: 0b001, NQ: 50, V: 30, S: 2},
+		},
+		SpaceLimit: 20000,
+	}
+}
+
+func TestGreedyRespectsSpaceAndHelps(t *testing.T) {
+	l := lattice3()
+	choices := l.Greedy()
+	if len(choices) == 0 {
+		t.Fatal("greedy chose nothing despite ample space")
+	}
+	if l.TotalSpace(choices) > l.SpaceLimit {
+		t.Fatalf("space %g exceeds limit %g", l.TotalSpace(choices), l.SpaceLimit)
+	}
+	if l.TotalBenefit(choices) <= 0 {
+		t.Fatal("greedy produced no benefit")
+	}
+	// The cost with choices must be the paper's model cost for some
+	// ancestor, not the naive volume.
+	for _, s := range l.Stats {
+		if l.queryCost(s, choices) >= s.V {
+			t.Fatalf("cuboid %b still pays naive cost", s.Dims)
+		}
+	}
+}
+
+func TestGreedyTightSpaceForcesBlocking(t *testing.T) {
+	l := lattice3()
+	// The full ⟨d1,d2⟩ cuboid has 10^4 cells; a limit of 500 forces b ≥ 5
+	// (space 10^4/b² ≤ 500 → b ≥ 4.47).
+	l.SpaceLimit = 500
+	choices := l.Greedy()
+	if len(choices) == 0 {
+		t.Fatal("greedy chose nothing")
+	}
+	for _, c := range choices {
+		if l.space(c) > 500 {
+			t.Fatalf("choice %+v too large", c)
+		}
+		if c.Dims == 0b011 && c.BlockSize < 5 {
+			t.Fatalf("block size %d under-packs the budget", c.BlockSize)
+		}
+	}
+	if l.TotalSpace(choices) > l.SpaceLimit {
+		t.Fatalf("space %g exceeds limit %g", l.TotalSpace(choices), l.SpaceLimit)
+	}
+}
+
+func TestGreedyNoBenefitNoChoice(t *testing.T) {
+	l := &Lattice{
+		Shape: []int{10, 10},
+		Stats: []CuboidStats{
+			// Tiny queries: V < 2^d, no method helps.
+			{Dims: 0b11, NQ: 10, V: 3, S: 7},
+		},
+		SpaceLimit: 1e6,
+	}
+	if choices := l.Greedy(); len(choices) != 0 {
+		t.Fatalf("greedy chose %v for unhelpable queries", choices)
+	}
+}
+
+// A descendant cuboid deserves its own (finer) prefix sum when the ancestor
+// was forced to a coarse block size: the paper's ⟨d1,d2⟩ b=10 then ⟨d1⟩ b=1
+// example.
+func TestDescendantGetsFinerPrefixSum(t *testing.T) {
+	l := &Lattice{
+		Shape: []int{1000, 1000},
+		Stats: []CuboidStats{
+			{Dims: 0b11, NQ: 100, V: 10000, S: 800}, // 100×100 queries
+			{Dims: 0b01, NQ: 1000, V: 100, S: 2},    // length-100 1-d queries
+		},
+		// Room for a blocked 2-d prefix sum and a fine 1-d one.
+		SpaceLimit: 50000,
+	}
+	choices := l.Greedy()
+	b2d, b1d := 0, 0
+	for _, c := range choices {
+		switch c.Dims {
+		case 0b11:
+			b2d = c.BlockSize
+		case 0b01:
+			b1d = c.BlockSize
+		}
+	}
+	if b2d == 0 || b1d == 0 {
+		t.Fatalf("choices %v missing expected cuboids", choices)
+	}
+	// §9.3: under an ancestor with block size b′, the descendant's
+	// benefit/space maximum is at b = b′·d/(d+1); for d = 1 that is b′/2.
+	if b1d < b2d/2-1 || b1d > b2d/2+1 {
+		t.Fatalf("1-d block %d, want ≈ ancestor %d / 2 (§9.3)", b1d, b2d)
+	}
+	if l.TotalSpace(choices) > l.SpaceLimit {
+		t.Fatal("space limit exceeded")
+	}
+}
+
+func TestTotalCostMonotoneInChoices(t *testing.T) {
+	l := lattice3()
+	none := l.TotalCost(nil)
+	one := l.TotalCost([]Choice{{Dims: 0b011, BlockSize: 4}})
+	two := l.TotalCost([]Choice{{Dims: 0b011, BlockSize: 4}, {Dims: 0b001, BlockSize: 1}})
+	if !(two <= one && one <= none) {
+		t.Fatalf("costs not monotone: %g, %g, %g", none, one, two)
+	}
+}
+
+func TestLatticeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Greedy on empty lattice did not panic")
+		}
+	}()
+	(&Lattice{}).Greedy()
+}

@@ -1,0 +1,232 @@
+package chooser
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// CuboidStats describes the queries assigned to one cuboid of the lattice
+// (§9.2): queries with ranges on exactly the dimensions in Dims and "all"
+// elsewhere. V and S are the average volume and surface of those queries
+// (Table 1); NQ is how many there are.
+type CuboidStats struct {
+	Dims uint64  // bitmask of range dimensions
+	NQ   float64 // number of queries assigned to this cuboid
+	V    float64 // average query volume
+	S    float64 // average query surface area
+}
+
+// Choice is one precomputation decision: a prefix sum over the cuboid Dims
+// with the given block size (1 = unblocked).
+type Choice struct {
+	Dims      uint64
+	BlockSize int
+}
+
+// Lattice is the §9.2 optimization input: the cube extents, the per-cuboid
+// query statistics, and the auxiliary-space budget in cells.
+type Lattice struct {
+	Shape      []int         // extents of the full cube
+	Stats      []CuboidStats // one entry per cuboid that receives queries
+	SpaceLimit float64
+	// MaxBlock bounds the block-size search; 0 means the largest extent.
+	MaxBlock int
+}
+
+func (l *Lattice) maxBlock() int {
+	if l.MaxBlock > 0 {
+		return l.MaxBlock
+	}
+	m := 2
+	for _, n := range l.Shape {
+		if n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// cells returns N_X = ∏_{j∈mask} n_j, the cell count of a cuboid.
+func (l *Lattice) cells(mask uint64) float64 {
+	n := 1.0
+	for j, ext := range l.Shape {
+		if mask&(1<<uint(j)) != 0 {
+			n *= float64(ext)
+		}
+	}
+	return n
+}
+
+// space returns the auxiliary storage of choice c, N_X/b^|X|.
+func (l *Lattice) space(c Choice) float64 {
+	d := bits.OnesCount64(c.Dims)
+	return l.cells(c.Dims) / math.Pow(float64(c.BlockSize), float64(d))
+}
+
+// TotalSpace sums the auxiliary storage of a set of choices.
+func (l *Lattice) TotalSpace(choices []Choice) float64 {
+	total := 0.0
+	for _, c := range choices {
+		total += l.space(c)
+	}
+	return total
+}
+
+// queryCost returns the cost of answering one average query of cuboid
+// stats s given the chosen prefix sums: the cheapest ancestor (a choice
+// whose dimensions are a superset of s.Dims) at its block size, or the
+// naive volume when no ancestor exists. A prefix sum on ancestor X answers
+// a query of D ⊆ X in 2^|D| + S·b/4 accesses: the "all" dimensions of the
+// query contribute a single corner each.
+func (l *Lattice) queryCost(s CuboidStats, choices []Choice) float64 {
+	d := bits.OnesCount64(s.Dims)
+	best := s.V
+	for _, c := range choices {
+		if c.Dims&s.Dims != s.Dims {
+			continue
+		}
+		cost := math.Exp2(float64(d))
+		if c.BlockSize > 1 {
+			cost += s.S * float64(c.BlockSize) / 4
+		}
+		if cost < best {
+			best = cost
+		}
+	}
+	return best
+}
+
+// TotalCost is the cost of answering the whole log under a set of choices.
+func (l *Lattice) TotalCost(choices []Choice) float64 {
+	total := 0.0
+	for _, s := range l.Stats {
+		total += s.NQ * l.queryCost(s, choices)
+	}
+	return total
+}
+
+// TotalBenefit is the reduction in total cost relative to no
+// precomputation (§9.2's definition of benefit).
+func (l *Lattice) TotalBenefit(choices []Choice) float64 {
+	return l.TotalCost(nil) - l.TotalCost(choices)
+}
+
+// bestBlockSize finds, for a candidate cuboid, the block size maximizing
+// the marginal benefit/space ratio given the already-chosen set. It scans
+// the (small, integral) block-size domain; the §9.3 closed forms identify
+// the same maxima (tested in costmodel) but the scan also handles the
+// piecewise benefit functions that ancestor and descendant interactions
+// create. Returns ok=false when no block size yields positive benefit.
+func (l *Lattice) bestBlockSize(mask uint64, chosen []Choice) (Choice, float64, bool) {
+	base := l.TotalCost(chosen)
+	var best Choice
+	bestRatio := 0.0
+	found := false
+	trial := append(append([]Choice(nil), chosen...), Choice{})
+	for b := 1; b <= l.maxBlock(); b++ {
+		c := Choice{Dims: mask, BlockSize: b}
+		trial[len(trial)-1] = c
+		benefit := base - l.TotalCost(trial)
+		if benefit <= 0 {
+			continue
+		}
+		ratio := benefit / l.space(c)
+		if !found || ratio > bestRatio {
+			best, bestRatio, found = c, ratio, true
+		}
+	}
+	return best, bestRatio, found
+}
+
+// allCuboids returns every cuboid that could help: the union-closure is not
+// needed — any superset of an assigned cuboid's dimensions can serve it, so
+// we consider exactly the masks assigned queries, plus the full cube.
+func (l *Lattice) candidateMasks() []uint64 {
+	seen := map[uint64]bool{}
+	var masks []uint64
+	add := func(m uint64) {
+		if !seen[m] {
+			seen[m] = true
+			masks = append(masks, m)
+		}
+	}
+	for _, s := range l.Stats {
+		add(s.Dims)
+	}
+	full := uint64(0)
+	for j := range l.Shape {
+		full |= 1 << uint(j)
+	}
+	add(full)
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	return masks
+}
+
+// Greedy runs the Figure 13 algorithm: repeatedly add the (cuboid, block
+// size) with the best marginal benefit/space ratio that fits the remaining
+// space, then fine-tune by trying to replace each chosen cuboid with a
+// better alternative until no improvement.
+func (l *Lattice) Greedy() []Choice {
+	if len(l.Shape) == 0 {
+		panic("chooser: lattice without shape")
+	}
+	if len(l.Shape) > 62 {
+		panic(fmt.Sprintf("chooser: %d dimensions exceed the bitmask width", len(l.Shape)))
+	}
+	masks := l.candidateMasks()
+	var ans []Choice
+
+	inAns := func(set []Choice, mask uint64) bool {
+		for _, c := range set {
+			if c.Dims == mask {
+				return true
+			}
+		}
+		return false
+	}
+	addGreedily := func(set []Choice) []Choice {
+		for {
+			used := l.TotalSpace(set)
+			var best Choice
+			bestRatio := 0.0
+			found := false
+			for _, m := range masks {
+				if inAns(set, m) {
+					continue
+				}
+				c, ratio, ok := l.bestBlockSize(m, set)
+				if !ok || used+l.space(c) > l.SpaceLimit {
+					continue
+				}
+				if !found || ratio > bestRatio {
+					best, bestRatio, found = c, ratio, true
+				}
+			}
+			if !found {
+				return set
+			}
+			set = append(set, best)
+		}
+	}
+	ans = addGreedily(ans)
+
+	// Fine-tuning (Figure 13, second half): drop one choice and re-add
+	// greedily; keep the variant if the total benefit improves.
+	for {
+		improved := false
+		for i := range ans {
+			without := append(append([]Choice(nil), ans[:i]...), ans[i+1:]...)
+			variant := addGreedily(without)
+			if l.TotalBenefit(variant) > l.TotalBenefit(ans)+1e-9 {
+				ans = variant
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return ans
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package chooser implements the paper's §9 physical-design decisions:
+// which dimensions to compute prefix sums along (§9.1), which cuboids of
+// the lattice to precompute under a space budget (§9.2, the greedy
+// algorithm of Figure 13), and with what block sizes (§9.3).
+package chooser
+
+import "fmt"
+
+// LoggedQuery summarizes one range-sum query from the OLAP log for
+// dimension selection: RangeLen[j] is the length of the selected range on
+// attribute j if the attribute is active (a contiguous range that is
+// neither a singleton nor "all"), and 1 if it is passive (§9.1).
+type LoggedQuery struct {
+	RangeLen []int
+}
+
+// dims returns the attribute count of a non-empty log, validating that all
+// queries agree.
+func dims(queries []LoggedQuery) int {
+	if len(queries) == 0 {
+		panic("chooser: empty query log")
+	}
+	d := len(queries[0].RangeLen)
+	for i, q := range queries {
+		if len(q.RangeLen) != d {
+			panic(fmt.Sprintf("chooser: query %d has %d attributes, want %d", i, len(q.RangeLen), d))
+		}
+		for j, r := range q.RangeLen {
+			if r < 1 {
+				panic(fmt.Sprintf("chooser: query %d attribute %d has range length %d < 1", i, j, r))
+			}
+		}
+	}
+	return d
+}
+
+// HeuristicDimensions is the paper's O(md) heuristic: include attribute j
+// in X′ iff R_j = Σ_i r_ij ≥ 2m, i.e. iff the average range length over the
+// log is at least 2 — the multiplicative factor a prefix-summed dimension
+// costs (§9.1, Figure 12).
+func HeuristicDimensions(queries []LoggedQuery) []int {
+	d := dims(queries)
+	m := len(queries)
+	var chosen []int
+	for j := 0; j < d; j++ {
+		rj := 0
+		for _, q := range queries {
+			rj += q.RangeLen[j]
+		}
+		if rj >= 2*m {
+			chosen = append(chosen, j)
+		}
+	}
+	return chosen
+}
+
+// SubsetCost evaluates the §9.1 cost model for computing prefix sums along
+// exactly the attributes in mask: each query contributes the product over
+// attributes of 2 (if the attribute is in the subset) or its range length
+// (otherwise).
+func SubsetCost(queries []LoggedQuery, mask uint64) float64 {
+	dims(queries)
+	total := 0.0
+	for _, q := range queries {
+		prod := 1.0
+		for j, r := range q.RangeLen {
+			if mask&(1<<uint(j)) != 0 {
+				prod *= 2
+			} else {
+				prod *= float64(r)
+			}
+		}
+		total += prod
+	}
+	return total
+}
+
+// OptimalDimensions finds the subset of attributes minimizing the §9.1
+// cost model in O(m·2^d) time by walking all subsets in binary-reflected
+// Gray-code order, so consecutive subsets differ in one attribute and each
+// query's cost product is updated with one multiply and one divide. Ties
+// resolve to the smaller subset mask. It panics for d > 30.
+func OptimalDimensions(queries []LoggedQuery) []int {
+	d := dims(queries)
+	if d > 30 {
+		panic(fmt.Sprintf("chooser: OptimalDimensions is exponential in d; got d = %d", d))
+	}
+	m := len(queries)
+	// prod[i] is query i's current cost factor product for the current mask.
+	prod := make([]float64, m)
+	total := 0.0
+	for i, q := range queries {
+		p := 1.0
+		for _, r := range q.RangeLen {
+			p *= float64(r)
+		}
+		prod[i] = p
+		total += p
+	}
+	bestMask := uint64(0)
+	bestCost := total
+	mask := uint64(0)
+	for g := uint64(1); g < 1<<uint(d); g++ {
+		// The bit flipped between Gray codes g−1 and g is the lowest set
+		// bit of g.
+		bit := g & -g
+		j := trailingZeros(bit)
+		mask ^= bit
+		entering := mask&bit != 0
+		for i, q := range queries {
+			r := float64(q.RangeLen[j])
+			old := prod[i]
+			var upd float64
+			if entering {
+				upd = old / r * 2
+			} else {
+				upd = old / 2 * r
+			}
+			prod[i] = upd
+			total += upd - old
+		}
+		if total < bestCost || (total == bestCost && mask < bestMask) {
+			bestCost, bestMask = total, mask
+		}
+	}
+	var chosen []int
+	for j := 0; j < d; j++ {
+		if bestMask&(1<<uint(j)) != 0 {
+			chosen = append(chosen, j)
+		}
+	}
+	return chosen
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,157 @@
+// Package costmodel implements the paper's analytic cost formulas: the §8
+// comparison between blocked prefix sums and hierarchical trees (Figure 11)
+// and the §9.3 benefit/space analysis that yields the optimal block size
+// (Figure 14). The query statistics follow Table 1: V is the query volume,
+// x_i its side length in dimension i, and S = Σ_i 2V/x_i its surface area.
+package costmodel
+
+import "math"
+
+// F returns the paper's F(b): the average number of cells of a boundary
+// strip that must be read per unit of query surface, b/4 for even b and
+// b/4 − 1/(4b) for odd b (§8). F(1) = 0: no blocking means no boundary.
+func F(b int) float64 {
+	if b%2 == 0 {
+		return float64(b) / 4
+	}
+	return float64(b)/4 - 1/(4*float64(b))
+}
+
+// QueryStats carries the Table 1 statistics of one query (or the averages
+// of a query log assigned to one cuboid).
+type QueryStats struct {
+	D int     // number of dimensions with ranges
+	V float64 // volume of the query
+	S float64 // total surface area, Σ_i 2V/x_i
+}
+
+// NaiveCost is the cost of answering the query with no precomputation: the
+// query volume.
+func NaiveCost(q QueryStats) float64 { return q.V }
+
+// PrefixSumCost is the §8 average cost of the (blocked) prefix-sum method,
+// 2^d + S·F(b); with b = 1 it reduces to the basic algorithm's 2^d.
+func PrefixSumCost(q QueryStats, b int) float64 {
+	return math.Exp2(float64(q.D)) + q.S*F(b)
+}
+
+// TreeCost is the §8 average cost of the hierarchical-tree method with
+// per-dimension fanout b and depth t: F(b) · Σ_{k=0}^{t−1} S/b^{k(d−1)}.
+func TreeCost(q QueryStats, b, t int) float64 {
+	sum := 0.0
+	den := 1.0
+	for k := 0; k < t; k++ {
+		sum += q.S / den
+		den *= math.Pow(float64(b), float64(q.D-1))
+	}
+	return F(b) * sum
+}
+
+// Figure11Difference is the cost gap the paper plots in Figure 11:
+// TreeCost − PrefixSumCost for queries of side length α·b in each of d
+// dimensions (so S = 2d(αb)^{d−1}), with tree depth t.
+func Figure11Difference(d, b int, alpha float64, t int) float64 {
+	side := alpha * float64(b)
+	q := QueryStats{
+		D: d,
+		V: math.Pow(side, float64(d)),
+		S: 2 * float64(d) * math.Pow(side, float64(d-1)),
+	}
+	return TreeCost(q, b, t) - PrefixSumCost(q, b)
+}
+
+// Figure11LowerBound is the paper's simplified lower bound on the gap,
+// d·α^{d−1}·b/2 − 2^d (§8), valid when the k = 1 term dominates.
+func Figure11LowerBound(d, b int, alpha float64) float64 {
+	return float64(d)*math.Pow(alpha, float64(d-1))*float64(b)/2 - math.Exp2(float64(d))
+}
+
+// Benefit is the §9.3 reduction in the cost of answering NQ queries when a
+// prefix sum with block size b exists, relative to no precomputation:
+// NQ·(V − 2^d − S·b/4). Negative values mean the prefix sum does not pay
+// off. F(b) is approximated by b/4 for b > 1 exactly as §9.3 does.
+func Benefit(q QueryStats, nq float64, b int) float64 {
+	if b == 1 {
+		return nq * (q.V - math.Exp2(float64(q.D)))
+	}
+	return nq * (q.V - math.Exp2(float64(q.D)) - q.S*float64(b)/4)
+}
+
+// Space is the auxiliary storage of a blocked prefix sum over a cuboid of
+// n cells: n/b^d.
+func Space(n float64, d, b int) float64 {
+	return n / math.Pow(float64(b), float64(d))
+}
+
+// BenefitPerSpace is the §9.3 objective,
+// (NQ/N) · [(V−2^d)·b^d − (S/4)·b^{d+1}].
+func BenefitPerSpace(q QueryStats, nq, n float64, b int) float64 {
+	bs := Space(n, q.D, b)
+	if bs == 0 {
+		return 0
+	}
+	return Benefit(q, nq, b) / bs
+}
+
+// OptimalBlockSize returns the block size maximizing benefit/space for a
+// cuboid with the given average query statistics, by the §9.3 closed form
+// b* = (V−2^d)/(S/4) · d/(d+1), rounded to the better of its two integer
+// neighbours and compared against b = 1 (no blocking). The boolean is
+// false when V ≤ 2^d, i.e. the prefix sum has no benefit at all.
+func OptimalBlockSize(q QueryStats, nq, n float64) (int, bool) {
+	gain := q.V - math.Exp2(float64(q.D))
+	if gain <= 0 {
+		return 0, false
+	}
+	if gain <= q.S/4 {
+		// §9.3: no benefit to blocking; only b = 1 can pay off.
+		return 1, true
+	}
+	star := gain / (q.S / 4) * float64(q.D) / float64(q.D+1)
+	best, bestRatio := 1, BenefitPerSpace(q, nq, n, 1)
+	for _, cand := range []int{int(math.Floor(star)), int(math.Ceil(star))} {
+		if cand < 2 {
+			continue
+		}
+		if r := BenefitPerSpace(q, nq, n, cand); r > bestRatio {
+			best, bestRatio = cand, r
+		}
+	}
+	return best, true
+}
+
+// OptimalBlockSizeUnderAncestor returns the best block size when an
+// ancestor cuboid already has a prefix sum with block size bAnc: the
+// benefit function becomes NQ·(S/4)·(bAnc − b) for b < bAnc and 0
+// otherwise, whose benefit/space maximum is at b = bAnc·d/(d+1) (§9.3).
+func OptimalBlockSizeUnderAncestor(q QueryStats, bAnc int) (int, bool) {
+	if bAnc <= 1 {
+		return 0, false // the ancestor already answers everything at b=1 cost
+	}
+	star := float64(bAnc) * float64(q.D) / float64(q.D+1)
+	lo, hi := int(math.Floor(star)), int(math.Ceil(star))
+	ratio := func(b int) float64 {
+		if b >= bAnc || b < 1 {
+			return 0
+		}
+		return q.S / 4 * float64(bAnc-b) * math.Pow(float64(b), float64(q.D))
+	}
+	best := lo
+	if ratio(hi) > ratio(lo) {
+		best = hi
+	}
+	if ratio(best) <= 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// BenefitUnderAncestor is the benefit of a prefix sum with block size b on
+// a cuboid whose cheapest existing cover is an ancestor prefix sum with
+// block size bAnc: NQ·(S/4)·(bAnc−b) for b < bAnc, else 0 (§9.3).
+func BenefitUnderAncestor(q QueryStats, nq float64, b, bAnc int) float64 {
+	if b >= bAnc {
+		return 0
+	}
+	return nq * q.S / 4 * float64(bAnc-b)
+}

@@ -1,0 +1,144 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestF(t *testing.T) {
+	if F(1) != 0 {
+		t.Fatalf("F(1) = %g, want 0 (basic algorithm has no boundary)", F(1))
+	}
+	if F(4) != 1 {
+		t.Fatalf("F(4) = %g, want 1", F(4))
+	}
+	if got, want := F(5), 5.0/4-1.0/20; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("F(5) = %g, want %g", got, want)
+	}
+}
+
+func TestPrefixSumCostBasic(t *testing.T) {
+	q := QueryStats{D: 3, V: 1000, S: 600}
+	if got := PrefixSumCost(q, 1); got != 8 {
+		t.Fatalf("basic cost = %g, want 2^3 = 8", got)
+	}
+	if got := PrefixSumCost(q, 4); got != 8+600 {
+		t.Fatalf("blocked cost = %g, want 2^3 + S·b/4 = 608", got)
+	}
+}
+
+func TestTreeCostGeometricSeries(t *testing.T) {
+	q := QueryStats{D: 2, V: 400, S: 80}
+	// t=3, b=10, d=2: F(10)·(80 + 8 + 0.8) = 2.5 · 88.8 = 222.
+	if got, want := TreeCost(q, 10, 3), 2.5*88.8; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TreeCost = %g, want %g", got, want)
+	}
+}
+
+// Figure 11's qualitative content: the gap is positive for α ≥ 1 and grows
+// with α, d and b; the ordering of the six curves at α = 10 matches the
+// figure (d=4,b=20 on top, d=2,b=10 at the bottom).
+func TestFigure11Shape(t *testing.T) {
+	type combo struct{ d, b int }
+	curves := []combo{{4, 20}, {4, 10}, {3, 20}, {3, 10}, {2, 20}, {2, 10}}
+	const alpha = 10
+	var prev float64 = math.Inf(1)
+	for _, cb := range curves {
+		got := Figure11Difference(cb.d, cb.b, alpha, 5)
+		if got <= 0 {
+			t.Fatalf("d=%d b=%d: gap %g not positive", cb.d, cb.b, got)
+		}
+		if got >= prev {
+			t.Fatalf("curve ordering violated at d=%d b=%d: %g ≥ %g", cb.d, cb.b, got, prev)
+		}
+		prev = got
+	}
+	// Growth in alpha.
+	for _, cb := range curves {
+		if Figure11Difference(cb.d, cb.b, 20, 5) <= Figure11Difference(cb.d, cb.b, 5, 5) {
+			t.Fatalf("d=%d b=%d: gap does not grow with alpha", cb.d, cb.b)
+		}
+	}
+	// The analytic difference dominates the paper's simplified lower bound.
+	for _, cb := range curves {
+		for _, alpha := range []float64{1, 5, 10, 20} {
+			if diff, lb := Figure11Difference(cb.d, cb.b, alpha, 6), Figure11LowerBound(cb.d, cb.b, alpha); diff < lb-1e-9 {
+				t.Fatalf("d=%d b=%d α=%g: difference %g below lower bound %g", cb.d, cb.b, alpha, diff, lb)
+			}
+		}
+	}
+}
+
+// Figure 14: the benefit/space curve 100b² − 10b³ (the paper's plotted
+// instance) has its maximum at b = (V−2^d)/(S/4)·d/(d+1) = 20/3 and becomes
+// 0 at b = 10.
+func TestFigure14Curve(t *testing.T) {
+	// The plotted curve corresponds to d=2, NQ/N = 1/10, V−2^d = 1000,
+	// S = 400: (NQ/N)[(V−2^d)b² − (S/4)b³] = 100b² − 10b³.
+	q := QueryStats{D: 2, V: 1004, S: 400}
+	nqOverN := 0.1
+	// §9.3 splits b = 1 (no blocking, cost 2^d exactly) from b > 1 (F(b)
+	// approximated by b/4); the plotted curve is the b > 1 branch.
+	for b := 2; b <= 10; b++ {
+		got := BenefitPerSpace(q, nqOverN, 1, b)
+		want := 100*float64(b*b) - 10*float64(b*b*b)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("b=%d: benefit/space = %g, want %g", b, got, want)
+		}
+	}
+	if BenefitPerSpace(q, nqOverN, 1, 1) != nqOverN*(q.V-4) {
+		t.Fatal("b=1 benefit should use the unblocked cost 2^d")
+	}
+	// Maximum at b* = 1000/100 · 2/3 = 20/3 ≈ 6.67 → integer best 7
+	// (f(7)=1470 > f(6)=1440).
+	b, ok := OptimalBlockSize(q, nqOverN, 1)
+	if !ok || b != 7 {
+		t.Fatalf("OptimalBlockSize = (%d,%v), want (7,true)", b, ok)
+	}
+	// Benefit becomes 0 at b = 4(V−2^d)/S = 10.
+	if got := Benefit(q, 1, 10); got != 0 {
+		t.Fatalf("Benefit at b=10 = %g, want 0", got)
+	}
+}
+
+func TestOptimalBlockSizeEdgeCases(t *testing.T) {
+	// V ≤ 2^d: no benefit at all.
+	if _, ok := OptimalBlockSize(QueryStats{D: 3, V: 8, S: 24}, 1, 100); ok {
+		t.Fatal("V = 2^d should report no benefit")
+	}
+	// V − 2^d ≤ S/4: blocking never pays; b = 1 wins.
+	b, ok := OptimalBlockSize(QueryStats{D: 2, V: 14, S: 40}, 1, 100)
+	if !ok || b != 1 {
+		t.Fatalf("small-query optimum = (%d,%v), want (1,true)", b, ok)
+	}
+}
+
+func TestOptimalBlockSizeUnderAncestor(t *testing.T) {
+	q := QueryStats{D: 2, V: 1004, S: 400}
+	// b = bAnc·d/(d+1) = 12·2/3 = 8.
+	b, ok := OptimalBlockSizeUnderAncestor(q, 12)
+	if !ok || b != 8 {
+		t.Fatalf("under-ancestor optimum = (%d,%v), want (8,true)", b, ok)
+	}
+	if _, ok := OptimalBlockSizeUnderAncestor(q, 1); ok {
+		t.Fatal("ancestor at b=1 leaves no room for benefit")
+	}
+	if got := BenefitUnderAncestor(q, 2, 8, 12); got != 2*100*4 {
+		t.Fatalf("BenefitUnderAncestor = %g, want 800", got)
+	}
+	if got := BenefitUnderAncestor(q, 2, 12, 12); got != 0 {
+		t.Fatalf("BenefitUnderAncestor at b=bAnc = %g, want 0", got)
+	}
+}
+
+func TestSpace(t *testing.T) {
+	if got := Space(1e6, 3, 10); got != 1000 {
+		t.Fatalf("Space = %g, want 1000", got)
+	}
+}
+
+func TestNaiveCost(t *testing.T) {
+	if got := NaiveCost(QueryStats{D: 2, V: 42, S: 10}); got != 42 {
+		t.Fatalf("NaiveCost = %g", got)
+	}
+}

@@ -1,0 +1,418 @@
+// Package maxtree implements the paper's range-max algorithm (§6): a
+// balanced b^d-ary tree (a generalized quad-tree) over the data cube, each
+// node storing the index of the maximum value in the region it covers, and
+// a branch-and-bound search that prunes every subtree whose precomputed
+// maximum cannot beat the current candidate.
+//
+// MAX has no inverse operator, so the prefix-sum trick does not apply; the
+// tree exploits instead the property that if some i ∈ S2 has
+// i ≥ max(S1) then max(S2) = max(S2 − S1) (§1). MIN is the mirror image
+// and is provided by the same tree with an inverted comparison.
+//
+// The batch-update protocol of §7 lives in update.go.
+package maxtree
+
+import (
+	"cmp"
+	"fmt"
+
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// Tree is the precomputed hierarchy. Level 0 is the cube itself; level i>0
+// is a contracted grid of ⌈nj/b^i⌉ per dimension whose node (k1,...,kd)
+// covers the cube region [kj·b^i, min((kj+1)·b^i−1, nj−1)] per dimension.
+type Tree[T cmp.Ordered] struct {
+	a      *ndarray.Array[T]
+	b      int
+	min    bool // when true the tree answers range-MIN instead of range-MAX
+	levels []level[T]
+}
+
+// level holds one contracted grid: the best value in each node's region and
+// the flat offset (into the cube) where it occurs.
+type level[T cmp.Ordered] struct {
+	vals *ndarray.Array[T]
+	offs []int
+}
+
+// Build constructs a range-max tree with fanout b per dimension (total
+// fanout b^d). The cube is retained by reference; see BatchUpdate for
+// keeping the tree consistent under updates.
+func Build[T cmp.Ordered](a *ndarray.Array[T], b int) *Tree[T] {
+	return build(a, b, false)
+}
+
+// BuildMin constructs a range-min tree; everything else is identical.
+func BuildMin[T cmp.Ordered](a *ndarray.Array[T], b int) *Tree[T] {
+	return build(a, b, true)
+}
+
+func build[T cmp.Ordered](a *ndarray.Array[T], b int, min bool) *Tree[T] {
+	if b < 2 {
+		panic(fmt.Sprintf("maxtree: fanout %d < 2", b))
+	}
+	t := &Tree[T]{a: a, b: b, min: min}
+	// Build levels bottom-up until a single node covers everything, exactly
+	// as §6.1.1/§6.2 describe; dimensions whose extent reaches 1 simply stop
+	// contracting (the tree "degenerates into a lower dimension").
+	prevVals, prevOffs := a, flatOffsets(a)
+	for {
+		shape := prevVals.Shape()
+		done := true
+		for _, n := range shape {
+			if n > 1 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		cur := contract(t, prevVals, prevOffs)
+		t.levels = append(t.levels, cur)
+		prevVals, prevOffs = cur.vals, cur.offs
+	}
+	return t
+}
+
+// flatOffsets returns the identity offset slice for level 0.
+func flatOffsets[T cmp.Ordered](a *ndarray.Array[T]) []int {
+	offs := make([]int, a.Size())
+	for i := range offs {
+		offs[i] = i
+	}
+	return offs
+}
+
+// contract builds the next level from the previous one: every b×...×b block
+// of the previous grid is reduced to its best entry. The previous grid is
+// walked once in storage order.
+func contract[T cmp.Ordered](t *Tree[T], prevVals *ndarray.Array[T], prevOffs []int) level[T] {
+	b := t.b
+	shape := prevVals.Shape()
+	nshape := make([]int, len(shape))
+	for i, n := range shape {
+		nshape[i] = (n + b - 1) / b
+	}
+	vals := ndarray.New[T](nshape...)
+	offs := make([]int, vals.Size())
+	seen := make([]bool, vals.Size())
+	nstrides := vals.Strides()
+	coords := make([]int, len(shape))
+	data := prevVals.Data()
+	for off := range data {
+		poff := 0
+		for j, c := range coords {
+			poff += (c / b) * nstrides[j]
+		}
+		if !seen[poff] || t.better(data[off], vals.Data()[poff]) {
+			vals.Data()[poff] = data[off]
+			offs[poff] = prevOffs[off]
+			seen[poff] = true
+		}
+		incrOdo(coords, shape)
+	}
+	return level[T]{vals: vals, offs: offs}
+}
+
+func incrOdo(coords, shape []int) {
+	for i := len(coords) - 1; i >= 0; i-- {
+		coords[i]++
+		if coords[i] < shape[i] {
+			return
+		}
+		coords[i] = 0
+	}
+}
+
+// better reports whether x beats y under the tree's ordering. Ties are not
+// better, so the first candidate in visit order wins, matching the paper's
+// "arbitrarily returns one of the indices" allowance.
+func (t *Tree[T]) better(x, y T) bool {
+	if t.min {
+		return x < y
+	}
+	return x > y
+}
+
+// Cube returns the underlying data cube.
+func (t *Tree[T]) Cube() *ndarray.Array[T] { return t.a }
+
+// Fanout returns b, the per-dimension fanout.
+func (t *Tree[T]) Fanout() int { return t.b }
+
+// IsMin reports whether the tree answers range-MIN instead of range-MAX.
+func (t *Tree[T]) IsMin() bool { return t.min }
+
+// Height returns the number of non-leaf levels, ⌈log_b max_j nj⌉.
+func (t *Tree[T]) Height() int { return len(t.levels) }
+
+// Nodes returns the total number of non-leaf tree nodes (auxiliary space).
+func (t *Tree[T]) Nodes() int {
+	n := 0
+	for _, lv := range t.levels {
+		n += lv.vals.Size()
+	}
+	return n
+}
+
+// pow returns b^i, clamped only by int width (extents are ints).
+func pow(b, i int) int {
+	p := 1
+	for ; i > 0; i-- {
+		p *= b
+	}
+	return p
+}
+
+// cover returns the cube region covered by node k at the given level
+// (level ≥ 1), C(x) in the paper's notation.
+func (t *Tree[T]) cover(levelIdx int, nodeCoords []int) ndarray.Region {
+	side := pow(t.b, levelIdx)
+	r := make(ndarray.Region, len(nodeCoords))
+	for j, k := range nodeCoords {
+		lo := k * side
+		hi := lo + side - 1
+		if n := t.a.Shape()[j]; hi >= n {
+			hi = n - 1
+		}
+		r[j] = ndarray.Range{Lo: lo, Hi: hi}
+	}
+	return r
+}
+
+// MaxIndex answers Max_index(ℓ1:h1, ..., ℓd:hd) (§2): the flat cube offset
+// and value of a maximum cell of the region (minimum for a BuildMin tree).
+// ok is false for an empty region. Costs are attributed to c: node-maximum
+// reads as Aux, cube-cell reads as Cells, comparisons as Steps.
+func (t *Tree[T]) MaxIndex(r ndarray.Region, c *metrics.Counter) (offset int, value T, ok bool) {
+	d := t.a.Dims()
+	if len(r) != d {
+		panic(fmt.Sprintf("maxtree: query of dimension %d against cube of dimension %d", len(r), d))
+	}
+	var zero T
+	if r.Empty() {
+		return 0, zero, false
+	}
+	shape := t.a.Shape()
+	for j, rng := range r {
+		if rng.Lo < 0 || rng.Hi >= shape[j] {
+			panic(fmt.Sprintf("maxtree: query %v out of bounds for shape %v", r, shape))
+		}
+	}
+	// Find the lowest-level node x with R ⊆ C(x) (§6.1.2): the smallest L
+	// such that ℓj and hj fall in the same level-L block in every
+	// dimension. This is what bounds the worst case by O(b log_b r) rather
+	// than O(b log_b n).
+	lvl := 0
+	side := 1
+	for {
+		same := true
+		for j := range r {
+			if r[j].Lo/side != r[j].Hi/side {
+				same = false
+				break
+			}
+		}
+		if same {
+			break
+		}
+		lvl++
+		side *= t.b
+	}
+	if lvl == 0 {
+		// Single-cell query (after the block alignment the region is one
+		// cell of the cube).
+		off := 0
+		for j := range r {
+			off += r[j].Lo * t.a.Strides()[j]
+		}
+		c.AddCells(1)
+		return off, t.a.Data()[off], true
+	}
+	node := make([]int, d)
+	for j := range r {
+		node[j] = r[j].Lo / side
+	}
+	lv := t.levels[lvl-1]
+	noff := lv.vals.Offset(node...)
+	c.AddAux(1)
+	coords := make([]int, d)
+	if r.Contains(t.a.Coords(lv.offs[noff], coords)) {
+		// Line (4)-(5) of Max_index: the covering node's maximum already
+		// falls inside R.
+		return lv.offs[noff], lv.vals.Data()[noff], true
+	}
+	// Initialize the candidate to the region's low corner, as the paper
+	// does (current_max_index = ℓ), then branch-and-bound downward.
+	curOff := 0
+	for j := range r {
+		curOff += r[j].Lo * t.a.Strides()[j]
+	}
+	c.AddCells(1)
+	curVal := t.a.Data()[curOff]
+	curOff, curVal = t.descend(lvl, node, r, curOff, curVal, c)
+	return curOff, curVal, true
+}
+
+// MaxBounds implements the §11 approximate answer for range-max: a lower
+// and an upper bound on Max(R) from O(1) accesses, to be returned to the
+// user while the exact branch-and-bound search runs. The upper bound is
+// the precomputed maximum of the lowest-level node covering R; the lower
+// bound is the value at R's low corner (any cell of R works). When the
+// covering node's argmax falls inside R the bounds coincide and are exact.
+func (t *Tree[T]) MaxBounds(r ndarray.Region, c *metrics.Counter) (lo, hi T, exact bool) {
+	d := t.a.Dims()
+	if len(r) != d {
+		panic(fmt.Sprintf("maxtree: query of dimension %d against cube of dimension %d", len(r), d))
+	}
+	var zero T
+	if r.Empty() {
+		return zero, zero, true
+	}
+	shape := t.a.Shape()
+	for j, rng := range r {
+		if rng.Lo < 0 || rng.Hi >= shape[j] {
+			panic(fmt.Sprintf("maxtree: query %v out of bounds for shape %v", r, shape))
+		}
+	}
+	lvl := 0
+	side := 1
+	for {
+		same := true
+		for j := range r {
+			if r[j].Lo/side != r[j].Hi/side {
+				same = false
+				break
+			}
+		}
+		if same {
+			break
+		}
+		lvl++
+		side *= t.b
+	}
+	cornerOff := 0
+	for j := range r {
+		cornerOff += r[j].Lo * t.a.Strides()[j]
+	}
+	c.AddCells(1)
+	lo = t.a.Data()[cornerOff]
+	if lvl == 0 {
+		return lo, lo, true
+	}
+	node := make([]int, d)
+	for j := range r {
+		node[j] = r[j].Lo / side
+	}
+	lv := t.levels[lvl-1]
+	noff := lv.vals.Offset(node...)
+	c.AddAux(1)
+	hi = lv.vals.Data()[noff]
+	if r.Contains(t.a.Coords(lv.offs[noff], make([]int, d))) {
+		return hi, hi, true
+	}
+	if t.min {
+		// For a MIN tree the node value bounds from below and the corner
+		// from above; keep the lo ≤ answer ≤ hi contract.
+		lo, hi = hi, lo
+	}
+	return lo, hi, false
+}
+
+// descend is the paper's get_max_index: x is the node at levelIdx whose
+// covered region intersects R; it scans x's children, first the internal
+// and Bin children (whose stored maxima are usable directly), then recurses
+// into Bout children that can still beat the current candidate.
+func (t *Tree[T]) descend(levelIdx int, node []int, r ndarray.Region, curOff int, curVal T, c *metrics.Counter) (int, T) {
+	d := len(node)
+	childLevel := levelIdx - 1
+	// Child coordinate ranges within this node's block, clipped to the
+	// child grid (the last block of a level may be ragged).
+	var childShape []int
+	if childLevel == 0 {
+		childShape = t.a.Shape()
+	} else {
+		childShape = t.levels[childLevel-1].vals.Shape()
+	}
+	childRange := make(ndarray.Region, d)
+	for j, k := range node {
+		lo := k * t.b
+		hi := lo + t.b - 1
+		if hi >= childShape[j] {
+			hi = childShape[j] - 1
+		}
+		childRange[j] = ndarray.Range{Lo: lo, Hi: hi}
+	}
+
+	if childLevel == 0 {
+		// Children are cube cells: every cell inside R is a candidate.
+		inter := childRange.Intersect(r)
+		data := t.a.Data()
+		ndarray.ForEachOffset(t.a, inter, func(off int) {
+			c.AddCells(1)
+			c.AddSteps(1)
+			if t.better(data[off], curVal) {
+				curOff, curVal = off, data[off]
+			}
+		})
+		return curOff, curVal
+	}
+
+	lv := t.levels[childLevel-1]
+	side := pow(t.b, childLevel)
+	coords := make([]int, d)
+	// Deferred Bout children: (childOffset, intersection with R).
+	type boundary struct {
+		noff  int
+		inter ndarray.Region
+	}
+	var bouts []boundary
+	childRange.ForEach(func(k []int) {
+		// C(y) for child y = k.
+		cov := make(ndarray.Region, d)
+		internal := true
+		external := false
+		for j, kj := range k {
+			lo := kj * side
+			hi := lo + side - 1
+			if n := t.a.Shape()[j]; hi >= n {
+				hi = n - 1
+			}
+			cov[j] = ndarray.Range{Lo: lo, Hi: hi}
+			if lo < r[j].Lo || hi > r[j].Hi {
+				internal = false
+			}
+			if hi < r[j].Lo || lo > r[j].Hi {
+				external = true
+			}
+		}
+		if external {
+			return // E(x,R): disjoint from the query
+		}
+		noff := lv.vals.Offset(k...)
+		c.AddAux(1)
+		if internal || r.Contains(t.a.Coords(lv.offs[noff], coords)) {
+			// I(x,R) ∪ Bin(x,R): the stored maximum is inside R.
+			c.AddSteps(1)
+			if t.better(lv.vals.Data()[noff], curVal) {
+				curOff, curVal = lv.offs[noff], lv.vals.Data()[noff]
+			}
+			return
+		}
+		bouts = append(bouts, boundary{noff: noff, inter: cov.Intersect(r)})
+	})
+	// Lines (4)-(6): recurse into boundary children only if their
+	// precomputed maximum can still beat the candidate — the
+	// branch-and-bound pruning.
+	for _, bo := range bouts {
+		c.AddSteps(1)
+		if t.better(lv.vals.Data()[bo.noff], curVal) {
+			k := lv.vals.Coords(bo.noff, nil)
+			curOff, curVal = t.descend(childLevel, k, bo.inter, curOff, curVal, c)
+		}
+	}
+	return curOff, curVal
+}

@@ -1,0 +1,362 @@
+package maxtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rangecube/internal/metrics"
+	"rangecube/internal/naive"
+	"rangecube/internal/ndarray"
+)
+
+func randomCube(rng *rand.Rand, maxDims, maxExtent int) *ndarray.Array[int64] {
+	d := 1 + rng.Intn(maxDims)
+	shape := make([]int, d)
+	for i := range shape {
+		shape[i] = 2 + rng.Intn(maxExtent-1)
+	}
+	a := ndarray.New[int64](shape...)
+	a.Fill(func([]int) int64 { return int64(rng.Intn(1000)) })
+	return a
+}
+
+func randomRegion(rng *rand.Rand, shape []int) ndarray.Region {
+	r := make(ndarray.Region, len(shape))
+	for i, n := range shape {
+		lo := rng.Intn(n)
+		r[i] = ndarray.Range{Lo: lo, Hi: lo + rng.Intn(n-lo)}
+	}
+	return r
+}
+
+// checkInvariants verifies every stored node: its value is the true max of
+// its covered region, and its argmax offset points at a cell holding that
+// value inside that region.
+func checkInvariants(t *testing.T, tr *Tree[int64]) {
+	t.Helper()
+	a := tr.Cube()
+	for li := 1; li <= tr.Height(); li++ {
+		lv := tr.levels[li-1]
+		lv.vals.Bounds().ForEach(func(k []int) {
+			cov := tr.cover(li, k)
+			noff := lv.vals.Offset(k...)
+			wantOff, wantVal, ok := naive.Max(a, cov, nil)
+			if !ok {
+				t.Fatalf("level %d node %v covers empty region %v", li, k, cov)
+			}
+			if lv.vals.Data()[noff] != wantVal {
+				t.Fatalf("level %d node %v stores %d, true max %d", li, k, lv.vals.Data()[noff], wantVal)
+			}
+			arg := lv.offs[noff]
+			if a.Data()[arg] != wantVal {
+				t.Fatalf("level %d node %v argmax offset %d holds %d, want %d", li, k, arg, a.Data()[arg], wantVal)
+			}
+			if !cov.Contains(a.Coords(arg, nil)) {
+				t.Fatalf("level %d node %v argmax %d outside cover %v", li, k, arg, cov)
+			}
+			_ = wantOff
+		})
+	}
+}
+
+// Figure 9: n = 14, b = 3 yields levels of 5, 2, 1 nodes and height 3.
+func TestPaperFigure9TreeShape(t *testing.T) {
+	a := ndarray.New[int64](14)
+	rng := rand.New(rand.NewSource(1))
+	a.Fill(func([]int) int64 { return int64(rng.Intn(100)) })
+	tr := Build(a, 3)
+	if tr.Height() != 3 {
+		t.Fatalf("Height = %d, want ⌈log3 14⌉ = 3", tr.Height())
+	}
+	wantShapes := []int{5, 2, 1}
+	for i, want := range wantShapes {
+		if got := tr.levels[i].vals.Size(); got != want {
+			t.Fatalf("level %d has %d nodes, want %d", i+1, got, want)
+		}
+	}
+	if tr.Nodes() != 8 {
+		t.Fatalf("Nodes = %d, want 8", tr.Nodes())
+	}
+	checkInvariants(t, tr)
+}
+
+func TestBuildPanicsOnBadFanout(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build with b=1 did not panic")
+		}
+	}()
+	Build(ndarray.New[int64](8), 1)
+}
+
+func TestMaxIndexBasic2D(t *testing.T) {
+	a := ndarray.FromSlice([]int64{
+		3, 5, 1, 2, 2, 3,
+		7, 3, 2, 6, 8, 2,
+		2, 4, 2, 3, 3, 5,
+	}, 3, 6)
+	tr := Build(a, 2)
+	checkInvariants(t, tr)
+	off, v, ok := tr.MaxIndex(a.Bounds(), nil)
+	if !ok || v != 8 || off != a.Offset(1, 4) {
+		t.Fatalf("MaxIndex(full) = (%d,%d,%v)", off, v, ok)
+	}
+	off, v, ok = tr.MaxIndex(ndarray.Reg(0, 1, 0, 2), nil)
+	if !ok || v != 7 || off != a.Offset(1, 0) {
+		t.Fatalf("MaxIndex(0:1,0:2) = (%d,%d,%v), want 7 at (1,0)", off, v, ok)
+	}
+}
+
+func TestMaxIndexSingleCell(t *testing.T) {
+	a := ndarray.FromSlice([]int64{1, 2, 3, 4, 5, 6}, 2, 3)
+	tr := Build(a, 2)
+	var c metrics.Counter
+	off, v, ok := tr.MaxIndex(ndarray.Reg(1, 1, 2, 2), &c)
+	if !ok || v != 6 || off != a.Offset(1, 2) {
+		t.Fatalf("single-cell query = (%d,%d,%v)", off, v, ok)
+	}
+	if c.Total() != 1 {
+		t.Fatalf("single-cell query cost %d, want 1", c.Total())
+	}
+}
+
+func TestMaxIndexEmptyAndPanics(t *testing.T) {
+	tr := Build(ndarray.New[int64](4, 4), 2)
+	if _, _, ok := tr.MaxIndex(ndarray.Reg(2, 1, 0, 3), nil); ok {
+		t.Fatal("empty region should report !ok")
+	}
+	for _, r := range []ndarray.Region{ndarray.Reg(0, 4, 0, 3), ndarray.Reg(0, 3)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MaxIndex(%v) did not panic", r)
+				}
+			}()
+			tr.MaxIndex(r, nil)
+		}()
+	}
+}
+
+// Property: MaxIndex agrees with the naive scan (value always; offset must
+// hold the max value inside the region) for random cubes and queries.
+func TestMaxIndexMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCube(rng, 3, 17)
+		b := 2 + rng.Intn(4)
+		tr := Build(a, b)
+		coords := make([]int, a.Dims())
+		for q := 0; q < 10; q++ {
+			r := randomRegion(rng, a.Shape())
+			off, v, ok := tr.MaxIndex(r, nil)
+			_, wantV, wantOK := naive.Max(a, r, nil)
+			if ok != wantOK || v != wantV {
+				return false
+			}
+			if a.Data()[off] != v || !r.Contains(a.Coords(off, coords)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the MIN tree mirrors the MAX tree.
+func TestMinTreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCube(rng, 3, 12)
+		tr := BuildMin(a, 3)
+		for q := 0; q < 8; q++ {
+			r := randomRegion(rng, a.Shape())
+			off, v, ok := tr.MaxIndex(r, nil)
+			_, wantV, wantOK := naive.Min(a, r, nil)
+			if ok != wantOK || v != wantV || a.Data()[off] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloatTree(t *testing.T) {
+	a := ndarray.FromSlice([]float64{0.5, -1.5, 3.25, 2.0, 7.75, -0.25}, 2, 3)
+	tr := Build(a, 2)
+	off, v, ok := tr.MaxIndex(a.Bounds(), nil)
+	if !ok || v != 7.75 || off != a.Offset(1, 1) {
+		t.Fatalf("float MaxIndex = (%d,%g,%v)", off, v, ok)
+	}
+}
+
+// The worst-case of §6.1.3: the query covers a complete subtree except its
+// first and last leaves, which hold the largest values. The access count
+// must stay O(b·log_b r), far below the region size.
+func TestWorstCaseAccessBound1D(t *testing.T) {
+	b := 4
+	n := 1024 // b^5
+	a := ndarray.New[int64](n)
+	for i := 0; i < n; i++ {
+		a.Data()[i] = int64(i % 97)
+	}
+	// Query (1 : n−2); cells 0 and n−1 are the global maxima.
+	a.Data()[0] = 100000
+	a.Data()[n-1] = 99999
+	tr := Build(a, b)
+	var c metrics.Counter
+	r := ndarray.Reg(1, n-2)
+	off, v, ok := tr.MaxIndex(r, &c)
+	_, wantV, _ := naive.Max(a, r, nil)
+	if !ok || v != wantV {
+		t.Fatalf("worst case answer = %d, want %d", v, wantV)
+	}
+	if !r.Contains(a.Coords(off, nil)) {
+		t.Fatal("worst case argmax outside region")
+	}
+	logbr := math.Log(float64(n)) / math.Log(float64(b))
+	bound := int64(3 * float64(b) * (logbr + 2))
+	if c.Total() > bound {
+		t.Fatalf("worst case accessed %d entries, want ≤ O(b·log_b r) ≈ %d", c.Total(), bound)
+	}
+}
+
+// Theorem 3: for random data the average number of accesses for 1-D range
+// maxima is bounded by b + 7 + 1/b. We test the empirical mean over many
+// random ranges with slack for sampling noise.
+func TestTheorem3AverageCase(t *testing.T) {
+	for _, b := range []int{3, 4, 8} {
+		rng := rand.New(rand.NewSource(int64(100 + b)))
+		n := 2000
+		a := ndarray.New[int64](n)
+		perm := rng.Perm(n) // distinct values: the analysis's random order model
+		for i, p := range perm {
+			a.Data()[i] = int64(p)
+		}
+		tr := Build(a, b)
+		var total int64
+		const trials = 4000
+		for q := 0; q < trials; q++ {
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo)
+			var c metrics.Counter
+			tr.MaxIndex(ndarray.Reg(lo, hi), &c)
+			total += c.Total()
+		}
+		avg := float64(total) / trials
+		bound := float64(b) + 7 + 1/float64(b)
+		if avg > bound {
+			t.Fatalf("b=%d: average accesses %.2f exceed Theorem 3 bound %.2f", b, avg, bound)
+		}
+	}
+}
+
+func TestRaggedExtents(t *testing.T) {
+	// Extents that are not powers of b and differ per dimension, so the
+	// tree degenerates into lower dimensions as it grows (§6.2).
+	rng := rand.New(rand.NewSource(9))
+	a := ndarray.New[int64](14, 3, 7)
+	a.Fill(func([]int) int64 { return int64(rng.Intn(500)) })
+	tr := Build(a, 3)
+	checkInvariants(t, tr)
+	for q := 0; q < 100; q++ {
+		r := randomRegion(rng, a.Shape())
+		_, v, ok := tr.MaxIndex(r, nil)
+		_, wantV, wantOK := naive.Max(a, r, nil)
+		if ok != wantOK || v != wantV {
+			t.Fatalf("ragged query %v = %d, want %d", r, v, wantV)
+		}
+	}
+}
+
+// §11 bounds: lo ≤ Max(R) ≤ hi from O(1) accesses; exact when the covering
+// node's argmax falls inside R.
+func TestMaxBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCube(rng, 3, 15)
+		tr := Build(a, 2+rng.Intn(3))
+		for q := 0; q < 8; q++ {
+			r := randomRegion(rng, a.Shape())
+			var c metrics.Counter
+			lo, hi, exact := tr.MaxBounds(r, &c)
+			_, want, _ := naive.Max(a, r, nil)
+			if lo > want || want > hi {
+				return false
+			}
+			if exact && (lo != want || hi != want) {
+				return false
+			}
+			if c.Total() > 2 {
+				return false // O(1): one corner cell + one node
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinBoundsOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	a := randomCube(rng, 2, 15)
+	tr := BuildMin(a, 3)
+	for q := 0; q < 40; q++ {
+		r := randomRegion(rng, a.Shape())
+		lo, hi, _ := tr.MaxBounds(r, nil)
+		_, want, _ := naive.Min(a, r, nil)
+		if lo > want || want > hi {
+			t.Fatalf("min bounds [%d,%d] miss %d for %v", lo, hi, want, r)
+		}
+	}
+}
+
+func TestMaxBoundsEmpty(t *testing.T) {
+	tr := Build(ndarray.FromSlice([]int64{1, 2, 3, 4}, 4), 2)
+	if lo, hi, exact := tr.MaxBounds(ndarray.Reg(3, 1), nil); !exact || lo != 0 || hi != 0 {
+		t.Fatalf("empty bounds = (%d,%d,%v)", lo, hi, exact)
+	}
+	if lo, hi, exact := tr.MaxBounds(ndarray.Reg(2, 2), nil); !exact || lo != 3 || hi != 3 {
+		t.Fatalf("single-cell bounds = (%d,%d,%v)", lo, hi, exact)
+	}
+}
+
+// §6.2: "if rmin > 2b − 2 then there always exists a reduction in the
+// effort of accessing the elements of A" — for every query whose minimum
+// side exceeds 2b−2, the tree must access strictly fewer entries than the
+// naive volume.
+func TestSavingsGuaranteeWhenRminLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for _, b := range []int{2, 3, 4} {
+		a := ndarray.New[int64](60, 60)
+		a.Fill(func([]int) int64 { return int64(rng.Intn(1_000_000)) })
+		tr := Build(a, b)
+		minSide := 2*b - 1 // rmin = 2b−1 > 2b−2
+		for q := 0; q < 60; q++ {
+			r := make(ndarray.Region, 2)
+			for j := 0; j < 2; j++ {
+				side := minSide + rng.Intn(10)
+				lo := rng.Intn(60 - side + 1)
+				r[j] = ndarray.Range{Lo: lo, Hi: lo + side - 1}
+			}
+			var c metrics.Counter
+			_, v, _ := tr.MaxIndex(r, &c)
+			_, want, _ := naive.Max(a, r, nil)
+			if v != want {
+				t.Fatalf("b=%d: wrong answer for %v", b, r)
+			}
+			// The claim concerns accesses to the elements of A: cube-cell
+			// reads must be strictly fewer than the naive volume.
+			if c.Cells >= int64(r.Volume()) {
+				t.Fatalf("b=%d: query %v read %d cube cells ≥ volume %d", b, r, c.Cells, r.Volume())
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package maxtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rangecube/internal/ndarray"
+)
+
+func randomUpdatesFor(rng *rand.Rand, shape []int, k, valRange int) []PointUpdate[int64] {
+	ups := make([]PointUpdate[int64], k)
+	for i := range ups {
+		coords := make([]int, len(shape))
+		for j, n := range shape {
+			coords[j] = rng.Intn(n)
+		}
+		ups[i] = PointUpdate[int64]{Coords: coords, Value: int64(rng.Intn(valRange))}
+	}
+	return ups
+}
+
+// Property: after BatchUpdate, every tree invariant holds (node values are
+// true region maxima, argmax offsets valid), for random cubes, fanouts,
+// batch sizes and value ranges — including duplicate update indices.
+func TestBatchUpdateInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCube(rng, 3, 11)
+		b := 2 + rng.Intn(3)
+		tr := Build(a, b)
+		for round := 0; round < 3; round++ {
+			k := 1 + rng.Intn(10)
+			tr.BatchUpdate(randomUpdatesFor(rng, a.Shape(), k, 1200), nil)
+		}
+		// Compare against a fresh rebuild: stored values must match
+		// exactly; argmax offsets must point at cells holding the value.
+		fresh := Build(a, b)
+		for li := range tr.levels {
+			for i, v := range tr.levels[li].vals.Data() {
+				if fresh.levels[li].vals.Data()[i] != v {
+					return false
+				}
+				if a.Data()[tr.levels[li].offs[i]] != v {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: queries after updates agree with naive scans on the updated
+// cube.
+func TestBatchUpdateQueryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCube(rng, 3, 13)
+		tr := Build(a, 3)
+		tr.BatchUpdate(randomUpdatesFor(rng, a.Shape(), 1+rng.Intn(15), 2000), nil)
+		for q := 0; q < 6; q++ {
+			r := randomRegion(rng, a.Shape())
+			_, v, ok := tr.MaxIndex(r, nil)
+			var wantV int64
+			wantOK := false
+			ndarray.ForEachOffset(a, r, func(off int) {
+				if !wantOK || a.Data()[off] > wantV {
+					wantV, wantOK = a.Data()[off], true
+				}
+			})
+			if ok != wantOK || (ok && v != wantV) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Increase-only batches must never rescan a block: tag never reaches −1.
+func TestIncreaseOnlyNeverRescans(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := randomCube(rng, 3, 12)
+	tr := Build(a, 3)
+	ups := randomUpdatesFor(rng, a.Shape(), 20, 100)
+	for i := range ups {
+		cur := a.At(ups[i].Coords...)
+		ups[i].Value = cur + 1 + int64(rng.Intn(50)) // strictly increasing
+	}
+	stats := tr.BatchUpdate(ups, nil)
+	if stats.Rescans != 0 {
+		t.Fatalf("increase-only batch caused %d rescans, want 0", stats.Rescans)
+	}
+	checkInvariants(t, tr)
+}
+
+// Decreasing the unique maximum of a block with no recovery must rescan it.
+func TestDecreaseOfMaxRescans(t *testing.T) {
+	a := ndarray.FromSlice([]int64{1, 2, 3, 9, 5, 6, 7, 8, 0}, 9)
+	tr := Build(a, 3)
+	stats := tr.BatchUpdate([]PointUpdate[int64]{{Coords: []int{3}, Value: 0}}, nil)
+	if stats.Rescans == 0 {
+		t.Fatal("decreasing the block max caused no rescan")
+	}
+	checkInvariants(t, tr)
+	_, v, _ := tr.MaxIndex(a.Bounds(), nil)
+	if v != 8 {
+		t.Fatalf("max after decrease = %d, want 8", v)
+	}
+}
+
+// Rule 2(b)/1(c) interplay: a decrease of the maximum followed by an
+// increase that reaches at least the old maximum needs no rescan.
+func TestIncreaseRecoversLostMax(t *testing.T) {
+	a := ndarray.FromSlice([]int64{1, 2, 9, 4, 5, 6, 7, 8, 0}, 9)
+	tr := Build(a, 3)
+	stats := tr.BatchUpdate([]PointUpdate[int64]{
+		{Coords: []int{2}, Value: 0}, // active decrease: tag = −1
+		{Coords: []int{0}, Value: 9}, // reaches the lost maximum: tag = 1
+	}, nil)
+	if stats.Rescans != 0 {
+		t.Fatalf("recovered batch caused %d rescans, want 0", stats.Rescans)
+	}
+	checkInvariants(t, tr)
+	off, v, _ := tr.MaxIndex(ndarray.Reg(0, 2), nil)
+	if v != 9 || off != 0 {
+		t.Fatalf("block max = %d at %d, want 9 at 0", v, off)
+	}
+}
+
+// An increase-update above the old maximum makes a later decrease of the
+// old maximum passive (paper's explanation of rule 2(b)).
+func TestIncreaseBeforeDecreaseIgnoresDecrease(t *testing.T) {
+	a := ndarray.FromSlice([]int64{1, 2, 9, 4, 5, 6, 7, 8, 0}, 9)
+	tr := Build(a, 3)
+	stats := tr.BatchUpdate([]PointUpdate[int64]{
+		{Coords: []int{1}, Value: 50}, // active increase first
+		{Coords: []int{2}, Value: 0},  // decrease of old max: now passive
+	}, nil)
+	if stats.Rescans != 0 {
+		t.Fatalf("batch caused %d rescans, want 0", stats.Rescans)
+	}
+	checkInvariants(t, tr)
+}
+
+// Argmax moves with equal values must propagate so ancestors never point at
+// a stale (decreased) cell.
+func TestEqualValueArgmaxMovePropagates(t *testing.T) {
+	// Two blocks of 3; both maxima equal 9; global argmax in block 0.
+	a := ndarray.FromSlice([]int64{9, 1, 1, 9, 1, 1}, 6)
+	tr := Build(a, 3)
+	// Decrease the cell the root argmax points to.
+	rootArg := tr.levels[len(tr.levels)-1].offs[0]
+	tr.BatchUpdate([]PointUpdate[int64]{{Coords: []int{rootArg}, Value: 0}}, nil)
+	checkInvariants(t, tr)
+	off, v, _ := tr.MaxIndex(a.Bounds(), nil)
+	if v != 9 || a.Data()[off] != 9 {
+		t.Fatalf("after argmax move: max = %d at %d", v, off)
+	}
+}
+
+// Duplicate indices in one batch: the last value wins.
+func TestDuplicateIndicesLastWins(t *testing.T) {
+	a := ndarray.FromSlice([]int64{1, 2, 3, 4}, 4)
+	tr := Build(a, 2)
+	tr.BatchUpdate([]PointUpdate[int64]{
+		{Coords: []int{0}, Value: 100},
+		{Coords: []int{0}, Value: 7},
+	}, nil)
+	if a.At(0) != 7 {
+		t.Fatalf("cell = %d, want 7", a.At(0))
+	}
+	checkInvariants(t, tr)
+}
+
+func TestEmptyBatch(t *testing.T) {
+	a := ndarray.FromSlice([]int64{1, 2, 3, 4}, 4)
+	tr := Build(a, 2)
+	stats := tr.BatchUpdate(nil, nil)
+	if stats.Touched != 0 || stats.Propagated != 0 {
+		t.Fatalf("empty batch stats = %+v", stats)
+	}
+}
+
+func TestRebuildMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := randomCube(rng, 3, 10)
+	tr := Build(a, 3)
+	// Mutate the cube directly, then Rebuild.
+	a.Data()[0] += 500
+	tr.Rebuild()
+	checkInvariants(t, tr)
+}
+
+// Propagation stops early when an update does not change a node's maximum.
+func TestPassiveUpdateStopsPropagation(t *testing.T) {
+	a := ndarray.New[int64](27)
+	for i := range a.Data() {
+		a.Data()[i] = int64(i)
+	}
+	tr := Build(a, 3)
+	// Increase a non-max cell of the first block without beating the block
+	// max (cell 2 holds 2; block max is 2... use block 0's cells 0..2 where
+	// max is 2; update cell 0 from 0 to 1: passive).
+	stats := tr.BatchUpdate([]PointUpdate[int64]{{Coords: []int{0}, Value: 1}}, nil)
+	if stats.Propagated != 0 {
+		t.Fatalf("passive update propagated %d points, want 0", stats.Propagated)
+	}
+	if stats.Touched != 1 {
+		t.Fatalf("touched %d blocks, want 1", stats.Touched)
+	}
+	checkInvariants(t, tr)
+}

@@ -1,0 +1,207 @@
+// Package prefixsum implements the paper's basic range-sum algorithm (§3):
+// a d-dimensional prefix-sum array P of the same size as the data cube A,
+// built in dN steps, from which any range-sum is the inclusion–exclusion
+// combination of at most 2^d entries of P (Theorem 1) — constant time in
+// the query volume.
+//
+// The construction works for any invertible aggregation operator
+// (algebra.Group): SUM, COUNT, AVERAGE via (sum,count) pairs, XOR, and
+// multiplication over a zero-free domain.
+package prefixsum
+
+import (
+	"fmt"
+
+	"rangecube/internal/algebra"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// Array is the precomputed prefix-sum array P, where
+// P[x1,...,xd] = Sum(0:x1, ..., 0:xd) under the group G (Equation 1).
+// Once built it is independent of A; per §3.4 the original cube may be
+// discarded, with cells reconstructed by volume-1 range queries.
+type Array[T any, G algebra.Group[T]] struct {
+	p *ndarray.Array[T]
+	g G
+}
+
+// IntArray is the prefix-sum array for the paper's canonical int64 SUM.
+type IntArray = Array[int64, algebra.IntSum]
+
+// BuildInt builds an IntArray; it is the common entry point for SUM cubes.
+func BuildInt(a *ndarray.Array[int64]) *IntArray {
+	return Build[int64, algebra.IntSum](a)
+}
+
+// Build computes P from A with the §3.3 algorithm: d phases, each a
+// one-dimensional prefix pass along one dimension, visiting P in storage
+// (row-major) order so each page would be touched at most twice per phase.
+// A is not modified.
+func Build[T any, G algebra.Group[T]](a *ndarray.Array[T]) *Array[T, G] {
+	ps := &Array[T, G]{p: a.Clone()}
+	ps.recompute()
+	return ps
+}
+
+// Wrap prefix-sums raw in place and wraps it; unlike Build it does not copy.
+// The blocked layer (§4.3) uses it to turn a block-contracted array into a
+// blocked prefix-sum array without an extra buffer.
+func Wrap[T any, G algebra.Group[T]](raw *ndarray.Array[T]) *Array[T, G] {
+	ps := &Array[T, G]{p: raw}
+	ps.recompute()
+	return ps
+}
+
+// FromPrecomputed wraps an array whose entries are already prefix sums.
+func FromPrecomputed[T any, G algebra.Group[T]](p *ndarray.Array[T]) *Array[T, G] {
+	return &Array[T, G]{p: p}
+}
+
+// recompute re-runs the d prefix passes in place; p must currently hold raw
+// cube values.
+func (ps *Array[T, G]) recompute() {
+	p := ps.p
+	data := p.Data()
+	shape := p.Shape()
+	strides := p.Strides()
+	coords := make([]int, p.Dims())
+	for j := 0; j < p.Dims(); j++ {
+		for i := range coords {
+			coords[i] = 0
+		}
+		stride := strides[j]
+		for off := range data {
+			if coords[j] > 0 {
+				data[off] = ps.g.Combine(data[off], data[off-stride])
+			}
+			incr(coords, shape)
+		}
+	}
+}
+
+func incr(coords, shape []int) {
+	for i := len(coords) - 1; i >= 0; i-- {
+		coords[i]++
+		if coords[i] < shape[i] {
+			return
+		}
+		coords[i] = 0
+	}
+}
+
+// P exposes the underlying prefix-sum array (read-only by convention);
+// tests and the blocked/batch layers use it.
+func (ps *Array[T, G]) P() *ndarray.Array[T] { return ps.p }
+
+// Dims returns the cube dimensionality d.
+func (ps *Array[T, G]) Dims() int { return ps.p.Dims() }
+
+// Shape returns the cube extents.
+func (ps *Array[T, G]) Shape() []int { return ps.p.Shape() }
+
+// Size returns N, the number of cells (and of precomputed prefix sums).
+func (ps *Array[T, G]) Size() int { return ps.p.Size() }
+
+// Sum answers Sum(ℓ1:h1, ..., ℓd:hd) by Theorem 1: the signed combination
+// of the up-to-2^d entries P[x1,...,xd] with each xj ∈ {ℓj−1, hj}, where a
+// term with any xj = −1 is zero and is skipped. The cost is at most 2^d
+// auxiliary accesses and 2^d − 1 combining steps, independent of the query
+// volume. The region must lie within the cube bounds; an empty region
+// yields the group identity.
+func (ps *Array[T, G]) Sum(r ndarray.Region, c *metrics.Counter) T {
+	d := ps.p.Dims()
+	if len(r) != d {
+		panic(fmt.Sprintf("prefixsum: query of dimension %d against cube of dimension %d", len(r), d))
+	}
+	if r.Empty() {
+		return ps.g.Identity()
+	}
+	shape := ps.p.Shape()
+	for j, rng := range r {
+		if rng.Lo < 0 || rng.Hi >= shape[j] {
+			panic(fmt.Sprintf("prefixsum: query %v out of bounds for shape %v", r, shape))
+		}
+	}
+	strides := ps.p.Strides()
+	data := ps.p.Data()
+	total := ps.g.Identity()
+	// Each corner is a bitmask: bit j set means xj = hj (sign +1),
+	// clear means xj = ℓj−1 (sign −1).
+	for mask := 0; mask < 1<<d; mask++ {
+		off := 0
+		neg := false
+		skip := false
+		for j := 0; j < d; j++ {
+			if mask&(1<<j) != 0 {
+				off += r[j].Hi * strides[j]
+			} else {
+				if r[j].Lo == 0 {
+					skip = true // P[..., -1, ...] = 0 by convention
+					break
+				}
+				off += (r[j].Lo - 1) * strides[j]
+				neg = !neg
+			}
+		}
+		if skip {
+			continue
+		}
+		c.AddAux(1)
+		if mask != 1<<d-1 { // the all-hj corner is the first term, no combine
+			c.AddSteps(1)
+		}
+		if neg {
+			total = ps.g.Inverse(total, data[off])
+		} else {
+			total = ps.g.Combine(total, data[off])
+		}
+	}
+	return total
+}
+
+// Cell reconstructs a single cube cell as the volume-1 range-sum
+// Sum(x1:x1, ..., xd:xd) (§3.4), allowing A to be discarded after Build.
+func (ps *Array[T, G]) Cell(coords []int, c *metrics.Counter) T {
+	r := make(ndarray.Region, len(coords))
+	for i, x := range coords {
+		r[i] = ndarray.Range{Lo: x, Hi: x}
+	}
+	return ps.Sum(r, c)
+}
+
+// ApplyPoint applies a single value-to-add delta at coords: every
+// P[y1,...,yd] with yj ≥ xj for all j absorbs delta. This is the O(N)
+// worst-case single-update path that motivates the batch-update algorithm
+// of §5 (package batchsum).
+func (ps *Array[T, G]) ApplyPoint(coords []int, delta T, c *metrics.Counter) {
+	d := ps.p.Dims()
+	if len(coords) != d {
+		panic("prefixsum: update point dimensionality mismatch")
+	}
+	r := make(ndarray.Region, d)
+	for j, x := range coords {
+		if x < 0 || x >= ps.p.Shape()[j] {
+			panic(fmt.Sprintf("prefixsum: update point %v out of bounds for shape %v", coords, ps.p.Shape()))
+		}
+		r[j] = ndarray.Range{Lo: x, Hi: ps.p.Shape()[j] - 1}
+	}
+	data := ps.p.Data()
+	ndarray.ForEachOffset(ps.p, r, func(off int) {
+		data[off] = ps.g.Combine(data[off], delta)
+		c.AddAux(1)
+		c.AddSteps(1)
+	})
+}
+
+// AddRegion combines delta into every P entry of region r. It is the
+// primitive the §5 batch-update algorithm uses to apply one combined
+// value-to-add to one update-class region.
+func (ps *Array[T, G]) AddRegion(r ndarray.Region, delta T, c *metrics.Counter) {
+	data := ps.p.Data()
+	ndarray.ForEachOffset(ps.p, r, func(off int) {
+		data[off] = ps.g.Combine(data[off], delta)
+		c.AddAux(1)
+		c.AddSteps(1)
+	})
+}

@@ -1,0 +1,306 @@
+package prefixsum
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rangecube/internal/algebra"
+	"rangecube/internal/metrics"
+	"rangecube/internal/naive"
+	"rangecube/internal/ndarray"
+)
+
+// figure1A is the paper's Figure 1 array A (3 rows × 6 columns).
+func figure1A() *ndarray.Array[int64] {
+	return ndarray.FromSlice([]int64{
+		3, 5, 1, 2, 2, 3,
+		7, 3, 2, 6, 8, 2,
+		2, 4, 2, 3, 3, 5,
+	}, 3, 6)
+}
+
+// figure1P is the paper's Figure 1 prefix-sum array P.
+var figure1P = []int64{
+	3, 8, 9, 11, 13, 16,
+	10, 18, 21, 29, 39, 44,
+	12, 24, 29, 40, 53, 63,
+}
+
+func TestBuildMatchesPaperFigure1(t *testing.T) {
+	ps := BuildInt(figure1A())
+	for off, want := range figure1P {
+		if got := ps.P().Data()[off]; got != want {
+			t.Fatalf("P[%d] = %d, want %d (Figure 1)", off, got, want)
+		}
+	}
+}
+
+func TestSumMatchesPaperExample(t *testing.T) {
+	ps := BuildInt(figure1A())
+	// The paper's Sum(2:3, 1:2) = P[3,2]−P[3,0]−P[1,2]+P[1,0] = 13, with the
+	// paper indexing (x=column, y=row); in (row, col) order that is rows
+	// 1..2, cols 2..3.
+	var c metrics.Counter
+	got := ps.Sum(ndarray.Reg(1, 2, 2, 3), &c)
+	if got != 13 {
+		t.Fatalf("Sum = %d, want 13", got)
+	}
+	if c.Aux != 4 {
+		t.Fatalf("2-d interior query accessed %d P entries, want 4", c.Aux)
+	}
+	if c.Steps != 3 {
+		t.Fatalf("2-d interior query took %d steps, want 2^d−1 = 3", c.Steps)
+	}
+}
+
+func TestSumCornerTermsSkipped(t *testing.T) {
+	ps := BuildInt(figure1A())
+	var c metrics.Counter
+	// Query anchored at the origin needs only the single P[h1,h2] term.
+	got := ps.Sum(ndarray.Reg(0, 1, 0, 2), &c)
+	if got != 21 {
+		t.Fatalf("Sum = %d, want 21 (= P[1,2] in Figure 1)", got)
+	}
+	if c.Aux != 1 {
+		t.Fatalf("origin-anchored query accessed %d P entries, want 1", c.Aux)
+	}
+}
+
+func TestSumWholeCube(t *testing.T) {
+	ps := BuildInt(figure1A())
+	if got := ps.Sum(ps.P().Bounds(), nil); got != 63 {
+		t.Fatalf("whole-cube sum = %d, want 63", got)
+	}
+}
+
+func TestSumEmptyRegion(t *testing.T) {
+	ps := BuildInt(figure1A())
+	if got := ps.Sum(ndarray.Reg(1, 0, 0, 5), nil); got != 0 {
+		t.Fatalf("empty sum = %d, want 0", got)
+	}
+}
+
+func TestSumPanicsOutOfBounds(t *testing.T) {
+	ps := BuildInt(figure1A())
+	for _, r := range []ndarray.Region{ndarray.Reg(0, 3, 0, 5), ndarray.Reg(-1, 2, 0, 5), ndarray.Reg(0, 2)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sum(%v) did not panic", r)
+				}
+			}()
+			ps.Sum(r, nil)
+		}()
+	}
+}
+
+func TestCellReconstruction(t *testing.T) {
+	a := figure1A()
+	ps := BuildInt(a)
+	// §3.4: A can be discarded; every cell is a volume-1 range-sum.
+	a.Bounds().ForEach(func(c []int) {
+		if got := ps.Cell(c, nil); got != a.At(c...) {
+			t.Fatalf("Cell(%v) = %d, want %d", c, got, a.At(c...))
+		}
+	})
+}
+
+func randomCube(rng *rand.Rand, maxDims, maxExtent int) *ndarray.Array[int64] {
+	d := 1 + rng.Intn(maxDims)
+	shape := make([]int, d)
+	for i := range shape {
+		shape[i] = 2 + rng.Intn(maxExtent-1)
+	}
+	a := ndarray.New[int64](shape...)
+	a.Fill(func([]int) int64 { return int64(rng.Intn(201) - 100) })
+	return a
+}
+
+func randomRegion(rng *rand.Rand, shape []int) ndarray.Region {
+	r := make(ndarray.Region, len(shape))
+	for i, n := range shape {
+		lo := rng.Intn(n)
+		r[i] = ndarray.Range{Lo: lo, Hi: lo + rng.Intn(n-lo)}
+	}
+	return r
+}
+
+// Property (Theorem 1): prefix-sum answers equal naive scans for random
+// cubes of 1..4 dimensions and random in-bounds queries.
+func TestSumMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCube(rng, 4, 7)
+		ps := BuildInt(a)
+		for q := 0; q < 8; q++ {
+			r := randomRegion(rng, a.Shape())
+			if ps.Sum(r, nil) != naive.SumInt64(a, r, nil) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: query cost never exceeds 2^d auxiliary accesses regardless of
+// query volume — the paper's headline constant-time claim.
+func TestSumCostBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomCube(rng, 4, 9)
+		ps := BuildInt(a)
+		d := a.Dims()
+		for q := 0; q < 8; q++ {
+			var c metrics.Counter
+			ps.Sum(randomRegion(rng, a.Shape()), &c)
+			if c.Aux > int64(1)<<d || c.Steps > int64(1)<<d-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorGroupPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := ndarray.New[uint64](5, 4)
+	a.Fill(func([]int) uint64 { return rng.Uint64() })
+	ps := Build[uint64, algebra.Xor](a)
+	for q := 0; q < 50; q++ {
+		r := randomRegion(rng, a.Shape())
+		want := naive.Sum[uint64, algebra.Xor](a, r, nil)
+		if got := ps.Sum(r, nil); got != want {
+			t.Fatalf("xor Sum(%v) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestSumCountGroupPrefixGivesAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := ndarray.New[algebra.SumCount](4, 4, 3)
+	a.Fill(func([]int) algebra.SumCount {
+		return algebra.SumCount{Sum: float64(rng.Intn(100)), Count: 1}
+	})
+	ps := Build[algebra.SumCount, algebra.SumCountGroup](a)
+	r := ndarray.Reg(1, 3, 0, 2, 1, 2)
+	got := ps.Sum(r, nil)
+	want := naive.Sum[algebra.SumCount, algebra.SumCountGroup](a, r, nil)
+	if got != want {
+		t.Fatalf("SumCount Sum = %+v, want %+v", got, want)
+	}
+	if got.Count != int64(r.Volume()) {
+		t.Fatalf("Count = %d, want volume %d", got.Count, r.Volume())
+	}
+	if got.Average() != got.Sum/float64(got.Count) {
+		t.Fatal("Average inconsistent")
+	}
+}
+
+func TestApplyPointUpdatesPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomCube(rng, 3, 6)
+	ps := BuildInt(a)
+	// Apply a few point updates to both A and P, then re-verify P against a
+	// fresh build.
+	for u := 0; u < 5; u++ {
+		coords := make([]int, a.Dims())
+		for i, n := range a.Shape() {
+			coords[i] = rng.Intn(n)
+		}
+		delta := int64(rng.Intn(41) - 20)
+		a.Set(a.At(coords...)+delta, coords...)
+		ps.ApplyPoint(coords, delta, nil)
+	}
+	fresh := BuildInt(a)
+	for off, want := range fresh.P().Data() {
+		if got := ps.P().Data()[off]; got != want {
+			t.Fatalf("after point updates P[%d] = %d, want %d", off, got, want)
+		}
+	}
+}
+
+func TestApplyPointWorstCaseCost(t *testing.T) {
+	a := ndarray.New[int64](4, 4)
+	ps := BuildInt(a)
+	var c metrics.Counter
+	// §5.1: updating A[0,...,0] touches every P entry — the O(N) worst case.
+	ps.ApplyPoint([]int{0, 0}, 1, &c)
+	if c.Aux != int64(a.Size()) {
+		t.Fatalf("origin update touched %d entries, want N = %d", c.Aux, a.Size())
+	}
+}
+
+func TestApplyPointPanics(t *testing.T) {
+	ps := BuildInt(figure1A())
+	for _, coords := range [][]int{{0}, {3, 0}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ApplyPoint(%v) did not panic", coords)
+				}
+			}()
+			ps.ApplyPoint(coords, 1, nil)
+		}()
+	}
+}
+
+func TestOneDimensional(t *testing.T) {
+	a := ndarray.FromSlice([]int64{4, -1, 7, 0, 3}, 5)
+	ps := BuildInt(a)
+	if got := ps.Sum(ndarray.Reg(1, 3), nil); got != 6 {
+		t.Fatalf("1-d Sum(1:3) = %d, want 6", got)
+	}
+	if got := ps.Sum(ndarray.Reg(0, 0), nil); got != 4 {
+		t.Fatalf("1-d Sum(0:0) = %d, want 4", got)
+	}
+}
+
+func TestWrapAndFromPrecomputed(t *testing.T) {
+	a := figure1A()
+	// Wrap prefix-sums in place (no copy).
+	raw := a.Clone()
+	ps := Wrap[int64, algebra.IntSum](raw)
+	for off, want := range figure1P {
+		if raw.Data()[off] != want {
+			t.Fatalf("Wrap did not prefix-sum in place at %d", off)
+		}
+	}
+	if got := ps.Sum(ndarray.Reg(1, 2, 2, 3), nil); got != 13 {
+		t.Fatalf("wrapped Sum = %d", got)
+	}
+	// FromPrecomputed wraps an existing P without touching it.
+	ps2 := FromPrecomputed[int64, algebra.IntSum](ps.P())
+	if got := ps2.Sum(ndarray.Reg(1, 2, 2, 3), nil); got != 13 {
+		t.Fatalf("precomputed Sum = %d", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	ps := BuildInt(figure1A())
+	if ps.Dims() != 2 || ps.Size() != 18 {
+		t.Fatalf("Dims=%d Size=%d", ps.Dims(), ps.Size())
+	}
+	if s := ps.Shape(); s[0] != 3 || s[1] != 6 {
+		t.Fatalf("Shape = %v", s)
+	}
+}
+
+func TestAddRegion(t *testing.T) {
+	ps := BuildInt(figure1A())
+	var c metrics.Counter
+	ps.AddRegion(ndarray.Reg(1, 2, 3, 5), 10, &c)
+	if c.Aux != 6 {
+		t.Fatalf("AddRegion touched %d entries, want 6", c.Aux)
+	}
+	// Equivalent to a point update at (1,3): query through Theorem 1.
+	if got := ps.Sum(ndarray.Reg(0, 2, 0, 5), nil); got != 73 {
+		t.Fatalf("total after AddRegion = %d, want 73", got)
+	}
+}

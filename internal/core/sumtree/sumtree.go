@@ -1,0 +1,302 @@
+// Package sumtree implements the hierarchical-tree range-sum structure the
+// paper analyzes — and rejects — in §8: the same balanced b^d-ary tree used
+// for range-max, but storing region sums, answering a range query by adding
+// and subtracting node values that collectively cover the query region.
+//
+// Unlike range-max, the branch-and-bound pruning does not apply to SUM, so
+// every boundary node on the query surface must be visited at every level:
+// the cost is about F(b)·Σ_{k=0}^{t−1} S/b^{k(d−1)} versus 2^d + S·F(b) for
+// the blocked prefix sum with the same space (§8, Figure 11). This package
+// exists as the measured baseline for that comparison.
+package sumtree
+
+import (
+	"fmt"
+
+	"rangecube/internal/algebra"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// Tree stores one sum per node of a b^d-ary hierarchy over the cube.
+type Tree[T any, G algebra.Group[T]] struct {
+	a      *ndarray.Array[T]
+	b      int
+	g      G
+	levels []*ndarray.Array[T]
+}
+
+// IntTree is the tree for the canonical int64 SUM.
+type IntTree = Tree[int64, algebra.IntSum]
+
+// BuildInt builds an IntTree with per-dimension fanout b.
+func BuildInt(a *ndarray.Array[int64], b int) *IntTree {
+	return Build[int64, algebra.IntSum](a, b)
+}
+
+// Build constructs the tree bottom-up; level i holds the block sums of
+// level i−1, so the total auxiliary space is Σ_i N/b^{id} < N/(b^d−1).
+func Build[T any, G algebra.Group[T]](a *ndarray.Array[T], b int) *Tree[T, G] {
+	if b < 2 {
+		panic(fmt.Sprintf("sumtree: fanout %d < 2", b))
+	}
+	t := &Tree[T, G]{a: a, b: b}
+	prev := a
+	for {
+		done := true
+		for _, n := range prev.Shape() {
+			if n > 1 {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		cur := t.contract(prev)
+		t.levels = append(t.levels, cur)
+		prev = cur
+	}
+	return t
+}
+
+func (t *Tree[T, G]) contract(prev *ndarray.Array[T]) *ndarray.Array[T] {
+	shape := prev.Shape()
+	nshape := make([]int, len(shape))
+	for i, n := range shape {
+		nshape[i] = (n + t.b - 1) / t.b
+	}
+	cur := ndarray.New[T](nshape...)
+	for i := range cur.Data() {
+		cur.Data()[i] = t.g.Identity()
+	}
+	strides := cur.Strides()
+	coords := make([]int, len(shape))
+	for off, v := range prev.Data() {
+		poff := 0
+		for j, c := range coords {
+			poff += (c / t.b) * strides[j]
+		}
+		cur.Data()[poff] = t.g.Combine(cur.Data()[poff], v)
+		_ = off
+		incrOdo(coords, shape)
+	}
+	return cur
+}
+
+func incrOdo(coords, shape []int) {
+	for i := len(coords) - 1; i >= 0; i-- {
+		coords[i]++
+		if coords[i] < shape[i] {
+			return
+		}
+		coords[i] = 0
+	}
+}
+
+// Cube returns the underlying data cube.
+func (t *Tree[T, G]) Cube() *ndarray.Array[T] { return t.a }
+
+// Height returns the number of non-leaf levels.
+func (t *Tree[T, G]) Height() int { return len(t.levels) }
+
+// Nodes returns the total number of stored node sums.
+func (t *Tree[T, G]) Nodes() int {
+	n := 0
+	for _, lv := range t.levels {
+		n += lv.Size()
+	}
+	return n
+}
+
+// pow returns b^i.
+func (t *Tree[T, G]) pow(i int) int {
+	p := 1
+	for ; i > 0; i-- {
+		p *= t.b
+	}
+	return p
+}
+
+// Sum answers a range-sum query by descending the tree from the lowest
+// covering node: fully contained child subtrees contribute their stored
+// sums; boundary children are either recursed into or, at the leaf level,
+// answered by the cheaper of direct scan and block-sum-minus-complement
+// (the subtraction the §8 cost model grants the tree for fairness).
+func (t *Tree[T, G]) Sum(r ndarray.Region, c *metrics.Counter) T {
+	d := t.a.Dims()
+	if len(r) != d {
+		panic(fmt.Sprintf("sumtree: query of dimension %d against cube of dimension %d", len(r), d))
+	}
+	if r.Empty() {
+		return t.g.Identity()
+	}
+	shape := t.a.Shape()
+	for j, rng := range r {
+		if rng.Lo < 0 || rng.Hi >= shape[j] {
+			panic(fmt.Sprintf("sumtree: query %v out of bounds for shape %v", r, shape))
+		}
+	}
+	// Find the lowest covering node, as in the max tree.
+	lvl := 0
+	side := 1
+	for {
+		same := true
+		for j := range r {
+			if r[j].Lo/side != r[j].Hi/side {
+				same = false
+				break
+			}
+		}
+		if same {
+			break
+		}
+		lvl++
+		side *= t.b
+	}
+	if lvl == 0 {
+		off := 0
+		for j := range r {
+			off += r[j].Lo * t.a.Strides()[j]
+		}
+		c.AddCells(1)
+		return t.a.Data()[off]
+	}
+	node := make([]int, d)
+	for j := range r {
+		node[j] = r[j].Lo / side
+	}
+	// If the query region is exactly the covering node's region, its stored
+	// sum answers the query outright.
+	if t.cover(lvl, node).Equal(r) {
+		c.AddAux(1)
+		return t.levels[lvl-1].At(node...)
+	}
+	return t.descend(lvl, node, r, c)
+}
+
+// cover returns the cube region covered by the node at the given level.
+func (t *Tree[T, G]) cover(levelIdx int, node []int) ndarray.Region {
+	side := t.pow(levelIdx)
+	r := make(ndarray.Region, len(node))
+	for j, k := range node {
+		lo := k * side
+		hi := lo + side - 1
+		if n := t.a.Shape()[j]; hi >= n {
+			hi = n - 1
+		}
+		r[j] = ndarray.Range{Lo: lo, Hi: hi}
+	}
+	return r
+}
+
+// descend sums the part of R covered by the node at levelIdx.
+func (t *Tree[T, G]) descend(levelIdx int, node []int, r ndarray.Region, c *metrics.Counter) T {
+	d := len(node)
+	childLevel := levelIdx - 1
+	var childShape []int
+	if childLevel == 0 {
+		childShape = t.a.Shape()
+	} else {
+		childShape = t.levels[childLevel-1].Shape()
+	}
+	childRange := make(ndarray.Region, d)
+	for j, k := range node {
+		lo := k * t.b
+		hi := lo + t.b - 1
+		if hi >= childShape[j] {
+			hi = childShape[j] - 1
+		}
+		childRange[j] = ndarray.Range{Lo: lo, Hi: hi}
+	}
+	total := t.g.Identity()
+	if childLevel == 0 {
+		// Leaf block: choose between scanning the intersection and the
+		// stored block sum minus the complement scan.
+		inter := childRange.Intersect(r)
+		cover := childRange // cover region of the node in cube coordinates
+		volI, volC := inter.Volume(), cover.Volume()
+		if volI <= volC-volI {
+			data := t.a.Data()
+			ndarray.ForEachOffset(t.a, inter, func(off int) {
+				total = t.g.Combine(total, data[off])
+				c.AddCells(1)
+				c.AddSteps(1)
+			})
+			return total
+		}
+		c.AddAux(1)
+		total = t.levels[0].At(node...)
+		t.forEachComplementSlab(cover, inter, func(slab ndarray.Region) {
+			data := t.a.Data()
+			ndarray.ForEachOffset(t.a, slab, func(off int) {
+				total = t.g.Inverse(total, data[off])
+				c.AddCells(1)
+				c.AddSteps(1)
+			})
+		})
+		return total
+	}
+	lv := t.levels[childLevel-1]
+	side := t.pow(childLevel)
+	childRange.ForEach(func(k []int) {
+		cov := make(ndarray.Region, d)
+		internal := true
+		external := false
+		for j, kj := range k {
+			lo := kj * side
+			hi := lo + side - 1
+			if n := t.a.Shape()[j]; hi >= n {
+				hi = n - 1
+			}
+			cov[j] = ndarray.Range{Lo: lo, Hi: hi}
+			if lo < r[j].Lo || hi > r[j].Hi {
+				internal = false
+			}
+			if hi < r[j].Lo || lo > r[j].Hi {
+				external = true
+			}
+		}
+		if external {
+			return
+		}
+		if internal {
+			c.AddAux(1)
+			c.AddSteps(1)
+			total = t.g.Combine(total, lv.At(k...))
+			return
+		}
+		kk := append([]int(nil), k...)
+		total = t.g.Combine(total, t.descend(childLevel, kk, cov.Intersect(r), c))
+		c.AddSteps(1)
+	})
+	return total
+}
+
+// forEachComplementSlab visits cover∖inter as disjoint rectangular slabs,
+// mirroring the blocked algorithm's complement decomposition.
+func (t *Tree[T, G]) forEachComplementSlab(cover, inter ndarray.Region, visit func(ndarray.Region)) {
+	d := len(inter)
+	slab := make(ndarray.Region, d)
+	for j := 0; j < d; j++ {
+		gaps := [2]ndarray.Range{
+			{Lo: cover[j].Lo, Hi: inter[j].Lo - 1},
+			{Lo: inter[j].Hi + 1, Hi: cover[j].Hi},
+		}
+		for _, gap := range gaps {
+			if gap.Empty() {
+				continue
+			}
+			for i := 0; i < j; i++ {
+				slab[i] = inter[i]
+			}
+			slab[j] = gap
+			for i := j + 1; i < d; i++ {
+				slab[i] = cover[i]
+			}
+			if !slab.Empty() {
+				visit(slab.Clone())
+			}
+		}
+	}
+}

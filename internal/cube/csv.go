@@ -1,0 +1,142 @@
+package cube
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// InferCSV reads CSV data with a header row, infers a dimension per column
+// (a contiguous integer domain when every value parses as an int, an
+// ordered categorical domain otherwise), treats measureCol as the int64
+// measure, and loads every record into a fresh cube. This is the §2
+// attribute→rank mapping applied to raw records: integer attributes get
+// the simple offset function, categorical ones a lookup table.
+//
+// Column order in the header determines dimension order. The measure
+// column may appear anywhere. Returns the cube and the number of records
+// loaded.
+func InferCSV(r io.Reader, measureCol string) (*Cube, int, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, 0, fmt.Errorf("cube: reading CSV header: %w", err)
+	}
+	header = append([]string(nil), header...)
+	measureIdx := -1
+	for i, h := range header {
+		if h == measureCol {
+			measureIdx = i
+			break
+		}
+	}
+	if measureIdx < 0 {
+		return nil, 0, fmt.Errorf("cube: measure column %q not in header %v", measureCol, header)
+	}
+	if len(header) < 2 {
+		return nil, 0, fmt.Errorf("cube: need at least one dimension column besides the measure")
+	}
+
+	// Pass 1: buffer rows and profile each dimension column.
+	type profile struct {
+		allInt   bool
+		min, max int
+		distinct map[string]bool
+	}
+	profiles := make([]*profile, len(header))
+	for i := range profiles {
+		if i != measureIdx {
+			profiles[i] = &profile{allInt: true, distinct: make(map[string]bool)}
+		}
+	}
+	var rows [][]string
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("cube: reading CSV: %w", err)
+		}
+		line++
+		if len(rec) != len(header) {
+			return nil, 0, fmt.Errorf("cube: line %d has %d fields, want %d", line, len(rec), len(header))
+		}
+		row := append([]string(nil), rec...)
+		rows = append(rows, row)
+		for i, p := range profiles {
+			if p == nil {
+				continue
+			}
+			v := row[i]
+			if p.allInt {
+				if n, err := strconv.Atoi(v); err == nil {
+					if len(p.distinct) == 0 || n < p.min {
+						p.min = n
+					}
+					if len(p.distinct) == 0 || n > p.max {
+						p.max = n
+					}
+				} else {
+					p.allInt = false
+				}
+			}
+			p.distinct[v] = true
+		}
+	}
+	if len(rows) == 0 {
+		return nil, 0, fmt.Errorf("cube: no records")
+	}
+
+	// Build dimensions. Integer domains that would be enormously sparse
+	// (range much larger than the distinct count) fall back to categorical
+	// to keep the dense array sensible.
+	dims := make([]*Dimension, 0, len(header)-1)
+	dimCols := make([]int, 0, len(header)-1)
+	for i, p := range profiles {
+		if p == nil {
+			continue
+		}
+		name := header[i]
+		if p.allInt && p.max-p.min+1 <= 16*len(p.distinct)+64 {
+			dims = append(dims, NewIntDimension(name, p.min, p.max))
+		} else {
+			values := make([]string, 0, len(p.distinct))
+			for v := range p.distinct {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			dims = append(dims, NewCategoryDimension(name, values...))
+		}
+		dimCols = append(dimCols, i)
+	}
+
+	// Pass 2: load.
+	c := New(dims...)
+	values := make([]any, len(dims))
+	for rowIdx, row := range rows {
+		measure, err := strconv.ParseInt(row[measureIdx], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("cube: record %d: measure %q is not an integer", rowIdx+1, row[measureIdx])
+		}
+		for k, col := range dimCols {
+			if c.dims[k].index == nil {
+				n, err := strconv.Atoi(row[col])
+				if err != nil {
+					return nil, 0, fmt.Errorf("cube: record %d: %q not an integer for %q", rowIdx+1, row[col], header[col])
+				}
+				values[k] = n
+			} else {
+				values[k] = row[col]
+			}
+		}
+		if err := c.Add(measure, values...); err != nil {
+			return nil, 0, fmt.Errorf("cube: record %d: %w", rowIdx+1, err)
+		}
+	}
+	return c, len(rows), nil
+}

@@ -1,0 +1,84 @@
+package cube
+
+import (
+	"strings"
+	"testing"
+
+	"rangecube/internal/naive"
+)
+
+const sampleCSV = `age,year,state,type,revenue
+40,1990,CA,auto,100
+40,1990,CA,auto,250
+37,1988,NY,auto,75
+52,1996,TX,auto,30
+20,1987,AZ,home,999
+60,1992,CA,health,45
+`
+
+func TestInferCSV(t *testing.T) {
+	c, n, err := InferCSV(strings.NewReader(sampleCSV), "revenue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 6 {
+		t.Fatalf("loaded %d records, want 6", n)
+	}
+	if c.Dims() != 4 {
+		t.Fatalf("Dims = %d, want 4", c.Dims())
+	}
+	// age and year inferred as integer domains over their observed ranges.
+	if c.Dimension(0).Name() != "age" || c.Dimension(0).Size() != 60-20+1 {
+		t.Fatalf("age dimension: %q size %d", c.Dimension(0).Name(), c.Dimension(0).Size())
+	}
+	if c.Dimension(1).Size() != 1996-1987+1 {
+		t.Fatalf("year size = %d", c.Dimension(1).Size())
+	}
+	// state and type inferred as sorted categories.
+	if c.Dimension(2).Size() != 4 || c.Dimension(2).ValueAt(0) != "AZ" {
+		t.Fatalf("state dimension wrong: size %d first %q", c.Dimension(2).Size(), c.Dimension(2).ValueAt(0))
+	}
+	// Aggregation happened.
+	r, err := c.Region(Eq("age", 40), Eq("year", 1990), Eq("state", "CA"), Eq("type", "auto"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := naive.SumInt64(c.Data(), r, nil); got != 350 {
+		t.Fatalf("aggregated cell = %d, want 350", got)
+	}
+	total := naive.SumInt64(c.Data(), c.Data().Bounds(), nil)
+	if total != 1499 {
+		t.Fatalf("total = %d, want 1499", total)
+	}
+}
+
+func TestInferCSVSparseIntFallsBackToCategorical(t *testing.T) {
+	// An "id"-like integer column with a huge range must not allocate a
+	// huge dense dimension.
+	data := `id,flag,measure
+1,a,10
+1000000,b,20
+`
+	c, _, err := InferCSV(strings.NewReader(data), "measure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Dimension(0).Size() != 2 {
+		t.Fatalf("id dimension size = %d, want 2 (categorical fallback)", c.Dimension(0).Size())
+	}
+}
+
+func TestInferCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing measure": "a,b\n1,2\n",
+		"no dimensions":   "m\n1\n",
+		"no records":      "a,m\n",
+		"ragged row":      "a,m\n1,2,3\n",
+		"bad measure":     "a,m\n1,xyz\n",
+	}
+	for name, data := range cases {
+		if _, _, err := InferCSV(strings.NewReader(data), "m"); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}

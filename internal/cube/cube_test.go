@@ -1,0 +1,194 @@
+package cube
+
+import (
+	"testing"
+
+	"rangecube/internal/naive"
+	"rangecube/internal/ndarray"
+)
+
+// insuranceCube builds a miniature of the paper's §1 insurance example:
+// dimensions age, year, state, type with SUM(revenue) as the measure.
+func insuranceCube(t *testing.T) *Cube {
+	t.Helper()
+	c := New(
+		NewIntDimension("age", 1, 100),
+		NewIntDimension("year", 1987, 1996),
+		NewCategoryDimension("state", "AZ", "CA", "NY", "TX"),
+		NewCategoryDimension("type", "home", "auto", "health"),
+	)
+	records := []struct {
+		rev  int64
+		vals []any
+	}{
+		{100, []any{40, 1990, "CA", "auto"}},
+		{250, []any{40, 1990, "CA", "auto"}}, // same cell: aggregates
+		{75, []any{37, 1988, "NY", "auto"}},
+		{30, []any{52, 1996, "TX", "auto"}},
+		{999, []any{20, 1987, "AZ", "home"}},
+		{45, []any{60, 1992, "CA", "health"}},
+	}
+	for _, r := range records {
+		if err := c.Add(r.rev, r.vals...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestDimensionRanks(t *testing.T) {
+	age := NewIntDimension("age", 1, 100)
+	if age.Size() != 100 {
+		t.Fatalf("Size = %d", age.Size())
+	}
+	if r, err := age.Rank(37); err != nil || r != 36 {
+		t.Fatalf("Rank(37) = (%d,%v)", r, err)
+	}
+	if _, err := age.Rank(0); err == nil {
+		t.Fatal("Rank(0) should fail")
+	}
+	if _, err := age.Rank("x"); err == nil {
+		t.Fatal("string rank on int dimension should fail")
+	}
+	if age.ValueAt(36) != "37" {
+		t.Fatalf("ValueAt(36) = %q", age.ValueAt(36))
+	}
+
+	state := NewCategoryDimension("state", "AZ", "CA", "NY")
+	if r, err := state.Rank("CA"); err != nil || r != 1 {
+		t.Fatalf("Rank(CA) = (%d,%v)", r, err)
+	}
+	if _, err := state.Rank("ZZ"); err == nil {
+		t.Fatal("unknown category should fail")
+	}
+	if _, err := state.Rank(3); err == nil {
+		t.Fatal("int rank on categorical dimension should fail")
+	}
+	if state.ValueAt(2) != "NY" {
+		t.Fatalf("ValueAt(2) = %q", state.ValueAt(2))
+	}
+	if _, err := state.Rank(3.5); err == nil {
+		t.Fatal("float rank should fail")
+	}
+}
+
+func TestDimensionConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewIntDimension("x", 5, 4) },
+		func() { NewCategoryDimension("x") },
+		func() { NewCategoryDimension("x", "a", "a") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAddAggregates(t *testing.T) {
+	c := insuranceCube(t)
+	r, err := c.Region(Eq("age", 40), Eq("year", 1990), Eq("state", "CA"), Eq("type", "auto"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := naive.SumInt64(c.Data(), r, nil); got != 350 {
+		t.Fatalf("aggregated cell = %d, want 350", got)
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	c := insuranceCube(t)
+	if err := c.Add(1, 40, 1990, "CA"); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := c.Add(1, 400, 1990, "CA", "auto"); err == nil {
+		t.Fatal("out-of-domain age accepted")
+	}
+}
+
+// The paper's §1 example query: revenue from ages 37–52, years 1988–1996,
+// all states, auto insurance.
+func TestPaperIntroQuery(t *testing.T) {
+	c := insuranceCube(t)
+	r, err := c.Region(
+		Between("age", 37, 52),
+		Between("year", 1988, 1996),
+		All("state"),
+		Eq("type", "auto"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ndarray.Region{
+		{Lo: 36, Hi: 51}, // ages 37..52
+		{Lo: 1, Hi: 9},   // years 1988..1996
+		{Lo: 0, Hi: 3},   // all states
+		{Lo: 1, Hi: 1},   // auto
+	}
+	if !r.Equal(want) {
+		t.Fatalf("Region = %v, want %v", r, want)
+	}
+	// 100+250 (CA 1990) + 75 (NY 1988) + 30 (TX 1996) = 455.
+	if got := naive.SumInt64(c.Data(), r, nil); got != 455 {
+		t.Fatalf("intro query sum = %d, want 455", got)
+	}
+}
+
+func TestRegionDefaultsAndErrors(t *testing.T) {
+	c := insuranceCube(t)
+	r, err := c.Region()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(c.Data().Bounds()) {
+		t.Fatalf("default region = %v", r)
+	}
+	if _, err := c.Region(Eq("bogus", 1)); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+	if _, err := c.Region(Eq("age", 40), Eq("age", 41)); err == nil {
+		t.Fatal("double selection accepted")
+	}
+	if _, err := c.Region(Between("age", 52, 37)); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+	if _, err := c.Region(Between("age", 37, "x")); err == nil {
+		t.Fatal("mistyped bound accepted")
+	}
+}
+
+func TestCuboid(t *testing.T) {
+	c := insuranceCube(t)
+	// Group by (state, type): ages and years roll up to "all".
+	g, err := c.Cuboid("state", "type")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dims() != 2 {
+		t.Fatalf("cuboid dims = %d", g.Dims())
+	}
+	r, err := g.Region(Eq("state", "CA"), Eq("type", "auto"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := naive.SumInt64(g.Data(), r, nil); got != 350 {
+		t.Fatalf("CA/auto rollup = %d, want 350", got)
+	}
+	// Totals must be preserved.
+	if got := naive.SumInt64(g.Data(), g.Data().Bounds(), nil); got != 1499 {
+		t.Fatalf("cuboid total = %d, want 1499", got)
+	}
+	if _, err := c.Cuboid(); err == nil {
+		t.Fatal("empty cuboid accepted")
+	}
+	if _, err := c.Cuboid("nope"); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+	if _, err := c.Cuboid("state", "state"); err == nil {
+		t.Fatal("repeated dimension accepted")
+	}
+}

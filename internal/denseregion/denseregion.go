@@ -1,0 +1,195 @@
+// Package denseregion finds disjoint rectangular dense regions in a sparse
+// data cube, the preprocessing step of the paper's sparse-cube solution
+// (§10.2). The paper uses a modified decision-tree classifier (SPRINT)
+// where non-empty cells are one class and empty cells the other, with the
+// modification that empty cells are never materialized: their count in any
+// region is derived as volume − non-empty-count. This package reproduces
+// that approach as a recursive binary-split classifier: each node splits
+// the region along the dimension and position minimizing class impurity,
+// and recursion stops when a region is dense enough (emitted, clipped to
+// the bounding box of its points) or too thin (its points become outliers).
+package denseregion
+
+import (
+	"fmt"
+	"sort"
+
+	"rangecube/internal/ndarray"
+)
+
+// Point is one non-empty cell of the sparse cube.
+type Point struct {
+	Coords []int
+	Value  int64
+}
+
+// Params tunes the classifier.
+type Params struct {
+	// DenseThreshold is the minimum fill fraction (non-empty / volume) for
+	// a region to be emitted as dense. The default is 0.4, comfortably
+	// above the ~20% canonical overall sparsity the paper cites [Col96].
+	DenseThreshold float64
+	// MinPoints is the minimum number of points a dense region must hold;
+	// smaller clusters become outliers. Default 4.
+	MinPoints int
+	// MaxDepth bounds the recursion. Default 32.
+	MaxDepth int
+}
+
+func (p *Params) setDefaults() {
+	if p.DenseThreshold == 0 {
+		p.DenseThreshold = 0.4
+	}
+	if p.MinPoints == 0 {
+		p.MinPoints = 4
+	}
+	if p.MaxDepth == 0 {
+		p.MaxDepth = 32
+	}
+}
+
+// Result is the classifier output: disjoint rectangular dense regions and
+// the points not covered by any of them.
+type Result struct {
+	Dense    []ndarray.Region
+	Outliers []Point
+}
+
+// Find partitions the given points of a cube with the given shape.
+func Find(shape []int, points []Point, params Params) Result {
+	params.setDefaults()
+	for _, p := range points {
+		if len(p.Coords) != len(shape) {
+			panic(fmt.Sprintf("denseregion: point %v in cube of dimension %d", p.Coords, len(shape)))
+		}
+		for j, x := range p.Coords {
+			if x < 0 || x >= shape[j] {
+				panic(fmt.Sprintf("denseregion: point %v out of bounds for shape %v", p.Coords, shape))
+			}
+		}
+	}
+	full := make(ndarray.Region, len(shape))
+	for j, n := range shape {
+		full[j] = ndarray.Range{Lo: 0, Hi: n - 1}
+	}
+	var res Result
+	split(full, points, params, 0, &res)
+	return res
+}
+
+// bbox returns the bounding box of a non-empty point set.
+func bbox(points []Point) ndarray.Region {
+	r := make(ndarray.Region, len(points[0].Coords))
+	for j := range r {
+		r[j] = ndarray.Range{Lo: points[0].Coords[j], Hi: points[0].Coords[j]}
+	}
+	for _, p := range points[1:] {
+		for j, x := range p.Coords {
+			if x < r[j].Lo {
+				r[j].Lo = x
+			}
+			if x > r[j].Hi {
+				r[j].Hi = x
+			}
+		}
+	}
+	return r
+}
+
+// split recursively classifies region with the given points.
+func split(region ndarray.Region, points []Point, params Params, depth int, res *Result) {
+	if len(points) == 0 {
+		return
+	}
+	// Clip to the points' bounding box first: empty margins only dilute
+	// density and the clipped box is still rectangular and disjoint from
+	// sibling regions.
+	box := bbox(points)
+	vol := box.Volume()
+	density := float64(len(points)) / float64(vol)
+	if density >= params.DenseThreshold && len(points) >= params.MinPoints {
+		res.Dense = append(res.Dense, box)
+		return
+	}
+	if len(points) < params.MinPoints || depth >= params.MaxDepth {
+		res.Outliers = append(res.Outliers, points...)
+		return
+	}
+	// Choose the binary split minimizing weighted Gini impurity of the
+	// empty/non-empty classes; empty counts come from volume arithmetic,
+	// never from materialized empty cells (the paper's SPRINT change).
+	axis, cut, ok := bestSplit(box, points)
+	if !ok {
+		// No split separates anything (e.g. all points share coordinates
+		// in every splittable dimension): give up on clustering them.
+		res.Outliers = append(res.Outliers, points...)
+		return
+	}
+	var left, right []Point
+	for _, p := range points {
+		if p.Coords[axis] <= cut {
+			left = append(left, p)
+		} else {
+			right = append(right, p)
+		}
+	}
+	split(region, left, params, depth+1, res)
+	split(region, right, params, depth+1, res)
+}
+
+// bestSplit evaluates candidate cuts on every axis at the midpoints between
+// adjacent distinct point coordinates and returns the cut with minimal
+// weighted Gini impurity. ok is false when no axis has two distinct
+// coordinates.
+func bestSplit(box ndarray.Region, points []Point) (axis, cut int, ok bool) {
+	bestGini := 2.0
+	volAll := float64(box.Volume())
+	d := len(box)
+	coordsBuf := make([]int, 0, len(points))
+	for ax := 0; ax < d; ax++ {
+		if box[ax].Len() < 2 {
+			continue
+		}
+		coordsBuf = coordsBuf[:0]
+		for _, p := range points {
+			coordsBuf = append(coordsBuf, p.Coords[ax])
+		}
+		sort.Ints(coordsBuf)
+		sliceVol := volAll / float64(box[ax].Len()) // volume of one slice along ax
+		// Walk distinct coordinates; candidate cut after each distinct
+		// value except the last.
+		seen := 0
+		for i := 0; i < len(coordsBuf); {
+			v := coordsBuf[i]
+			j := i
+			for j < len(coordsBuf) && coordsBuf[j] == v {
+				j++
+			}
+			seen += j - i
+			i = j
+			if v >= box[ax].Hi {
+				break
+			}
+			// Split at cut = v: left slice lo..v, right v+1..hi.
+			nl := float64(seen)
+			nr := float64(len(points)) - nl
+			voll := sliceVol * float64(v-box[ax].Lo+1)
+			volr := volAll - voll
+			g := (voll*gini(nl, voll) + volr*gini(nr, volr)) / volAll
+			if g < bestGini {
+				bestGini, axis, cut, ok = g, ax, v, true
+			}
+		}
+	}
+	return axis, cut, ok
+}
+
+// gini returns the Gini impurity of a region with n non-empty cells out of
+// vol total: 1 − p² − (1−p)².
+func gini(n, vol float64) float64 {
+	if vol <= 0 {
+		return 0
+	}
+	p := n / vol
+	return 1 - p*p - (1-p)*(1-p)
+}

@@ -1,0 +1,233 @@
+package denseregion
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rangecube/internal/ndarray"
+)
+
+// clusterData fills a few boxes at high density plus uniform noise,
+// mimicking the paper's "dense sub-clusters typically exist" observation.
+func clusterData(rng *rand.Rand, shape []int, boxes []ndarray.Region, fill float64, noise int) []Point {
+	occupied := map[string]bool{}
+	var pts []Point
+	key := func(c []int) string {
+		b := make([]byte, 0, len(c)*3)
+		for _, x := range c {
+			b = append(b, byte(x), byte(x>>8), ',')
+		}
+		return string(b)
+	}
+	for _, box := range boxes {
+		box.ForEach(func(c []int) {
+			if rng.Float64() < fill && !occupied[key(c)] {
+				occupied[key(c)] = true
+				pts = append(pts, Point{Coords: append([]int(nil), c...), Value: rng.Int63n(1000)})
+			}
+		})
+	}
+	for i := 0; i < noise; i++ {
+		c := make([]int, len(shape))
+		for j, n := range shape {
+			c[j] = rng.Intn(n)
+		}
+		if !occupied[key(c)] {
+			occupied[key(c)] = true
+			pts = append(pts, Point{Coords: c, Value: rng.Int63n(1000)})
+		}
+	}
+	return pts
+}
+
+func TestFindSingleDenseBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shape := []int{100, 100}
+	box := ndarray.Reg(20, 39, 50, 69)
+	pts := clusterData(rng, shape, []ndarray.Region{box}, 0.95, 0)
+	res := Find(shape, pts, Params{})
+	if len(res.Dense) == 0 {
+		t.Fatal("no dense region found for a nearly full block")
+	}
+	// The found regions (usually one) must lie inside the cluster box and
+	// cover nearly all its points.
+	covered := 0
+	for _, p := range pts {
+		for _, r := range res.Dense {
+			if r.Contains(p.Coords) {
+				covered++
+				break
+			}
+		}
+	}
+	if covered+len(res.Outliers) != len(pts) {
+		t.Fatalf("covered %d + outliers %d != %d points", covered, len(res.Outliers), len(pts))
+	}
+	if float64(covered) < 0.9*float64(len(pts)) {
+		t.Fatalf("only %d/%d points in dense regions", covered, len(pts))
+	}
+	for _, r := range res.Dense {
+		if !box.ContainsRegion(r) {
+			t.Fatalf("dense region %v leaks outside the cluster %v", r, box)
+		}
+	}
+}
+
+func TestFindTwoClustersWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	shape := []int{200, 200}
+	boxes := []ndarray.Region{ndarray.Reg(10, 29, 10, 29), ndarray.Reg(150, 179, 100, 139)}
+	pts := clusterData(rng, shape, boxes, 0.9, 120)
+	res := Find(shape, pts, Params{})
+	// Each cluster must be hit by at least one dense region.
+	for bi, box := range boxes {
+		found := false
+		for _, r := range res.Dense {
+			if !r.Intersect(box).Empty() {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("cluster %d not found", bi)
+		}
+	}
+	// All dense regions satisfy the density threshold w.r.t. the points.
+	countIn := func(r ndarray.Region) int {
+		n := 0
+		for _, p := range pts {
+			if r.Contains(p.Coords) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, r := range res.Dense {
+		density := float64(countIn(r)) / float64(r.Volume())
+		if density < 0.4 {
+			t.Fatalf("region %v has density %.2f < threshold", r, density)
+		}
+	}
+}
+
+func TestFindDisjointAndComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		shape := make([]int, d)
+		for j := range shape {
+			shape[j] = 10 + rng.Intn(40)
+		}
+		// Random distinct points, some clustered in a random box.
+		box := make(ndarray.Region, d)
+		for j := range box {
+			lo := rng.Intn(shape[j] / 2)
+			box[j] = ndarray.Range{Lo: lo, Hi: lo + rng.Intn(shape[j]/2)}
+		}
+		pts := clusterData(rng, shape, []ndarray.Region{box}, 0.8, 5+rng.Intn(40))
+		if len(pts) == 0 {
+			return true
+		}
+		res := Find(shape, pts, Params{})
+		// Dense regions pairwise disjoint.
+		for i := range res.Dense {
+			for j := i + 1; j < len(res.Dense); j++ {
+				if !res.Dense[i].Intersect(res.Dense[j]).Empty() {
+					return false
+				}
+			}
+		}
+		// Every point is in exactly one dense region or is an outlier.
+		outliers := map[string]int{}
+		for _, p := range res.Outliers {
+			outliers[pointKey(p.Coords)]++
+		}
+		for _, p := range pts {
+			in := 0
+			for _, r := range res.Dense {
+				if r.Contains(p.Coords) {
+					in++
+				}
+			}
+			if in+outliers[pointKey(p.Coords)] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func pointKey(c []int) string {
+	b := make([]byte, 0, len(c)*3)
+	for _, x := range c {
+		b = append(b, byte(x), byte(x>>8), ',')
+	}
+	return string(b)
+}
+
+func TestUniformNoiseBecomesOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shape := []int{500, 500}
+	pts := clusterData(rng, shape, nil, 0, 100) // 0.04% density, no clusters
+	res := Find(shape, pts, Params{})
+	inDense := 0
+	for _, r := range res.Dense {
+		inDense += r.Volume()
+	}
+	// Whatever tiny boxes emerge must be genuinely dense; the bulk must be
+	// outliers.
+	if len(res.Outliers) < len(pts)/2 {
+		t.Fatalf("only %d/%d noise points classified as outliers", len(res.Outliers), len(pts))
+	}
+}
+
+func TestAllPointsIdentCoordinateColumn(t *testing.T) {
+	// Points stacked in a single column: splits on the degenerate axis are
+	// impossible; the column itself is a legitimate dense region.
+	var pts []Point
+	for y := 0; y < 10; y++ {
+		pts = append(pts, Point{Coords: []int{5, y}, Value: int64(y)})
+	}
+	res := Find([]int{10, 10}, pts, Params{})
+	if len(res.Dense) != 1 || !res.Dense[0].Equal(ndarray.Reg(5, 5, 0, 9)) {
+		t.Fatalf("Dense = %v, want the full column", res.Dense)
+	}
+}
+
+func TestTinyClusterBecomesOutliers(t *testing.T) {
+	pts := []Point{
+		{Coords: []int{0, 0}, Value: 1},
+		{Coords: []int{0, 1}, Value: 2},
+	}
+	res := Find([]int{50, 50}, pts, Params{MinPoints: 4})
+	if len(res.Dense) != 0 || len(res.Outliers) != 2 {
+		t.Fatalf("tiny cluster: dense=%v outliers=%d", res.Dense, len(res.Outliers))
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res := Find([]int{10}, nil, Params{})
+	if len(res.Dense) != 0 || len(res.Outliers) != 0 {
+		t.Fatal("empty input produced output")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for _, p := range []Point{
+		{Coords: []int{1}},
+		{Coords: []int{1, 10}},
+		{Coords: []int{-1, 0}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Find with point %v did not panic", p.Coords)
+				}
+			}()
+			Find([]int{10, 10}, []Point{p}, Params{})
+		}()
+	}
+}

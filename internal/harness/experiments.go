@@ -1,0 +1,416 @@
+package harness
+
+import (
+	"fmt"
+
+	"rangecube/internal/core/batchsum"
+	"rangecube/internal/core/blocked"
+	"rangecube/internal/core/chooser"
+	"rangecube/internal/core/costmodel"
+	"rangecube/internal/core/maxtree"
+	"rangecube/internal/core/prefixsum"
+	"rangecube/internal/core/sumtree"
+	"rangecube/internal/denseregion"
+	"rangecube/internal/metrics"
+	"rangecube/internal/naive"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/paging"
+	"rangecube/internal/sparse"
+	"rangecube/internal/workload"
+)
+
+// Figure1 reproduces the paper's Figure 1: the 3×6 example array A and its
+// prefix-sum array P, plus the worked query Sum(2:3, 1:2) = 13.
+func Figure1() Table {
+	a := ndarray.FromSlice([]int64{
+		3, 5, 1, 2, 2, 3,
+		7, 3, 2, 6, 8, 2,
+		2, 4, 2, 3, 3, 5,
+	}, 3, 6)
+	ps := prefixsum.BuildInt(a)
+	t := Table{
+		Title:   "Figure 1: example array A and prefix-sum array P",
+		Note:    "rows show A | P; query Sum over rows 1..2, cols 2..3 = P[2,3]-P[2,1]-P[0,3]+P[0,1] (paper's (x,y) order: Sum(2:3,1:2))",
+		Headers: []string{"row", "A", "P"},
+	}
+	for i := 0; i < 3; i++ {
+		t.Add(i,
+			fmt.Sprint(a.Data()[i*6:(i+1)*6]),
+			fmt.Sprint(ps.P().Data()[i*6:(i+1)*6]))
+	}
+	got := ps.Sum(ndarray.Reg(1, 2, 2, 3), nil)
+	t.Add("query", "Sum(2:3,1:2)", fmt.Sprintf("%d (paper: 13)", got))
+	return t
+}
+
+// Figure11 reproduces Figure 11: the analytic cost difference
+// (hierarchical tree − prefix sum) against α for the six (d, b) curves,
+// together with a measured column for the combinations small enough to
+// materialize: the measured gap is sumtree accesses − blocked prefix-sum
+// accesses on real structures with queries of side α·b.
+func Figure11(measure bool) Table {
+	t := Table{
+		Title:   "Figure 11: cost(hierarchical tree) − cost(prefix sum) vs alpha",
+		Note:    "analytic from §8 cost model; measured = mean accesses over 20 random side-(α·b) queries (— where the cube would be too large)",
+		Headers: []string{"d", "b", "alpha", "analytic", "lower-bound", "measured"},
+	}
+	type combo struct{ d, b int }
+	for _, cb := range []combo{{2, 10}, {2, 20}, {3, 10}, {3, 20}, {4, 10}, {4, 20}} {
+		for _, alpha := range []int{1, 2, 5, 10, 15, 20} {
+			analytic := costmodel.Figure11Difference(cb.d, cb.b, float64(alpha), 6)
+			lb := costmodel.Figure11LowerBound(cb.d, cb.b, float64(alpha))
+			measured := "-"
+			if measure {
+				if m, ok := measureFigure11(cb.d, cb.b, alpha); ok {
+					measured = fmt.Sprintf("%.1f", m)
+				}
+			}
+			t.Add(cb.d, cb.b, alpha, analytic, lb, measured)
+		}
+	}
+	return t
+}
+
+// measureFigure11 builds a cube of side 2·α·b in d dimensions (when that is
+// at most ~2M cells), a sumtree and a blocked prefix sum with the same b,
+// and returns the mean access-count gap over 20 queries of side α·b.
+func measureFigure11(d, b, alpha int) (float64, bool) {
+	side := 2 * alpha * b
+	n := 1
+	for i := 0; i < d; i++ {
+		n *= side
+		if n > 2_000_000 {
+			return 0, false
+		}
+	}
+	shape := make([]int, d)
+	for i := range shape {
+		shape[i] = side
+	}
+	g := workload.New(int64(1000*d + 10*b + alpha))
+	a := g.UniformCube(shape, 1000)
+	tr := sumtree.BuildInt(a, b)
+	bl := blocked.BuildInt(a, b)
+	queries := g.CubeRegions(shape, alpha*b, 20)
+	var gap int64
+	for _, q := range queries {
+		var ct, cp metrics.Counter
+		if tr.Sum(q, &ct) != bl.Sum(q, &cp) {
+			panic("harness: tree and prefix sum disagree")
+		}
+		gap += ct.Total() - cp.Total()
+	}
+	return float64(gap) / float64(len(queries)), true
+}
+
+// Figure14 reproduces Figure 14: the benefit/space curve against block
+// size for the plotted instance 100b² − 10b³ (d = 2, NQ/N = 1/10,
+// V − 2^d = 1000, S = 400; the paper's prose says d = 3 but plots this
+// curve — see EXPERIMENTS.md).
+func Figure14() Table {
+	q := costmodel.QueryStats{D: 2, V: 1004, S: 400}
+	t := Table{
+		Title:   "Figure 14: benefit/space vs block size (100b^2 - 10b^3)",
+		Headers: []string{"b", "benefit/space"},
+	}
+	for b := 1; b <= 10; b++ {
+		t.Add(b, costmodel.BenefitPerSpace(q, 0.1, 1, b))
+	}
+	best, _ := costmodel.OptimalBlockSize(q, 0.1, 1)
+	t.Add("b*", fmt.Sprintf("%d (closed form 20/3 ≈ 6.67)", best))
+	return t
+}
+
+// Theorem3 measures the average number of accesses of the 1-D range-max
+// tree over uniformly random ranges on permutation data, against the
+// b + 7 + 1/b bound.
+func Theorem3(n, trials int) Table {
+	t := Table{
+		Title:   "Theorem 3: average range-max accesses vs bound b+7+1/b",
+		Note:    fmt.Sprintf("n=%d random-permutation cells, %d uniform random ranges per fanout", n, trials),
+		Headers: []string{"b", "avg-accesses", "bound", "worst-seen"},
+	}
+	for _, b := range []int{2, 3, 4, 8, 16} {
+		g := workload.New(int64(40 + b))
+		a := g.PermutationCube(n)
+		tr := maxtree.Build(a, b)
+		var total, worst int64
+		for q := 0; q < trials; q++ {
+			r := g.UniformRegion(a.Shape())
+			var c metrics.Counter
+			tr.MaxIndex(r, &c)
+			total += c.Total()
+			if c.Total() > worst {
+				worst = c.Total()
+			}
+		}
+		avg := float64(total) / float64(trials)
+		t.Add(b, avg, float64(b)+7+1/float64(b), worst)
+	}
+	return t
+}
+
+// RangeSumMethods is the prototype experiment the paper reports ("the
+// advantage increasing as the volume of the circumscribed query sub-cube
+// increases"): accesses per query for the naive scan, the basic prefix sum,
+// the blocked prefix sum and the hierarchical tree, over a query-volume
+// sweep on a 2-d cube.
+func RangeSumMethods(n, b int) Table {
+	shape := []int{n, n}
+	g := workload.New(99)
+	a := g.UniformCube(shape, 1000)
+	ps := prefixsum.BuildInt(a)
+	bl := blocked.BuildInt(a, b)
+	tr := sumtree.BuildInt(a, b)
+	t := Table{
+		Title:   fmt.Sprintf("Range-sum methods on a %d×%d cube (b=%d): mean accesses over 30 queries", n, n, b),
+		Headers: []string{"query-side", "volume", "naive", "prefix", "blocked", "tree"},
+	}
+	for _, side := range []int{4, 16, 64, 256} {
+		if side > n {
+			continue
+		}
+		var cn, cp, cb, ct metrics.Counter
+		for q := 0; q < 30; q++ {
+			r := g.FixedSizeRegion(shape, []int{side, side})
+			want := naive.SumInt64(a, r, &cn)
+			if ps.Sum(r, &cp) != want || bl.Sum(r, &cb) != want || tr.Sum(r, &ct) != want {
+				panic("harness: methods disagree")
+			}
+		}
+		t.Add(side, side*side,
+			float64(cn.Total())/30, float64(cp.Total())/30,
+			float64(cb.Total())/30, float64(ct.Total())/30)
+	}
+	return t
+}
+
+// RangeMaxMethods sweeps query sizes for naive scan vs the branch-and-bound
+// max tree.
+func RangeMaxMethods(n, b int) Table {
+	shape := []int{n, n}
+	g := workload.New(123)
+	a := g.UniformCube(shape, 1_000_000)
+	tr := maxtree.Build(a, b)
+	t := Table{
+		Title:   fmt.Sprintf("Range-max methods on a %d×%d cube (b=%d): mean accesses over 30 queries", n, n, b),
+		Headers: []string{"query-side", "volume", "naive", "maxtree"},
+	}
+	for _, side := range []int{4, 16, 64, 256} {
+		if side > n {
+			continue
+		}
+		var cn, ct metrics.Counter
+		for q := 0; q < 30; q++ {
+			r := g.FixedSizeRegion(shape, []int{side, side})
+			_, wantV, _ := naive.Max(a, r, &cn)
+			_, v, _ := tr.MaxIndex(r, &ct)
+			if v != wantV {
+				panic("harness: max methods disagree")
+			}
+		}
+		t.Add(side, side*side, float64(cn.Total())/30, float64(ct.Total())/30)
+	}
+	return t
+}
+
+// UpdateSweep compares k sequential point updates of P against the §5 batch
+// algorithm (Theorem 2), and reports the max tree's §7 batch-update stats
+// on the same workload.
+func UpdateSweep(n int, ks []int) Table {
+	t := Table{
+		Title:   fmt.Sprintf("Batch updates on a %d×%d cube", n, n),
+		Headers: []string{"k", "seq-writes", "batch-writes", "regions", "theorem2-bound", "maxtree-rescans"},
+	}
+	for _, k := range ks {
+		g := workload.New(int64(7 * k))
+		a := g.UniformCube([]int{n, n}, 1000)
+		ups := g.Updates(a.Shape(), k, 100)
+		bups := make([]batchsum.IntUpdate, k)
+		mups := make([]maxtree.PointUpdate[int64], k)
+		for i, u := range ups {
+			bups[i] = batchsum.IntUpdate{Coords: u.Coords, Delta: u.Delta}
+			mups[i] = maxtree.PointUpdate[int64]{Coords: u.Coords, Value: a.At(u.Coords...) + u.Delta}
+		}
+		seq := prefixsum.BuildInt(a)
+		var cs metrics.Counter
+		for _, u := range bups {
+			seq.ApplyPoint(u.Coords, u.Delta, &cs)
+		}
+		batch := prefixsum.BuildInt(a)
+		var cb metrics.Counter
+		regions := batchsum.ApplyInt(batch, bups, &cb)
+		mt := maxtree.Build(a.Clone(), 4)
+		stats := mt.BatchUpdate(mups, nil)
+		t.Add(k, cs.Aux, cb.Aux, regions, batchsum.MaxRegions(k, 2), stats.Rescans)
+	}
+	return t
+}
+
+// SparseExperiment builds a clustered ~20% sparse cube and compares the
+// §10.2/§10.3 structures against full scans of the dense reference.
+func SparseExperiment(n int) Table {
+	shape := []int{n, n}
+	g := workload.New(2024)
+	pts, ref := g.ClusteredSparse(shape, 3, 0.9, 0.2)
+	sc := sparse.NewSumCube(shape, pts, denseregion.Params{})
+	mc := sparse.NewMaxCube(shape, pts, denseregion.Params{}, 4)
+	t := Table{
+		Title: fmt.Sprintf("Sparse cube (%d×%d, %.0f%% dense, %d regions, %d outliers): mean accesses over 30 queries",
+			n, n, 100*float64(len(pts))/float64(ref.Size()), sc.Regions(), sc.Points()),
+		Headers: []string{"query-side", "scan", "sparse-sum", "sparse-max"},
+	}
+	for _, side := range []int{8, 32, 128} {
+		if side > n {
+			continue
+		}
+		var cn, cs, cm metrics.Counter
+		for q := 0; q < 30; q++ {
+			r := g.FixedSizeRegion(shape, []int{side, side})
+			var want int64
+			ndarray.ForEachOffset(ref, r, func(off int) {
+				cn.AddCells(1)
+				want += ref.Data()[off]
+			})
+			if sc.Sum(r, &cs) != want {
+				panic("harness: sparse sum disagrees")
+			}
+			var wantMax int64
+			wantOK := false
+			ndarray.ForEachOffset(ref, r, func(off int) {
+				if v := ref.Data()[off]; v != 0 && (!wantOK || v > wantMax) {
+					wantMax, wantOK = v, true
+				}
+			})
+			got, ok := mc.Max(r, &cm)
+			if ok != wantOK || (ok && got != wantMax) {
+				panic("harness: sparse max disagrees")
+			}
+		}
+		t.Add(side, float64(cn.Total())/30, float64(cs.Total())/30, float64(cm.Total())/30)
+	}
+	return t
+}
+
+// Paging verifies the §3.3 implementation note with the simulated buffer
+// pool: building P in storage order pages each page in at most twice per
+// phase even with a tiny pool, while walking along the prefix dimension
+// thrashes.
+func Paging() Table {
+	shape := []int{256, 256}
+	const pageSize = 128
+	pages := int64(256 * 256 / pageSize)
+	t := Table{
+		Title: "§3.3 paging note: page-ins per prefix-sum phase (256×256, 128-cell pages, 4-frame pool)",
+		Note:  fmt.Sprintf("array has %d pages; the note claims ≤ 2 page-ins per page per phase in storage order", pages),
+		Headers: []string{
+			"phase-dim", "storage-order", "dimension-order", "bound-2x-pages",
+		},
+	}
+	for dim := 0; dim < len(shape); dim++ {
+		pool := paging.NewPool(pageSize, 4)
+		paging.StorageOrderPhase(pool, shape, dim)
+		storage := pool.PageIns
+		pool.Reset()
+		paging.DimensionOrderPhase(pool, shape, dim)
+		dimOrder := pool.PageIns
+		t.Add(dim, storage, dimOrder, 2*pages)
+	}
+	return t
+}
+
+// Figure12 reproduces the §9.1 dimension-selection example.
+func Figure12() Table {
+	queries := []chooser.LoggedQuery{
+		{RangeLen: []int{1, 100, 1, 3, 1}},
+		{RangeLen: []int{200, 1, 100, 1, 1}},
+		{RangeLen: []int{500, 500, 1, 1, 1}},
+	}
+	t := Table{
+		Title:   "Figure 12: choosing dimensions (heuristic Rj ≥ 2m)",
+		Headers: []string{"attribute", "R_j", "chosen"},
+	}
+	for j := 0; j < 5; j++ {
+		rj := 0
+		for _, q := range queries {
+			rj += q.RangeLen[j]
+		}
+		chosen := "no"
+		for _, c := range chooser.HeuristicDimensions(queries) {
+			if c == j {
+				chosen = "yes"
+			}
+		}
+		t.Add(j+1, rj, chosen)
+	}
+	opt := chooser.OptimalDimensions(queries)
+	t.Add("optimal", fmt.Sprint(opt), fmt.Sprintf("cost %.0f", chooser.SubsetCost(queries, maskOf(opt))))
+	return t
+}
+
+func maskOf(dims []int) uint64 {
+	var m uint64
+	for _, d := range dims {
+		m |= 1 << uint(d)
+	}
+	return m
+}
+
+// GreedyCuboids demonstrates the Figure 13 algorithm on a 3-attribute
+// lattice under a space budget.
+func GreedyCuboids() Table {
+	l := &chooser.Lattice{
+		Shape: []int{100, 100, 100},
+		Stats: []chooser.CuboidStats{
+			{Dims: 0b111, NQ: 50, V: 8000, S: 2400},
+			{Dims: 0b011, NQ: 200, V: 400, S: 80},
+			{Dims: 0b001, NQ: 500, V: 30, S: 2},
+		},
+		SpaceLimit: 120_000,
+	}
+	choices := l.Greedy()
+	t := Table{
+		Title:   "Figure 13: greedy cuboid/block-size selection (3 attributes, budget 120k cells)",
+		Headers: []string{"cuboid", "block", "space"},
+	}
+	for _, c := range choices {
+		t.Add(fmt.Sprintf("%03b", c.Dims), c.BlockSize, l.TotalSpace([]chooser.Choice{c}))
+	}
+	t.Add("benefit", fmt.Sprintf("%.0f", l.TotalBenefit(choices)), fmt.Sprintf("total space %.0f", l.TotalSpace(choices)))
+	return t
+}
+
+// Bounds demonstrates the §11 approximate-answer offshoot: the instant
+// [lower, upper] band from prefix sums alone versus the exact blocked
+// answer, across query sizes.
+func Bounds(n, b int) Table {
+	shape := []int{n, n}
+	g := workload.New(314)
+	a := g.UniformCube(shape, 100)
+	bl := blocked.BuildInt(a, b)
+	t := Table{
+		Title:   fmt.Sprintf("§11 approximate answers on a %d×%d cube (b=%d): mean over 30 queries", n, n, b),
+		Note:    "bound accesses are pure prefix-sum reads; exact adds boundary cube cells",
+		Headers: []string{"query-side", "bound-accesses", "exact-accesses", "mean-spread-%"},
+	}
+	for _, side := range []int{b, 4 * b, 16 * b} {
+		if side >= n {
+			continue // a full-width query is aligned and trivially exact
+		}
+		var cb, ce metrics.Counter
+		spread := 0.0
+		for q := 0; q < 30; q++ {
+			r := g.FixedSizeRegion(shape, []int{side, side})
+			lo, hi := blocked.Bounds(bl, r, &cb)
+			exact := bl.Sum(r, &ce)
+			if lo > exact || exact > hi {
+				panic("harness: bounds do not sandwich the exact answer")
+			}
+			if exact > 0 {
+				spread += 100 * float64(hi-lo) / float64(exact)
+			}
+		}
+		t.Add(side, float64(cb.Total())/30, float64(ce.Total())/30, spread/30)
+	}
+	return t
+}

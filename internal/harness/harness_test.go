@@ -1,0 +1,207 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func render(t Table) string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := Table{Title: "demo", Note: "a note", Headers: []string{"x", "longer"}}
+	tab.Add(1, 2.5)
+	out := render(tab)
+	for _, want := range []string{"== demo ==", "a note", "x", "longer", "1", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1Reproduces(t *testing.T) {
+	out := render(Figure1())
+	if !strings.Contains(out, "13 (paper: 13)") {
+		t.Fatalf("Figure 1 query mismatch:\n%s", out)
+	}
+	if !strings.Contains(out, "[12 24 29 40 53 63]") {
+		t.Fatalf("Figure 1 P row mismatch:\n%s", out)
+	}
+}
+
+// The measured Figure 11 gap must be positive (tree worse) and growing in
+// alpha for the materializable combinations — the shape of the figure.
+func TestFigure11MeasuredShape(t *testing.T) {
+	// For small α the paper itself predicts comparable costs ("for small
+	// queries ... the cost would be comparable for both methods"): the
+	// analytic gap there is ~1% of the total, below positional noise. The
+	// measured gap must be clearly positive and growing once queries span
+	// several blocks.
+	prev := -1.0
+	for _, alpha := range []int{5, 8, 15} {
+		m, ok := measureFigure11(2, 10, alpha)
+		if !ok {
+			t.Fatalf("alpha=%d should be measurable", alpha)
+		}
+		if m <= 0 {
+			t.Fatalf("alpha=%d: measured gap %.1f not positive", alpha, m)
+		}
+		if m <= prev {
+			t.Fatalf("measured gap not growing: %.1f after %.1f", m, prev)
+		}
+		prev = m
+	}
+	if m, ok := measureFigure11(2, 10, 1); !ok || m > 20 || m < -20 {
+		t.Fatalf("alpha=1 should be comparable (small gap), got %.1f", m)
+	}
+	if _, ok := measureFigure11(4, 20, 20); ok {
+		t.Fatal("oversized combination should not be measured")
+	}
+}
+
+func TestFigure14Table(t *testing.T) {
+	out := render(Figure14())
+	if !strings.Contains(out, "6.67") {
+		t.Fatalf("Figure 14 missing optimum:\n%s", out)
+	}
+}
+
+func TestTheorem3TableRespectsBound(t *testing.T) {
+	tab := Theorem3(1000, 500)
+	for _, row := range tab.Rows {
+		avg, err1 := strconv.ParseFloat(row[1], 64)
+		bound, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparsable row %v", row)
+		}
+		if avg > bound {
+			t.Fatalf("b=%s: average %.2f exceeds bound %.2f", row[0], avg, bound)
+		}
+	}
+}
+
+func TestRangeSumMethodsShape(t *testing.T) {
+	tab := RangeSumMethods(256, 16)
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		naive, _ := strconv.ParseFloat(row[2], 64)
+		prefix, _ := strconv.ParseFloat(row[3], 64)
+		blocked, _ := strconv.ParseFloat(row[4], 64)
+		tree, _ := strconv.ParseFloat(row[5], 64)
+		if prefix > 4 {
+			t.Fatalf("prefix cost %f > 2^d", prefix)
+		}
+		side, _ := strconv.ParseFloat(row[0], 64)
+		if side > 16 { // beyond the block size the §8 ordering must hold
+			if !(prefix <= blocked && blocked <= tree && tree < naive) {
+				t.Fatalf("cost ordering violated in row %v", row)
+			}
+		}
+		if naive < prefix {
+			t.Fatalf("naive cheaper than prefix in row %v", row)
+		}
+	}
+}
+
+func TestRangeMaxMethodsShape(t *testing.T) {
+	tab := RangeMaxMethods(256, 8)
+	for _, row := range tab.Rows {
+		naive, _ := strconv.ParseFloat(row[2], 64)
+		tree, _ := strconv.ParseFloat(row[3], 64)
+		vol, _ := strconv.ParseFloat(row[1], 64)
+		if vol > 100 && tree >= naive {
+			t.Fatalf("max tree not better than scan in row %v", row)
+		}
+	}
+}
+
+func TestUpdateSweepShape(t *testing.T) {
+	tab := UpdateSweep(64, []int{1, 4, 16})
+	for _, row := range tab.Rows {
+		seq, _ := strconv.ParseInt(row[1], 10, 64)
+		batch, _ := strconv.ParseInt(row[2], 10, 64)
+		regions, _ := strconv.ParseInt(row[3], 10, 64)
+		bound, _ := strconv.ParseInt(row[4], 10, 64)
+		if batch > seq {
+			t.Fatalf("batch writes %d exceed sequential %d", batch, seq)
+		}
+		if regions > bound {
+			t.Fatalf("regions %d exceed Theorem 2 bound %d", regions, bound)
+		}
+	}
+}
+
+func TestSparseExperimentRuns(t *testing.T) {
+	tab := SparseExperiment(96)
+	if len(tab.Rows) < 2 {
+		t.Fatal("sparse experiment produced too few rows")
+	}
+	// On the largest queries the sparse structure must beat the full scan.
+	last := tab.Rows[len(tab.Rows)-1]
+	scan, _ := strconv.ParseFloat(last[1], 64)
+	ssum, _ := strconv.ParseFloat(last[2], 64)
+	if ssum >= scan {
+		t.Fatalf("sparse sum %f not better than scan %f", ssum, scan)
+	}
+}
+
+func TestFigure12Table(t *testing.T) {
+	out := render(Figure12())
+	for _, want := range []string{"701", "601", "102", "yes", "no"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure 12 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGreedyCuboidsRuns(t *testing.T) {
+	out := render(GreedyCuboids())
+	if !strings.Contains(out, "benefit") {
+		t.Fatalf("greedy output:\n%s", out)
+	}
+}
+
+func TestPagingTable(t *testing.T) {
+	tab := Paging()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		storage, _ := strconv.ParseInt(row[1], 10, 64)
+		dimOrder, _ := strconv.ParseInt(row[2], 10, 64)
+		bound, _ := strconv.ParseInt(row[3], 10, 64)
+		if storage > bound {
+			t.Fatalf("storage order %d exceeds the §3.3 bound %d", storage, bound)
+		}
+		if row[0] == "0" && dimOrder < 10*storage {
+			t.Fatalf("dimension order should thrash: %d vs %d", dimOrder, storage)
+		}
+	}
+}
+
+func TestBoundsTable(t *testing.T) {
+	tab := Bounds(256, 16)
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range tab.Rows {
+		bound, _ := strconv.ParseFloat(row[1], 64)
+		exact, _ := strconv.ParseFloat(row[2], 64)
+		if bound >= exact {
+			t.Fatalf("bounds cost %f not below exact %f in row %v", bound, exact, row)
+		}
+	}
+	// The relative spread must shrink as queries grow (the aligned interior
+	// dominates).
+	first, _ := strconv.ParseFloat(tab.Rows[0][3], 64)
+	last, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][3], 64)
+	if last >= first {
+		t.Fatalf("spread did not shrink: %f → %f", first, last)
+	}
+}

@@ -1,0 +1,67 @@
+// Package metrics provides the access counters used to report the paper's
+// cost proxy: "the number of elements required to answer the query" (§8).
+// Every query path in this repository can account its data-cube cell reads,
+// auxiliary-structure reads and arithmetic steps into a Counter, so benches
+// can reproduce the analytic cost comparisons exactly rather than only as
+// wall-clock time.
+package metrics
+
+import "fmt"
+
+// Counter accumulates access counts for one or more queries. A nil *Counter
+// is valid everywhere and counts nothing, so hot paths pay a single nil
+// check when accounting is off.
+type Counter struct {
+	// Cells counts reads of original data-cube cells (array A).
+	Cells int64
+	// Aux counts reads of precomputed auxiliary cells: prefix-sum entries,
+	// tree nodes, R-tree nodes.
+	Aux int64
+	// Steps counts combining operations (additions/subtractions/
+	// comparisons) performed to assemble the answer.
+	Steps int64
+}
+
+// AddCells records n reads of original data-cube cells.
+func (c *Counter) AddCells(n int64) {
+	if c != nil {
+		c.Cells += n
+	}
+}
+
+// AddAux records n reads of auxiliary precomputed entries.
+func (c *Counter) AddAux(n int64) {
+	if c != nil {
+		c.Aux += n
+	}
+}
+
+// AddSteps records n combining operations.
+func (c *Counter) AddSteps(n int64) {
+	if c != nil {
+		c.Steps += n
+	}
+}
+
+// Total returns the paper's element-access cost: data cells plus auxiliary
+// entries read.
+func (c *Counter) Total() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.Cells + c.Aux
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	if c != nil {
+		*c = Counter{}
+	}
+}
+
+func (c *Counter) String() string {
+	if c == nil {
+		return "counter(nil)"
+	}
+	return fmt.Sprintf("cells=%d aux=%d steps=%d", c.Cells, c.Aux, c.Steps)
+}

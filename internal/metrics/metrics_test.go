@@ -1,0 +1,37 @@
+package metrics
+
+import "testing"
+
+func TestNilCounterIsSafe(t *testing.T) {
+	var c *Counter
+	c.AddCells(3)
+	c.AddAux(2)
+	c.AddSteps(1)
+	c.Reset()
+	if c.Total() != 0 {
+		t.Fatal("nil counter total not 0")
+	}
+	if c.String() != "counter(nil)" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func TestCounterAccumulatesAndResets(t *testing.T) {
+	var c Counter
+	c.AddCells(3)
+	c.AddAux(2)
+	c.AddSteps(5)
+	if c.Cells != 3 || c.Aux != 2 || c.Steps != 5 {
+		t.Fatalf("counter = %+v", c)
+	}
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d, want cells+aux = 5", c.Total())
+	}
+	if c.String() != "cells=3 aux=2 steps=5" {
+		t.Fatalf("String = %q", c.String())
+	}
+	c.Reset()
+	if c.Total() != 0 || c.Steps != 0 {
+		t.Fatal("Reset did not zero")
+	}
+}

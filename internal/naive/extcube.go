@@ -1,0 +1,90 @@
+package naive
+
+import (
+	"fmt"
+
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// All selects the aggregated "all" value of a dimension in a singleton query
+// against an ExtendedCube.
+const All = -1
+
+// ExtendedCube is the Gray et al. [GBLP96] data cube the paper's
+// introduction describes: each dimension's domain is augmented with one
+// extra "all" slot holding the SUM across that dimension, growing an
+// n1 × ... × nd cube to (n1+1) × ... × (nd+1). Any singleton query — every
+// dimension bound to one value or to All — is a single cell access, but
+// general range queries still cost their volume, which is the gap the
+// paper's prefix sums close.
+type ExtendedCube struct {
+	ext   *ndarray.Array[int64]
+	shape []int // original (unextended) extents
+}
+
+// NewExtendedCube materializes the extended cube of a.
+func NewExtendedCube(a *ndarray.Array[int64]) *ExtendedCube {
+	d := a.Dims()
+	extShape := make([]int, d)
+	for i, n := range a.Shape() {
+		extShape[i] = n + 1
+	}
+	ext := ndarray.New[int64](extShape...)
+	// Copy A into the low corner of the extended array.
+	coords := make([]int, d)
+	a.Bounds().ForEach(func(c []int) {
+		ext.Set(a.At(c...), c...)
+	})
+	// One pass per dimension: the "all" slice along dimension j is the sum
+	// of slices 0..nj-1 along j. Earlier passes' "all" slots participate in
+	// later passes, so mixed singleton/all queries work in one access.
+	for j := 0; j < d; j++ {
+		allIdx := a.Shape()[j]
+		// Iterate over all positions of the extended cube with coords[j] ==
+		// allIdx, summing the column beneath.
+		iter := make(ndarray.Region, d)
+		for i := range iter {
+			if i == j {
+				iter[i] = ndarray.Range{Lo: allIdx, Hi: allIdx}
+			} else {
+				iter[i] = ndarray.Range{Lo: 0, Hi: extShape[i] - 1}
+			}
+		}
+		iter.ForEach(func(c []int) {
+			copy(coords, c)
+			var sum int64
+			for k := 0; k < allIdx; k++ {
+				coords[j] = k
+				sum += ext.At(coords...)
+			}
+			coords[j] = allIdx
+			ext.Set(sum, coords...)
+		})
+	}
+	return &ExtendedCube{ext: ext, shape: append([]int(nil), a.Shape()...)}
+}
+
+// Size returns the number of cells in the extended array.
+func (e *ExtendedCube) Size() int { return e.ext.Size() }
+
+// Singleton answers a singleton query in one cell access: spec gives, per
+// dimension, either a value in the original domain or All.
+func (e *ExtendedCube) Singleton(c *metrics.Counter, spec ...int) int64 {
+	if len(spec) != len(e.shape) {
+		panic(fmt.Sprintf("naive: singleton query of dimension %d against cube of dimension %d", len(spec), len(e.shape)))
+	}
+	coords := make([]int, len(spec))
+	for i, s := range spec {
+		switch {
+		case s == All:
+			coords[i] = e.shape[i]
+		case s >= 0 && s < e.shape[i]:
+			coords[i] = s
+		default:
+			panic(fmt.Sprintf("naive: singleton value %d out of range [0,%d) in dimension %d", s, e.shape[i], i))
+		}
+	}
+	c.AddAux(1)
+	return e.ext.At(coords...)
+}

@@ -1,0 +1,59 @@
+// Package naive implements the baselines the paper compares against: the
+// full-scan range aggregate (cost = query volume, §1) and the extended data
+// cube of Gray et al. [GBLP96] that augments every dimension with an "all"
+// value so singleton queries resolve in one cell access (§1).
+package naive
+
+import (
+	"rangecube/internal/algebra"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// Sum scans every cell of the region and combines it under the group g.
+// Its cost is exactly the query volume, the paper's strawman for range-sum.
+func Sum[T any, G algebra.Group[T]](a *ndarray.Array[T], r ndarray.Region, c *metrics.Counter) T {
+	var g G
+	total := g.Identity()
+	ndarray.ForEachOffset(a, r, func(off int) {
+		total = g.Combine(total, a.Data()[off])
+		c.AddCells(1)
+		c.AddSteps(1)
+	})
+	return total
+}
+
+// SumInt64 is Sum specialized to the paper's canonical int64 SUM measure.
+func SumInt64(a *ndarray.Array[int64], r ndarray.Region, c *metrics.Counter) int64 {
+	return Sum[int64, algebra.IntSum](a, r, c)
+}
+
+// Max scans every cell of the region and returns the flat offset of a
+// maximum cell together with its value. It reports ok=false for an empty
+// region. Ties resolve to the first maximum in row-major order, matching
+// the paper's "arbitrarily returns one of the indices" allowance (§2).
+func Max(a *ndarray.Array[int64], r ndarray.Region, c *metrics.Counter) (offset int, value int64, ok bool) {
+	first := true
+	ndarray.ForEachOffset(a, r, func(off int) {
+		c.AddCells(1)
+		c.AddSteps(1)
+		if first || a.Data()[off] > value {
+			offset, value, first = off, a.Data()[off], false
+		}
+	})
+	return offset, value, !first
+}
+
+// Min is the MIN counterpart of Max; the paper notes MAX techniques apply
+// straightforwardly to MIN.
+func Min(a *ndarray.Array[int64], r ndarray.Region, c *metrics.Counter) (offset int, value int64, ok bool) {
+	first := true
+	ndarray.ForEachOffset(a, r, func(off int) {
+		c.AddCells(1)
+		c.AddSteps(1)
+		if first || a.Data()[off] < value {
+			offset, value, first = off, a.Data()[off], false
+		}
+	})
+	return offset, value, !first
+}

@@ -1,0 +1,159 @@
+package naive
+
+import (
+	"math/rand"
+	"testing"
+
+	"rangecube/internal/algebra"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// paperExample is the 3×6 array A of the paper's Figure 1.
+func paperExample() *ndarray.Array[int64] {
+	return ndarray.FromSlice([]int64{
+		3, 5, 1, 2, 2, 3,
+		7, 3, 2, 6, 8, 2,
+		2, 4, 2, 3, 3, 5,
+	}, 3, 6)
+}
+
+func TestSumPaperExample(t *testing.T) {
+	a := paperExample()
+	// Sum(2:3, 1:2) over (dim1=columns 2..3, dim0=rows 1..2) in the paper's
+	// (x,y) order is 13 (§3.2). In our (row, col) region that is rows 1..2,
+	// cols 2..3.
+	got := SumInt64(a, ndarray.Reg(1, 2, 2, 3), nil)
+	if got != 13 {
+		t.Fatalf("Sum = %d, want 13", got)
+	}
+	// Whole-array sum equals the bottom-right prefix sum 63 from Figure 1.
+	if got := SumInt64(a, a.Bounds(), nil); got != 63 {
+		t.Fatalf("total = %d, want 63", got)
+	}
+}
+
+func TestSumCountsCost(t *testing.T) {
+	a := paperExample()
+	var c metrics.Counter
+	r := ndarray.Reg(0, 1, 0, 2)
+	SumInt64(a, r, &c)
+	if c.Cells != int64(r.Volume()) {
+		t.Fatalf("naive sum cost %d cells, want volume %d", c.Cells, r.Volume())
+	}
+	if c.Aux != 0 {
+		t.Fatal("naive sum should touch no auxiliary storage")
+	}
+}
+
+func TestSumEmptyRegion(t *testing.T) {
+	a := paperExample()
+	if got := SumInt64(a, ndarray.Reg(2, 1, 0, 5), nil); got != 0 {
+		t.Fatalf("empty-region sum = %d, want 0", got)
+	}
+}
+
+func TestSumGenericXor(t *testing.T) {
+	a := ndarray.FromSlice([]uint64{1, 2, 4, 8}, 2, 2)
+	got := Sum[uint64, algebra.Xor](a, a.Bounds(), nil)
+	if got != 15 {
+		t.Fatalf("xor aggregate = %d, want 15", got)
+	}
+}
+
+func TestMaxAndMin(t *testing.T) {
+	a := paperExample()
+	off, v, ok := Max(a, a.Bounds(), nil)
+	if !ok || v != 8 {
+		t.Fatalf("Max = (%d,%d,%v), want value 8", off, v, ok)
+	}
+	if c := a.Coords(off, nil); c[0] != 1 || c[1] != 4 {
+		t.Fatalf("Max at %v, want [1 4]", c)
+	}
+	_, v, ok = Min(a, ndarray.Reg(0, 0, 0, 5), nil)
+	if !ok || v != 1 {
+		t.Fatalf("Min of first row = %d, want 1", v)
+	}
+	_, _, ok = Max(a, ndarray.Reg(1, 0, 0, 5), nil)
+	if ok {
+		t.Fatal("Max of empty region should report !ok")
+	}
+}
+
+func TestMaxTieBreaksToFirstRowMajor(t *testing.T) {
+	a := ndarray.FromSlice([]int64{5, 5, 5, 5}, 2, 2)
+	off, _, _ := Max(a, a.Bounds(), nil)
+	if off != 0 {
+		t.Fatalf("tie broke to offset %d, want 0", off)
+	}
+}
+
+func TestExtendedCubeSingletons(t *testing.T) {
+	a := paperExample()
+	e := NewExtendedCube(a)
+	// Extended shape is 4×7 = 28 cells.
+	if e.Size() != 28 {
+		t.Fatalf("extended size = %d, want 28", e.Size())
+	}
+	var c metrics.Counter
+	// Fully specified singleton equals the cell.
+	if got := e.Singleton(&c, 1, 4); got != 8 {
+		t.Fatalf("Singleton(1,4) = %d, want 8", got)
+	}
+	if c.Aux != 1 {
+		t.Fatalf("singleton cost = %d accesses, want 1", c.Aux)
+	}
+	// One All: a row / column total.
+	if got := e.Singleton(nil, 0, All); got != 16 {
+		t.Fatalf("row-0 total = %d, want 16", got)
+	}
+	if got := e.Singleton(nil, All, 0); got != 12 {
+		t.Fatalf("col-0 total = %d, want 12", got)
+	}
+	// Grand total.
+	if got := e.Singleton(nil, All, All); got != 63 {
+		t.Fatalf("grand total = %d, want 63", got)
+	}
+}
+
+func TestExtendedCube3DAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := ndarray.New[int64](4, 3, 5)
+	a.Fill(func([]int) int64 { return int64(rng.Intn(100)) })
+	e := NewExtendedCube(a)
+	shape := a.Shape()
+	// Every singleton spec (value or All per dimension) must equal the
+	// naive sum of the corresponding region.
+	for s0 := -1; s0 < shape[0]; s0++ {
+		for s1 := -1; s1 < shape[1]; s1++ {
+			for s2 := -1; s2 < shape[2]; s2++ {
+				r := make(ndarray.Region, 3)
+				for i, s := range []int{s0, s1, s2} {
+					if s == All {
+						r[i] = ndarray.Range{Lo: 0, Hi: shape[i] - 1}
+					} else {
+						r[i] = ndarray.Range{Lo: s, Hi: s}
+					}
+				}
+				want := SumInt64(a, r, nil)
+				if got := e.Singleton(nil, s0, s1, s2); got != want {
+					t.Fatalf("Singleton(%d,%d,%d) = %d, want %d", s0, s1, s2, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSingletonPanics(t *testing.T) {
+	e := NewExtendedCube(paperExample())
+	for _, spec := range [][]int{{0}, {0, 6}, {-2, 0}, {3, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Singleton(%v) did not panic", spec)
+				}
+			}()
+			e.Singleton(nil, spec...)
+		}()
+	}
+}

@@ -1,0 +1,207 @@
+package ndarray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeBasics(t *testing.T) {
+	r := Range{3, 7}
+	if r.Len() != 5 || r.Empty() {
+		t.Fatalf("Range{3,7}: Len=%d Empty=%v", r.Len(), r.Empty())
+	}
+	if !r.Contains(3) || !r.Contains(7) || r.Contains(8) || r.Contains(2) {
+		t.Fatal("Contains on closed-interval endpoints wrong")
+	}
+	e := Range{5, 4}
+	if e.Len() != 0 || !e.Empty() {
+		t.Fatalf("empty range: Len=%d Empty=%v", e.Len(), e.Empty())
+	}
+}
+
+func TestRangeIntersect(t *testing.T) {
+	cases := []struct{ a, b, want Range }{
+		{Range{0, 5}, Range{3, 9}, Range{3, 5}},
+		{Range{0, 2}, Range{4, 9}, Range{4, 2}}, // disjoint -> empty
+		{Range{2, 8}, Range{3, 4}, Range{3, 4}},
+	}
+	for _, c := range cases {
+		got := c.a.Intersect(c.b)
+		if got.Empty() != c.want.Empty() || (!got.Empty() && got != c.want) {
+			t.Errorf("%v ∩ %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRegionVolumeAndSurface(t *testing.T) {
+	r := Reg(0, 9, 0, 4) // 10 x 5
+	if r.Volume() != 50 {
+		t.Fatalf("Volume = %d, want 50", r.Volume())
+	}
+	// S = 2V/x1 + 2V/x2 = 10 + 20 = 30 (Table 1).
+	if r.SurfaceArea() != 30 {
+		t.Fatalf("SurfaceArea = %d, want 30", r.SurfaceArea())
+	}
+	if (Region{Range{2, 1}, Range{0, 4}}).Volume() != 0 {
+		t.Fatal("empty region should have volume 0")
+	}
+	if (Region{Range{2, 1}}).SurfaceArea() != 0 {
+		t.Fatal("empty region should have surface 0")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Reg(1, 3, 2, 5)
+	if !r.Contains([]int{1, 5}) || r.Contains([]int{0, 3}) || r.Contains([]int{2, 6}) {
+		t.Fatal("Contains wrong")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Contains with wrong dimensionality did not panic")
+			}
+		}()
+		r.Contains([]int{1})
+	}()
+}
+
+func TestRegionContainsRegion(t *testing.T) {
+	outer := Reg(0, 9, 0, 9)
+	if !outer.ContainsRegion(Reg(2, 5, 3, 9)) {
+		t.Fatal("inner region not reported contained")
+	}
+	if outer.ContainsRegion(Reg(2, 10, 0, 4)) {
+		t.Fatal("overflowing region reported contained")
+	}
+	if !outer.ContainsRegion(Reg(5, 4, 0, 9)) {
+		t.Fatal("empty region should be contained in everything")
+	}
+}
+
+func TestRegionIntersectAndEqual(t *testing.T) {
+	a := Reg(0, 5, 2, 8)
+	b := Reg(3, 9, 0, 4)
+	got := a.Intersect(b)
+	want := Reg(3, 5, 2, 4)
+	if !got.Equal(want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	if a.Equal(b) || !a.Equal(a.Clone()) {
+		t.Fatal("Equal/Clone wrong")
+	}
+	if a.Equal(Reg(0, 5)) {
+		t.Fatal("regions of different dimensionality reported equal")
+	}
+}
+
+func TestRegionForEachOrderAndCount(t *testing.T) {
+	r := Reg(1, 2, 3, 5)
+	var pts [][]int
+	r.ForEach(func(c []int) { pts = append(pts, append([]int(nil), c...)) })
+	want := [][]int{{1, 3}, {1, 4}, {1, 5}, {2, 3}, {2, 4}, {2, 5}}
+	if len(pts) != len(want) {
+		t.Fatalf("visited %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i][0] != want[i][0] || pts[i][1] != want[i][1] {
+			t.Fatalf("point %d = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	empty := Reg(3, 1, 0, 4)
+	empty.ForEach(func([]int) { t.Fatal("ForEach visited a point of an empty region") })
+}
+
+func TestForEachOffsetMatchesForEach(t *testing.T) {
+	a := New[int](4, 5, 3)
+	r := Reg(1, 3, 0, 4, 1, 2)
+	var fromCoords []int
+	r.ForEach(func(c []int) { fromCoords = append(fromCoords, a.Offset(c...)) })
+	var fromOffsets []int
+	ForEachOffset(a, r, func(off int) { fromOffsets = append(fromOffsets, off) })
+	if len(fromCoords) != len(fromOffsets) {
+		t.Fatalf("offset walk visited %d, coord walk visited %d", len(fromOffsets), len(fromCoords))
+	}
+	for i := range fromCoords {
+		if fromCoords[i] != fromOffsets[i] {
+			t.Fatalf("visit %d: offset walk %d, coord walk %d", i, fromOffsets[i], fromCoords[i])
+		}
+	}
+}
+
+func TestForEachOffsetBoundsChecks(t *testing.T) {
+	a := New[int](3, 3)
+	for _, r := range []Region{Reg(0, 3, 0, 2), Reg(-1, 1, 0, 2), Reg(0, 2)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ForEachOffset(%v) did not panic", r)
+				}
+			}()
+			ForEachOffset(a, r, func(int) {})
+		}()
+	}
+	// Empty region: no panic, no visits.
+	ForEachOffset(a, Reg(2, 1, 0, 2), func(int) { t.Fatal("visited empty region") })
+}
+
+// Property: ForEachOffset visits exactly Volume() distinct offsets, all of
+// whose coordinates lie inside the region.
+func TestForEachOffsetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		shape := make([]int, d)
+		r := make(Region, d)
+		for i := range shape {
+			shape[i] = 2 + rng.Intn(5)
+			lo := rng.Intn(shape[i])
+			hi := lo + rng.Intn(shape[i]-lo)
+			r[i] = Range{lo, hi}
+		}
+		a := New[int](shape...)
+		seen := map[int]bool{}
+		ok := true
+		coords := make([]int, d)
+		ForEachOffset(a, r, func(off int) {
+			if seen[off] {
+				ok = false
+			}
+			seen[off] = true
+			if !r.Contains(a.Coords(off, coords)) {
+				ok = false
+			}
+		})
+		return ok && len(seen) == r.Volume()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Volume(a ∩ b) equals brute-force point counting.
+func TestIntersectVolumeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		mk := func() Region {
+			r := make(Region, d)
+			for i := range r {
+				lo := rng.Intn(8)
+				r[i] = Range{lo, lo + rng.Intn(8) - 2}
+			}
+			return r
+		}
+		a, b := mk(), mk()
+		count := 0
+		a.ForEach(func(c []int) {
+			if b.Contains(c) {
+				count++
+			}
+		})
+		return a.Intersect(b).Volume() == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package paging
+
+// BuildWalk simulates the memory accesses of one phase of the §3.3
+// prefix-sum construction over an array of the given shape, along
+// dimension dim. Each cell update reads the running predecessor
+// (offset − stride_dim) and writes the cell itself; the order of cells
+// visited is what distinguishes the two strategies the paper compares.
+
+// StorageOrderPhase touches cells in row-major storage order — the
+// paper's recommended implementation ("the order of P_i elements visited
+// should follow the natural order in storage").
+func StorageOrderPhase(pool *Pool, shape []int, dim int) {
+	strides := rowMajorStrides(shape)
+	coords := make([]int, len(shape))
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	for off := 0; off < n; off++ {
+		if coords[dim] > 0 {
+			pool.Touch(off - strides[dim])
+		}
+		pool.Touch(off)
+		incr(coords, shape)
+	}
+}
+
+// DimensionOrderPhase touches cells following the prefix dimension
+// fastest — the naive order the paper warns against: for each line along
+// dim, run the whole 1-d prefix sum before moving to the next line.
+func DimensionOrderPhase(pool *Pool, shape []int, dim int) {
+	strides := rowMajorStrides(shape)
+	// Iterate over all lines (fix every coordinate except dim), walking
+	// each line from 0 to shape[dim]−1.
+	lineShape := make([]int, 0, len(shape)-1)
+	lineDims := make([]int, 0, len(shape)-1)
+	for j, s := range shape {
+		if j != dim {
+			lineShape = append(lineShape, s)
+			lineDims = append(lineDims, j)
+		}
+	}
+	lineCoords := make([]int, len(lineShape))
+	for {
+		base := 0
+		for i, j := range lineDims {
+			base += lineCoords[i] * strides[j]
+		}
+		for k := 0; k < shape[dim]; k++ {
+			off := base + k*strides[dim]
+			if k > 0 {
+				pool.Touch(off - strides[dim])
+			}
+			pool.Touch(off)
+		}
+		if len(lineShape) == 0 || incr(lineCoords, lineShape) {
+			return
+		}
+	}
+}
+
+func rowMajorStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= shape[i]
+	}
+	return strides
+}
+
+// incr advances a row-major odometer, reporting wrap-around.
+func incr(coords, shape []int) bool {
+	for i := len(coords) - 1; i >= 0; i-- {
+		coords[i]++
+		if coords[i] < shape[i] {
+			return false
+		}
+		coords[i] = 0
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+// Package paging simulates a buffer pool so the paper's §3.3
+// implementation note can be verified: visiting P in storage (row-major)
+// order during each prefix-sum phase pages each page of P in at most
+// twice per phase, whereas walking along the prefix dimension thrashes.
+// The pool is an LRU cache of fixed-size pages over a flat cell space,
+// counting page-ins (the note's cost measure).
+package paging
+
+import "fmt"
+
+// Pool is an LRU buffer pool over a cell space of the given size. Cells
+// per page and the number of buffer frames are fixed at construction.
+type Pool struct {
+	pageSize int
+	frames   int
+	// LRU bookkeeping: resident maps page → node in the doubly linked list.
+	resident map[int]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+	// PageIns counts pages brought into the buffer (cold or re-fetched).
+	PageIns int64
+}
+
+type lruNode struct {
+	page       int
+	prev, next *lruNode
+}
+
+// NewPool creates a pool with the given cells-per-page and frame count.
+func NewPool(pageSize, frames int) *Pool {
+	if pageSize < 1 || frames < 1 {
+		panic(fmt.Sprintf("paging: pageSize %d and frames %d must be ≥ 1", pageSize, frames))
+	}
+	return &Pool{pageSize: pageSize, frames: frames, resident: make(map[int]*lruNode)}
+}
+
+// Touch records an access to the cell at offset, faulting its page in if
+// absent and evicting the least recently used page when full.
+func (p *Pool) Touch(offset int) {
+	page := offset / p.pageSize
+	if n, ok := p.resident[page]; ok {
+		p.moveToFront(n)
+		return
+	}
+	p.PageIns++
+	if len(p.resident) >= p.frames {
+		// Evict the LRU page.
+		victim := p.tail
+		p.unlink(victim)
+		delete(p.resident, victim.page)
+	}
+	n := &lruNode{page: page}
+	p.resident[page] = n
+	p.pushFront(n)
+}
+
+// Reset empties the buffer and zeroes the counter.
+func (p *Pool) Reset() {
+	p.resident = make(map[int]*lruNode)
+	p.head, p.tail = nil, nil
+	p.PageIns = 0
+}
+
+// Resident returns the number of pages currently buffered.
+func (p *Pool) Resident() int { return len(p.resident) }
+
+func (p *Pool) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = p.head
+	if p.head != nil {
+		p.head.prev = n
+	}
+	p.head = n
+	if p.tail == nil {
+		p.tail = n
+	}
+}
+
+func (p *Pool) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		p.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		p.tail = n.prev
+	}
+}
+
+func (p *Pool) moveToFront(n *lruNode) {
+	if p.head == n {
+		return
+	}
+	p.unlink(n)
+	p.pushFront(n)
+}

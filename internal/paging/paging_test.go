@@ -1,0 +1,129 @@
+package paging
+
+import "testing"
+
+func TestPoolBasics(t *testing.T) {
+	p := NewPool(4, 2)
+	p.Touch(0) // page 0: fault
+	p.Touch(3) // page 0: hit
+	p.Touch(4) // page 1: fault
+	p.Touch(8) // page 2: fault, evicts page 0 (LRU)
+	p.Touch(0) // page 0: fault again
+	if p.PageIns != 4 {
+		t.Fatalf("PageIns = %d, want 4", p.PageIns)
+	}
+	if p.Resident() != 2 {
+		t.Fatalf("Resident = %d, want 2", p.Resident())
+	}
+	p.Reset()
+	if p.PageIns != 0 || p.Resident() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestPoolLRUOrder(t *testing.T) {
+	p := NewPool(1, 3)
+	p.Touch(0)
+	p.Touch(1)
+	p.Touch(2)
+	p.Touch(0) // refresh 0: LRU is now 1
+	p.Touch(3) // evicts 1
+	p.Touch(0) // hit
+	p.Touch(2) // hit
+	if p.PageIns != 4 {
+		t.Fatalf("PageIns = %d, want 4", p.PageIns)
+	}
+	p.Touch(1) // fault: was evicted
+	if p.PageIns != 5 {
+		t.Fatalf("PageIns = %d, want 5", p.PageIns)
+	}
+}
+
+func TestNewPoolPanics(t *testing.T) {
+	for _, args := range [][2]int{{0, 4}, {4, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPool(%v) did not panic", args)
+				}
+			}()
+			NewPool(args[0], args[1])
+		}()
+	}
+}
+
+// The §3.3 implementation note: in storage order, each page of P is paged
+// in at most twice per phase, even with a tiny buffer pool.
+func TestStorageOrderPagingBound(t *testing.T) {
+	shape := []int{64, 64} // 4096 cells
+	const pageSize = 32
+	pages := int64(4096 / pageSize)
+	pool := NewPool(pageSize, 4) // deliberately tiny pool
+	for dim := 0; dim < len(shape); dim++ {
+		pool.Reset()
+		StorageOrderPhase(pool, shape, dim)
+		if pool.PageIns > 2*pages {
+			t.Fatalf("dim %d: storage order paged in %d pages, want ≤ 2×%d",
+				dim, pool.PageIns, pages)
+		}
+	}
+}
+
+// The contrast: walking along dimension 0 (stride 64 between consecutive
+// accesses) with a small pool faults on nearly every access.
+func TestDimensionOrderThrashes(t *testing.T) {
+	shape := []int{64, 64}
+	const pageSize = 32
+	pages := int64(4096 / pageSize)
+	pool := NewPool(pageSize, 4)
+	DimensionOrderPhase(pool, shape, 0)
+	if pool.PageIns < 10*pages {
+		t.Fatalf("dimension order paged in only %d pages; expected thrashing (≥ 10×%d)",
+			pool.PageIns, pages)
+	}
+	// Along the last dimension the two walks coincide: storage order.
+	pool.Reset()
+	DimensionOrderPhase(pool, shape, 1)
+	if pool.PageIns > 2*pages {
+		t.Fatalf("last-dimension walk paged in %d, want ≤ 2×%d", pool.PageIns, pages)
+	}
+}
+
+// With a pool as large as the array, both walks page everything in once.
+func TestLargePoolSinglePageIns(t *testing.T) {
+	shape := []int{32, 32}
+	pool := NewPool(16, 1024)
+	StorageOrderPhase(pool, shape, 0)
+	if pool.PageIns != 64 {
+		t.Fatalf("PageIns = %d, want one per page (64)", pool.PageIns)
+	}
+}
+
+// Three-dimensional phases obey the same bound in storage order.
+func TestStorageOrder3D(t *testing.T) {
+	shape := []int{16, 16, 16}
+	const pageSize = 64
+	pages := int64(16 * 16 * 16 / pageSize)
+	pool := NewPool(pageSize, 4)
+	for dim := 0; dim < 3; dim++ {
+		pool.Reset()
+		StorageOrderPhase(pool, shape, dim)
+		if pool.PageIns > 2*pages {
+			t.Fatalf("dim %d: %d page-ins, want ≤ %d", dim, pool.PageIns, 2*pages)
+		}
+	}
+}
+
+// One-dimensional arrays degenerate gracefully.
+func TestOneDimensionalWalks(t *testing.T) {
+	pool := NewPool(8, 2)
+	StorageOrderPhase(pool, []int{128}, 0)
+	if pool.PageIns != 16 {
+		t.Fatalf("1-d storage walk: %d page-ins, want 16", pool.PageIns)
+	}
+	pool.Reset()
+	DimensionOrderPhase(pool, []int{128}, 0)
+	if pool.PageIns != 16 {
+		t.Fatalf("1-d dimension walk: %d page-ins, want 16", pool.PageIns)
+	}
+}

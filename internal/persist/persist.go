@@ -1,0 +1,264 @@
+// Package persist serializes the precomputed range-query structures so an
+// OLAP server can build them offline (e.g. during the nightly batch
+// window, §5) and memory-map or reload them at start-up. The format is a
+// small versioned little-endian binary envelope around the arrays that
+// constitute each structure's state:
+//
+//   - a prefix-sum index persists P itself (the cube may be discarded,
+//     §3.4);
+//   - a blocked index persists the cube, the packed block-level prefix
+//     sums and the per-dimension block sizes;
+//   - a max tree persists the cube plus its fanout and MIN flag and is
+//     rebuilt on load (construction is a single O(N) pass, and the tree
+//     levels are derived state).
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"rangecube/internal/algebra"
+	"rangecube/internal/core/blocked"
+	"rangecube/internal/core/maxtree"
+	"rangecube/internal/core/prefixsum"
+	"rangecube/internal/ndarray"
+)
+
+const (
+	magic   = uint32(0x52435542) // "RCUB"
+	version = uint16(1)
+)
+
+// Kind tags the structure stored in an envelope.
+type Kind uint8
+
+const (
+	KindPrefixSum Kind = 1
+	KindBlocked   Kind = 2
+	KindMaxTree   Kind = 3
+)
+
+// limits guarding against corrupt headers.
+const (
+	maxDims  = 64
+	maxCells = int64(1) << 40
+)
+
+func writeHeader(w io.Writer, kind Kind) error {
+	if err := binary.Write(w, binary.LittleEndian, magic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, version); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, kind)
+}
+
+func readHeader(r io.Reader, want Kind) error {
+	var m uint32
+	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
+		return fmt.Errorf("persist: reading magic: %w", err)
+	}
+	if m != magic {
+		return fmt.Errorf("persist: bad magic %#x", m)
+	}
+	var v uint16
+	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+		return err
+	}
+	if v != version {
+		return fmt.Errorf("persist: unsupported version %d", v)
+	}
+	var k Kind
+	if err := binary.Read(r, binary.LittleEndian, &k); err != nil {
+		return err
+	}
+	if k != want {
+		return fmt.Errorf("persist: expected structure kind %d, found %d", want, k)
+	}
+	return nil
+}
+
+func writeInts(w io.Writer, xs []int) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(xs))); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		if err := binary.Write(w, binary.LittleEndian, int64(x)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readInts(r io.Reader, maxLen int) ([]int, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if int(n) > maxLen {
+		return nil, fmt.Errorf("persist: vector length %d exceeds limit %d", n, maxLen)
+	}
+	out := make([]int, n)
+	for i := range out {
+		var v int64
+		if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func writeArray(w io.Writer, a *ndarray.Array[int64]) error {
+	if err := writeInts(w, a.Shape()); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, a.Data())
+}
+
+func readArray(r io.Reader) (*ndarray.Array[int64], error) {
+	shape, err := readInts(r, maxDims)
+	if err != nil {
+		return nil, err
+	}
+	if len(shape) == 0 {
+		return nil, fmt.Errorf("persist: zero-dimensional array")
+	}
+	cells := int64(1)
+	for _, s := range shape {
+		if s < 1 {
+			return nil, fmt.Errorf("persist: non-positive extent %d", s)
+		}
+		// Overflow-safe product guard: check before multiplying, so two
+		// large extents cannot wrap negative past the limit (found by
+		// FuzzReaders).
+		if int64(s) > maxCells || cells > maxCells/int64(s) {
+			return nil, fmt.Errorf("persist: array too large")
+		}
+		cells *= int64(s)
+	}
+	// Read in bounded chunks so a corrupt header claiming absurd extents
+	// fails at end-of-input instead of allocating the claimed size up
+	// front (found by FuzzReaders).
+	const chunk = 1 << 16
+	data := make([]int64, 0, min(cells, chunk))
+	for remaining := cells; remaining > 0; {
+		n := min(remaining, chunk)
+		buf := make([]int64, n)
+		if err := binary.Read(r, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("persist: reading %d cells: %w", cells, err)
+		}
+		data = append(data, buf...)
+		remaining -= n
+	}
+	return ndarray.FromSlice(data, shape...), nil
+}
+
+// WritePrefixSum serializes a prefix-sum index (its P array).
+func WritePrefixSum(w io.Writer, ps *prefixsum.IntArray) error {
+	if err := writeHeader(w, KindPrefixSum); err != nil {
+		return err
+	}
+	return writeArray(w, ps.P())
+}
+
+// ReadPrefixSum deserializes a prefix-sum index.
+func ReadPrefixSum(r io.Reader) (*prefixsum.IntArray, error) {
+	if err := readHeader(r, KindPrefixSum); err != nil {
+		return nil, err
+	}
+	p, err := readArray(r)
+	if err != nil {
+		return nil, err
+	}
+	return prefixsum.FromPrecomputed[int64, algebra.IntSum](p), nil
+}
+
+// WriteBlocked serializes a blocked index: block sizes, cube, packed sums.
+func WriteBlocked(w io.Writer, bl *blocked.IntArray) error {
+	if err := writeHeader(w, KindBlocked); err != nil {
+		return err
+	}
+	if err := writeInts(w, bl.BlockSizes()); err != nil {
+		return err
+	}
+	if err := writeArray(w, bl.Cube()); err != nil {
+		return err
+	}
+	return writeArray(w, bl.Packed().P())
+}
+
+// ReadBlocked deserializes a blocked index.
+func ReadBlocked(r io.Reader) (*blocked.IntArray, error) {
+	if err := readHeader(r, KindBlocked); err != nil {
+		return nil, err
+	}
+	bs, err := readInts(r, maxDims)
+	if err != nil {
+		return nil, err
+	}
+	cube, err := readArray(r)
+	if err != nil {
+		return nil, err
+	}
+	packed, err := readArray(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(bs) != cube.Dims() {
+		return nil, fmt.Errorf("persist: %d block sizes for %d dimensions", len(bs), cube.Dims())
+	}
+	for j, b := range bs {
+		if b < 1 || packed.Shape()[j] != (cube.Shape()[j]+b-1)/b {
+			return nil, fmt.Errorf("persist: inconsistent blocked geometry in dimension %d", j)
+		}
+	}
+	return blocked.FromParts[int64, algebra.IntSum](cube, packed, bs), nil
+}
+
+// WriteMaxTree serializes a max tree: flags, fanout and the cube; levels
+// are rebuilt on load.
+func WriteMaxTree(w io.Writer, tr *maxtree.Tree[int64], isMin bool) error {
+	if err := writeHeader(w, KindMaxTree); err != nil {
+		return err
+	}
+	flags := uint8(0)
+	if isMin {
+		flags = 1
+	}
+	if err := binary.Write(w, binary.LittleEndian, flags); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(tr.Fanout())); err != nil {
+		return err
+	}
+	return writeArray(w, tr.Cube())
+}
+
+// ReadMaxTree deserializes and rebuilds a max (or min) tree.
+func ReadMaxTree(r io.Reader) (*maxtree.Tree[int64], error) {
+	if err := readHeader(r, KindMaxTree); err != nil {
+		return nil, err
+	}
+	var flags uint8
+	if err := binary.Read(r, binary.LittleEndian, &flags); err != nil {
+		return nil, err
+	}
+	var fanout uint32
+	if err := binary.Read(r, binary.LittleEndian, &fanout); err != nil {
+		return nil, err
+	}
+	if fanout < 2 || fanout > 1<<20 {
+		return nil, fmt.Errorf("persist: implausible fanout %d", fanout)
+	}
+	cube, err := readArray(r)
+	if err != nil {
+		return nil, err
+	}
+	if flags&1 != 0 {
+		return maxtree.BuildMin(cube, int(fanout)), nil
+	}
+	return maxtree.Build(cube, int(fanout)), nil
+}

@@ -1,0 +1,100 @@
+package rstartree
+
+import "rangecube/internal/ndarray"
+
+// Delete removes the first stored entry whose rectangle equals rect and
+// whose payload satisfies match (nil matches anything), reporting whether
+// one was removed. Underfull nodes are condensed: their remaining entries
+// are removed from the tree and reinserted at their original level, the
+// classic R-tree CondenseTree, which R* inherits.
+func (t *Tree[P]) Delete(rect ndarray.Region, match func(P) bool) bool {
+	if t.size == 0 {
+		return false
+	}
+	leaf, idx := t.findLeaf(t.root, rect, match)
+	if leaf == nil {
+		return false
+	}
+	leaf.items = append(leaf.items[:idx], leaf.items[idx+1:]...)
+	t.size--
+	t.condense(leaf)
+	return true
+}
+
+// findLeaf locates the leaf and slot holding a matching entry.
+func (t *Tree[P]) findLeaf(n *node[P], rect ndarray.Region, match func(P) bool) (*node[P], int) {
+	for i, it := range n.items {
+		if n.level == 0 {
+			if it.rect.Equal(rect) && (match == nil || match(it.data)) {
+				return n, i
+			}
+			continue
+		}
+		if it.rect.ContainsRegion(rect) {
+			if leaf, idx := t.findLeaf(it.child, rect, match); leaf != nil {
+				return leaf, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense walks from n to the root, removing underfull nodes and
+// collecting their surviving entries for reinsertion at their level.
+func (t *Tree[P]) condense(n *node[P]) {
+	type orphan struct {
+		it    item[P]
+		level int // node level the entry should live in
+	}
+	var orphans []orphan
+	for n.parent != nil {
+		parent := n.parent
+		if len(n.items) < MinEntries {
+			// Remove n from its parent; its entries become orphans.
+			for i := range parent.items {
+				if parent.items[i].child == n {
+					parent.items = append(parent.items[:i], parent.items[i+1:]...)
+					break
+				}
+			}
+			for _, it := range n.items {
+				orphans = append(orphans, orphan{it: it, level: n.level})
+			}
+		} else {
+			t.adjustUp(n)
+		}
+		n = parent
+	}
+	// Shrink the root while it is an internal node with a single child.
+	for t.root.level > 0 && len(t.root.items) == 1 {
+		t.root = t.root.items[0].child
+		t.root.parent = nil
+	}
+	if t.root.level > 0 && len(t.root.items) == 0 {
+		// Everything below the root was orphaned.
+		t.root = &node[P]{level: 0}
+	}
+	// Reinsert orphans, deepest (lowest level) first so subtree heights
+	// stay consistent; leaf entries go back through the normal path.
+	for _, o := range orphans {
+		t.reinsertOrphan(o.it, o.level)
+	}
+}
+
+// reinsertOrphan places an orphaned entry back in the tree at the given
+// node level (0 for leaf entries).
+func (t *Tree[P]) reinsertOrphan(it item[P], level int) {
+	if level == 0 {
+		t.insert(it, 0, map[int]bool{})
+		return
+	}
+	if level > t.root.level {
+		// The tree shrank below the orphan subtree's height: split the
+		// subtree into its children and reinsert those instead.
+		for _, child := range it.child.items {
+			t.reinsertOrphan(child, level-1)
+		}
+		return
+	}
+	t.insert(it, level, map[int]bool{})
+}

@@ -1,0 +1,174 @@
+package rstartree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rangecube/internal/ndarray"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New[int](2)
+	tr.Insert(ndarray.Reg(0, 0, 0, 0), 1, 10)
+	tr.Insert(ndarray.Reg(5, 5, 5, 5), 2, 20)
+	if !tr.Delete(ndarray.Reg(0, 0, 0, 0), nil) {
+		t.Fatal("delete failed")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Delete(ndarray.Reg(0, 0, 0, 0), nil) {
+		t.Fatal("double delete succeeded")
+	}
+	found := 0
+	tr.Search(ndarray.Reg(0, 9, 0, 9), nil, func(_ ndarray.Region, d int, _ int64) {
+		if d != 2 {
+			t.Fatalf("wrong survivor %d", d)
+		}
+		found++
+	})
+	if found != 1 {
+		t.Fatalf("found %d entries", found)
+	}
+	tr.CheckInvariants()
+}
+
+func TestDeleteWithMatcher(t *testing.T) {
+	tr := New[string](1)
+	tr.Insert(ndarray.Reg(3, 3), "a", 1)
+	tr.Insert(ndarray.Reg(3, 3), "b", 2)
+	if !tr.Delete(ndarray.Reg(3, 3), func(s string) bool { return s == "b" }) {
+		t.Fatal("matcher delete failed")
+	}
+	var left []string
+	tr.Search(ndarray.Reg(3, 3), nil, func(_ ndarray.Region, s string, _ int64) {
+		left = append(left, s)
+	})
+	if len(left) != 1 || left[0] != "a" {
+		t.Fatalf("left = %v", left)
+	}
+	if tr.Delete(ndarray.Reg(3, 3), func(s string) bool { return s == "b" }) {
+		t.Fatal("matcher found deleted entry")
+	}
+}
+
+func TestDeleteEmptyTree(t *testing.T) {
+	tr := New[int](1)
+	if tr.Delete(ndarray.Reg(0, 0), nil) {
+		t.Fatal("delete on empty tree succeeded")
+	}
+}
+
+// Property: random interleaved inserts and deletes keep the tree exactly
+// in sync with a reference set, with all invariants holding.
+func TestDeleteAgainstReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New[int](2)
+		type pt struct{ x, y int }
+		ref := map[pt]int{} // point → id
+		nextID := 0
+		ids := map[int]pt{}
+		for op := 0; op < 600; op++ {
+			if rng.Intn(3) != 0 || len(ref) == 0 {
+				p := pt{rng.Intn(40), rng.Intn(40)}
+				if _, dup := ref[p]; dup {
+					continue
+				}
+				ref[p] = nextID
+				ids[nextID] = p
+				tr.Insert(ndarray.Reg(p.x, p.x, p.y, p.y), nextID, int64(nextID))
+				nextID++
+			} else {
+				// Delete a random existing point.
+				var p pt
+				for q := range ref {
+					p = q
+					break
+				}
+				id := ref[p]
+				if !tr.Delete(ndarray.Reg(p.x, p.x, p.y, p.y), func(d int) bool { return d == id }) {
+					return false
+				}
+				delete(ref, p)
+				delete(ids, id)
+			}
+		}
+		tr.CheckInvariants()
+		if tr.Len() != len(ref) {
+			return false
+		}
+		got := map[int]bool{}
+		tr.Search(ndarray.Reg(0, 39, 0, 39), nil, func(r ndarray.Region, d int, _ int64) {
+			p, ok := ids[d]
+			if !ok || !r.Equal(ndarray.Reg(p.x, p.x, p.y, p.y)) {
+				got[-1] = true
+			}
+			got[d] = true
+		})
+		if len(got) != len(ref) || got[-1] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteDownToEmptyAndReuse(t *testing.T) {
+	tr := New[int](1)
+	const n = 300
+	for i := 0; i < n; i++ {
+		tr.Insert(ndarray.Reg(i, i), i, int64(i))
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Delete(ndarray.Reg(i, i), nil) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.CheckInvariants()
+	tr.Insert(ndarray.Reg(7, 7), 7, 7)
+	count := 0
+	tr.Search(ndarray.Reg(0, 299), nil, func(ndarray.Region, int, int64) { count++ })
+	if count != 1 {
+		t.Fatalf("tree unusable after emptying: found %d", count)
+	}
+}
+
+// Max augmentation stays correct through deletions.
+func TestDeleteMaintainsMaxAugmentation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tr := New[int](1)
+	vals := map[int]int64{}
+	for i := 0; i < 400; i++ {
+		v := rng.Int63n(100000)
+		tr.Insert(ndarray.Reg(i, i), i, v)
+		vals[i] = v
+	}
+	for i := 0; i < 200; i++ {
+		k := rng.Intn(400)
+		if _, ok := vals[k]; !ok {
+			continue
+		}
+		tr.Delete(ndarray.Reg(k, k), nil)
+		delete(vals, k)
+	}
+	tr.CheckInvariants()
+	var want int64 = -1
+	for _, v := range vals {
+		if v > want {
+			want = v
+		}
+	}
+	got, ok := tr.MaxSearch(ndarray.Reg(0, 399), nil, func(_ ndarray.Region, _ int, m int64) (int64, bool) {
+		return m, true
+	})
+	if !ok || got != want {
+		t.Fatalf("max after deletions = (%d,%v), want %d", got, ok, want)
+	}
+}

@@ -1,0 +1,478 @@
+// Package rstartree implements the R*-tree of Beckmann, Kriegel, Schneider
+// and Seeger — the spatial index the paper adopts for sparse data cubes
+// (§10.2, §10.3): dense-region bounding boxes and isolated points go into
+// the tree for range-sum queries, and for range-max the tree nodes carry a
+// max augmentation so the same branch-and-bound used on the static b-ary
+// tree applies to the dynamic structure.
+//
+// The implementation follows the R* design: ChooseSubtree minimizes overlap
+// enlargement at the leaf level and area enlargement above, splits pick the
+// minimum-margin axis and the minimum-overlap distribution, and the first
+// overflow on each level per insertion is handled by reinserting the ~30%
+// of entries farthest from the node center instead of splitting.
+//
+// Rectangles are closed integer boxes (ndarray.Region), matching the
+// paper's bounded rank domains.
+package rstartree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+const (
+	// MaxEntries is M, the node capacity; MinEntries is m ≈ 40%·M, the
+	// R* paper's recommended fill; reinsertCount is p ≈ 30%·M.
+	MaxEntries    = 16
+	MinEntries    = 6
+	reinsertCount = 5
+)
+
+// Tree is an R*-tree over integer rectangles with payloads of type P and an
+// int64 max augmentation per entry (ignored by callers that do not use
+// MaxSearch). The zero value is not usable; use New.
+type Tree[P any] struct {
+	dims int
+	root *node[P]
+	size int
+}
+
+// item is one slot of a node: a rectangle plus either a payload (leaf) or a
+// child pointer (internal), and the max augmentation.
+type item[P any] struct {
+	rect  ndarray.Region
+	data  P
+	child *node[P]
+	max   int64
+}
+
+type node[P any] struct {
+	parent *node[P]
+	level  int // 0 = leaf
+	items  []item[P]
+}
+
+// New returns an empty R*-tree for rectangles of the given dimensionality.
+func New[P any](dims int) *Tree[P] {
+	if dims < 1 {
+		panic("rstartree: dimensionality must be ≥ 1")
+	}
+	return &Tree[P]{dims: dims, root: &node[P]{level: 0}}
+}
+
+// Len returns the number of stored entries.
+func (t *Tree[P]) Len() int { return t.size }
+
+// Height returns the number of levels (1 for a tree holding only a leaf
+// root).
+func (t *Tree[P]) Height() int { return t.root.level + 1 }
+
+// --- geometry helpers (float64 to avoid overflow on large boxes) ---
+
+func area(r ndarray.Region) float64 {
+	a := 1.0
+	for _, rng := range r {
+		a *= float64(rng.Len())
+	}
+	return a
+}
+
+func margin(r ndarray.Region) float64 {
+	m := 0.0
+	for _, rng := range r {
+		m += float64(rng.Len())
+	}
+	return m
+}
+
+func union(a, b ndarray.Region) ndarray.Region {
+	u := make(ndarray.Region, len(a))
+	for i := range a {
+		u[i] = ndarray.Range{Lo: min(a[i].Lo, b[i].Lo), Hi: max(a[i].Hi, b[i].Hi)}
+	}
+	return u
+}
+
+func overlapArea(a, b ndarray.Region) float64 {
+	o := 1.0
+	for i := range a {
+		lo, hi := max(a[i].Lo, b[i].Lo), min(a[i].Hi, b[i].Hi)
+		if hi < lo {
+			return 0
+		}
+		o *= float64(hi - lo + 1)
+	}
+	return o
+}
+
+func centerDist2(a, b ndarray.Region) float64 {
+	d := 0.0
+	for i := range a {
+		ca := float64(a[i].Lo+a[i].Hi) / 2
+		cb := float64(b[i].Lo+b[i].Hi) / 2
+		d += (ca - cb) * (ca - cb)
+	}
+	return d
+}
+
+// mbr returns the bounding box of a node's items.
+func (n *node[P]) mbr() ndarray.Region {
+	r := n.items[0].rect.Clone()
+	for _, it := range n.items[1:] {
+		r = union(r, it.rect)
+	}
+	return r
+}
+
+// maxOf returns the max augmentation over a node's items.
+func (n *node[P]) maxOf() int64 {
+	m := n.items[0].max
+	for _, it := range n.items[1:] {
+		if it.max > m {
+			m = it.max
+		}
+	}
+	return m
+}
+
+// Insert adds a rectangle with its payload and max augmentation.
+func (t *Tree[P]) Insert(rect ndarray.Region, data P, maxVal int64) {
+	if len(rect) != t.dims {
+		panic(fmt.Sprintf("rstartree: rectangle of dimension %d in tree of dimension %d", len(rect), t.dims))
+	}
+	if rect.Empty() {
+		panic(fmt.Sprintf("rstartree: empty rectangle %v", rect))
+	}
+	t.size++
+	t.insert(item[P]{rect: rect.Clone(), data: data, max: maxVal}, 0, map[int]bool{})
+}
+
+// insert places it into a node at the given level, handling overflow by
+// forced reinsert (once per level per insertion) or split.
+func (t *Tree[P]) insert(it item[P], level int, reinserted map[int]bool) {
+	n := t.chooseNode(it.rect, level)
+	n.items = append(n.items, it)
+	if it.child != nil {
+		it.child.parent = n
+	}
+	t.adjustUp(n)
+	t.overflow(n, reinserted)
+}
+
+// chooseNode descends from the root to the node at the target level whose
+// subtree should receive rect (R* ChooseSubtree).
+func (t *Tree[P]) chooseNode(rect ndarray.Region, level int) *node[P] {
+	n := t.root
+	for n.level > level {
+		best := -1
+		if n.level == 1 {
+			// Children are leaves: minimize overlap enlargement, then area
+			// enlargement, then area.
+			bestOverlap, bestEnl, bestArea := math.Inf(1), math.Inf(1), math.Inf(1)
+			for i, it := range n.items {
+				enlarged := union(it.rect, rect)
+				dOverlap := 0.0
+				for j, other := range n.items {
+					if j == i {
+						continue
+					}
+					dOverlap += overlapArea(enlarged, other.rect) - overlapArea(it.rect, other.rect)
+				}
+				enl := area(enlarged) - area(it.rect)
+				ar := area(it.rect)
+				if dOverlap < bestOverlap ||
+					(dOverlap == bestOverlap && enl < bestEnl) ||
+					(dOverlap == bestOverlap && enl == bestEnl && ar < bestArea) {
+					best, bestOverlap, bestEnl, bestArea = i, dOverlap, enl, ar
+				}
+			}
+		} else {
+			bestEnl, bestArea := math.Inf(1), math.Inf(1)
+			for i, it := range n.items {
+				enl := area(union(it.rect, rect)) - area(it.rect)
+				ar := area(it.rect)
+				if enl < bestEnl || (enl == bestEnl && ar < bestArea) {
+					best, bestEnl, bestArea = i, enl, ar
+				}
+			}
+		}
+		n = n.items[best].child
+	}
+	return n
+}
+
+// overflow applies R* OverflowTreatment up the tree.
+func (t *Tree[P]) overflow(n *node[P], reinserted map[int]bool) {
+	for n != nil && len(n.items) > MaxEntries {
+		if n.parent != nil && !reinserted[n.level] {
+			reinserted[n.level] = true
+			t.reinsert(n, reinserted)
+			return
+		}
+		nn := t.split(n)
+		if n.parent == nil {
+			// Root split: the tree grows one level.
+			newRoot := &node[P]{level: n.level + 1}
+			for _, c := range []*node[P]{n, nn} {
+				c.parent = newRoot
+				newRoot.items = append(newRoot.items, item[P]{rect: c.mbr(), child: c, max: c.maxOf()})
+			}
+			t.root = newRoot
+			return
+		}
+		parent := n.parent
+		nn.parent = parent
+		parent.items = append(parent.items, item[P]{rect: nn.mbr(), child: nn, max: nn.maxOf()})
+		// n kept only part of its items: refresh its slot in parent (and
+		// all ancestors) before moving up.
+		t.adjustUp(n)
+		n = parent
+	}
+}
+
+// reinsert removes the p entries whose centers are farthest from the node's
+// center and re-inserts them from the top (R* forced reinsert).
+func (t *Tree[P]) reinsert(n *node[P], reinserted map[int]bool) {
+	center := n.mbr()
+	sort.SliceStable(n.items, func(i, j int) bool {
+		return centerDist2(n.items[i].rect, center) > centerDist2(n.items[j].rect, center)
+	})
+	removed := append([]item[P](nil), n.items[:reinsertCount]...)
+	n.items = append(n.items[:0], n.items[reinsertCount:]...)
+	t.adjustUp(n)
+	// Re-insert in increasing distance (the R* paper's "close reinsert").
+	for i := len(removed) - 1; i >= 0; i-- {
+		t.insert(removed[i], n.level, reinserted)
+	}
+}
+
+// split divides an overfull node using the R* topological split and returns
+// the new sibling holding the second group.
+func (t *Tree[P]) split(n *node[P]) *node[P] {
+	items := n.items
+	total := len(items)
+	type dist struct {
+		axis, k int
+		byHi    bool
+	}
+	// ChooseSplitAxis: minimize the sum of margins over all distributions.
+	bestAxis, bestAxisByHi, bestMargin := -1, false, math.Inf(1)
+	sorted := make([]item[P], total)
+	for axis := 0; axis < t.dims; axis++ {
+		for _, byHi := range []bool{false, true} {
+			copy(sorted, items)
+			sortItems(sorted, axis, byHi)
+			marginSum := 0.0
+			for k := MinEntries; k <= total-MinEntries; k++ {
+				marginSum += margin(mbrOf(sorted[:k])) + margin(mbrOf(sorted[k:]))
+			}
+			if marginSum < bestMargin {
+				bestAxis, bestAxisByHi, bestMargin = axis, byHi, marginSum
+			}
+		}
+	}
+	_ = bestAxisByHi
+	// ChooseSplitIndex on the chosen axis: minimize overlap, then area,
+	// considering both sort orders on that axis.
+	var bestSorted []item[P]
+	bestK := -1
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	for _, byHi := range []bool{false, true} {
+		cand := make([]item[P], total)
+		copy(cand, items)
+		sortItems(cand, bestAxis, byHi)
+		for k := MinEntries; k <= total-MinEntries; k++ {
+			left, right := mbrOf(cand[:k]), mbrOf(cand[k:])
+			ov := overlapArea(left, right)
+			ar := area(left) + area(right)
+			if ov < bestOverlap || (ov == bestOverlap && ar < bestArea) {
+				bestSorted = append(bestSorted[:0], cand...)
+				bestK, bestOverlap, bestArea = k, ov, ar
+			}
+		}
+	}
+	n.items = append(n.items[:0], bestSorted[:bestK]...)
+	nn := &node[P]{level: n.level, items: append([]item[P](nil), bestSorted[bestK:]...)}
+	for _, it := range n.items {
+		if it.child != nil {
+			it.child.parent = n
+		}
+	}
+	for _, it := range nn.items {
+		if it.child != nil {
+			it.child.parent = nn
+		}
+	}
+	return nn
+}
+
+func sortItems[P any](items []item[P], axis int, byHi bool) {
+	sort.SliceStable(items, func(i, j int) bool {
+		if byHi {
+			if items[i].rect[axis].Hi != items[j].rect[axis].Hi {
+				return items[i].rect[axis].Hi < items[j].rect[axis].Hi
+			}
+			return items[i].rect[axis].Lo < items[j].rect[axis].Lo
+		}
+		if items[i].rect[axis].Lo != items[j].rect[axis].Lo {
+			return items[i].rect[axis].Lo < items[j].rect[axis].Lo
+		}
+		return items[i].rect[axis].Hi < items[j].rect[axis].Hi
+	})
+}
+
+func mbrOf[P any](items []item[P]) ndarray.Region {
+	r := items[0].rect.Clone()
+	for _, it := range items[1:] {
+		r = union(r, it.rect)
+	}
+	return r
+}
+
+// adjustUp recomputes the MBR and max slots for n's entry in each ancestor.
+func (t *Tree[P]) adjustUp(n *node[P]) {
+	for n.parent != nil {
+		p := n.parent
+		for i := range p.items {
+			if p.items[i].child == n {
+				p.items[i].rect = n.mbr()
+				p.items[i].max = n.maxOf()
+				break
+			}
+		}
+		n = p
+	}
+}
+
+// Search visits every stored entry whose rectangle intersects query. Node
+// accesses are counted into c as Aux.
+func (t *Tree[P]) Search(query ndarray.Region, c *metrics.Counter, visit func(rect ndarray.Region, data P, maxVal int64)) {
+	if len(query) != t.dims {
+		panic(fmt.Sprintf("rstartree: query of dimension %d in tree of dimension %d", len(query), t.dims))
+	}
+	if t.size == 0 || query.Empty() {
+		return
+	}
+	t.search(t.root, query, c, visit)
+}
+
+func (t *Tree[P]) search(n *node[P], query ndarray.Region, c *metrics.Counter, visit func(ndarray.Region, P, int64)) {
+	c.AddAux(1)
+	for _, it := range n.items {
+		if it.rect.Intersect(query).Empty() {
+			continue
+		}
+		if n.level == 0 {
+			visit(it.rect, it.data, it.max)
+		} else {
+			t.search(it.child, query, c, visit)
+		}
+	}
+}
+
+// MaxSearch returns the entry with the largest max augmentation among
+// entries intersecting the query, using branch-and-bound over the node
+// augmentations: subtrees whose max cannot beat the current best are
+// pruned, the same optimization §6 applies to the static tree (§10.3 notes
+// the R*-tree substitutes for it on sparse cubes). The visitRefine callback
+// lets the caller refine an entry's effective value when the entry is only
+// partially inside the query (e.g. a dense region whose maximum lies
+// outside the intersection); it returns the refined value and whether the
+// entry is usable at all.
+func (t *Tree[P]) MaxSearch(query ndarray.Region, c *metrics.Counter,
+	refine func(rect ndarray.Region, data P, maxVal int64) (int64, bool)) (best int64, ok bool) {
+	if len(query) != t.dims {
+		panic(fmt.Sprintf("rstartree: query of dimension %d in tree of dimension %d", len(query), t.dims))
+	}
+	if t.size == 0 || query.Empty() {
+		return 0, false
+	}
+	t.maxSearch(t.root, query, c, refine, &best, &ok)
+	return best, ok
+}
+
+func (t *Tree[P]) maxSearch(n *node[P], query ndarray.Region, c *metrics.Counter,
+	refine func(ndarray.Region, P, int64) (int64, bool), best *int64, ok *bool) {
+	c.AddAux(1)
+	// Visit children in decreasing max order so good candidates are found
+	// early and pruning bites.
+	order := make([]int, len(n.items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return n.items[order[a]].max > n.items[order[b]].max })
+	for _, i := range order {
+		it := n.items[i]
+		if *ok && it.max <= *best {
+			return // branch-and-bound cut: sorted order makes the rest prunable too
+		}
+		if it.rect.Intersect(query).Empty() {
+			continue
+		}
+		if n.level > 0 {
+			t.maxSearch(it.child, query, c, refine, best, ok)
+			continue
+		}
+		c.AddSteps(1)
+		if query.ContainsRegion(it.rect) {
+			if !*ok || it.max > *best {
+				*best, *ok = it.max, true
+			}
+			continue
+		}
+		if v, usable := refine(it.rect, it.data, it.max); usable && (!*ok || v > *best) {
+			*best, *ok = v, true
+		}
+	}
+}
+
+// CheckInvariants panics if any R-tree invariant is violated: occupancy,
+// MBR containment, level consistency, parent pointers, max augmentation
+// consistency. The entry count must equal Len().
+func (t *Tree[P]) CheckInvariants() {
+	count := 0
+	var walk func(n *node[P])
+	walk = func(n *node[P]) {
+		if n != t.root && (len(n.items) < MinEntries || len(n.items) > MaxEntries) {
+			panic(fmt.Sprintf("rstartree: node occupancy %d at level %d", len(n.items), n.level))
+		}
+		if len(n.items) > MaxEntries {
+			panic("rstartree: overfull node")
+		}
+		for _, it := range n.items {
+			if n.level == 0 {
+				if it.child != nil {
+					panic("rstartree: leaf with child pointer")
+				}
+				count++
+				continue
+			}
+			if it.child == nil {
+				panic("rstartree: internal entry without child")
+			}
+			if it.child.parent != n {
+				panic("rstartree: broken parent pointer")
+			}
+			if it.child.level != n.level-1 {
+				panic("rstartree: level mismatch")
+			}
+			if !it.rect.Equal(it.child.mbr()) {
+				panic(fmt.Sprintf("rstartree: stale MBR %v vs %v", it.rect, it.child.mbr()))
+			}
+			if it.max != it.child.maxOf() {
+				panic("rstartree: stale max augmentation")
+			}
+			walk(it.child)
+		}
+	}
+	if t.size > 0 {
+		walk(t.root)
+	}
+	if count != t.size {
+		panic(fmt.Sprintf("rstartree: walked %d entries, size says %d", count, t.size))
+	}
+}

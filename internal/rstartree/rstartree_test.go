@@ -1,0 +1,244 @@
+package rstartree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+func randRect(rng *rand.Rand, dims, extent, maxSide int) ndarray.Region {
+	r := make(ndarray.Region, dims)
+	for j := range r {
+		lo := rng.Intn(extent)
+		hi := lo + rng.Intn(maxSide)
+		if hi >= extent {
+			hi = extent - 1
+		}
+		r[j] = ndarray.Range{Lo: lo, Hi: hi}
+	}
+	return r
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int](2)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has entries")
+	}
+	tr.Search(ndarray.Reg(0, 10, 0, 10), nil, func(ndarray.Region, int, int64) {
+		t.Fatal("visited entry in empty tree")
+	})
+	if _, ok := tr.MaxSearch(ndarray.Reg(0, 10, 0, 10), nil, nil); ok {
+		t.Fatal("MaxSearch found something in empty tree")
+	}
+	tr.CheckInvariants()
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}
+
+func TestInsertValidation(t *testing.T) {
+	tr := New[int](2)
+	for _, r := range []ndarray.Region{ndarray.Reg(0, 1), ndarray.Reg(3, 2, 0, 1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Insert(%v) did not panic", r)
+				}
+			}()
+			tr.Insert(r, 0, 0)
+		}()
+	}
+}
+
+func TestSmallSearch(t *testing.T) {
+	tr := New[string](2)
+	tr.Insert(ndarray.Reg(0, 4, 0, 4), "a", 10)
+	tr.Insert(ndarray.Reg(10, 14, 10, 14), "b", 20)
+	tr.Insert(ndarray.Reg(3, 12, 3, 12), "c", 30)
+	got := map[string]bool{}
+	tr.Search(ndarray.Reg(4, 4, 4, 4), nil, func(_ ndarray.Region, d string, _ int64) {
+		got[d] = true
+	})
+	if !got["a"] || !got["c"] || got["b"] {
+		t.Fatalf("Search(4,4) = %v, want a and c", got)
+	}
+}
+
+// Property: Search returns exactly the entries a linear scan would, for
+// random rectangle sets (with duplicates and containment) and queries.
+func TestSearchMatchesLinearScanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 1 + rng.Intn(3)
+		tr := New[int](dims)
+		n := 1 + rng.Intn(300)
+		rects := make([]ndarray.Region, n)
+		for i := range rects {
+			rects[i] = randRect(rng, dims, 60, 8)
+			tr.Insert(rects[i], i, int64(i))
+		}
+		tr.CheckInvariants()
+		if tr.Len() != n {
+			return false
+		}
+		for q := 0; q < 5; q++ {
+			query := randRect(rng, dims, 60, 25)
+			want := map[int]bool{}
+			for i, r := range rects {
+				if !r.Intersect(query).Empty() {
+					want[i] = true
+				}
+			}
+			got := map[int]bool{}
+			tr.Search(query, nil, func(r ndarray.Region, d int, m int64) {
+				if got[d] || !r.Equal(rects[d]) || m != int64(d) {
+					got[-1] = true // duplicate visit or corrupted entry
+				}
+				got[d] = true
+			})
+			if len(got) != len(want) {
+				return false
+			}
+			for k := range want {
+				if !got[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaxSearch with point entries equals the linear maximum over
+// intersecting entries, and prunes: its node accesses are at most Search's.
+func TestMaxSearchMatchesLinearProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New[int](2)
+		n := 50 + rng.Intn(400)
+		type pt struct {
+			r ndarray.Region
+			v int64
+		}
+		pts := make([]pt, n)
+		for i := range pts {
+			x, y := rng.Intn(100), rng.Intn(100)
+			pts[i] = pt{ndarray.Reg(x, x, y, y), rng.Int63n(10000)}
+			tr.Insert(pts[i].r, i, pts[i].v)
+		}
+		tr.CheckInvariants()
+		for q := 0; q < 5; q++ {
+			query := randRect(rng, 2, 100, 40)
+			var want int64
+			wantOK := false
+			for _, p := range pts {
+				if !p.r.Intersect(query).Empty() && (!wantOK || p.v > want) {
+					want, wantOK = p.v, true
+				}
+			}
+			var cm, cs metrics.Counter
+			got, ok := tr.MaxSearch(query, &cm, func(_ ndarray.Region, _ int, m int64) (int64, bool) {
+				return m, true
+			})
+			if ok != wantOK || (ok && got != want) {
+				return false
+			}
+			tr.Search(query, &cs, func(ndarray.Region, int, int64) {})
+			if wantOK && cm.Aux > cs.Aux {
+				return false // pruning must not read more nodes than full search
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxSearchRefinePartialEntries(t *testing.T) {
+	tr := New[string](1)
+	// An entry only partially inside the query: refine must be consulted.
+	tr.Insert(ndarray.Reg(0, 9), "region", 100)
+	tr.Insert(ndarray.Reg(20, 20), "point", 5)
+	refined := false
+	got, ok := tr.MaxSearch(ndarray.Reg(5, 25), nil, func(r ndarray.Region, d string, m int64) (int64, bool) {
+		refined = true
+		if d != "region" {
+			return 0, false
+		}
+		return 42, true // pretend the max inside the intersection is 42
+	})
+	if !refined {
+		t.Fatal("refine was not called for the partial entry")
+	}
+	if !ok || got != 42 {
+		t.Fatalf("MaxSearch = (%d,%v), want (42,true)", got, ok)
+	}
+}
+
+func TestHeightLogarithmic(t *testing.T) {
+	tr := New[int](2)
+	const n = 5000
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < n; i++ {
+		x, y := rng.Intn(1000), rng.Intn(1000)
+		tr.Insert(ndarray.Reg(x, x, y, y), i, 0)
+	}
+	tr.CheckInvariants()
+	// With M = 16 and ≥ 40% fill, 5000 entries need at most 5 levels.
+	if tr.Height() > 5 {
+		t.Fatalf("Height = %d for %d entries", tr.Height(), n)
+	}
+}
+
+func TestSequentialInsertionStaysBalanced(t *testing.T) {
+	// Sorted insertion is the classic R-tree worst case; forced reinsert
+	// should keep search effective.
+	tr := New[int](1)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		tr.Insert(ndarray.Reg(i, i), i, int64(i))
+	}
+	tr.CheckInvariants()
+	var c metrics.Counter
+	count := 0
+	tr.Search(ndarray.Reg(500, 509), &c, func(ndarray.Region, int, int64) { count++ })
+	if count != 10 {
+		t.Fatalf("found %d entries, want 10", count)
+	}
+	// A 10-point query should touch a small fraction of the tree's nodes.
+	if c.Aux > 30 {
+		t.Fatalf("point query touched %d nodes", c.Aux)
+	}
+}
+
+func TestSearchQueryValidation(t *testing.T) {
+	tr := New[int](2)
+	tr.Insert(ndarray.Reg(0, 0, 0, 0), 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Search with wrong dimensionality did not panic")
+		}
+	}()
+	tr.Search(ndarray.Reg(0, 1), nil, func(ndarray.Region, int, int64) {})
+}
+
+func TestEmptyQueryRegion(t *testing.T) {
+	tr := New[int](2)
+	tr.Insert(ndarray.Reg(0, 0, 0, 0), 1, 1)
+	tr.Search(ndarray.Reg(5, 4, 0, 9), nil, func(ndarray.Region, int, int64) {
+		t.Fatal("empty query visited an entry")
+	})
+}

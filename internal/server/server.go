@@ -1,0 +1,306 @@
+// Package server wraps a data cube and its precomputed range-query
+// structures in an HTTP API, the deployment shape the paper's model
+// implies: queries run concurrently against immutable structures, updates
+// arrive in batches (§5's nightly-update model) under a write lock, and
+// every response reports the paper's cost proxy (elements accessed)
+// alongside the answer.
+//
+//	GET  /schema                      cube dimensions and sizes
+//	GET  /query?op=sum&age=37..52&type=auto
+//	GET  /query?op=max&year=1990..1995     (also min, avg, count)
+//	POST /update                      JSON batch of {coords, delta}
+//	GET  /advise?space=100000         §9 planner choices for the query log
+//
+// Selector syntax per dimension: name=value, name=lo..hi, name=*
+// (unspecified dimensions default to "all"). op=sum responses include the
+// §11 [lower, upper] bounds computed before the exact answer.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"rangecube/internal/core/batchsum"
+	"rangecube/internal/core/blocked"
+	"rangecube/internal/core/maxtree"
+	"rangecube/internal/core/prefixsum"
+	"rangecube/internal/cube"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/planner"
+)
+
+// Server holds the cube and its indexes. Queries take the read lock;
+// update batches take the write lock and rebuild nothing — they run the
+// §5/§7 incremental algorithms.
+type Server struct {
+	mu sync.RWMutex
+
+	cube *cube.Cube
+	sum  *prefixsum.IntArray
+	blk  *blocked.IntArray
+	max  *maxtree.Tree[int64]
+	min  *maxtree.Tree[int64]
+
+	logMu sync.Mutex
+	log   []ndarray.Region // recent query regions, input to /advise
+}
+
+// New builds a server over the cube with the given uniform block size for
+// the blocked index and fanout for the max/min trees.
+func New(c *cube.Cube, blockSize, fanout int) *Server {
+	// The blocked index shares (and updates) the cube's array; the max and
+	// min trees get their own copies so the §7 update protocol can compare
+	// old and new cell values independently of the §5 path.
+	return &Server{
+		cube: c,
+		sum:  prefixsum.BuildInt(c.Data()),
+		blk:  blocked.BuildInt(c.Data(), blockSize),
+		max:  maxtree.Build(c.Data().Clone(), fanout),
+		min:  maxtree.BuildMin(c.Data().Clone(), fanout),
+	}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /schema", s.handleSchema)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.HandleFunc("GET /advise", s.handleAdvise)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleSchema reports the dimensions.
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
+	type dim struct {
+		Name string `json:"name"`
+		Size int    `json:"size"`
+		Low  string `json:"low"`
+		High string `json:"high"`
+	}
+	dims := make([]dim, s.cube.Dims())
+	for i := range dims {
+		d := s.cube.Dimension(i)
+		dims[i] = dim{Name: d.Name(), Size: d.Size(), Low: d.ValueAt(0), High: d.ValueAt(d.Size() - 1)}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dimensions": dims,
+		"cells":      s.cube.Data().Size(),
+	})
+}
+
+// parseRegion translates query parameters into a rank-domain region.
+func (s *Server) parseRegion(r *http.Request) (ndarray.Region, error) {
+	var sels []cube.Selector
+	for name, vals := range r.URL.Query() {
+		if name == "op" || name == "space" {
+			continue
+		}
+		if len(vals) != 1 {
+			return nil, fmt.Errorf("dimension %q specified %d times", name, len(vals))
+		}
+		spec := vals[0]
+		lo, hi, isRange := strings.Cut(spec, "..")
+		conv := func(s string) any {
+			if v, err := strconv.Atoi(s); err == nil {
+				return v
+			}
+			return s
+		}
+		switch {
+		case isRange:
+			sels = append(sels, cube.Between(name, conv(lo), conv(hi)))
+		case spec == "*":
+			sels = append(sels, cube.All(name))
+		default:
+			sels = append(sels, cube.Eq(name, conv(spec)))
+		}
+	}
+	return s.cube.Region(sels...)
+}
+
+// queryResponse is the JSON shape of /query answers.
+type queryResponse struct {
+	Op      string   `json:"op"`
+	Value   int64    `json:"value"`
+	Average float64  `json:"average,omitempty"`
+	At      []string `json:"at,omitempty"`
+	Empty   bool     `json:"empty,omitempty"`
+	// Bounds are reported only for op=sum (§11); 0 is a legitimate lower
+	// bound, so these are not omitempty.
+	LowerBnd *int64 `json:"lower_bound,omitempty"`
+	UpperBnd *int64 `json:"upper_bound,omitempty"`
+	Volume   int    `json:"volume"`
+	Accesses int64  `json:"accesses"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	region, err := s.parseRegion(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	op := r.URL.Query().Get("op")
+	if op == "" {
+		op = "sum"
+	}
+	s.logMu.Lock()
+	if len(s.log) < 10000 {
+		s.log = append(s.log, region.Clone())
+	}
+	s.logMu.Unlock()
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var c metrics.Counter
+	resp := queryResponse{Op: op, Volume: region.Volume()}
+	switch op {
+	case "sum":
+		lo, hi := blocked.Bounds(s.blk, region, nil)
+		resp.LowerBnd, resp.UpperBnd = &lo, &hi
+		resp.Value = s.sum.Sum(region, &c)
+	case "count":
+		resp.Value = int64(region.Volume())
+	case "avg":
+		sum := s.sum.Sum(region, &c)
+		if v := region.Volume(); v > 0 {
+			resp.Average = float64(sum) / float64(v)
+		}
+		resp.Value = sum
+	case "max", "min":
+		tree := s.max
+		if op == "min" {
+			tree = s.min
+		}
+		off, v, ok := tree.MaxIndex(region, &c)
+		if !ok {
+			resp.Empty = true
+			break
+		}
+		resp.Value = v
+		coords := s.cube.Data().Coords(off, nil)
+		resp.At = make([]string, len(coords))
+		for i, rank := range coords {
+			resp.At[i] = fmt.Sprintf("%s=%s", s.cube.Dimension(i).Name(), s.cube.Dimension(i).ValueAt(rank))
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown op %q (sum, count, avg, max, min)", op)
+		return
+	}
+	resp.Accesses = c.Total()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// updateRequest is the JSON shape of /update batches. Deltas adjust the
+// SUM structures; the MAX/MIN trees receive the resulting absolute values.
+type updateRequest struct {
+	Updates []struct {
+		Coords []int `json:"coords"`
+		Delta  int64 `json:"delta"`
+	} `json:"updates"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding update batch: %v", err)
+		return
+	}
+	if len(req.Updates) == 0 {
+		writeError(w, http.StatusBadRequest, "empty update batch")
+		return
+	}
+	shape := s.cube.Shape()
+	for i, u := range req.Updates {
+		if len(u.Coords) != len(shape) {
+			writeError(w, http.StatusBadRequest, "update %d has %d coords, want %d", i, len(u.Coords), len(shape))
+			return
+		}
+		for j, x := range u.Coords {
+			if x < 0 || x >= shape[j] {
+				writeError(w, http.StatusBadRequest, "update %d out of bounds in dimension %d", i, j)
+				return
+			}
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bups := make([]batchsum.IntUpdate, len(req.Updates))
+	for i, u := range req.Updates {
+		bups[i] = batchsum.IntUpdate{Coords: u.Coords, Delta: u.Delta}
+	}
+	// The prefix-sum index holds its own P; the blocked index additionally
+	// applies the deltas to the shared cube cells (§5.2).
+	batchsum.ApplyInt(s.sum, bups, nil)
+	batchsum.ApplyBlockedInt(s.blk, bups, nil)
+	// The max/min trees share that cube, which now holds the final values:
+	// feed those values through the §7 protocol (re-assigning a cell its
+	// current value is a no-op on A but repairs the tree nodes).
+	maxUps := make([]maxtree.PointUpdate[int64], len(req.Updates))
+	for i, u := range req.Updates {
+		maxUps[i] = maxtree.PointUpdate[int64]{Coords: u.Coords, Value: s.cube.Data().At(u.Coords...)}
+	}
+	s.max.BatchUpdate(maxUps, nil)
+	s.min.BatchUpdate(maxUps, nil)
+	writeJSON(w, http.StatusOK, map[string]any{"applied": len(req.Updates)})
+}
+
+// handleAdvise runs the §9 planner over the accumulated query log.
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	space := 1e6
+	if v := r.URL.Query().Get("space"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			writeError(w, http.StatusBadRequest, "bad space budget %q", v)
+			return
+		}
+		space = f
+	}
+	s.logMu.Lock()
+	log := append([]ndarray.Region(nil), s.log...)
+	s.logMu.Unlock()
+	if len(log) == 0 {
+		writeError(w, http.StatusConflict, "no queries logged yet")
+		return
+	}
+	p, err := planner.New(s.cube, log, space)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	type choice struct {
+		Dimensions []string `json:"dimensions"`
+		BlockSize  int      `json:"block_size"`
+	}
+	choices := make([]choice, 0, len(p.Choices()))
+	for _, ch := range p.Choices() {
+		var names []string
+		for j := 0; j < s.cube.Dims(); j++ {
+			if ch.Dims&(1<<uint(j)) != 0 {
+				names = append(names, s.cube.Dimension(j).Name())
+			}
+		}
+		choices = append(choices, choice{Dimensions: names, BlockSize: ch.BlockSize})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries_profiled": len(log),
+		"space_budget":     space,
+		"space_used":       p.SpaceUsed(),
+		"choices":          choices,
+	})
+}

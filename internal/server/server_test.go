@@ -1,0 +1,283 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"rangecube/internal/cube"
+	"rangecube/internal/naive"
+)
+
+func testServer(t *testing.T) (*Server, *cube.Cube) {
+	t.Helper()
+	c := cube.New(
+		cube.NewIntDimension("age", 1, 50),
+		cube.NewIntDimension("year", 1990, 1999),
+		cube.NewCategoryDimension("type", "auto", "home"),
+	)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		typ := "auto"
+		if rng.Intn(2) == 0 {
+			typ = "home"
+		}
+		if err := c.Add(int64(rng.Intn(100)), 1+rng.Intn(50), 1990+rng.Intn(10), typ); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(c, 5, 4), c
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var out struct {
+		Dimensions []struct {
+			Name string `json:"name"`
+			Size int    `json:"size"`
+		} `json:"dimensions"`
+		Cells int `json:"cells"`
+	}
+	if code := get(t, ts, "/schema", &out); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Dimensions) != 3 || out.Cells != 50*10*2 {
+		t.Fatalf("schema = %+v", out)
+	}
+	if out.Dimensions[0].Name != "age" || out.Dimensions[0].Size != 50 {
+		t.Fatalf("first dimension = %+v", out.Dimensions[0])
+	}
+}
+
+func TestQueryEndpoints(t *testing.T) {
+	s, c := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	region, err := c.Region(
+		cube.Between("age", 20, 35),
+		cube.Between("year", 1992, 1997),
+		cube.Eq("type", "auto"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.SumInt64(c.Data(), region, nil)
+
+	var out queryResponse
+	code := get(t, ts, "/query?op=sum&age=20..35&year=1992..1997&type=auto", &out)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if out.Value != want {
+		t.Fatalf("sum = %d, want %d", out.Value, want)
+	}
+	if out.LowerBnd == nil || out.UpperBnd == nil {
+		t.Fatal("sum response missing bounds")
+	}
+	if *out.LowerBnd > want || want > *out.UpperBnd {
+		t.Fatalf("bounds [%d,%d] miss %d", *out.LowerBnd, *out.UpperBnd, want)
+	}
+	if out.Accesses == 0 || out.Accesses > 8 {
+		t.Fatalf("accesses = %d, want ≤ 2^3", out.Accesses)
+	}
+
+	// Max with location rendering.
+	code = get(t, ts, "/query?op=max&age=20..35&type=auto", &out)
+	if code != http.StatusOK || out.Empty {
+		t.Fatalf("max failed: %d %+v", code, out)
+	}
+	maxRegion, err := c.Region(cube.Between("age", 20, 35), cube.Eq("type", "auto"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantMax, _ := naive.Max(c.Data(), maxRegion, nil)
+	if out.Value != wantMax {
+		t.Fatalf("max = %d, want %d", out.Value, wantMax)
+	}
+	if len(out.At) != 3 {
+		t.Fatalf("At = %v", out.At)
+	}
+
+	// Default op is sum; avg and count work; min works.
+	if code := get(t, ts, "/query?age=1..50", &out); code != http.StatusOK {
+		t.Fatalf("default op status %d", code)
+	}
+	if code := get(t, ts, "/query?op=avg&year=1995", &out); code != http.StatusOK || out.Average == 0 {
+		t.Fatalf("avg failed: %d %+v", code, out)
+	}
+	if code := get(t, ts, "/query?op=count&type=home", &out); code != http.StatusOK || out.Value != 500 {
+		t.Fatalf("count = %+v", out)
+	}
+	if code := get(t, ts, "/query?op=min&year=1990..1991", &out); code != http.StatusOK {
+		t.Fatalf("min status %d", code)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, path := range []string{
+		"/query?op=sum&bogus=3",
+		"/query?op=teleport&age=1..10",
+		"/query?op=sum&age=50..1",
+		"/query?op=sum&age=1..10&age=2..5",
+	} {
+		if code := get(t, ts, path, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, code)
+		}
+	}
+}
+
+func TestUpdateEndpoint(t *testing.T) {
+	s, c := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var before queryResponse
+	get(t, ts, "/query?op=sum&age=10&year=1995&type=auto", &before)
+
+	body, _ := json.Marshal(map[string]any{
+		"updates": []map[string]any{
+			{"coords": []int{9, 5, 0}, "delta": 100}, // age=10, year=1995, auto
+			{"coords": []int{9, 5, 0}, "delta": 23},
+		},
+	})
+	resp, err := ts.Client().Post(ts.URL+"/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update status %d", resp.StatusCode)
+	}
+
+	var after queryResponse
+	get(t, ts, "/query?op=sum&age=10&year=1995&type=auto", &after)
+	if after.Value != before.Value+123 {
+		t.Fatalf("after update sum = %d, want %d", after.Value, before.Value+123)
+	}
+	// Max must reflect the bump too (cell now holds before+123 ≥ 123).
+	var mx queryResponse
+	get(t, ts, "/query?op=max&age=10&year=1995&type=auto", &mx)
+	if mx.Value != after.Value {
+		t.Fatalf("max = %d, want the single cell value %d", mx.Value, after.Value)
+	}
+	_ = c
+}
+
+func TestUpdateValidation(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	for _, body := range []string{
+		`not json`,
+		`{"updates":[]}`,
+		`{"updates":[{"coords":[1],"delta":1}]}`,
+		`{"updates":[{"coords":[99,0,0],"delta":1}]}`,
+	} {
+		resp, err := ts.Client().Post(ts.URL+"/update", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestAdviseEndpoint(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Before any queries: nothing to profile.
+	if code := get(t, ts, "/advise", nil); code != http.StatusConflict {
+		t.Fatalf("empty-log advise status %d", code)
+	}
+	for i := 0; i < 20; i++ {
+		get(t, ts, fmt.Sprintf("/query?op=sum&age=%d..%d&year=1991..1996", 1+i, 20+i), nil)
+	}
+	var out struct {
+		QueriesProfiled int     `json:"queries_profiled"`
+		SpaceUsed       float64 `json:"space_used"`
+		Choices         []struct {
+			Dimensions []string `json:"dimensions"`
+			BlockSize  int      `json:"block_size"`
+		} `json:"choices"`
+	}
+	if code := get(t, ts, "/advise?space=100000", &out); code != http.StatusOK {
+		t.Fatalf("advise status %d", code)
+	}
+	if out.QueriesProfiled != 20 || len(out.Choices) == 0 {
+		t.Fatalf("advise = %+v", out)
+	}
+	if code := get(t, ts, "/advise?space=-3", nil); code != http.StatusBadRequest {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+// Concurrent readers and a writer exercise the locking.
+func TestConcurrentQueriesAndUpdates(t *testing.T) {
+	s, _ := testServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				var out queryResponse
+				if code := get(t, ts, fmt.Sprintf("/query?op=sum&age=%d..%d", 1+seed, 30+seed), &out); code != http.StatusOK {
+					t.Errorf("query status %d", code)
+					return
+				}
+				if out.LowerBnd == nil || out.UpperBnd == nil ||
+					*out.LowerBnd > out.Value || out.Value > *out.UpperBnd {
+					t.Error("bounds violated under concurrency")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			body, _ := json.Marshal(map[string]any{
+				"updates": []map[string]any{{"coords": []int{i, i, 0}, "delta": 5}},
+			})
+			resp, err := ts.Client().Post(ts.URL+"/update", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+}

@@ -1,0 +1,94 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"rangecube/internal/btree"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// OneDimBlocked is the b > 1 variant of the §10.1 sparse one-dimensional
+// structure the paper sketches ("a similar solution applies to the case
+// where b > 1"): a prefix sum is stored only at every b-th non-empty cell
+// (the anchors, indexed by a B-tree), and the raw cells are kept sorted so
+// at most b − 1 of them are scanned past the preceding anchor per bound.
+// Auxiliary storage shrinks from one entry per non-empty cell to one per b
+// non-empty cells.
+type OneDimBlocked struct {
+	n       int
+	b       int
+	cells   []Cell            // sorted by index
+	anchors btree.Tree[int64] // anchor index → Sum(0:index)
+}
+
+// NewOneDimBlocked builds the structure over a domain of size n with
+// anchor spacing b ≥ 1 (b = 1 degenerates to NewOneDim's behaviour, one
+// stored prefix per cell).
+func NewOneDimBlocked(n int, cells []Cell, b int) *OneDimBlocked {
+	if b < 1 {
+		panic(fmt.Sprintf("sparse: anchor spacing %d < 1", b))
+	}
+	sorted := append([]Cell(nil), cells...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	s := &OneDimBlocked{n: n, b: b, cells: sorted}
+	var run int64
+	prev := -1
+	for i, c := range sorted {
+		if c.Index < 0 || c.Index >= n {
+			panic(fmt.Sprintf("sparse: cell index %d out of domain [0,%d)", c.Index, n))
+		}
+		if c.Index == prev {
+			panic(fmt.Sprintf("sparse: duplicate cell index %d", c.Index))
+		}
+		prev = c.Index
+		run += c.Value
+		if (i+1)%b == 0 || i == len(sorted)-1 {
+			// Every b-th non-empty cell, plus the last one — mirroring the
+			// dense blocked array's "last index" rule (§4.1).
+			s.anchors.Put(c.Index, run)
+		}
+	}
+	return s
+}
+
+// Len returns the number of non-empty cells; AuxSize the stored anchors.
+func (s *OneDimBlocked) Len() int     { return len(s.cells) }
+func (s *OneDimBlocked) AuxSize() int { return s.anchors.Len() }
+
+// prefix returns Sum(0:x): the preceding anchor's sum plus the ≤ b−1 cells
+// between the anchor and x.
+func (s *OneDimBlocked) prefix(x int, c *metrics.Counter) int64 {
+	var sum int64
+	from := 0 // scan start in s.cells
+	if k, v, ok := s.anchors.Predecessor(x); ok {
+		sum = v
+		// First cell strictly after the anchor.
+		from = sort.Search(len(s.cells), func(i int) bool { return s.cells[i].Index > k })
+	}
+	c.AddAux(1)
+	for i := from; i < len(s.cells) && s.cells[i].Index <= x; i++ {
+		sum += s.cells[i].Value
+		c.AddCells(1)
+		c.AddSteps(1)
+	}
+	return sum
+}
+
+// Sum answers Sum(ℓ:h) from two prefix evaluations, each costing one
+// B-tree search plus at most b − 1 cell reads.
+func (s *OneDimBlocked) Sum(r ndarray.Range, c *metrics.Counter) int64 {
+	if r.Empty() {
+		return 0
+	}
+	if r.Lo < 0 || r.Hi >= s.n {
+		panic(fmt.Sprintf("sparse: query %v out of domain [0,%d)", r, s.n))
+	}
+	total := s.prefix(r.Hi, c)
+	if r.Lo > 0 {
+		total -= s.prefix(r.Lo-1, c)
+	}
+	c.AddSteps(1)
+	return total
+}

@@ -1,0 +1,292 @@
+// Package sparse implements the paper's §10 solutions for data cubes that
+// are not dense enough to materialize:
+//
+//   - OneDim (§10.1): a sparse one-dimensional prefix-sum array indexed by a
+//     B-tree; Sum(ℓ:h) is two predecessor searches.
+//   - SumCube (§10.2): disjoint rectangular dense regions found by the
+//     decision-tree classifier, a (blocked) prefix sum per region, and an
+//     R*-tree over the region bounding boxes and the remaining isolated
+//     points.
+//   - MaxCube (§10.3): the same R*-tree with a max augmentation per entry
+//     and a per-region max tree, searched with the §6 branch-and-bound.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"rangecube/internal/btree"
+	"rangecube/internal/core/maxtree"
+	"rangecube/internal/core/prefixsum"
+	"rangecube/internal/denseregion"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/rstartree"
+)
+
+// Cell is one non-empty cell of a sparse one-dimensional cube.
+type Cell struct {
+	Index int
+	Value int64
+}
+
+// OneDim is the §10.1 structure: prefix sums stored only at non-empty
+// indices, with a B-tree for predecessor search. With b = 1 the sparse
+// prefix-sum array has exactly the sparsity of the cube.
+type OneDim struct {
+	tree btree.Tree[int64] // index → Sum(0:index)
+	n    int               // logical domain size
+}
+
+// NewOneDim builds the structure from the non-empty cells of a domain of
+// size n. Cells may arrive in any order but must have distinct indices.
+func NewOneDim(n int, cells []Cell) *OneDim {
+	s := &OneDim{n: n}
+	sorted := append([]Cell(nil), cells...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Index < sorted[j].Index })
+	var run int64
+	prev := -1
+	for _, c := range sorted {
+		if c.Index < 0 || c.Index >= n {
+			panic(fmt.Sprintf("sparse: cell index %d out of domain [0,%d)", c.Index, n))
+		}
+		if c.Index == prev {
+			panic(fmt.Sprintf("sparse: duplicate cell index %d", c.Index))
+		}
+		prev = c.Index
+		run += c.Value
+		s.tree.Put(c.Index, run)
+	}
+	return s
+}
+
+// Len returns the number of stored prefix sums (= non-empty cells).
+func (s *OneDim) Len() int { return s.tree.Len() }
+
+// Sum answers Sum(ℓ:h) with two B-tree predecessor searches (§10.1):
+// P̂(h) − P̂(ℓ−1), where P̂(x) is the prefix sum at the last non-empty index
+// ≤ x (0 if none).
+func (s *OneDim) Sum(r ndarray.Range, c *metrics.Counter) int64 {
+	if r.Empty() {
+		return 0
+	}
+	if r.Lo < 0 || r.Hi >= s.n {
+		panic(fmt.Sprintf("sparse: query %v out of domain [0,%d)", r, s.n))
+	}
+	var hiSum, loSum int64
+	if _, v, ok := s.tree.Predecessor(r.Hi); ok {
+		hiSum = v
+	}
+	c.AddAux(1)
+	if r.Lo > 0 {
+		if _, v, ok := s.tree.Predecessor(r.Lo - 1); ok {
+			loSum = v
+		}
+		c.AddAux(1)
+	}
+	c.AddSteps(1)
+	return hiSum - loSum
+}
+
+// --- d-dimensional range-sum (§10.2) ---
+
+// sumRegion is one dense region with its own prefix-sum array in local
+// coordinates.
+type sumRegion struct {
+	rect ndarray.Region
+	ps   *prefixsum.IntArray
+}
+
+// sumPayload tags R*-tree entries: a dense region (index ≥ 0) or an
+// isolated point (index < 0, value inline).
+type sumPayload struct {
+	region int
+	value  int64
+}
+
+// SumCube answers range-sum queries on a sparse d-dimensional cube.
+type SumCube struct {
+	shape   []int
+	regions []sumRegion
+	tree    *rstartree.Tree[sumPayload]
+	points  int
+}
+
+// NewSumCube builds the §10.2 structure from the non-empty cells of a cube
+// with the given shape. Points must be distinct cells.
+func NewSumCube(shape []int, points []denseregion.Point, params denseregion.Params) *SumCube {
+	res := denseregion.Find(shape, points, params)
+	s := &SumCube{shape: append([]int(nil), shape...)}
+	s.tree = rstartree.New[sumPayload](len(shape))
+	locals := make([]*ndarray.Array[int64], len(res.Dense))
+	for i, rect := range res.Dense {
+		locals[i] = ndarray.New[int64](shapeOf(rect)...)
+		s.regions = append(s.regions, sumRegion{rect: rect.Clone()})
+		s.tree.Insert(rect, sumPayload{region: i}, 0)
+	}
+	localCoords := make([]int, len(shape))
+	for _, p := range points {
+		placed := false
+		for i, reg := range s.regions {
+			if reg.rect.Contains(p.Coords) {
+				for j := range p.Coords {
+					localCoords[j] = p.Coords[j] - reg.rect[j].Lo
+				}
+				locals[i].Set(p.Value, localCoords...)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			pt := pointRect(p.Coords)
+			s.tree.Insert(pt, sumPayload{region: -1, value: p.Value}, p.Value)
+			s.points++
+		}
+	}
+	for i := range s.regions {
+		s.regions[i].ps = prefixsum.BuildInt(locals[i])
+	}
+	return s
+}
+
+// Regions returns the number of dense regions; Points the isolated points.
+func (s *SumCube) Regions() int { return len(s.regions) }
+func (s *SumCube) Points() int  { return s.points }
+
+// Sum answers Sum(query) by searching the R*-tree for intersecting entries:
+// dense regions contribute a prefix-sum lookup over the (translated)
+// intersection, isolated points contribute their values (§10.2).
+func (s *SumCube) Sum(query ndarray.Region, c *metrics.Counter) int64 {
+	if len(query) != len(s.shape) {
+		panic(fmt.Sprintf("sparse: query of dimension %d against cube of dimension %d", len(query), len(s.shape)))
+	}
+	for j, rng := range query {
+		if !rng.Empty() && (rng.Lo < 0 || rng.Hi >= s.shape[j]) {
+			panic(fmt.Sprintf("sparse: query %v out of bounds for shape %v", query, s.shape))
+		}
+	}
+	var total int64
+	s.tree.Search(query, c, func(rect ndarray.Region, p sumPayload, _ int64) {
+		c.AddSteps(1)
+		if p.region < 0 {
+			total += p.value
+			return
+		}
+		reg := s.regions[p.region]
+		inter := rect.Intersect(query)
+		local := make(ndarray.Region, len(inter))
+		for j := range inter {
+			local[j] = ndarray.Range{Lo: inter[j].Lo - reg.rect[j].Lo, Hi: inter[j].Hi - reg.rect[j].Lo}
+		}
+		total += reg.ps.Sum(local, c)
+	})
+	return total
+}
+
+// --- d-dimensional range-max (§10.3) ---
+
+// maxRegion is one dense region with its own max tree in local coordinates.
+type maxRegion struct {
+	rect ndarray.Region
+	mt   *maxtree.Tree[int64]
+}
+
+type maxPayload struct {
+	region int
+	value  int64
+}
+
+// MaxCube answers range-max queries on a sparse cube. Empty cells do not
+// participate in the maximum (the paper's model: the cube holds measures
+// only where data exists), so a query covering no point reports !ok.
+type MaxCube struct {
+	shape   []int
+	regions []maxRegion
+	tree    *rstartree.Tree[maxPayload]
+}
+
+// NewMaxCube builds the §10.3 structure. Fanout b is used for the
+// per-region max trees.
+func NewMaxCube(shape []int, points []denseregion.Point, params denseregion.Params, b int) *MaxCube {
+	res := denseregion.Find(shape, points, params)
+	m := &MaxCube{shape: append([]int(nil), shape...)}
+	m.tree = rstartree.New[maxPayload](len(shape))
+	locals := make([]*ndarray.Array[int64], len(res.Dense))
+	const unset = int64(-1) << 62
+	for i, rect := range res.Dense {
+		locals[i] = ndarray.New[int64](shapeOf(rect)...)
+		for j := range locals[i].Data() {
+			locals[i].Data()[j] = unset
+		}
+		m.regions = append(m.regions, maxRegion{rect: rect.Clone()})
+	}
+	localCoords := make([]int, len(shape))
+	for _, p := range points {
+		placed := false
+		for i := range m.regions {
+			if m.regions[i].rect.Contains(p.Coords) {
+				for j := range p.Coords {
+					localCoords[j] = p.Coords[j] - m.regions[i].rect[j].Lo
+				}
+				locals[i].Set(p.Value, localCoords...)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			m.tree.Insert(pointRect(p.Coords), maxPayload{region: -1, value: p.Value}, p.Value)
+		}
+	}
+	for i := range m.regions {
+		m.regions[i].mt = maxtree.Build(locals[i], b)
+		_, maxVal, _ := m.regions[i].mt.MaxIndex(locals[i].Bounds(), nil)
+		m.tree.Insert(m.regions[i].rect, maxPayload{region: i}, maxVal)
+	}
+	return m
+}
+
+// Max returns the maximum value among the non-empty cells inside the query
+// region; ok is false when the region holds no data. The R*-tree's
+// branch-and-bound prunes subtrees that cannot beat the current best, and
+// partially overlapped dense regions are refined with their local max
+// trees.
+func (m *MaxCube) Max(query ndarray.Region, c *metrics.Counter) (int64, bool) {
+	if len(query) != len(m.shape) {
+		panic(fmt.Sprintf("sparse: query of dimension %d against cube of dimension %d", len(query), len(m.shape)))
+	}
+	const unset = int64(-1) << 62
+	return m.tree.MaxSearch(query, c, func(rect ndarray.Region, p maxPayload, maxVal int64) (int64, bool) {
+		if p.region < 0 {
+			return p.value, true
+		}
+		reg := m.regions[p.region]
+		inter := rect.Intersect(query)
+		local := make(ndarray.Region, len(inter))
+		for j := range inter {
+			local[j] = ndarray.Range{Lo: inter[j].Lo - reg.rect[j].Lo, Hi: inter[j].Hi - reg.rect[j].Lo}
+		}
+		_, v, ok := reg.mt.MaxIndex(local, c)
+		if !ok || v == unset {
+			return 0, false // the intersection holds no data
+		}
+		return v, true
+	})
+}
+
+// --- helpers ---
+
+func shapeOf(r ndarray.Region) []int {
+	s := make([]int, len(r))
+	for j, rng := range r {
+		s[j] = rng.Len()
+	}
+	return s
+}
+
+func pointRect(coords []int) ndarray.Region {
+	r := make(ndarray.Region, len(coords))
+	for j, x := range coords {
+		r[j] = ndarray.Range{Lo: x, Hi: x}
+	}
+	return r
+}

@@ -1,0 +1,479 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rangecube/internal/denseregion"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+func TestOneDimBasic(t *testing.T) {
+	// Domain of 100 with cells at 3, 10, 50.
+	s := NewOneDim(100, []Cell{{50, 7}, {3, 2}, {10, 5}})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	cases := []struct {
+		lo, hi int
+		want   int64
+	}{
+		{0, 99, 14},
+		{0, 2, 0},
+		{3, 3, 2},
+		{4, 10, 5},
+		{4, 9, 0},
+		{11, 49, 0},
+		{10, 50, 12},
+		{51, 99, 0},
+	}
+	for _, c := range cases {
+		if got := s.Sum(ndarray.Range{Lo: c.lo, Hi: c.hi}, nil); got != c.want {
+			t.Fatalf("Sum(%d:%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestOneDimCostIsTwoSearches(t *testing.T) {
+	s := NewOneDim(1000, []Cell{{5, 1}, {500, 2}, {900, 3}})
+	var c metrics.Counter
+	s.Sum(ndarray.Range{Lo: 100, Hi: 800}, &c)
+	if c.Aux != 2 {
+		t.Fatalf("query used %d searches, want 2", c.Aux)
+	}
+}
+
+func TestOneDimValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate index did not panic")
+			}
+		}()
+		NewOneDim(10, []Cell{{3, 1}, {3, 2}})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-domain cell did not panic")
+			}
+		}()
+		NewOneDim(10, []Cell{{10, 1}})
+	}()
+	s := NewOneDim(10, []Cell{{3, 1}})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-domain query did not panic")
+			}
+		}()
+		s.Sum(ndarray.Range{Lo: 0, Hi: 10}, nil)
+	}()
+	if got := s.Sum(ndarray.Range{Lo: 5, Hi: 4}, nil); got != 0 {
+		t.Fatalf("empty query = %d", got)
+	}
+}
+
+// Property: OneDim matches a dense reference array.
+func TestOneDimProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(500)
+		dense := make([]int64, n)
+		var cells []Cell
+		for i := 0; i < n/5; i++ {
+			idx := rng.Intn(n)
+			if dense[idx] == 0 {
+				v := int64(rng.Intn(100) + 1)
+				dense[idx] = v
+				cells = append(cells, Cell{idx, v})
+			}
+		}
+		s := NewOneDim(n, cells)
+		for q := 0; q < 20; q++ {
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo)
+			var want int64
+			for i := lo; i <= hi; i++ {
+				want += dense[i]
+			}
+			if s.Sum(ndarray.Range{Lo: lo, Hi: hi}, nil) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sparseDataset builds a clustered sparse cube at roughly the paper's
+// canonical 20% sparsity: a few dense boxes plus uniform noise. Returns the
+// points and a dense reference array.
+func sparseDataset(rng *rand.Rand, shape []int, boxes []ndarray.Region, fill float64, noise int) ([]denseregion.Point, *ndarray.Array[int64]) {
+	ref := ndarray.New[int64](shape...)
+	var pts []denseregion.Point
+	add := func(c []int, v int64) {
+		if ref.At(c...) == 0 {
+			ref.Set(v, c...)
+			pts = append(pts, denseregion.Point{Coords: append([]int(nil), c...), Value: v})
+		}
+	}
+	for _, box := range boxes {
+		box.ForEach(func(c []int) {
+			if rng.Float64() < fill {
+				add(c, int64(rng.Intn(999)+1))
+			}
+		})
+	}
+	for i := 0; i < noise; i++ {
+		c := make([]int, len(shape))
+		for j, n := range shape {
+			c[j] = rng.Intn(n)
+		}
+		add(c, int64(rng.Intn(999)+1))
+	}
+	return pts, ref
+}
+
+func TestSumCubeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	shape := []int{120, 120}
+	boxes := []ndarray.Region{ndarray.Reg(5, 34, 10, 39), ndarray.Reg(70, 99, 60, 99)}
+	pts, ref := sparseDataset(rng, shape, boxes, 0.9, 150)
+	s := NewSumCube(shape, pts, denseregion.Params{})
+	if s.Regions() == 0 {
+		t.Fatal("no dense regions found")
+	}
+	for q := 0; q < 200; q++ {
+		r := make(ndarray.Region, 2)
+		for j, n := range shape {
+			lo := rng.Intn(n)
+			r[j] = ndarray.Range{Lo: lo, Hi: lo + rng.Intn(n-lo)}
+		}
+		var want int64
+		ndarray.ForEachOffset(ref, r, func(off int) { want += ref.Data()[off] })
+		if got := s.Sum(r, nil); got != want {
+			t.Fatalf("Sum(%v) = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestSumCubeCheaperThanScanOnClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	shape := []int{200, 200}
+	boxes := []ndarray.Region{ndarray.Reg(0, 59, 0, 59)}
+	pts, ref := sparseDataset(rng, shape, boxes, 0.95, 60)
+	s := NewSumCube(shape, pts, denseregion.Params{})
+	var c metrics.Counter
+	r := ndarray.Reg(0, 149, 0, 149)
+	got := s.Sum(r, &c)
+	var want int64
+	ndarray.ForEachOffset(ref, r, func(off int) { want += ref.Data()[off] })
+	if got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+	// The query covers the whole dense box (prefix-sum lookup, ~2^d) plus
+	// some noise points; total accesses must be tiny relative to the query
+	// volume (22500 cells).
+	if c.Total() > 300 {
+		t.Fatalf("sparse query cost %d, want far below volume %d", c.Total(), r.Volume())
+	}
+}
+
+func TestSumCubeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		shape := make([]int, d)
+		for j := range shape {
+			shape[j] = 10 + rng.Intn(30)
+		}
+		box := make(ndarray.Region, d)
+		for j := range box {
+			lo := rng.Intn(shape[j] / 2)
+			box[j] = ndarray.Range{Lo: lo, Hi: lo + rng.Intn(shape[j]/2)}
+		}
+		pts, ref := sparseDataset(rng, shape, []ndarray.Region{box}, 0.85, rng.Intn(30))
+		s := NewSumCube(shape, pts, denseregion.Params{})
+		for q := 0; q < 8; q++ {
+			r := make(ndarray.Region, d)
+			for j, n := range shape {
+				lo := rng.Intn(n)
+				r[j] = ndarray.Range{Lo: lo, Hi: lo + rng.Intn(n-lo)}
+			}
+			var want int64
+			ndarray.ForEachOffset(ref, r, func(off int) { want += ref.Data()[off] })
+			if s.Sum(r, nil) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCubeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	shape := []int{100, 100}
+	boxes := []ndarray.Region{ndarray.Reg(10, 39, 20, 49)}
+	pts, ref := sparseDataset(rng, shape, boxes, 0.9, 100)
+	m := NewMaxCube(shape, pts, denseregion.Params{}, 4)
+	for q := 0; q < 200; q++ {
+		r := make(ndarray.Region, 2)
+		for j, n := range shape {
+			lo := rng.Intn(n)
+			r[j] = ndarray.Range{Lo: lo, Hi: lo + rng.Intn(n-lo)}
+		}
+		var want int64
+		wantOK := false
+		ndarray.ForEachOffset(ref, r, func(off int) {
+			if v := ref.Data()[off]; v != 0 && (!wantOK || v > want) {
+				want, wantOK = v, true
+			}
+		})
+		got, ok := m.Max(r, nil)
+		if ok != wantOK || (ok && got != want) {
+			t.Fatalf("Max(%v) = (%d,%v), want (%d,%v)", r, got, ok, want, wantOK)
+		}
+	}
+}
+
+func TestMaxCubeEmptyRegionReportsNoData(t *testing.T) {
+	pts := []denseregion.Point{{Coords: []int{5, 5}, Value: 10}}
+	m := NewMaxCube([]int{50, 50}, pts, denseregion.Params{}, 4)
+	if _, ok := m.Max(ndarray.Reg(20, 30, 20, 30), nil); ok {
+		t.Fatal("query with no data reported ok")
+	}
+	got, ok := m.Max(ndarray.Reg(0, 10, 0, 10), nil)
+	if !ok || got != 10 {
+		t.Fatalf("Max = (%d,%v), want (10,true)", got, ok)
+	}
+}
+
+func TestSumCubeValidation(t *testing.T) {
+	s := NewSumCube([]int{10, 10}, nil, denseregion.Params{})
+	if got := s.Sum(ndarray.Reg(0, 9, 0, 9), nil); got != 0 {
+		t.Fatalf("empty cube sum = %d", got)
+	}
+	for _, r := range []ndarray.Region{ndarray.Reg(0, 10, 0, 9), ndarray.Reg(0, 9)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Sum(%v) did not panic", r)
+				}
+			}()
+			s.Sum(r, nil)
+		}()
+	}
+}
+
+func TestOneDimBlockedBasic(t *testing.T) {
+	cells := []Cell{{3, 2}, {10, 5}, {50, 7}, {51, 1}, {80, 4}}
+	s := NewOneDimBlocked(100, cells, 2)
+	// Anchors at every 2nd cell plus the last: indices 10, 51, 80.
+	if s.AuxSize() != 3 {
+		t.Fatalf("AuxSize = %d, want 3", s.AuxSize())
+	}
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	cases := []struct {
+		lo, hi int
+		want   int64
+	}{
+		{0, 99, 19},
+		{0, 9, 2},
+		{4, 50, 12},
+		{51, 51, 1},
+		{52, 79, 0},
+		{80, 99, 4},
+	}
+	for _, c := range cases {
+		if got := s.Sum(ndarray.Range{Lo: c.lo, Hi: c.hi}, nil); got != c.want {
+			t.Fatalf("Sum(%d:%d) = %d, want %d", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+// Property: the blocked sparse structure matches the unblocked one for all
+// spacings, and never scans more than b−1 cells per bound.
+func TestOneDimBlockedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(400)
+		seen := map[int]bool{}
+		var cells []Cell
+		for i := 0; i < n/4; i++ {
+			idx := rng.Intn(n)
+			if !seen[idx] {
+				seen[idx] = true
+				cells = append(cells, Cell{idx, int64(rng.Intn(100) + 1)})
+			}
+		}
+		ref := NewOneDim(n, cells)
+		b := 1 + rng.Intn(8)
+		s := NewOneDimBlocked(n, cells, b)
+		for q := 0; q < 15; q++ {
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo)
+			r := ndarray.Range{Lo: lo, Hi: hi}
+			var c metrics.Counter
+			if s.Sum(r, &c) != ref.Sum(r, nil) {
+				return false
+			}
+			if c.Cells > int64(2*(b-1)) {
+				return false // each bound scans at most b−1 cells
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOneDimBlockedValidation(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("b=0 accepted")
+			}
+		}()
+		NewOneDimBlocked(10, nil, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate accepted")
+			}
+		}()
+		NewOneDimBlocked(10, []Cell{{3, 1}, {3, 2}}, 2)
+	}()
+	s := NewOneDimBlocked(10, []Cell{{3, 1}}, 4)
+	if got := s.Sum(ndarray.Range{Lo: 5, Hi: 4}, nil); got != 0 {
+		t.Fatalf("empty query = %d", got)
+	}
+}
+
+// Property: sparse SUM updates (region cells, isolated points, new points,
+// zeroed points) keep query answers in sync with a dense reference.
+func TestSumCubeUpdateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shape := []int{30, 30}
+		box := ndarray.Region{{Lo: 5, Hi: 14}, {Lo: 5, Hi: 14}}
+		pts, ref := sparseDataset(rng, shape, []ndarray.Region{box}, 0.9, 20)
+		s := NewSumCube(shape, pts, denseregion.Params{})
+		for round := 0; round < 3; round++ {
+			var ups []SumUpdate
+			for k := 0; k < 8; k++ {
+				coords := []int{rng.Intn(30), rng.Intn(30)}
+				var delta int64
+				if rng.Intn(4) == 0 {
+					// Sometimes zero out an existing cell exactly.
+					delta = -ref.At(coords...)
+				} else {
+					delta = int64(rng.Intn(200) - 100)
+				}
+				ups = append(ups, SumUpdate{Coords: coords, Delta: delta})
+				ref.Set(ref.At(coords...)+delta, coords...)
+			}
+			s.Update(ups, nil)
+		}
+		for q := 0; q < 10; q++ {
+			r := make(ndarray.Region, 2)
+			for j := range r {
+				lo := rng.Intn(30)
+				r[j] = ndarray.Range{Lo: lo, Hi: lo + rng.Intn(30-lo)}
+			}
+			var want int64
+			ndarray.ForEachOffset(ref, r, func(off int) { want += ref.Data()[off] })
+			if s.Sum(r, nil) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sparse MAX updates keep answers in sync with a dense reference
+// (zero means empty, as at construction).
+func TestMaxCubeUpdateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shape := []int{24, 24}
+		box := ndarray.Region{{Lo: 3, Hi: 12}, {Lo: 6, Hi: 15}}
+		pts, ref := sparseDataset(rng, shape, []ndarray.Region{box}, 0.9, 15)
+		m := NewMaxCube(shape, pts, denseregion.Params{}, 3)
+		for round := 0; round < 3; round++ {
+			var ups []MaxUpdate
+			for k := 0; k < 6; k++ {
+				coords := []int{rng.Intn(24), rng.Intn(24)}
+				v := int64(rng.Intn(2000) + 1)
+				ups = append(ups, MaxUpdate{Coords: coords, Value: v})
+				ref.Set(v, coords...)
+			}
+			m.Update(ups, nil)
+		}
+		for q := 0; q < 10; q++ {
+			r := make(ndarray.Region, 2)
+			for j := range r {
+				lo := rng.Intn(24)
+				r[j] = ndarray.Range{Lo: lo, Hi: lo + rng.Intn(24-lo)}
+			}
+			var want int64
+			wantOK := false
+			ndarray.ForEachOffset(ref, r, func(off int) {
+				if v := ref.Data()[off]; v != 0 && (!wantOK || v > want) {
+					want, wantOK = v, true
+				}
+			})
+			got, ok := m.Max(r, nil)
+			if ok != wantOK || (ok && got != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseUpdateValidation(t *testing.T) {
+	s := NewSumCube([]int{10, 10}, nil, denseregion.Params{})
+	for _, u := range []SumUpdate{
+		{Coords: []int{1}, Delta: 1},
+		{Coords: []int{10, 0}, Delta: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Update(%v) did not panic", u.Coords)
+				}
+			}()
+			s.Update([]SumUpdate{u}, nil)
+		}()
+	}
+	// Insert then zero out an isolated point: it must vanish.
+	s.Update([]SumUpdate{{Coords: []int{2, 2}, Delta: 5}}, nil)
+	if s.Points() != 1 {
+		t.Fatalf("Points = %d, want 1", s.Points())
+	}
+	s.Update([]SumUpdate{{Coords: []int{2, 2}, Delta: -5}}, nil)
+	if s.Points() != 0 {
+		t.Fatalf("Points = %d after zeroing, want 0", s.Points())
+	}
+	if got := s.Sum(ndarray.Reg(0, 9, 0, 9), nil); got != 0 {
+		t.Fatalf("sum = %d", got)
+	}
+}

@@ -1,0 +1,131 @@
+package sparse
+
+import (
+	"fmt"
+
+	"rangecube/internal/core/batchsum"
+	"rangecube/internal/core/maxtree"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// The paper's update model (§5, §7) extends naturally to the sparse
+// structures: updates that land inside a dense region flow through the
+// corresponding batch-update algorithm on that region's local structure;
+// updates to isolated cells maintain the R*-tree directly.
+
+// SumUpdate adds Delta to the cell at Coords of a sparse SUM cube.
+type SumUpdate struct {
+	Coords []int
+	Delta  int64
+}
+
+// Update applies a batch of deltas. Cells inside a dense region are
+// handled by the §5 batch-update algorithm on that region's prefix-sum
+// array (one combined pass per region); isolated cells are adjusted in the
+// R*-tree, inserting new points for previously-empty cells and dropping
+// points whose value returns to zero.
+func (s *SumCube) Update(ups []SumUpdate, c *metrics.Counter) {
+	perRegion := make(map[int][]batchsum.IntUpdate)
+	for _, u := range ups {
+		if len(u.Coords) != len(s.shape) {
+			panic(fmt.Sprintf("sparse: update %v in cube of dimension %d", u.Coords, len(s.shape)))
+		}
+		for j, x := range u.Coords {
+			if x < 0 || x >= s.shape[j] {
+				panic(fmt.Sprintf("sparse: update %v out of bounds for shape %v", u.Coords, s.shape))
+			}
+		}
+		if u.Delta == 0 {
+			continue
+		}
+		placed := false
+		for i := range s.regions {
+			if s.regions[i].rect.Contains(u.Coords) {
+				local := make([]int, len(u.Coords))
+				for j := range u.Coords {
+					local[j] = u.Coords[j] - s.regions[i].rect[j].Lo
+				}
+				perRegion[i] = append(perRegion[i], batchsum.IntUpdate{Coords: local, Delta: u.Delta})
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			s.updatePoint(u.Coords, u.Delta, c)
+		}
+	}
+	for i, regionUps := range perRegion {
+		batchsum.ApplyInt(s.regions[i].ps, regionUps, c)
+	}
+}
+
+// updatePoint adjusts one isolated cell in the R*-tree.
+func (s *SumCube) updatePoint(coords []int, delta int64, c *metrics.Counter) {
+	rect := pointRect(coords)
+	var oldVal int64
+	exists := false
+	s.tree.Search(rect, c, func(r ndarray.Region, p sumPayload, _ int64) {
+		if p.region < 0 && r.Equal(rect) {
+			oldVal, exists = p.value, true
+		}
+	})
+	if exists {
+		s.tree.Delete(rect, func(p sumPayload) bool { return p.region < 0 })
+		s.points--
+	}
+	if newVal := oldVal + delta; newVal != 0 {
+		s.tree.Insert(rect, sumPayload{region: -1, value: newVal}, newVal)
+		s.points++
+	}
+}
+
+// MaxUpdate assigns a new absolute value to the cell at Coords of a sparse
+// MAX cube (the §7 ⟨index, value⟩ form).
+type MaxUpdate struct {
+	Coords []int
+	Value  int64
+}
+
+// Update applies a batch of point assignments. Cells inside a dense region
+// flow through the §7 tag-protocol batch update on that region's max tree,
+// after which the region's R*-tree augmentation is refreshed; isolated
+// cells are replaced in the tree directly (previously-empty cells become
+// new points).
+func (m *MaxCube) Update(ups []MaxUpdate, c *metrics.Counter) {
+	perRegion := make(map[int][]maxtree.PointUpdate[int64])
+	for _, u := range ups {
+		if len(u.Coords) != len(m.shape) {
+			panic(fmt.Sprintf("sparse: update %v in cube of dimension %d", u.Coords, len(m.shape)))
+		}
+		for j, x := range u.Coords {
+			if x < 0 || x >= m.shape[j] {
+				panic(fmt.Sprintf("sparse: update %v out of bounds for shape %v", u.Coords, m.shape))
+			}
+		}
+		placed := false
+		for i := range m.regions {
+			if m.regions[i].rect.Contains(u.Coords) {
+				local := make([]int, len(u.Coords))
+				for j := range u.Coords {
+					local[j] = u.Coords[j] - m.regions[i].rect[j].Lo
+				}
+				perRegion[i] = append(perRegion[i], maxtree.PointUpdate[int64]{Coords: local, Value: u.Value})
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			rect := pointRect(u.Coords)
+			m.tree.Delete(rect, func(p maxPayload) bool { return p.region < 0 })
+			m.tree.Insert(rect, maxPayload{region: -1, value: u.Value}, u.Value)
+		}
+	}
+	for i, regionUps := range perRegion {
+		m.regions[i].mt.BatchUpdate(regionUps, c)
+		// Refresh the region entry's max augmentation.
+		_, maxVal, _ := m.regions[i].mt.MaxIndex(m.regions[i].mt.Cube().Bounds(), nil)
+		m.tree.Delete(m.regions[i].rect, func(p maxPayload) bool { return p.region == i })
+		m.tree.Insert(m.regions[i].rect, maxPayload{region: i}, maxVal)
+	}
+}

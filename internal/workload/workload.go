@@ -1,0 +1,165 @@
+// Package workload provides the deterministic synthetic data and query
+// generators used by the benchmark harness. The paper's prototype ran on
+// real OLAP data that is not available; these generators are the documented
+// substitution (DESIGN.md): uniform and zipf-like measure distributions,
+// clustered sparse cubes at the canonical ~20% OLAP density the paper cites
+// [Col96], and query logs with controlled per-dimension range lengths so
+// the Table 1 statistics (V, x_i, S) of each experiment are reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rangecube/internal/denseregion"
+	"rangecube/internal/ndarray"
+)
+
+// Gen wraps a deterministic source.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// New returns a generator with the given seed; equal seeds yield equal
+// workloads.
+func New(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// UniformCube fills a cube of the given shape with uniform values in
+// [0, maxVal).
+func (g *Gen) UniformCube(shape []int, maxVal int64) *ndarray.Array[int64] {
+	a := ndarray.New[int64](shape...)
+	for i := range a.Data() {
+		a.Data()[i] = g.rng.Int63n(maxVal)
+	}
+	return a
+}
+
+// PermutationCube fills a 1-dimensional cube with a random permutation of
+// 0..n−1: the "all orders equally probable" model of the Theorem 3
+// average-case analysis.
+func (g *Gen) PermutationCube(n int) *ndarray.Array[int64] {
+	a := ndarray.New[int64](n)
+	for i, p := range g.rng.Perm(n) {
+		a.Data()[i] = int64(p)
+	}
+	return a
+}
+
+// ZipfCube fills a cube with a heavy-tailed distribution (a crude zipf via
+// inverse-power transform), modelling skewed OLAP measures.
+func (g *Gen) ZipfCube(shape []int, maxVal int64) *ndarray.Array[int64] {
+	a := ndarray.New[int64](shape...)
+	for i := range a.Data() {
+		u := g.rng.Float64()
+		v := int64(float64(maxVal) / (1 + 99*u)) // 1% of cells within 100× of max
+		a.Data()[i] = v
+	}
+	return a
+}
+
+// UniformRegion draws a query region uniformly: per dimension the low end
+// is uniform and the length uniform over what fits.
+func (g *Gen) UniformRegion(shape []int) ndarray.Region {
+	r := make(ndarray.Region, len(shape))
+	for j, n := range shape {
+		lo := g.rng.Intn(n)
+		r[j] = ndarray.Range{Lo: lo, Hi: lo + g.rng.Intn(n-lo)}
+	}
+	return r
+}
+
+// FixedSizeRegion draws a query region with the exact given side length per
+// dimension, uniformly positioned. It panics if a side exceeds its extent.
+func (g *Gen) FixedSizeRegion(shape []int, sides []int) ndarray.Region {
+	if len(sides) != len(shape) {
+		panic(fmt.Sprintf("workload: %d sides for %d dimensions", len(sides), len(shape)))
+	}
+	r := make(ndarray.Region, len(shape))
+	for j, n := range shape {
+		if sides[j] < 1 || sides[j] > n {
+			panic(fmt.Sprintf("workload: side %d out of range [1,%d]", sides[j], n))
+		}
+		lo := g.rng.Intn(n - sides[j] + 1)
+		r[j] = ndarray.Range{Lo: lo, Hi: lo + sides[j] - 1}
+	}
+	return r
+}
+
+// CubeRegions draws count regions of the same side length s in every
+// dimension (the α·b query shape of Figure 11).
+func (g *Gen) CubeRegions(shape []int, side, count int) []ndarray.Region {
+	sides := make([]int, len(shape))
+	for j := range sides {
+		sides[j] = side
+	}
+	out := make([]ndarray.Region, count)
+	for i := range out {
+		out[i] = g.FixedSizeRegion(shape, sides)
+	}
+	return out
+}
+
+// ClusteredSparse generates a sparse cube: nClusters random boxes filled at
+// clusterFill density plus a uniform background until the overall density
+// reaches about targetDensity. Returns the points and a dense reference
+// array (zero = empty).
+func (g *Gen) ClusteredSparse(shape []int, nClusters int, clusterFill, targetDensity float64) ([]denseregion.Point, *ndarray.Array[int64]) {
+	ref := ndarray.New[int64](shape...)
+	var pts []denseregion.Point
+	add := func(c []int, v int64) {
+		if ref.At(c...) == 0 {
+			ref.Set(v, c...)
+			pts = append(pts, denseregion.Point{Coords: append([]int(nil), c...), Value: v})
+		}
+	}
+	for k := 0; k < nClusters; k++ {
+		box := make(ndarray.Region, len(shape))
+		for j, n := range shape {
+			side := 1 + n/4
+			lo := g.rng.Intn(n - side + 1)
+			box[j] = ndarray.Range{Lo: lo, Hi: lo + side - 1}
+		}
+		box.ForEach(func(c []int) {
+			if g.rng.Float64() < clusterFill {
+				add(c, g.rng.Int63n(999)+1)
+			}
+		})
+	}
+	total := ref.Size()
+	for len(pts) < int(targetDensity*float64(total)) {
+		c := make([]int, len(shape))
+		for j, n := range shape {
+			c[j] = g.rng.Intn(n)
+		}
+		add(c, g.rng.Int63n(999)+1)
+	}
+	return pts, ref
+}
+
+// Updates draws k random point updates (coords plus value-to-add in
+// [−maxDelta, maxDelta]).
+func (g *Gen) Updates(shape []int, k int, maxDelta int64) []struct {
+	Coords []int
+	Delta  int64
+} {
+	out := make([]struct {
+		Coords []int
+		Delta  int64
+	}, k)
+	for i := range out {
+		c := make([]int, len(shape))
+		for j, n := range shape {
+			c[j] = g.rng.Intn(n)
+		}
+		out[i].Coords = c
+		out[i].Delta = g.rng.Int63n(2*maxDelta+1) - maxDelta
+	}
+	return out
+}
+
+// Stats returns the Table 1 statistics of a query region.
+func Stats(r ndarray.Region) (V int, S int) {
+	return r.Volume(), r.SurfaceArea()
+}

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"testing"
+
+	"rangecube/internal/ndarray"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(7).UniformCube([]int{10, 10}, 100)
+	b := New(7).UniformCube([]int{10, 10}, 100)
+	for i := range a.Data() {
+		if a.Data()[i] != b.Data()[i] {
+			t.Fatal("equal seeds produced different cubes")
+		}
+	}
+	r1 := New(9).UniformRegion([]int{50, 50})
+	r2 := New(9).UniformRegion([]int{50, 50})
+	if !r1.Equal(r2) {
+		t.Fatal("equal seeds produced different regions")
+	}
+}
+
+func TestPermutationCube(t *testing.T) {
+	a := New(3).PermutationCube(100)
+	seen := make([]bool, 100)
+	for _, v := range a.Data() {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformRegionInBounds(t *testing.T) {
+	g := New(5)
+	shape := []int{13, 7, 29}
+	for i := 0; i < 500; i++ {
+		r := g.UniformRegion(shape)
+		for j, rng := range r {
+			if rng.Lo < 0 || rng.Hi >= shape[j] || rng.Empty() {
+				t.Fatalf("region %v out of bounds for %v", r, shape)
+			}
+		}
+	}
+}
+
+func TestFixedSizeRegion(t *testing.T) {
+	g := New(6)
+	shape := []int{40, 40}
+	for i := 0; i < 200; i++ {
+		r := g.FixedSizeRegion(shape, []int{8, 13})
+		if r[0].Len() != 8 || r[1].Len() != 13 {
+			t.Fatalf("sides = %d,%d", r[0].Len(), r[1].Len())
+		}
+		if r[0].Lo < 0 || r[0].Hi >= 40 || r[1].Hi >= 40 {
+			t.Fatalf("region %v out of bounds", r)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized side did not panic")
+			}
+		}()
+		g.FixedSizeRegion(shape, []int{41, 5})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong arity did not panic")
+			}
+		}()
+		g.FixedSizeRegion(shape, []int{5})
+	}()
+}
+
+func TestCubeRegions(t *testing.T) {
+	rs := New(8).CubeRegions([]int{100, 100}, 20, 5)
+	if len(rs) != 5 {
+		t.Fatalf("got %d regions", len(rs))
+	}
+	for _, r := range rs {
+		if v, s := Stats(r); v != 400 || s != 80 {
+			t.Fatalf("region %v: V=%d S=%d, want 400/80", r, v, s)
+		}
+	}
+}
+
+func TestClusteredSparseDensity(t *testing.T) {
+	pts, ref := New(11).ClusteredSparse([]int{60, 60}, 2, 0.9, 0.2)
+	density := float64(len(pts)) / float64(ref.Size())
+	if density < 0.19 || density > 0.35 {
+		t.Fatalf("density = %.2f, want ≈ 0.2 (the canonical OLAP sparsity)", density)
+	}
+	// Reference agrees with points exactly.
+	count := 0
+	ref.Bounds().ForEach(func(c []int) {
+		if ref.At(c...) != 0 {
+			count++
+		}
+	})
+	if count != len(pts) {
+		t.Fatalf("reference has %d non-empty cells, points %d", count, len(pts))
+	}
+}
+
+func TestUpdates(t *testing.T) {
+	ups := New(12).Updates([]int{10, 10}, 25, 50)
+	if len(ups) != 25 {
+		t.Fatalf("got %d updates", len(ups))
+	}
+	for _, u := range ups {
+		if u.Coords[0] < 0 || u.Coords[0] >= 10 || u.Coords[1] < 0 || u.Coords[1] >= 10 {
+			t.Fatalf("update out of bounds: %v", u.Coords)
+		}
+		if u.Delta < -50 || u.Delta > 50 {
+			t.Fatalf("delta out of range: %d", u.Delta)
+		}
+	}
+}
+
+func TestZipfCubeSkew(t *testing.T) {
+	a := New(13).ZipfCube([]int{100, 100}, 1000000)
+	big, small := 0, 0
+	for _, v := range a.Data() {
+		if v > 500000 {
+			big++
+		}
+		if v < 100000 {
+			small++
+		}
+	}
+	if big >= small {
+		t.Fatalf("zipf cube not skewed: %d big vs %d small", big, small)
+	}
+}
+
+func TestStats(t *testing.T) {
+	v, s := Stats(ndarray.Reg(0, 9, 0, 4))
+	if v != 50 || s != 30 {
+		t.Fatalf("Stats = %d,%d", v, s)
+	}
+}

@@ -1,0 +1,395 @@
+package rangecube
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func figure1Array() *Array {
+	return FromSlice([]int64{
+		3, 5, 1, 2, 2, 3,
+		7, 3, 2, 6, 8, 2,
+		2, 4, 2, 3, 3, 5,
+	}, 3, 6)
+}
+
+func TestSumIndexFacade(t *testing.T) {
+	s := NewSumIndex(figure1Array())
+	if got := s.Sum(Reg(1, 2, 2, 3)); got != 13 {
+		t.Fatalf("Sum = %d, want 13 (paper Figure 1)", got)
+	}
+	var c Counter
+	s.SumCounted(Reg(0, 2, 0, 5), &c)
+	if c.Aux == 0 || c.Cells != 0 {
+		t.Fatalf("counter = %+v", c)
+	}
+	if s.Cell(1, 4) != 8 {
+		t.Fatalf("Cell = %d", s.Cell(1, 4))
+	}
+	if s.AuxSize() != 18 {
+		t.Fatalf("AuxSize = %d", s.AuxSize())
+	}
+}
+
+func TestSumIndexUpdate(t *testing.T) {
+	a := figure1Array()
+	s := NewSumIndex(a)
+	n := s.Update([]SumUpdate{
+		{Coords: []int{0, 0}, Delta: 10},
+		{Coords: []int{2, 5}, Delta: -5},
+	})
+	if n == 0 {
+		t.Fatal("update used no regions")
+	}
+	if got := s.Sum(Reg(0, 2, 0, 5)); got != 68 {
+		t.Fatalf("total after update = %d, want 63+10-5", got)
+	}
+}
+
+func TestBlockedFacade(t *testing.T) {
+	a := figure1Array()
+	s := NewBlockedSumIndex(a, 2)
+	if s.BlockSize() != 2 || s.AuxSize() != 6 {
+		t.Fatalf("b=%d aux=%d", s.BlockSize(), s.AuxSize())
+	}
+	if got := s.Sum(Reg(1, 2, 2, 3)); got != 13 {
+		t.Fatalf("Sum = %d", got)
+	}
+	s.Update([]SumUpdate{{Coords: []int{1, 3}, Delta: 4}})
+	if got := s.Sum(Reg(1, 1, 3, 3)); got != 10 {
+		t.Fatalf("cell after update = %d, want 10", got)
+	}
+}
+
+func TestTreeSumFacade(t *testing.T) {
+	s := NewTreeSumIndex(figure1Array(), 2)
+	if got := s.Sum(Reg(0, 2, 0, 5)); got != 63 {
+		t.Fatalf("Sum = %d", got)
+	}
+	var c Counter
+	s.SumCounted(Reg(0, 1, 1, 4), &c)
+	if c.Total() == 0 {
+		t.Fatal("no accesses counted")
+	}
+}
+
+func TestMaxMinFacade(t *testing.T) {
+	a := figure1Array()
+	mx := NewMaxIndex(a, 2)
+	r := mx.Max(Reg(0, 2, 0, 5))
+	if !r.OK || r.Value != 8 || r.Coords[0] != 1 || r.Coords[1] != 4 {
+		t.Fatalf("Max = %+v", r)
+	}
+	mn := NewMinIndex(a, 2)
+	r = mn.Max(Reg(0, 0, 0, 5))
+	if !r.OK || r.Value != 1 {
+		t.Fatalf("Min = %+v", r)
+	}
+	if got := mx.Max(Reg(2, 1, 0, 5)); got.OK {
+		t.Fatal("empty region reported OK")
+	}
+}
+
+func TestMaxUpdateFacade(t *testing.T) {
+	a := figure1Array()
+	mx := NewMaxIndex(a, 2)
+	mx.Update([]PointUpdate{{Coords: []int{0, 0}, Value: 100}})
+	if r := mx.Max(Reg(0, 2, 0, 5)); r.Value != 100 {
+		t.Fatalf("max after update = %d", r.Value)
+	}
+}
+
+func TestAvgIndexFacade(t *testing.T) {
+	a := figure1Array()
+	x := NewAvgIndex(a, nil)
+	avg, count := x.Average(Reg(0, 0, 0, 5))
+	if count != 6 || avg != 16.0/6 {
+		t.Fatalf("Average = (%g,%d)", avg, count)
+	}
+	// Occupancy mask: only cells with value > 3 count.
+	masked := NewAvgIndex(a, func(c []int) bool { return a.At(c...) > 3 })
+	avg, count = masked.Average(Reg(0, 0, 0, 5)) // row 0: 5 is the only value > 3
+	if count != 1 || avg != 5 {
+		t.Fatalf("masked Average = (%g,%d)", avg, count)
+	}
+	_, count = masked.Average(Reg(0, 0, 2, 3))
+	if count != 0 {
+		t.Fatalf("empty-mask count = %d", count)
+	}
+}
+
+func TestRollingSums(t *testing.T) {
+	s := NewSumIndex(FromSlice([]int64{1, 2, 3, 4, 5}, 5))
+	got := s.RollingSums(2)
+	want := []int64{3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("RollingSums = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RollingSums = %v, want %v", got, want)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("2-d rolling sum did not panic")
+			}
+		}()
+		NewSumIndex(figure1Array()).RollingSums(2)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized window did not panic")
+			}
+		}()
+		s.RollingSums(6)
+	}()
+}
+
+func TestSparseFacades(t *testing.T) {
+	pts := []SparsePoint{
+		{Coords: []int{1, 1}, Value: 5},
+		{Coords: []int{1, 2}, Value: 7},
+		{Coords: []int{2, 1}, Value: 2},
+		{Coords: []int{2, 2}, Value: 9},
+		{Coords: []int{30, 30}, Value: 100},
+	}
+	shape := []int{40, 40}
+	ss := NewSparseSumIndex(shape, pts)
+	if got := ss.Sum(Reg(0, 39, 0, 39)); got != 123 {
+		t.Fatalf("sparse sum = %d", got)
+	}
+	if got := ss.Sum(Reg(1, 2, 1, 2)); got != 23 {
+		t.Fatalf("cluster sum = %d", got)
+	}
+	if ss.Regions()+ss.Points() == 0 {
+		t.Fatal("no structure built")
+	}
+	sm := NewSparseMaxIndex(shape, pts, 2)
+	if v, ok := sm.Max(Reg(0, 10, 0, 10)); !ok || v != 9 {
+		t.Fatalf("sparse max = (%d,%v)", v, ok)
+	}
+	if _, ok := sm.Max(Reg(35, 39, 0, 5)); ok {
+		t.Fatal("empty area reported data")
+	}
+
+	s1 := NewSparse1D(100, []SparseCell{{Index: 3, Value: 2}, {Index: 50, Value: 8}})
+	if got := s1.Sum(0, 49); got != 2 {
+		t.Fatalf("1-d sparse sum = %d", got)
+	}
+}
+
+func TestCubeFacadeEndToEnd(t *testing.T) {
+	c := NewCube(
+		NewIntDimension("age", 1, 100),
+		NewIntDimension("year", 1987, 1996),
+		NewCategoryDimension("state", "CA", "NY"),
+		NewCategoryDimension("type", "home", "auto", "health"),
+	)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.Add(100, 40, 1990, "CA", "auto"))
+	must(c.Add(75, 37, 1988, "NY", "auto"))
+	must(c.Add(999, 20, 1987, "CA", "home"))
+	r, err := c.Region(Between("age", 37, 52), Between("year", 1988, 1996), All("state"), Eq("type", "auto"))
+	must(err)
+	s := NewSumIndex(c.Data())
+	if got := s.Sum(r); got != 175 {
+		t.Fatalf("insurance query = %d, want 175", got)
+	}
+}
+
+// Property: all three dense sum engines agree on random cubes and queries.
+func TestEnginesAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		shape := make([]int, d)
+		for i := range shape {
+			shape[i] = 2 + rng.Intn(12)
+		}
+		a := NewArray(shape...)
+		for i := range a.Data() {
+			a.Data()[i] = int64(rng.Intn(200) - 100)
+		}
+		s := NewSumIndex(a)
+		bl := NewBlockedSumIndex(a, 1+rng.Intn(5))
+		tr := NewTreeSumIndex(a, 2+rng.Intn(3))
+		for q := 0; q < 6; q++ {
+			r := make(Region, d)
+			for i, n := range shape {
+				lo := rng.Intn(n)
+				r[i] = Range{Lo: lo, Hi: lo + rng.Intn(n-lo)}
+			}
+			v := s.Sum(r)
+			if bl.Sum(r) != v || tr.Sum(r) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPersistenceRoundTrips(t *testing.T) {
+	a := figure1Array()
+
+	var buf bytes.Buffer
+	s := NewSumIndex(a)
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ReadSumIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Sum(Reg(1, 2, 2, 3)) != 13 {
+		t.Fatal("restored SumIndex wrong")
+	}
+
+	buf.Reset()
+	bl := NewBlockedSumIndexDims(a, []int{2, 3})
+	if err := bl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bl2, err := ReadBlockedSumIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl2.Sum(Reg(1, 2, 2, 3)) != 13 {
+		t.Fatal("restored BlockedSumIndex wrong")
+	}
+
+	buf.Reset()
+	mn := NewMinIndex(a, 2)
+	if err := mn.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mn2, err := ReadMaxIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := mn2.Max(Reg(0, 2, 0, 5)); r.Value != 1 {
+		t.Fatalf("restored MinIndex found %d, want 1", r.Value)
+	}
+
+	if _, err := ReadSumIndex(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("junk accepted")
+	}
+}
+
+func TestSumBoundsFacade(t *testing.T) {
+	a := figure1Array() // all values non-negative
+	bl := NewBlockedSumIndex(a, 2)
+	r := Reg(0, 2, 1, 4)
+	lo, hi := bl.SumBounds(r)
+	exact := NewSumIndex(a).Sum(r)
+	if lo > exact || exact > hi {
+		t.Fatalf("bounds [%d,%d] miss exact %d", lo, hi, exact)
+	}
+}
+
+func TestMaxBoundsFacade(t *testing.T) {
+	a := figure1Array()
+	mx := NewMaxIndex(a, 2)
+	lo, hi, exact := mx.MaxBounds(Reg(0, 2, 0, 5))
+	if lo > 8 || hi < 8 {
+		t.Fatalf("bounds [%d,%d] miss max 8", lo, hi)
+	}
+	_ = exact
+}
+
+func TestSparseUpdateFacade(t *testing.T) {
+	pts := []SparsePoint{
+		{Coords: []int{1, 1}, Value: 5},
+		{Coords: []int{30, 30}, Value: 100},
+	}
+	shape := []int{40, 40}
+	ss := NewSparseSumIndex(shape, pts)
+	ss.Update([]SparseSumUpdate{
+		{Coords: []int{1, 1}, Delta: 3},   // existing point
+		{Coords: []int{20, 20}, Delta: 7}, // new point
+	})
+	if got := ss.Sum(Reg(0, 39, 0, 39)); got != 115 {
+		t.Fatalf("sum after update = %d, want 115", got)
+	}
+	sm := NewSparseMaxIndex(shape, pts, 2)
+	sm.Update([]SparseMaxUpdate{{Coords: []int{2, 2}, Value: 500}})
+	if v, ok := sm.Max(Reg(0, 39, 0, 39)); !ok || v != 500 {
+		t.Fatalf("max after update = (%d,%v)", v, ok)
+	}
+}
+
+func TestPlannerFacade(t *testing.T) {
+	c := NewCube(
+		NewIntDimension("x", 0, 19),
+		NewIntDimension("y", 0, 19),
+	)
+	for x := 0; x < 20; x++ {
+		for y := 0; y < 20; y++ {
+			if err := c.Add(int64(x+y), x, y); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var log []Region
+	for i := 0; i < 10; i++ {
+		r, err := c.Region(Between("x", 2, 15), Between("y", 3, 18))
+		if err != nil {
+			t.Fatal(err)
+		}
+		log = append(log, r)
+	}
+	p, err := NewPlanner(c, log, 1e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Choices()) == 0 {
+		t.Fatal("planner made no choices")
+	}
+	q, _ := c.Region(Between("x", 5, 10), Between("y", 1, 7))
+	want := NewSumIndex(c.Data()).Sum(q)
+	if got := p.Sum(q, nil); got != want {
+		t.Fatalf("planner Sum = %d, want %d", got, want)
+	}
+}
+
+// Read-only queries are safe to run concurrently on all index types.
+func TestConcurrentReaders(t *testing.T) {
+	a := figure1Array()
+	sum := NewSumIndex(a)
+	bl := NewBlockedSumIndex(a, 2)
+	mx := NewMaxIndex(a, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				lo0, lo1 := rng.Intn(3), rng.Intn(6)
+				r := Reg(lo0, lo0+rng.Intn(3-lo0), lo1, lo1+rng.Intn(6-lo1))
+				v := sum.Sum(r)
+				if bl.Sum(r) != v {
+					t.Error("concurrent blocked mismatch")
+					return
+				}
+				if res := mx.Max(r); res.OK && res.Value > v && r.Volume() == 1 {
+					t.Error("concurrent max inconsistency")
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+}

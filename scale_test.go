@@ -1,0 +1,93 @@
+package rangecube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMillionCellScale exercises every dense engine on a 1M-cell 3-d cube
+// with large batches, the scale of the paper's motivating examples
+// (100 × 10 × 50 × 3 insurance cells and beyond). Skipped with -short.
+func TestMillionCellScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	shape := []int{100, 100, 100}
+	rng := rand.New(rand.NewSource(99))
+	a := NewArray(shape...)
+	for i := range a.Data() {
+		a.Data()[i] = int64(rng.Intn(1000))
+	}
+	ref := a.Clone()
+
+	sum := NewSumIndex(a)
+	blk := NewBlockedSumIndex(a.Clone(), 10)
+	mx := NewMaxIndex(a.Clone(), 5)
+
+	naiveSum := func(r Region) int64 {
+		var total int64
+		r.ForEach(func(c []int) { total += ref.At(c...) })
+		return total
+	}
+	randomRegion := func() Region {
+		r := make(Region, 3)
+		for j, n := range shape {
+			lo := rng.Intn(n)
+			r[j] = Range{Lo: lo, Hi: lo + rng.Intn(n-lo)}
+		}
+		return r
+	}
+
+	for q := 0; q < 15; q++ {
+		r := randomRegion()
+		want := naiveSum(r)
+		if got := sum.Sum(r); got != want {
+			t.Fatalf("SumIndex(%v) = %d, want %d", r, got, want)
+		}
+		if got := blk.Sum(r); got != want {
+			t.Fatalf("Blocked(%v) = %d, want %d", r, got, want)
+		}
+		var c Counter
+		sum.SumCounted(r, &c)
+		if c.Aux > 8 {
+			t.Fatalf("3-d prefix query cost %d > 2^3", c.Aux)
+		}
+	}
+
+	// A large batch of updates (§5): one combined pass.
+	const k = 500
+	ups := make([]SumUpdate, k)
+	maxUps := make([]PointUpdate, k)
+	for i := 0; i < k; i++ {
+		coords := []int{rng.Intn(100), rng.Intn(100), rng.Intn(100)}
+		delta := int64(rng.Intn(100) - 50)
+		ups[i] = SumUpdate{Coords: coords, Delta: delta}
+		newVal := ref.At(coords...) + delta
+		maxUps[i] = PointUpdate{Coords: coords, Value: newVal}
+		ref.Set(newVal, coords...)
+	}
+	sum.Update(ups)
+	blk.Update(ups)
+	mx.Update(maxUps)
+
+	for q := 0; q < 10; q++ {
+		r := randomRegion()
+		want := naiveSum(r)
+		if got := sum.Sum(r); got != want {
+			t.Fatalf("post-update SumIndex(%v) = %d, want %d", r, got, want)
+		}
+		if got := blk.Sum(r); got != want {
+			t.Fatalf("post-update Blocked(%v) = %d, want %d", r, got, want)
+		}
+		var wantMax int64
+		first := true
+		r.ForEach(func(c []int) {
+			if v := ref.At(c...); first || v > wantMax {
+				wantMax, first = v, false
+			}
+		})
+		if res := mx.Max(r); !res.OK || res.Value != wantMax {
+			t.Fatalf("post-update Max(%v) = %+v, want %d", r, res, wantMax)
+		}
+	}
+}
