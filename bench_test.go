@@ -68,6 +68,66 @@ func BenchmarkPrefixSumBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkBuild compares the sequential and parallel prefix-sum kernels on
+// a cube large enough to clear the parallel grain (512×512). The two paths
+// produce bit-identical arrays (see internal/core/prefixsum parallel tests);
+// this bench records the wall-clock gap.
+func BenchmarkBuild(b *testing.B) {
+	a := workload.New(7).UniformCube([]int{512, 512}, 1000)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := SetParallelism(w)
+			defer SetParallelism(prev)
+			b.SetBytes(int64(a.Size() * 8))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				prefixsum.BuildInt(a)
+			}
+		})
+	}
+}
+
+// BenchmarkBatchUpdateKernels compares the sequential and parallel batch
+// update of a large prefix-sum array: k point updates collapsed into the §5
+// region decomposition, each region applied by the line kernels.
+func BenchmarkBatchUpdateKernels(b *testing.B) {
+	const n, k = 512, 32
+	g := workload.New(int64(k))
+	a := g.UniformCube([]int{n, n}, 1000)
+	raw := g.Updates(a.Shape(), k, 100)
+	ups := make([]batchsum.IntUpdate, k)
+	for i, u := range raw {
+		ups[i] = batchsum.IntUpdate{Coords: u.Coords, Delta: u.Delta}
+	}
+	ps := prefixsum.BuildInt(a)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := SetParallelism(w)
+			defer SetParallelism(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batchsum.ApplyInt(ps, ups, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkMaxTreeBuild compares sequential and parallel construction of the
+// hierarchical range-max tree (slab-parallel level contraction).
+func BenchmarkMaxTreeBuild(b *testing.B) {
+	a := workload.New(9).UniformCube([]int{512, 512}, 1_000_000)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			prev := SetParallelism(w)
+			defer SetParallelism(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				maxtree.Build(a, 8)
+			}
+		})
+	}
+}
+
 // BenchmarkRangeSumMethods is the paper's prototype experiment: the same
 // query answered by the naive scan, the basic prefix sum, the blocked
 // prefix sum and the hierarchical tree, across query sizes. The advantage

@@ -6,10 +6,14 @@
 //	cubebench -exp figure11 -quick  # skip the measured columns / shrink sizes
 //
 // Experiments: figure1, figure11, figure12, figure13, figure14, theorem3,
-// rangesum, rangemax, update, sparse.
+// rangesum, rangemax, update, sparse, kernels.
+//
+// With -json, the kernels experiment additionally writes its timing record
+// to BENCH_kernels.json in the current directory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,8 +22,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, figure1, figure11, figure12, figure13, figure14, paging, bounds, theorem3, rangesum, rangemax, update, sparse)")
+	exp := flag.String("exp", "all", "experiment id (all, figure1, figure11, figure12, figure13, figure14, paging, bounds, theorem3, rangesum, rangemax, update, sparse, kernels)")
 	quick := flag.Bool("quick", false, "smaller sizes, skip measured Figure 11 columns")
+	jsonOut := flag.Bool("json", false, "write machine-readable results (kernels -> BENCH_kernels.json)")
 	flag.Parse()
 
 	type experiment struct {
@@ -45,6 +50,20 @@ func main() {
 		{"rangemax", func() harness.Table { return harness.RangeMaxMethods(n, 8) }},
 		{"update", func() harness.Table { return harness.UpdateSweep(n/2, []int{1, 4, 16, 64}) }},
 		{"sparse", func() harness.Table { return harness.SparseExperiment(n / 2) }},
+		{"kernels", func() harness.Table {
+			tab, rec := harness.Kernels(n)
+			if *jsonOut {
+				data, err := json.MarshalIndent(rec, "", "  ")
+				if err == nil {
+					err = os.WriteFile("BENCH_kernels.json", append(data, '\n'), 0o644)
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "cubebench: writing BENCH_kernels.json: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			return tab
+		}},
 	}
 
 	ran := 0

@@ -16,6 +16,7 @@ import (
 	"rangecube/internal/core/prefixsum"
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
+	"rangecube/internal/parallel"
 )
 
 // Update is one queued update in the paper's (location, value-to-add) form:
@@ -106,10 +107,38 @@ func forEach[T any, G algebra.Group[T]](shape []int, j int, ups []Update[T], pre
 // combined with its region's value-to-add exactly once. It does not touch
 // the original cube (in the basic algorithm the cube may have been
 // discarded); use ApplyToCube for callers that retain A.
+//
+// The update-class regions are disjoint (Property 2), so they are applied
+// through the line kernels with the region list sharded across the worker
+// pool; each worker accounts into a private metrics.Counter shard and the
+// shards are merged into c at the end, keeping totals identical to a
+// sequential run while the hot loops stay free of shared writes. Batches
+// whose total affected volume is small run inline on the caller's
+// goroutine.
 func Apply[T any, G algebra.Group[T]](ps *prefixsum.Array[T, G], updates []Update[T], c *metrics.Counter) int {
-	return ForEachRegion[T, G](ps.Shape(), updates, func(r ndarray.Region, delta T) {
-		ps.AddRegion(r, delta, c)
+	type classRegion struct {
+		r     ndarray.Region
+		delta T
+	}
+	var regions []classRegion
+	vol := 0
+	count := ForEachRegion[T, G](ps.Shape(), updates, func(r ndarray.Region, delta T) {
+		regions = append(regions, classRegion{r: r.Clone(), delta: delta})
+		vol += r.Volume()
 	})
+	if count == 0 {
+		return 0
+	}
+	shards := make([]metrics.Counter, parallel.Workers())
+	parallel.For(len(regions), vol, func(lo, hi, w int) {
+		for i := lo; i < hi; i++ {
+			ps.AddRegion(regions[i].r, regions[i].delta, &shards[w])
+		}
+	})
+	for i := range shards {
+		c.Merge(&shards[i])
+	}
+	return count
 }
 
 // ApplyInt is Apply for the canonical int64 SUM prefix-sum array.

@@ -84,23 +84,55 @@ func BuildDims[T any, G algebra.Group[T]](a *ndarray.Array[T], bs []int) *Array[
 	for i := range contracted.Data() {
 		contracted.Data()[i] = g.Identity()
 	}
-	// Phase 1: contract. Walk A once in storage order, adding each cell
-	// into its block's slot.
-	cdata := contracted.Data()
-	coords := make([]int, a.Dims())
-	adata := a.Data()
-	cstrides := contracted.Strides()
-	for off := range adata {
-		boff := 0
-		for j, c := range coords {
-			boff += (c / bs[j]) * cstrides[j]
-		}
-		cdata[boff] = g.Combine(cdata[boff], adata[off])
-		incr(coords, a.Shape())
-	}
+	// Phase 1: contract. The cube is walked in storage order, innermost
+	// line by innermost line, each line folding its cells into the run of
+	// contracted slots it overlaps. Workers own disjoint slabs of the
+	// contracted leading dimension — cube rows [klo·b0, khi·b0) — so their
+	// writes to the contracted array never collide and each worker still
+	// walks its slab in storage order.
+	contract[T, G](a, contracted, bs)
 	// Phase 2: prefix-sum the contracted array in place.
 	packed := prefixsum.Wrap[T, G](contracted)
 	return &Array[T, G]{a: a, packed: packed, bs: append([]int(nil), bs...)}
+}
+
+// contract folds each bs-sized block of a into its slot of the contracted
+// array via the shared slab driver, with a specialized kernel for the
+// canonical int64 SUM (no generic-dictionary Combine calls) and a generic
+// kernel for every other group. Both walk each innermost-axis run in
+// block-sized segments, so there is no per-cell division.
+func contract[T any, G algebra.Group[T]](a *ndarray.Array[T], contracted *ndarray.Array[T], bs []int) {
+	var g G
+	adata, cdata := a.Data(), contracted.Data()
+	b := bs[a.Dims()-1]
+	if data64, ok := any(adata).([]int64); ok {
+		if _, ok := any(g).(algebra.IntSum); ok {
+			cdata64 := any(cdata).([]int64)
+			ndarray.ContractSlabs(a, bs, contracted.Strides(), func(off, lo, hi, cbase int) {
+				for x := lo; x < hi; {
+					q := x / b
+					end := min((q+1)*b, hi)
+					acc := cdata64[cbase+q]
+					for ; x < end; x++ {
+						acc += data64[off+x]
+					}
+					cdata64[cbase+q] = acc
+				}
+			})
+			return
+		}
+	}
+	ndarray.ContractSlabs(a, bs, contracted.Strides(), func(off, lo, hi, cbase int) {
+		for x := lo; x < hi; {
+			q := x / b
+			end := min((q+1)*b, hi)
+			acc := cdata[cbase+q]
+			for ; x < end; x++ {
+				acc = g.Combine(acc, adata[off+x])
+			}
+			cdata[cbase+q] = acc
+		}
+	})
 }
 
 // FromParts reassembles a blocked structure from its persisted pieces: the
@@ -116,16 +148,6 @@ func FromParts[T any, G algebra.Group[T]](a *ndarray.Array[T], packed *ndarray.A
 		}
 	}
 	return &Array[T, G]{a: a, packed: prefixsum.FromPrecomputed[T, G](packed), bs: append([]int(nil), bs...)}
-}
-
-func incr(coords, shape []int) {
-	for i := len(coords) - 1; i >= 0; i-- {
-		coords[i]++
-		if coords[i] < shape[i] {
-			return
-		}
-		coords[i] = 0
-	}
 }
 
 // BlockSize returns the block size of dimension 0 (the uniform block size
@@ -307,15 +329,22 @@ func (bl *Array[T, G]) boundarySum(r ndarray.Region, kinds []rangeKind, splits [
 	return total
 }
 
-// scan sums the original-cube cells of region r directly.
+// scan sums the original-cube cells of region r directly, one contiguous
+// innermost-axis line at a time, accounting the counter once per scan
+// rather than once per cell (totals are unchanged).
 func (bl *Array[T, G]) scan(r ndarray.Region, c *metrics.Counter) T {
 	total := bl.g.Identity()
 	data := bl.a.Data()
-	ndarray.ForEachOffset(bl.a, r, func(off int) {
-		total = bl.g.Combine(total, data[off])
-		c.AddCells(1)
-		c.AddSteps(1)
+	cells := int64(0)
+	ndarray.ForEachLine(bl.a, r, func(ln ndarray.Line) {
+		row := data[ln.Off : ln.Off+ln.Len]
+		for _, v := range row {
+			total = bl.g.Combine(total, v)
+		}
+		cells += int64(ln.Len)
 	})
+	c.AddCells(cells)
+	c.AddSteps(cells)
 	return total
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
+	"rangecube/internal/parallel"
 )
 
 // Tree is the precomputed hierarchy. Level 0 is the cube itself; level i>0
@@ -77,54 +78,53 @@ func build[T cmp.Ordered](a *ndarray.Array[T], b int, min bool) *Tree[T] {
 	return t
 }
 
-// flatOffsets returns the identity offset slice for level 0.
+// flatOffsets returns the identity offset slice for level 0; for large
+// cubes the fill is fanned out across the worker pool.
 func flatOffsets[T cmp.Ordered](a *ndarray.Array[T]) []int {
 	offs := make([]int, a.Size())
-	for i := range offs {
-		offs[i] = i
-	}
+	parallel.For(len(offs), len(offs), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			offs[i] = i
+		}
+	})
 	return offs
 }
 
 // contract builds the next level from the previous one: every b×...×b block
-// of the previous grid is reduced to its best entry. The previous grid is
-// walked once in storage order.
+// of the previous grid is reduced to its best entry. The walk is
+// line-oriented and fanned out across the worker pool by slabs of the
+// contracted leading dimension (disjoint output nodes per worker); within a
+// slab cells are still visited in storage order, so ties resolve exactly as
+// in a sequential walk — the first candidate in storage order wins.
 func contract[T cmp.Ordered](t *Tree[T], prevVals *ndarray.Array[T], prevOffs []int) level[T] {
 	b := t.b
 	shape := prevVals.Shape()
 	nshape := make([]int, len(shape))
+	bs := make([]int, len(shape))
 	for i, n := range shape {
 		nshape[i] = (n + b - 1) / b
+		bs[i] = b
 	}
 	vals := ndarray.New[T](nshape...)
 	offs := make([]int, vals.Size())
 	seen := make([]bool, vals.Size())
-	nstrides := vals.Strides()
-	coords := make([]int, len(shape))
+	vdata := vals.Data()
 	data := prevVals.Data()
-	for off := range data {
-		poff := 0
-		for j, c := range coords {
-			poff += (c / b) * nstrides[j]
+	ndarray.ContractSlabs(prevVals, bs, vals.Strides(), func(off, lo, hi, cbase int) {
+		for x := lo; x < hi; {
+			q := x / b
+			end := min((q+1)*b, hi)
+			slot := cbase + q
+			v, o, sn := vdata[slot], offs[slot], seen[slot]
+			for ; x < end; x++ {
+				if !sn || t.better(data[off+x], v) {
+					v, o, sn = data[off+x], prevOffs[off+x], true
+				}
+			}
+			vdata[slot], offs[slot], seen[slot] = v, o, sn
 		}
-		if !seen[poff] || t.better(data[off], vals.Data()[poff]) {
-			vals.Data()[poff] = data[off]
-			offs[poff] = prevOffs[off]
-			seen[poff] = true
-		}
-		incrOdo(coords, shape)
-	}
+	})
 	return level[T]{vals: vals, offs: offs}
-}
-
-func incrOdo(coords, shape []int) {
-	for i := len(coords) - 1; i >= 0; i-- {
-		coords[i]++
-		if coords[i] < shape[i] {
-			return
-		}
-		coords[i] = 0
-	}
 }
 
 // better reports whether x beats y under the tree's ordering. Ties are not
@@ -348,16 +348,23 @@ func (t *Tree[T]) descend(levelIdx int, node []int, r ndarray.Region, curOff int
 	}
 
 	if childLevel == 0 {
-		// Children are cube cells: every cell inside R is a candidate.
+		// Children are cube cells: every cell inside R is a candidate. The
+		// block is scanned one contiguous line at a time, with the counter
+		// accounted per line (totals match per-cell accounting).
 		inter := childRange.Intersect(r)
 		data := t.a.Data()
-		ndarray.ForEachOffset(t.a, inter, func(off int) {
-			c.AddCells(1)
-			c.AddSteps(1)
-			if t.better(data[off], curVal) {
-				curOff, curVal = off, data[off]
+		cells := int64(0)
+		ndarray.ForEachLine(t.a, inter, func(ln ndarray.Line) {
+			row := data[ln.Off : ln.Off+ln.Len]
+			for i, v := range row {
+				if t.better(v, curVal) {
+					curOff, curVal = ln.Off+i, v
+				}
 			}
+			cells += int64(ln.Len)
 		})
+		c.AddCells(cells)
+		c.AddSteps(cells)
 		return curOff, curVal
 	}
 

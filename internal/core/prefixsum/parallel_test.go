@@ -1,0 +1,196 @@
+package prefixsum
+
+import (
+	"testing"
+
+	"rangecube/internal/algebra"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/parallel"
+	"rangecube/internal/workload"
+)
+
+// shapes covers dims 1–4 with odd, prime and degenerate extents so the
+// panel/line decomposition hits ragged chunk boundaries.
+var shapes = [][]int{
+	{1},
+	{977},
+	{64, 64},
+	{61, 67},
+	{1, 129},
+	{129, 1},
+	{7, 11, 13},
+	{16, 1, 33},
+	{5, 7, 3, 11},
+	{2, 2, 2, 2},
+}
+
+// forceParallel forces the worker budget to w for the duration of the test
+// even on single-core machines.
+func forceParallel(t *testing.T, w int) {
+	t.Helper()
+	prev := parallel.SetMaxWorkers(w)
+	t.Cleanup(func() { parallel.SetMaxWorkers(prev) })
+}
+
+// buildSeq builds with the sequential fallback pinned on.
+func buildSeq[T any, G algebra.Group[T]](a *ndarray.Array[T]) *Array[T, G] {
+	prev := parallel.SetMaxWorkers(1)
+	defer parallel.SetMaxWorkers(prev)
+	return Build[T, G](a)
+}
+
+func fillValues(i int) int64 { return int64(i%251) - 125 }
+
+// TestParallelBuildMatchesSequentialInt proves the parallel int64 kernels
+// produce bit-identical prefix arrays across dims 1–4 and odd shapes.
+func TestParallelBuildMatchesSequentialInt(t *testing.T) {
+	forceParallel(t, 8)
+	for _, shape := range shapes {
+		a := ndarray.New[int64](shape...)
+		for i := range a.Data() {
+			a.Data()[i] = fillValues(i)
+		}
+		want := buildSeq[int64, algebra.IntSum](a.Clone())
+		got := BuildInt(a)
+		for i, v := range got.P().Data() {
+			if v != want.P().Data()[i] {
+				t.Fatalf("shape %v: parallel P[%d] = %d, sequential %d", shape, i, v, want.P().Data()[i])
+			}
+		}
+	}
+}
+
+// TestParallelBuildMatchesSequentialAllGroups repeats the equivalence for
+// every algebra.Group instance, exercising the generic (non-int64) kernels.
+func TestParallelBuildMatchesSequentialAllGroups(t *testing.T) {
+	forceParallel(t, 8)
+	for _, shape := range shapes {
+		check := func(name string, eq func(shape []int) bool) {
+			if !eq(shape) {
+				t.Fatalf("shape %v: %s parallel build differs from sequential", shape, name)
+			}
+		}
+		check("FloatSum", func(shape []int) bool {
+			a := ndarray.New[float64](shape...)
+			for i := range a.Data() {
+				a.Data()[i] = float64(fillValues(i)) / 4
+			}
+			want := buildSeq[float64, algebra.FloatSum](a.Clone())
+			got := Build[float64, algebra.FloatSum](a)
+			return equalData(got.P().Data(), want.P().Data())
+		})
+		check("Xor", func(shape []int) bool {
+			a := ndarray.New[uint64](shape...)
+			for i := range a.Data() {
+				a.Data()[i] = uint64(i) * 0x9e3779b97f4a7c15
+			}
+			want := buildSeq[uint64, algebra.Xor](a.Clone())
+			got := Build[uint64, algebra.Xor](a)
+			return equalData(got.P().Data(), want.P().Data())
+		})
+		check("Mul", func(shape []int) bool {
+			a := ndarray.New[float64](shape...)
+			for i := range a.Data() {
+				a.Data()[i] = 1 + float64(i%7)/1024 // stay well away from 0 and overflow
+			}
+			want := buildSeq[float64, algebra.Mul](a.Clone())
+			got := Build[float64, algebra.Mul](a)
+			return equalData(got.P().Data(), want.P().Data())
+		})
+		check("SumCount", func(shape []int) bool {
+			a := ndarray.New[algebra.SumCount](shape...)
+			for i := range a.Data() {
+				a.Data()[i] = algebra.SumCount{Sum: float64(fillValues(i)), Count: int64(i % 3)}
+			}
+			want := buildSeq[algebra.SumCount, algebra.SumCountGroup](a.Clone())
+			got := Build[algebra.SumCount, algebra.SumCountGroup](a)
+			return equalData(got.P().Data(), want.P().Data())
+		})
+	}
+}
+
+func equalData[T comparable](a, b []T) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelBuildLargeCube forces the above-grain path on a cube big
+// enough that every axis pass actually fans out, and cross-checks a few
+// range queries against the sequential build.
+func TestParallelBuildLargeCube(t *testing.T) {
+	forceParallel(t, 8)
+	g := workload.New(7)
+	a := g.UniformCube([]int{259, 261}, 1000)
+	want := buildSeq[int64, algebra.IntSum](a.Clone())
+	got := BuildInt(a)
+	for i, v := range got.P().Data() {
+		if v != want.P().Data()[i] {
+			t.Fatalf("parallel P[%d] = %d, sequential %d", i, v, want.P().Data()[i])
+		}
+	}
+	for i := 0; i < 64; i++ {
+		r := g.UniformRegion(a.Shape())
+		if got.Sum(r, nil) != want.Sum(r, nil) {
+			t.Fatalf("query %v differs between parallel and sequential builds", r)
+		}
+	}
+}
+
+// TestAddRegionParallelEquivalence proves the line-kernel AddRegion matches
+// the sequential path bit-for-bit and preserves the per-cell counter totals
+// (Aux and Steps both gain exactly the region volume).
+func TestAddRegionParallelEquivalence(t *testing.T) {
+	forceParallel(t, 8)
+	g := workload.New(11)
+	a := g.UniformCube([]int{101, 103}, 1000)
+	seqPS := buildSeq[int64, algebra.IntSum](a.Clone())
+	parPS := BuildInt(a)
+	regions := []ndarray.Region{
+		ndarray.Reg(0, 100, 0, 102), // full cube
+		ndarray.Reg(3, 97, 5, 95),
+		ndarray.Reg(50, 50, 0, 102), // single row
+		ndarray.Reg(0, 100, 7, 7),   // single column
+		ndarray.Reg(9, 3, 0, 102),   // empty
+	}
+	for _, r := range regions {
+		var cs, cp metrics.Counter
+		func() {
+			prev := parallel.SetMaxWorkers(1)
+			defer parallel.SetMaxWorkers(prev)
+			seqPS.AddRegion(r, 17, &cs)
+		}()
+		parPS.AddRegion(r, 17, &cp)
+		if cs != cp {
+			t.Fatalf("region %v: parallel counter %v differs from sequential %v", r, cp.String(), cs.String())
+		}
+		vol := int64(r.Volume())
+		if cp.Aux != vol || cp.Steps != vol {
+			t.Fatalf("region %v: counter %v, want aux=steps=volume=%d", r, cp.String(), vol)
+		}
+		if !equalData(parPS.P().Data(), seqPS.P().Data()) {
+			t.Fatalf("region %v: arrays diverged after AddRegion", r)
+		}
+	}
+}
+
+// TestApplyPointCounterTotals verifies ApplyPoint still accounts one Aux
+// and one Step per touched entry.
+func TestApplyPointCounterTotals(t *testing.T) {
+	forceParallel(t, 4)
+	a := ndarray.New[int64](9, 10, 11)
+	ps := BuildInt(a)
+	var c metrics.Counter
+	ps.ApplyPoint([]int{4, 5, 6}, 3, &c)
+	want := int64(5 * 5 * 5) // (9-4)·(10-5)·(11-6) dominated entries
+	if c.Aux != want || c.Steps != want {
+		t.Fatalf("ApplyPoint counter %v, want aux=steps=%d", c.String(), want)
+	}
+	if got := ps.Sum(ndarray.Reg(0, 8, 0, 9, 0, 10), nil); got != 3 {
+		t.Fatalf("total after point update = %d, want 3", got)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"rangecube/internal/algebra"
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
+	"rangecube/internal/parallel"
 )
 
 // Array is the precomputed prefix-sum array P, where
@@ -60,33 +61,152 @@ func FromPrecomputed[T any, G algebra.Group[T]](p *ndarray.Array[T]) *Array[T, G
 
 // recompute re-runs the d prefix passes in place; p must currently hold raw
 // cube values.
+//
+// Each pass is line-oriented: around axis j the row-major array factors as
+// [outer][nj][inner] with inner = strides[j], so a pass is, per panel,
+// data[i][t] ⊕= data[i-1][t] — a tight loop over contiguous memory in
+// storage order, preserving the §3.3 touch-each-page-at-most-twice bound.
+// The nj·inner 1-D lines of a panel are independent of every other panel's,
+// and the inner columns of one panel are independent of each other, so the
+// pass fans out across workers over whichever of the two is larger; small
+// cubes fall below parallel.Grain and run sequentially. The canonical
+// int64/IntSum instantiation dispatches to a specialized kernel with no
+// generic-dictionary Combine calls.
 func (ps *Array[T, G]) recompute() {
 	p := ps.p
-	data := p.Data()
+	n := p.Size()
 	shape := p.Shape()
 	strides := p.Strides()
-	coords := make([]int, p.Dims())
-	for j := 0; j < p.Dims(); j++ {
-		for i := range coords {
-			coords[i] = 0
+	data64, fast := fastInt64[T, G](p.Data(), ps.g)
+	jEnd := p.Dims()
+	if d := p.Dims(); fast && d >= 2 {
+		// Fuse the last two passes into one storage-order sweep: the panel
+		// around axis d-2 is [m][w] with w = shape[d-1], and
+		// out[i] = rowprefix(in[i]) + out[i-1] element-wise — one read and
+		// one write of each page instead of two of each, with out[i-1]
+		// still warm from the previous row. Addition on int64 is exact, so
+		// the result is bit-identical to the two separate passes. The fused
+		// panel only parallelizes across outer panels, so skip the fusion
+		// when that would idle workers the split passes could use.
+		m, w := shape[d-2], shape[d-1]
+		outer := n / (m * w)
+		if wk := parallel.Workers(); wk == 1 || outer >= wk {
+			panel := m * w
+			parallel.For(outer, n, func(lo, hi, _ int) {
+				for o := lo; o < hi; o++ {
+					fusedInt64(data64[o*panel:(o+1)*panel], m, w)
+				}
+			})
+			jEnd = d - 2
 		}
-		stride := strides[j]
-		for off := range data {
-			if coords[j] > 0 {
-				data[off] = ps.g.Combine(data[off], data[off-stride])
-			}
-			incr(coords, shape)
+	}
+	for j := 0; j < jEnd; j++ {
+		nj := shape[j]
+		if nj == 1 {
+			continue
+		}
+		inner := strides[j]
+		outer := n / (nj * inner)
+		panel := nj * inner
+		switch {
+		case fast && outer >= inner:
+			// Fan panels out across workers.
+			parallel.For(outer, n, func(lo, hi, _ int) {
+				for o := lo; o < hi; o++ {
+					passInt64(data64[o*panel:(o+1)*panel], nj, inner, 0, inner)
+				}
+			})
+		case fast:
+			// Few panels, wide inner slabs: fan inner columns out instead.
+			parallel.For(inner, n, func(tlo, thi, _ int) {
+				for o := 0; o < outer; o++ {
+					passInt64(data64[o*panel:(o+1)*panel], nj, inner, tlo, thi)
+				}
+			})
+		case outer >= inner:
+			data := p.Data()
+			parallel.For(outer, n, func(lo, hi, _ int) {
+				for o := lo; o < hi; o++ {
+					passGeneric[T](data[o*panel:(o+1)*panel], nj, inner, 0, inner, ps.g)
+				}
+			})
+		default:
+			data := p.Data()
+			parallel.For(inner, n, func(tlo, thi, _ int) {
+				for o := 0; o < outer; o++ {
+					passGeneric[T](data[o*panel:(o+1)*panel], nj, inner, tlo, thi, ps.g)
+				}
+			})
 		}
 	}
 }
 
-func incr(coords, shape []int) {
-	for i := len(coords) - 1; i >= 0; i-- {
-		coords[i]++
-		if coords[i] < shape[i] {
-			return
+// fastInt64 reports whether the instantiation is the canonical int64 SUM
+// and, if so, returns the data reinterpreted as []int64. The two type
+// assertions compile to constant checks per instantiation, so every other
+// group pays nothing.
+func fastInt64[T any, G algebra.Group[T]](data []T, g G) ([]int64, bool) {
+	if _, ok := any(g).(algebra.IntSum); !ok {
+		return nil, false
+	}
+	d64, ok := any(data).([]int64)
+	return d64, ok
+}
+
+// passInt64 runs one prefix pass over inner columns [tlo, thi) of a single
+// contiguous panel laid out as [nj][inner]int64. The inner == 1 case is the
+// innermost-axis pass: one contiguous stride-1 line per panel.
+func passInt64(panel []int64, nj, inner, tlo, thi int) {
+	if inner == 1 {
+		for i := 1; i < nj; i++ {
+			panel[i] += panel[i-1]
 		}
-		coords[i] = 0
+		return
+	}
+	for i := 1; i < nj; i++ {
+		row := panel[i*inner : i*inner+inner]
+		prev := panel[(i-1)*inner : i*inner]
+		for t := tlo; t < thi; t++ {
+			row[t] += prev[t]
+		}
+	}
+}
+
+// fusedInt64 runs the last two prefix passes of one [m][w] panel as a
+// single sweep: each row is prefixed along the innermost axis while the
+// already-complete previous row is added element-wise.
+func fusedInt64(panel []int64, m, w int) {
+	row := panel[:w]
+	var acc int64
+	for t := range row {
+		acc += row[t]
+		row[t] = acc
+	}
+	for i := 1; i < m; i++ {
+		row = panel[i*w : i*w+w]
+		prev := panel[(i-1)*w : i*w]
+		acc = 0
+		for t := 0; t < w; t++ {
+			acc += row[t]
+			row[t] = acc + prev[t]
+		}
+	}
+}
+
+// passGeneric is passInt64 for an arbitrary group.
+func passGeneric[T any, G algebra.Group[T]](panel []T, nj, inner, tlo, thi int, g G) {
+	if inner == 1 {
+		for i := 1; i < nj; i++ {
+			panel[i] = g.Combine(panel[i], panel[i-1])
+		}
+		return
+	}
+	for i := 1; i < nj; i++ {
+		row := panel[i*inner : i*inner+inner]
+		prev := panel[(i-1)*inner : i*inner]
+		for t := tlo; t < thi; t++ {
+			row[t] = g.Combine(row[t], prev[t])
+		}
 	}
 }
 
@@ -186,22 +306,47 @@ func (ps *Array[T, G]) ApplyPoint(coords []int, delta T, c *metrics.Counter) {
 		}
 		r[j] = ndarray.Range{Lo: x, Hi: ps.p.Shape()[j] - 1}
 	}
-	data := ps.p.Data()
-	ndarray.ForEachOffset(ps.p, r, func(off int) {
-		data[off] = ps.g.Combine(data[off], delta)
-		c.AddAux(1)
-		c.AddSteps(1)
-	})
+	ps.AddRegion(r, delta, c)
 }
 
 // AddRegion combines delta into every P entry of region r. It is the
 // primitive the §5 batch-update algorithm uses to apply one combined
 // value-to-add to one update-class region.
+//
+// The region is decomposed into contiguous innermost-axis lines; each line
+// is written by a tight loop and the worker pool shards the lines when the
+// region is large. Counters are accumulated per region, not per cell — the
+// totals (Aux and Steps both gain one per entry written) are identical to
+// the per-cell accounting this replaced.
 func (ps *Array[T, G]) AddRegion(r ndarray.Region, delta T, c *metrics.Counter) {
-	data := ps.p.Data()
-	ndarray.ForEachOffset(ps.p, r, func(off int) {
-		data[off] = ps.g.Combine(data[off], delta)
-		c.AddAux(1)
-		c.AddSteps(1)
-	})
+	ls := ndarray.LinesOf(ps.p, r, ps.p.Dims()-1)
+	lines, lineLen := ls.Count(), ls.Len()
+	if lines == 0 {
+		return
+	}
+	vol := lines * lineLen
+	if data64, fast := fastInt64[T, G](ps.p.Data(), ps.g); fast {
+		d64 := any(delta).(int64)
+		parallel.For(lines, vol, func(lo, hi, _ int) {
+			ls.ForEach(lo, hi, func(ln ndarray.Line) {
+				row := data64[ln.Off : ln.Off+ln.Len]
+				for i := range row {
+					row[i] += d64
+				}
+			})
+		})
+	} else {
+		data := ps.p.Data()
+		g := ps.g
+		parallel.For(lines, vol, func(lo, hi, _ int) {
+			ls.ForEach(lo, hi, func(ln ndarray.Line) {
+				row := data[ln.Off : ln.Off+ln.Len]
+				for i := range row {
+					row[i] = g.Combine(row[i], delta)
+				}
+			})
+		})
+	}
+	c.AddAux(int64(vol))
+	c.AddSteps(int64(vol))
 }

@@ -1,0 +1,35 @@
+package sumtree
+
+import (
+	"testing"
+
+	"rangecube/internal/parallel"
+	"rangecube/internal/workload"
+)
+
+// TestParallelBuildMatchesSequential proves the slab-parallel level build
+// produces node sums identical to the single-worker build at every level
+// (checked through exhaustive-ish queries on ragged shapes).
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	prev := parallel.SetMaxWorkers(8)
+	t.Cleanup(func() { parallel.SetMaxWorkers(prev) })
+	g := workload.New(31)
+	for _, shape := range [][]int{{513}, {129, 131}, {17, 19, 23}} {
+		a := g.UniformCube(shape, 1000)
+		want := func() *IntTree {
+			p := parallel.SetMaxWorkers(1)
+			defer parallel.SetMaxWorkers(p)
+			return BuildInt(a.Clone(), 4)
+		}()
+		got := BuildInt(a, 4)
+		if got.Nodes() != want.Nodes() {
+			t.Fatalf("shape %v: node counts differ (%d vs %d)", shape, got.Nodes(), want.Nodes())
+		}
+		for i := 0; i < 96; i++ {
+			r := g.UniformRegion(shape)
+			if gv, wv := got.Sum(r, nil), want.Sum(r, nil); gv != wv {
+				t.Fatalf("shape %v query %v: parallel %d vs sequential %d", shape, r, gv, wv)
+			}
+		}
+	}
+}

@@ -60,38 +60,55 @@ func Build[T any, G algebra.Group[T]](a *ndarray.Array[T], b int) *Tree[T, G] {
 	return t
 }
 
+// contract builds the next level by folding each b×...×b block of prev into
+// one node sum. The walk is line-oriented and fanned out across the worker
+// pool via the shared slab driver (workers own disjoint slabs of the
+// contracted leading dimension, so no two fold into the same node); the
+// canonical int64 SUM gets a specialized kernel free of generic dispatch.
 func (t *Tree[T, G]) contract(prev *ndarray.Array[T]) *ndarray.Array[T] {
 	shape := prev.Shape()
 	nshape := make([]int, len(shape))
+	bs := make([]int, len(shape))
 	for i, n := range shape {
 		nshape[i] = (n + t.b - 1) / t.b
+		bs[i] = t.b
 	}
 	cur := ndarray.New[T](nshape...)
-	for i := range cur.Data() {
-		cur.Data()[i] = t.g.Identity()
+	cdata := cur.Data()
+	for i := range cdata {
+		cdata[i] = t.g.Identity()
 	}
-	strides := cur.Strides()
-	coords := make([]int, len(shape))
-	for off, v := range prev.Data() {
-		poff := 0
-		for j, c := range coords {
-			poff += (c / t.b) * strides[j]
+	pdata := prev.Data()
+	b := t.b
+	if p64, ok := any(pdata).([]int64); ok {
+		if _, ok := any(t.g).(algebra.IntSum); ok {
+			c64 := any(cdata).([]int64)
+			ndarray.ContractSlabs(prev, bs, cur.Strides(), func(off, lo, hi, cbase int) {
+				for x := lo; x < hi; {
+					q := x / b
+					end := min((q+1)*b, hi)
+					acc := c64[cbase+q]
+					for ; x < end; x++ {
+						acc += p64[off+x]
+					}
+					c64[cbase+q] = acc
+				}
+			})
+			return cur
 		}
-		cur.Data()[poff] = t.g.Combine(cur.Data()[poff], v)
-		_ = off
-		incrOdo(coords, shape)
 	}
+	ndarray.ContractSlabs(prev, bs, cur.Strides(), func(off, lo, hi, cbase int) {
+		for x := lo; x < hi; {
+			q := x / b
+			end := min((q+1)*b, hi)
+			acc := cdata[cbase+q]
+			for ; x < end; x++ {
+				acc = t.g.Combine(acc, pdata[off+x])
+			}
+			cdata[cbase+q] = acc
+		}
+	})
 	return cur
-}
-
-func incrOdo(coords, shape []int) {
-	for i := len(coords) - 1; i >= 0; i-- {
-		coords[i]++
-		if coords[i] < shape[i] {
-			return
-		}
-		coords[i] = 0
-	}
 }
 
 // Cube returns the underlying data cube.
@@ -217,23 +234,12 @@ func (t *Tree[T, G]) descend(levelIdx int, node []int, r ndarray.Region, c *metr
 		cover := childRange // cover region of the node in cube coordinates
 		volI, volC := inter.Volume(), cover.Volume()
 		if volI <= volC-volI {
-			data := t.a.Data()
-			ndarray.ForEachOffset(t.a, inter, func(off int) {
-				total = t.g.Combine(total, data[off])
-				c.AddCells(1)
-				c.AddSteps(1)
-			})
-			return total
+			return t.scan(inter, c)
 		}
 		c.AddAux(1)
 		total = t.levels[0].At(node...)
 		t.forEachComplementSlab(cover, inter, func(slab ndarray.Region) {
-			data := t.a.Data()
-			ndarray.ForEachOffset(t.a, slab, func(off int) {
-				total = t.g.Inverse(total, data[off])
-				c.AddCells(1)
-				c.AddSteps(1)
-			})
+			total = t.g.Inverse(total, t.scan(slab, c))
 		})
 		return total
 	}
@@ -270,6 +276,25 @@ func (t *Tree[T, G]) descend(levelIdx int, node []int, r ndarray.Region, c *metr
 		total = t.g.Combine(total, t.descend(childLevel, kk, cov.Intersect(r), c))
 		c.AddSteps(1)
 	})
+	return total
+}
+
+// scan sums the cube cells of region r directly, one contiguous
+// innermost-axis line at a time, accounting the counter once per scan
+// (totals match the per-cell accounting this replaced).
+func (t *Tree[T, G]) scan(r ndarray.Region, c *metrics.Counter) T {
+	total := t.g.Identity()
+	data := t.a.Data()
+	cells := int64(0)
+	ndarray.ForEachLine(t.a, r, func(ln ndarray.Line) {
+		row := data[ln.Off : ln.Off+ln.Len]
+		for _, v := range row {
+			total = t.g.Combine(total, v)
+		}
+		cells += int64(ln.Len)
+	})
+	c.AddCells(cells)
+	c.AddSteps(cells)
 	return total
 }
 

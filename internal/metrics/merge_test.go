@@ -1,0 +1,25 @@
+package metrics
+
+import "testing"
+
+func TestMerge(t *testing.T) {
+	var a, b Counter
+	a.AddCells(3)
+	a.AddAux(5)
+	a.AddSteps(7)
+	b.AddCells(11)
+	b.AddAux(13)
+	b.AddSteps(17)
+	a.Merge(&b)
+	if a.Cells != 14 || a.Aux != 18 || a.Steps != 24 {
+		t.Fatalf("merged counter = %s, want cells=14 aux=18 steps=24", a.String())
+	}
+	// Merge must be nil-safe on both sides: a shard may be untouched, and
+	// callers pass nil counters when they don't want accounting.
+	a.Merge(nil)
+	var nilc *Counter
+	nilc.Merge(&b) // must not panic
+	if a.Cells != 14 {
+		t.Fatalf("Merge(nil) changed the counter: %s", a.String())
+	}
+}

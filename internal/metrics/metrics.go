@@ -43,6 +43,20 @@ func (c *Counter) AddSteps(n int64) {
 	}
 }
 
+// Merge folds another counter's totals into c. The parallel bulk kernels
+// give each worker a private shard (so the hot loops stay free of atomics)
+// and merge the shards into the caller's counter once, in worker order,
+// after the pool drains; totals are therefore identical to a sequential
+// run. Either counter may be nil.
+func (c *Counter) Merge(s *Counter) {
+	if c == nil || s == nil {
+		return
+	}
+	c.Cells += s.Cells
+	c.Aux += s.Aux
+	c.Steps += s.Steps
+}
+
 // Total returns the paper's element-access cost: data cells plus auxiliary
 // entries read.
 func (c *Counter) Total() int64 {

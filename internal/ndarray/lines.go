@@ -1,0 +1,139 @@
+package ndarray
+
+import "fmt"
+
+// Line is a one-dimensional run of cells inside an array's backing slice:
+// the offsets Off, Off+Stride, ..., Off+(Len-1)*Stride. Runs along the
+// innermost axis of a row-major array have Stride == 1 and are contiguous,
+// which is what makes line-oriented kernels cache- and vector-friendly.
+type Line struct {
+	Off, Len, Stride int
+}
+
+// Lines is the decomposition of a rectangular region into its 1-D runs
+// along one axis: Count() runs, each of Len() cells with stride Stride(),
+// ordered row-major over the remaining dimensions. It is the substrate of
+// the bulk kernels — a worker takes a contiguous chunk [lo, hi) of line
+// indices and walks each run with a tight loop instead of a per-cell
+// odometer and per-cell bounds checks.
+//
+// The value is immutable after construction and safe for concurrent use:
+// ForEach keeps its cursor in locals, so disjoint chunks may be visited
+// from different goroutines simultaneously.
+type Lines struct {
+	axis    int
+	lineLen int // cells per run (r[axis].Len())
+	stride  int // array stride of the axis
+	count   int // number of runs
+	base    int // offset of the region's low corner
+	// Row-major factorization of the run index over the non-axis dims.
+	outerLens    []int // r[j].Len() for j != axis, in dimension order
+	outerStrides []int // matching array strides
+}
+
+// LinesOf decomposes region r of the array into its 1-D runs along the
+// given axis. It panics under the same conditions as ForEachOffset
+// (dimension mismatch, region out of bounds); an empty region yields a
+// decomposition with Count() == 0.
+func LinesOf[T any](a *Array[T], r Region, axis int) Lines {
+	if len(r) != len(a.shape) {
+		panic("ndarray: region dimensionality does not match array")
+	}
+	if axis < 0 || axis >= len(a.shape) {
+		panic(fmt.Sprintf("ndarray: line axis %d out of range for %d dimensions", axis, len(a.shape)))
+	}
+	if r.Empty() {
+		return Lines{axis: axis}
+	}
+	for i, rng := range r {
+		if rng.Lo < 0 || rng.Hi >= a.shape[i] {
+			panic(fmt.Sprintf("ndarray: region %v out of bounds for shape %v", r, a.shape))
+		}
+	}
+	ls := Lines{
+		axis:    axis,
+		lineLen: r[axis].Len(),
+		stride:  a.strides[axis],
+		count:   1,
+	}
+	for j, rng := range r {
+		ls.base += rng.Lo * a.strides[j]
+		if j == axis {
+			continue
+		}
+		ls.outerLens = append(ls.outerLens, rng.Len())
+		ls.outerStrides = append(ls.outerStrides, a.strides[j])
+		ls.count *= rng.Len()
+	}
+	return ls
+}
+
+// Count returns the number of runs.
+func (ls Lines) Count() int { return ls.count }
+
+// Len returns the number of cells in each run.
+func (ls Lines) Len() int { return ls.lineLen }
+
+// Stride returns the offset step between consecutive cells of a run; it is
+// 1 when the runs lie along the innermost axis.
+func (ls Lines) Stride() int { return ls.stride }
+
+// Line returns the i-th run in row-major order, in O(d) time. Chunked
+// iteration should prefer ForEach, which advances incrementally.
+func (ls Lines) Line(i int) Line {
+	if i < 0 || i >= ls.count {
+		panic(fmt.Sprintf("ndarray: line index %d out of range [0,%d)", i, ls.count))
+	}
+	off := ls.base
+	for j := len(ls.outerLens) - 1; j >= 0; j-- {
+		off += (i % ls.outerLens[j]) * ls.outerStrides[j]
+		i /= ls.outerLens[j]
+	}
+	return Line{Off: off, Len: ls.lineLen, Stride: ls.stride}
+}
+
+// ForEach visits runs lo..hi-1 in row-major order with O(1) amortized cost
+// per run. Distinct goroutines may call ForEach concurrently on disjoint
+// chunks of the same Lines value; this is how the worker pool shards a
+// region.
+func (ls Lines) ForEach(lo, hi int, visit func(ln Line)) {
+	if lo < 0 || hi > ls.count || lo > hi {
+		panic(fmt.Sprintf("ndarray: line chunk [%d,%d) out of range [0,%d)", lo, hi, ls.count))
+	}
+	if lo == hi {
+		return
+	}
+	// Seed the outer odometer at line lo.
+	d := len(ls.outerLens)
+	coords := make([]int, d)
+	off := ls.base
+	rem := lo
+	for j := d - 1; j >= 0; j-- {
+		coords[j] = rem % ls.outerLens[j]
+		off += coords[j] * ls.outerStrides[j]
+		rem /= ls.outerLens[j]
+	}
+	for i := lo; ; {
+		visit(Line{Off: off, Len: ls.lineLen, Stride: ls.stride})
+		if i++; i >= hi {
+			return
+		}
+		for j := d - 1; ; j-- {
+			coords[j]++
+			off += ls.outerStrides[j]
+			if coords[j] < ls.outerLens[j] {
+				break
+			}
+			off -= coords[j] * ls.outerStrides[j]
+			coords[j] = 0
+		}
+	}
+}
+
+// ForEachLine visits every innermost-axis run of region r in row-major
+// order. The runs are contiguous (stride 1) in a row-major array; bulk
+// scans and region writes use this in place of per-cell ForEachOffset.
+func ForEachLine[T any](a *Array[T], r Region, visit func(ln Line)) {
+	ls := LinesOf(a, r, len(a.shape)-1)
+	ls.ForEach(0, ls.Count(), visit)
+}

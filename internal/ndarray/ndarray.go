@@ -26,6 +26,26 @@ type Array[T any] struct {
 // at least 1; the paper assumes nj >= 2 for queried dimensions but degenerate
 // extents of 1 are permitted here so cuboid slices can be represented.
 func New[T any](shape ...int) *Array[T] {
+	a, n := header[T](shape)
+	a.data = make([]T, n)
+	return a
+}
+
+// FromSlice wraps data as an array with the given shape. The slice is used
+// directly (not copied, and no throwaway backing array is allocated) and
+// must have exactly the product of the extents as its length.
+func FromSlice[T any](data []T, shape ...int) *Array[T] {
+	a, n := header[T](shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("ndarray: FromSlice got %d elements for shape %v (want %d)", len(data), shape, n))
+	}
+	a.data = data
+	return a
+}
+
+// header validates shape and builds an array with shape and strides set but
+// no backing data, returning it with the total cell count.
+func header[T any](shape []int) (*Array[T], int) {
 	if len(shape) == 0 {
 		panic("ndarray: New requires at least one dimension")
 	}
@@ -34,7 +54,7 @@ func New[T any](shape ...int) *Array[T] {
 		if s < 1 {
 			panic(fmt.Sprintf("ndarray: dimension %d has non-positive extent %d", i, s))
 		}
-		if n > 0 && n > (1<<62)/s {
+		if n > (1<<62)/s {
 			panic("ndarray: total size overflows")
 		}
 		n *= s
@@ -42,26 +62,13 @@ func New[T any](shape ...int) *Array[T] {
 	a := &Array[T]{
 		shape:   append([]int(nil), shape...),
 		strides: make([]int, len(shape)),
-		data:    make([]T, n),
 	}
 	stride := 1
 	for i := len(shape) - 1; i >= 0; i-- {
 		a.strides[i] = stride
 		stride *= shape[i]
 	}
-	return a
-}
-
-// FromSlice wraps data as an array with the given shape. The slice is used
-// directly (not copied) and must have exactly the product of the extents as
-// its length.
-func FromSlice[T any](data []T, shape ...int) *Array[T] {
-	a := New[T](shape...)
-	if len(data) != len(a.data) {
-		panic(fmt.Sprintf("ndarray: FromSlice got %d elements for shape %v (want %d)", len(data), shape, len(a.data)))
-	}
-	a.data = data
-	return a
+	return a, n
 }
 
 // Dims returns the number of dimensions d.
@@ -140,7 +147,7 @@ func (a *Array[T]) Fill(f func(coords []int) T) {
 	coords := make([]int, len(a.shape))
 	for off := range a.data {
 		a.data[off] = f(coords)
-		incr(coords, a.shape)
+		Incr(coords, a.shape)
 	}
 }
 
@@ -162,9 +169,11 @@ func (a *Array[T]) String() string {
 	}
 }
 
-// incr advances coords through row-major order, wrapping to all zeros at the
-// end. It reports whether the odometer wrapped.
-func incr(coords, shape []int) bool {
+// Incr advances coords through row-major order, wrapping to all zeros at
+// the end. It reports whether the odometer wrapped. It is the canonical
+// coordinate odometer; every package that walks cells or lines in storage
+// order uses it rather than keeping a private copy.
+func Incr(coords, shape []int) bool {
 	for i := len(coords) - 1; i >= 0; i-- {
 		coords[i]++
 		if coords[i] < shape[i] {

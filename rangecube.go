@@ -32,8 +32,21 @@ import (
 	"rangecube/internal/denseregion"
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
+	"rangecube/internal/parallel"
 	"rangecube/internal/sparse"
 )
+
+// SetParallelism caps the number of worker goroutines the bulk kernels
+// (index construction and batch updates) may use, and returns the previous
+// cap (0 means the GOMAXPROCS default). n <= 0 restores the default.
+// Parallel and sequential runs produce bit-identical indexes; cubes whose
+// work falls below the internal grain always run sequentially regardless of
+// this setting, so small builds pay zero goroutine overhead. Queries are
+// always single-goroutine (they are latency-bound, not throughput-bound).
+func SetParallelism(n int) int { return parallel.SetMaxWorkers(n) }
+
+// Parallelism reports the current worker budget for bulk kernels.
+func Parallelism() int { return parallel.Workers() }
 
 // Array is a dense d-dimensional int64 measure array in row-major order,
 // the paper's data cube A (§2).
