@@ -10,45 +10,118 @@
 //	curl 'localhost:8080/query?op=max&state=CA..TX'
 //	curl -X POST localhost:8080/update -d '{"updates":[{"coords":[0,0,0,0],"delta":5}]}'
 //	curl 'localhost:8080/advise?space=100000'
+//
+// With -wal and -snapshot the server is crash-safe: update batches are
+// fsynced to the write-ahead log before they apply, the cube is snapshotted
+// (checksummed, atomically rotated) every -compact-every batches, and on
+// boot the snapshot plus the WAL's committed prefix reconstruct the exact
+// pre-crash state. SIGINT/SIGTERM drain in-flight requests, checkpoint, and
+// exit cleanly.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"rangecube/internal/cube"
 	"rangecube/internal/server"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "cubeserver: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	data := flag.String("data", "", "CSV file with a header row")
 	measure := flag.String("measure", "revenue", "name of the integer measure column")
 	addr := flag.String("addr", ":8080", "listen address")
 	block := flag.Int("block", 10, "block size for the blocked prefix sum")
 	fanout := flag.Int("fanout", 4, "per-dimension fanout of the max/min trees")
+	walPath := flag.String("wal", "", "write-ahead log path (durability off when empty)")
+	snapPath := flag.String("snapshot", "", "snapshot path for compaction and recovery")
+	compactEvery := flag.Int("compact-every", 64, "snapshot and truncate the WAL every N batches")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrent queries before shedding with 429 (0 = unlimited)")
+	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 = none)")
+	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 	flag.Parse()
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "cubeserver: -data is required (generate one with cubegen)")
 		os.Exit(2)
 	}
+	if *snapPath != "" && *walPath == "" {
+		return errors.New("-snapshot requires -wal (a snapshot alone cannot make updates durable)")
+	}
+
 	f, err := os.Open(*data)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cubeserver: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	c, n, err := cube.InferCSV(bufio.NewReader(f), *measure)
 	f.Close()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cubeserver: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	srv := server.New(c, *block, *fanout)
-	fmt.Printf("cubeserver: %d records in a %v cube; listening on %s\n", n, c.Shape(), *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
-		fmt.Fprintf(os.Stderr, "cubeserver: %v\n", err)
-		os.Exit(1)
+
+	srv, err := server.NewWithOptions(c, server.Options{
+		BlockSize:    *block,
+		Fanout:       *fanout,
+		WALPath:      *walPath,
+		SnapshotPath: *snapPath,
+		CompactEvery: *compactEvery,
+		MaxInflight:  *maxInflight,
+		QueryTimeout: *queryTimeout,
+	})
+	if err != nil {
+		return err
 	}
+
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// A client that sends headers at a trickle (or not at all) must not
+		// pin a connection forever.
+		ReadHeaderTimeout: 5 * time.Second,
+		MaxHeaderBytes:    1 << 20,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+
+	fmt.Printf("cubeserver: %d records in a %v cube (seq %d); listening on %s\n",
+		n, c.Shape(), srv.Seq(), *addr)
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("cubeserver: draining…")
+	stop() // a second signal kills immediately instead of waiting out the drain
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "cubeserver: drain: %v\n", err)
+	}
+	// Checkpoint after the drain so the final snapshot includes every
+	// request that completed; Close folds one in.
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("checkpoint on shutdown: %w", err)
+	}
+	fmt.Println("cubeserver: clean shutdown")
+	return nil
 }

@@ -13,10 +13,12 @@
 package blocked
 
 import (
+	"context"
 	"fmt"
 
 	"rangecube/internal/algebra"
 	"rangecube/internal/core/prefixsum"
+	"rangecube/internal/ctxcheck"
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
 )
@@ -236,12 +238,27 @@ func (ds dimSplit) superRange(k rangeKind) ndarray.Range {
 // identity. Costs are attributed to c: packed prefix-sum reads as Aux,
 // original-cube reads as Cells.
 func (bl *Array[T, G]) Sum(r ndarray.Region, c *metrics.Counter) T {
+	v, _ := bl.sum(r, c, nil) // a nil checker never fails
+	return v
+}
+
+// SumContext is Sum with cooperative cancellation: the boundary scans of
+// the §4.2 decomposition checkpoint ctx every ~64k cells, so a canceled or
+// expired request abandons the query within a bounded number of cell
+// visits instead of holding its lock for the full scan. On cancellation it
+// returns ctx's error and a meaningless partial value; the counter reflects
+// only the work actually done.
+func (bl *Array[T, G]) SumContext(ctx context.Context, r ndarray.Region, c *metrics.Counter) (T, error) {
+	return bl.sum(r, c, ctxcheck.New(ctx))
+}
+
+func (bl *Array[T, G]) sum(r ndarray.Region, c *metrics.Counter, ck *ctxcheck.Checker) (T, error) {
 	d := bl.a.Dims()
 	if len(r) != d {
 		panic(fmt.Sprintf("blocked: query of dimension %d against cube of dimension %d", len(r), d))
 	}
 	if r.Empty() {
-		return bl.g.Identity()
+		return bl.g.Identity(), nil
 	}
 	shape := bl.a.Shape()
 	for j, rng := range r {
@@ -273,9 +290,16 @@ func (bl *Array[T, G]) Sum(r ndarray.Region, c *metrics.Counter) T {
 		}
 		if !empty {
 			if allMid {
+				if err := ck.Tick(1); err != nil {
+					return total, err
+				}
 				total = bl.g.Combine(total, bl.alignedSum(sub, c))
 			} else {
-				total = bl.g.Combine(total, bl.boundarySum(sub, kinds, splits, c))
+				part, err := bl.boundarySum(sub, kinds, splits, c, ck)
+				if err != nil {
+					return total, err
+				}
+				total = bl.g.Combine(total, part)
 			}
 			c.AddSteps(1)
 		}
@@ -292,7 +316,7 @@ func (bl *Array[T, G]) Sum(r ndarray.Region, c *metrics.Counter) T {
 			break
 		}
 	}
-	return total
+	return total, nil
 }
 
 // alignedSum answers a block-aligned region (every Lo a multiple of b and
@@ -309,7 +333,7 @@ func (bl *Array[T, G]) alignedSum(r ndarray.Region, c *metrics.Counter) T {
 // boundarySum answers one boundary region, choosing per region between the
 // direct scan of A and the superblock-minus-complement method (§4.2): the
 // direct method is used when vol(R) ≤ vol(complement) + 2^d − 1.
-func (bl *Array[T, G]) boundarySum(r ndarray.Region, kinds []rangeKind, splits []dimSplit, c *metrics.Counter) T {
+func (bl *Array[T, G]) boundarySum(r ndarray.Region, kinds []rangeKind, splits []dimSplit, c *metrics.Counter, ck *ctxcheck.Checker) (T, error) {
 	d := len(r)
 	super := make(ndarray.Region, d)
 	for j := range r {
@@ -318,25 +342,43 @@ func (bl *Array[T, G]) boundarySum(r ndarray.Region, kinds []rangeKind, splits [
 	volR := r.Volume()
 	volC := super.Volume() - volR
 	if volR <= volC+(1<<d)-1 {
-		return bl.scan(r, c)
+		return bl.scan(r, c, ck)
 	}
 	// Superblock sum (pure prefix-sum accesses) minus the complement cells.
 	total := bl.alignedSum(super, c)
+	var err error
 	bl.forEachComplementSlab(super, r, func(slab ndarray.Region) {
-		total = bl.g.Inverse(total, bl.scan(slab, c))
+		if err != nil {
+			return
+		}
+		var part T
+		if part, err = bl.scan(slab, c, ck); err != nil {
+			return
+		}
+		total = bl.g.Inverse(total, part)
 		c.AddSteps(1)
 	})
-	return total
+	return total, err
 }
 
 // scan sums the original-cube cells of region r directly, one contiguous
 // innermost-axis line at a time, accounting the counter once per scan
 // rather than once per cell (totals are unchanged).
-func (bl *Array[T, G]) scan(r ndarray.Region, c *metrics.Counter) T {
+func (bl *Array[T, G]) scan(r ndarray.Region, c *metrics.Counter, ck *ctxcheck.Checker) (T, error) {
 	total := bl.g.Identity()
 	data := bl.a.Data()
 	cells := int64(0)
+	var err error
 	ndarray.ForEachLine(bl.a, r, func(ln ndarray.Line) {
+		// The checkpoint fires between lines; a canceled query skips the
+		// remaining lines (their descriptors are still enumerated, but no
+		// cells are touched or accounted).
+		if err != nil {
+			return
+		}
+		if err = ck.Tick(int64(ln.Len)); err != nil {
+			return
+		}
 		row := data[ln.Off : ln.Off+ln.Len]
 		for _, v := range row {
 			total = bl.g.Combine(total, v)
@@ -345,7 +387,7 @@ func (bl *Array[T, G]) scan(r ndarray.Region, c *metrics.Counter) T {
 	})
 	c.AddCells(cells)
 	c.AddSteps(cells)
-	return total
+	return total, err
 }
 
 // forEachComplementSlab decomposes super \ r into disjoint rectangular

@@ -2,8 +2,10 @@ package blocked
 
 import (
 	"cmp"
+	"context"
 
 	"rangecube/internal/algebra"
+	"rangecube/internal/ctxcheck"
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
 )
@@ -20,13 +22,26 @@ import (
 // non-negative (the usual case for OLAP measures like revenue or counts);
 // with negative values only the trivial ordering lo ≤ hi is guaranteed.
 func Bounds[T cmp.Ordered, G algebra.Group[T]](bl *Array[T, G], r ndarray.Region, c *metrics.Counter) (lo, hi T) {
+	lo, hi, _ = bounds(bl, r, c, nil) // a nil checker never fails
+	return lo, hi
+}
+
+// BoundsContext is Bounds with cooperative cancellation: the odometer over
+// the up-to-3^d decomposed sub-regions checkpoints ctx, so even a
+// high-dimensional bounds pass abandons a canceled request promptly. On
+// cancellation the returned bounds are partial and meaningless.
+func BoundsContext[T cmp.Ordered, G algebra.Group[T]](ctx context.Context, bl *Array[T, G], r ndarray.Region, c *metrics.Counter) (lo, hi T, err error) {
+	return bounds(bl, r, c, ctxcheck.New(ctx))
+}
+
+func bounds[T cmp.Ordered, G algebra.Group[T]](bl *Array[T, G], r ndarray.Region, c *metrics.Counter, ck *ctxcheck.Checker) (lo, hi T, err error) {
 	d := bl.a.Dims()
 	if len(r) != d {
 		panic("blocked: bounds query dimensionality mismatch")
 	}
 	lo, hi = bl.g.Identity(), bl.g.Identity()
 	if r.Empty() {
-		return lo, hi
+		return lo, hi, nil
 	}
 	shape := bl.a.Shape()
 	for j, rng := range r {
@@ -56,6 +71,9 @@ func Bounds[T cmp.Ordered, G algebra.Group[T]](bl *Array[T, G], r ndarray.Region
 			}
 		}
 		if !empty {
+			if err := ck.Tick(1); err != nil {
+				return lo, hi, err
+			}
 			if allMid {
 				exact := bl.alignedSum(sub, c)
 				lo = bl.g.Combine(lo, exact)
@@ -80,5 +98,5 @@ func Bounds[T cmp.Ordered, G algebra.Group[T]](bl *Array[T, G], r ndarray.Region
 			break
 		}
 	}
-	return lo, hi
+	return lo, hi, nil
 }

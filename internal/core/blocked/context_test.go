@@ -1,0 +1,87 @@
+package blocked
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rangecube/internal/algebra"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// cube512 is a 512×512 cube whose only block (b = 512) forces SumContext
+// onto the direct-scan path for any region strictly inside the cube: the
+// worst case for a slow query holding the server's read lock.
+func cube512(t *testing.T) *Array[int64, algebra.IntSum] {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	a := ndarray.New[int64](512, 512)
+	for i := range a.Data() {
+		a.Data()[i] = int64(rng.Intn(1000))
+	}
+	return BuildInt(a, 512)
+}
+
+func TestSumContextMatchesSum(t *testing.T) {
+	bl := cube512(t)
+	r := ndarray.Region{{Lo: 1, Hi: 510}, {Lo: 1, Hi: 510}}
+	want := bl.Sum(r, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got, err := bl.SumContext(ctx, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("SumContext = %d, Sum = %d", got, want)
+	}
+	// The uncancelable fast path must agree too.
+	if got, err := bl.SumContext(context.Background(), r, nil); err != nil || got != want {
+		t.Fatalf("SumContext(Background) = %d, %v; want %d", got, err, want)
+	}
+}
+
+func TestSumContextCanceledAbandonsScan(t *testing.T) {
+	bl := cube512(t)
+	r := ndarray.Region{{Lo: 1, Hi: 510}, {Lo: 1, Hi: 510}}
+	var full metrics.Counter
+	bl.Sum(r, &full)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var c metrics.Counter
+	start := time.Now()
+	_, err := bl.SumContext(ctx, r, &c)
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c.Total() >= full.Total() {
+		t.Fatalf("canceled scan touched %d cells, full scan touches %d — no work was saved", c.Total(), full.Total())
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("canceled query took %v, want < 100ms", elapsed)
+	}
+}
+
+func TestBoundsContextMatchesBounds(t *testing.T) {
+	a := ndarray.New[int64](64, 64)
+	rng := rand.New(rand.NewSource(8))
+	for i := range a.Data() {
+		a.Data()[i] = int64(rng.Intn(100))
+	}
+	bl := BuildInt(a, 8)
+	r := ndarray.Region{{Lo: 3, Hi: 60}, {Lo: 5, Hi: 59}}
+	wantLo, wantHi := Bounds(bl, r, nil)
+	gotLo, gotHi, err := BoundsContext(context.Background(), bl, r, nil)
+	if err != nil || gotLo != wantLo || gotHi != wantHi {
+		t.Fatalf("BoundsContext = (%d, %d, %v), want (%d, %d)", gotLo, gotHi, err, wantLo, wantHi)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := BoundsContext(ctx, bl, r, nil); err != context.Canceled {
+		t.Fatalf("canceled BoundsContext err = %v", err)
+	}
+}

@@ -1,0 +1,73 @@
+package maxtree
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// adversarial512 builds a 512×512 cube with strictly increasing values, so
+// the global maximum sits at the last cell and a query excluding it defeats
+// both the covering-node shortcut and most branch-and-bound pruning — the
+// slowest realistic MAX query on this shape.
+func adversarial512() *Tree[int64] {
+	a := ndarray.New[int64](512, 512)
+	for i := range a.Data() {
+		a.Data()[i] = int64(i)
+	}
+	return Build(a, 4)
+}
+
+func TestMaxIndexContextMatchesMaxIndex(t *testing.T) {
+	tr := adversarial512()
+	r := ndarray.Region{{Lo: 0, Hi: 511}, {Lo: 0, Hi: 510}}
+	wantOff, wantVal, wantOK := tr.MaxIndex(r, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	off, val, ok, err := tr.MaxIndexContext(ctx, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != wantOff || val != wantVal || ok != wantOK {
+		t.Fatalf("MaxIndexContext = (%d, %d, %v), MaxIndex = (%d, %d, %v)", off, val, ok, wantOff, wantVal, wantOK)
+	}
+	if off2, val2, ok2, err := tr.MaxIndexContext(context.Background(), r, nil); err != nil || off2 != wantOff || val2 != wantVal || ok2 != wantOK {
+		t.Fatalf("MaxIndexContext(Background) disagrees: (%d, %d, %v, %v)", off2, val2, ok2, err)
+	}
+}
+
+func TestMaxIndexContextCanceledAbandonsSearch(t *testing.T) {
+	tr := adversarial512()
+	// Exclude the global maximum's column so the covering node's argmax
+	// falls outside R and the search must descend.
+	r := ndarray.Region{{Lo: 0, Hi: 511}, {Lo: 0, Hi: 510}}
+	var full metrics.Counter
+	tr.MaxIndex(r, &full)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var c metrics.Counter
+	start := time.Now()
+	_, _, _, err := tr.MaxIndexContext(ctx, r, &c)
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c.Total() >= full.Total() {
+		t.Fatalf("canceled search did %d accesses, full search does %d — no work was saved", c.Total(), full.Total())
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("canceled query took %v, want < 100ms", elapsed)
+	}
+}
+
+func TestMaxIndexContextEmptyRegion(t *testing.T) {
+	tr := adversarial512()
+	r := ndarray.Region{{Lo: 3, Hi: 2}, {Lo: 0, Hi: 10}}
+	if _, _, ok, err := tr.MaxIndexContext(context.Background(), r, nil); ok || err != nil {
+		t.Fatalf("empty region: ok=%v err=%v", ok, err)
+	}
+}

@@ -14,8 +14,10 @@ package maxtree
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 
+	"rangecube/internal/ctxcheck"
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
 	"rangecube/internal/parallel"
@@ -188,13 +190,29 @@ func (t *Tree[T]) cover(levelIdx int, nodeCoords []int) ndarray.Region {
 // ok is false for an empty region. Costs are attributed to c: node-maximum
 // reads as Aux, cube-cell reads as Cells, comparisons as Steps.
 func (t *Tree[T]) MaxIndex(r ndarray.Region, c *metrics.Counter) (offset int, value T, ok bool) {
+	offset, value, ok, _ = t.maxIndex(r, c, nil) // a nil checker never fails
+	return offset, value, ok
+}
+
+// MaxIndexContext is MaxIndex with cooperative cancellation: the
+// branch-and-bound search checkpoints ctx roughly every 64k visited cells
+// (leaf-block scans dominate its cost), so a canceled or expired request
+// abandons the search within a bounded number of visits instead of holding
+// its read lock for the full descent. On cancellation it returns ctx's
+// error and a meaningless partial candidate; the counter reflects only the
+// work actually done.
+func (t *Tree[T]) MaxIndexContext(ctx context.Context, r ndarray.Region, c *metrics.Counter) (offset int, value T, ok bool, err error) {
+	return t.maxIndex(r, c, ctxcheck.New(ctx))
+}
+
+func (t *Tree[T]) maxIndex(r ndarray.Region, c *metrics.Counter, ck *ctxcheck.Checker) (offset int, value T, ok bool, err error) {
 	d := t.a.Dims()
 	if len(r) != d {
 		panic(fmt.Sprintf("maxtree: query of dimension %d against cube of dimension %d", len(r), d))
 	}
 	var zero T
 	if r.Empty() {
-		return 0, zero, false
+		return 0, zero, false, nil
 	}
 	shape := t.a.Shape()
 	for j, rng := range r {
@@ -230,7 +248,7 @@ func (t *Tree[T]) MaxIndex(r ndarray.Region, c *metrics.Counter) (offset int, va
 			off += r[j].Lo * t.a.Strides()[j]
 		}
 		c.AddCells(1)
-		return off, t.a.Data()[off], true
+		return off, t.a.Data()[off], true, nil
 	}
 	node := make([]int, d)
 	for j := range r {
@@ -243,7 +261,7 @@ func (t *Tree[T]) MaxIndex(r ndarray.Region, c *metrics.Counter) (offset int, va
 	if r.Contains(t.a.Coords(lv.offs[noff], coords)) {
 		// Line (4)-(5) of Max_index: the covering node's maximum already
 		// falls inside R.
-		return lv.offs[noff], lv.vals.Data()[noff], true
+		return lv.offs[noff], lv.vals.Data()[noff], true, nil
 	}
 	// Initialize the candidate to the region's low corner, as the paper
 	// does (current_max_index = ℓ), then branch-and-bound downward.
@@ -253,8 +271,8 @@ func (t *Tree[T]) MaxIndex(r ndarray.Region, c *metrics.Counter) (offset int, va
 	}
 	c.AddCells(1)
 	curVal := t.a.Data()[curOff]
-	curOff, curVal = t.descend(lvl, node, r, curOff, curVal, c)
-	return curOff, curVal, true
+	curOff, curVal, err = t.descend(lvl, node, r, curOff, curVal, c, ck)
+	return curOff, curVal, true, err
 }
 
 // MaxBounds implements the §11 approximate answer for range-max: a lower
@@ -326,7 +344,7 @@ func (t *Tree[T]) MaxBounds(r ndarray.Region, c *metrics.Counter) (lo, hi T, exa
 // covered region intersects R; it scans x's children, first the internal
 // and Bin children (whose stored maxima are usable directly), then recurses
 // into Bout children that can still beat the current candidate.
-func (t *Tree[T]) descend(levelIdx int, node []int, r ndarray.Region, curOff int, curVal T, c *metrics.Counter) (int, T) {
+func (t *Tree[T]) descend(levelIdx int, node []int, r ndarray.Region, curOff int, curVal T, c *metrics.Counter, ck *ctxcheck.Checker) (int, T, error) {
 	d := len(node)
 	childLevel := levelIdx - 1
 	// Child coordinate ranges within this node's block, clipped to the
@@ -350,11 +368,20 @@ func (t *Tree[T]) descend(levelIdx int, node []int, r ndarray.Region, curOff int
 	if childLevel == 0 {
 		// Children are cube cells: every cell inside R is a candidate. The
 		// block is scanned one contiguous line at a time, with the counter
-		// accounted per line (totals match per-cell accounting).
+		// accounted per line (totals match per-cell accounting). The
+		// cancellation checkpoint fires between lines; once it reports an
+		// error the remaining lines are skipped, untouched and unaccounted.
 		inter := childRange.Intersect(r)
 		data := t.a.Data()
 		cells := int64(0)
+		var err error
 		ndarray.ForEachLine(t.a, inter, func(ln ndarray.Line) {
+			if err != nil {
+				return
+			}
+			if err = ck.Tick(int64(ln.Len)); err != nil {
+				return
+			}
 			row := data[ln.Off : ln.Off+ln.Len]
 			for i, v := range row {
 				if t.better(v, curVal) {
@@ -365,7 +392,7 @@ func (t *Tree[T]) descend(levelIdx int, node []int, r ndarray.Region, curOff int
 		})
 		c.AddCells(cells)
 		c.AddSteps(cells)
-		return curOff, curVal
+		return curOff, curVal, err
 	}
 
 	lv := t.levels[childLevel-1]
@@ -377,7 +404,14 @@ func (t *Tree[T]) descend(levelIdx int, node []int, r ndarray.Region, curOff int
 		inter ndarray.Region
 	}
 	var bouts []boundary
+	var err error
 	childRange.ForEach(func(k []int) {
+		if err != nil {
+			return
+		}
+		if err = ck.Tick(1); err != nil {
+			return
+		}
 		// C(y) for child y = k.
 		cov := make(ndarray.Region, d)
 		internal := true
@@ -411,6 +445,9 @@ func (t *Tree[T]) descend(levelIdx int, node []int, r ndarray.Region, curOff int
 		}
 		bouts = append(bouts, boundary{noff: noff, inter: cov.Intersect(r)})
 	})
+	if err != nil {
+		return curOff, curVal, err
+	}
 	// Lines (4)-(6): recurse into boundary children only if their
 	// precomputed maximum can still beat the candidate — the
 	// branch-and-bound pruning.
@@ -418,8 +455,10 @@ func (t *Tree[T]) descend(levelIdx int, node []int, r ndarray.Region, curOff int
 		c.AddSteps(1)
 		if t.better(lv.vals.Data()[bo.noff], curVal) {
 			k := lv.vals.Coords(bo.noff, nil)
-			curOff, curVal = t.descend(childLevel, k, bo.inter, curOff, curVal, c)
+			if curOff, curVal, err = t.descend(childLevel, k, bo.inter, curOff, curVal, c, ck); err != nil {
+				return curOff, curVal, err
+			}
 		}
 	}
-	return curOff, curVal
+	return curOff, curVal, nil
 }

@@ -1,0 +1,62 @@
+package ctxcheck
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNilCheckerIsFree(t *testing.T) {
+	var ck *Checker
+	for i := 0; i < 10; i++ {
+		if err := ck.Tick(1 << 30); err != nil {
+			t.Fatalf("nil checker returned %v", err)
+		}
+	}
+}
+
+func TestBackgroundContextYieldsNil(t *testing.T) {
+	if ck := New(context.Background()); ck != nil {
+		t.Fatal("Background context should yield the free nil checker")
+	}
+	if ck := New(nil); ck != nil {
+		t.Fatal("nil context should yield the free nil checker")
+	}
+}
+
+func TestAlreadyCanceledCaughtOnFirstTick(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ck := New(ctx)
+	if ck == nil {
+		t.Fatal("cancelable context must yield a real checker")
+	}
+	if err := ck.Tick(1); err != context.Canceled {
+		t.Fatalf("first tick after cancel = %v, want context.Canceled", err)
+	}
+}
+
+func TestAmortization(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ck := New(ctx)
+	// First tick checkpoints (fresh budget is zero) on a live context.
+	if err := ck.Tick(1); err != nil {
+		t.Fatalf("tick on live context = %v", err)
+	}
+	cancel()
+	// The budget was refilled to Interval: small ticks must coast until the
+	// budget drains, then report the cancellation.
+	ticks := 0
+	for {
+		err := ck.Tick(1024)
+		ticks++
+		if err != nil {
+			break
+		}
+		if ticks > Interval {
+			t.Fatal("cancellation never reported")
+		}
+	}
+	if got, want := ticks, Interval/1024; got != want {
+		t.Fatalf("cancellation after %d ticks, want %d (amortized at Interval)", got, want)
+	}
+}

@@ -1,0 +1,124 @@
+// Package faultio wraps io.Writer and io.Reader with injectable faults so
+// durability code can be tested against the failures it exists to survive:
+// disks that fill up mid-record, processes that die between two bytes of a
+// write, kernels that acknowledge data that never reaches the platter.
+//
+// The central model is a byte budget: the wrapper delivers exactly `limit`
+// bytes to the underlying stream, then faults. Two fault flavors matter:
+//
+//   - Error: the write that crosses the budget is short (partial bytes are
+//     delivered) and returns ErrInjected, as a full disk or yanked device
+//     would. Subsequent writes keep failing.
+//   - Crash: the write that crosses the budget is short but *reports
+//     success*, and every later write is silently swallowed. This models a
+//     process killed mid-write (the caller never observes the failure —
+//     because it no longer exists) and lying fsyncs: the observable
+//     artifact is the byte prefix that reached the underlying stream, which
+//     recovery code must then make sense of.
+//
+// Sweeping `limit` across every byte position of an encoding proves a
+// recovery invariant holds at *every* crash point, not just the ones a
+// hand-written test happens to try.
+package faultio
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the error returned when a configured fault fires.
+var ErrInjected = errors.New("faultio: injected fault")
+
+// Mode selects what happens when the byte budget is exhausted.
+type Mode int
+
+const (
+	// Error returns ErrInjected on the write that crosses the budget and on
+	// every write after it.
+	Error Mode = iota
+	// Crash silently discards everything past the budget while reporting
+	// success, like a process that died mid-write combined with a caching
+	// layer that acknowledged the rest.
+	Crash
+)
+
+// Writer delivers at most a fixed number of bytes to the underlying
+// writer, then faults according to its mode.
+type Writer struct {
+	w       io.Writer
+	mode    Mode
+	left    int64 // bytes still allowed through
+	written int64 // bytes actually delivered
+	tripped bool
+}
+
+// NewWriter wraps w so that exactly limit bytes pass through before the
+// fault fires. limit 0 faults on the first write.
+func NewWriter(w io.Writer, limit int64, mode Mode) *Writer {
+	return &Writer{w: w, mode: mode, left: limit}
+}
+
+func (fw *Writer) Write(p []byte) (int, error) {
+	if fw.tripped && fw.mode == Error {
+		return 0, ErrInjected
+	}
+	n := int64(len(p))
+	if n <= fw.left && !fw.tripped {
+		m, err := fw.w.Write(p)
+		fw.left -= int64(m)
+		fw.written += int64(m)
+		return m, err
+	}
+	// The budget is crossed inside this write: deliver the allowed prefix.
+	fw.tripped = true
+	part := fw.left
+	fw.left = 0
+	if part > 0 {
+		m, err := fw.w.Write(p[:part])
+		fw.written += int64(m)
+		if err != nil {
+			return m, err
+		}
+	}
+	if fw.mode == Crash {
+		// Pretend everything made it; the truth lives in written.
+		return len(p), nil
+	}
+	return int(part), ErrInjected
+}
+
+// Written reports how many bytes actually reached the underlying writer —
+// the surviving on-disk prefix after the simulated failure.
+func (fw *Writer) Written() int64 { return fw.written }
+
+// Tripped reports whether the fault has fired.
+func (fw *Writer) Tripped() bool { return fw.tripped }
+
+// Reader delivers at most limit bytes from the underlying reader, then
+// returns ErrInjected — a read fault, as opposed to the clean io.EOF of a
+// truncated file.
+type Reader struct {
+	r    io.Reader
+	left int64
+}
+
+// NewReader wraps r to fail with ErrInjected after limit bytes.
+func NewReader(r io.Reader, limit int64) *Reader {
+	return &Reader{r: r, left: limit}
+}
+
+func (fr *Reader) Read(p []byte) (int, error) {
+	if fr.left <= 0 {
+		return 0, ErrInjected
+	}
+	if int64(len(p)) > fr.left {
+		p = p[:fr.left]
+	}
+	n, err := fr.r.Read(p)
+	fr.left -= int64(n)
+	if err == nil && fr.left == 0 {
+		// The next call faults; this one delivered its bytes.
+		return n, nil
+	}
+	return n, err
+}

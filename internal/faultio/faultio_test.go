@@ -1,0 +1,69 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestWriterErrorMode(t *testing.T) {
+	var sink bytes.Buffer
+	fw := NewWriter(&sink, 5, Error)
+	if n, err := fw.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("write under budget: n=%d err=%v", n, err)
+	}
+	n, err := fw.Write([]byte("defg"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("budget-crossing write: n=%d err=%v", n, err)
+	}
+	if n, err := fw.Write([]byte("h")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-fault write: n=%d err=%v", n, err)
+	}
+	if sink.String() != "abcde" {
+		t.Fatalf("sink holds %q", sink.String())
+	}
+	if fw.Written() != 5 || !fw.Tripped() {
+		t.Fatalf("Written=%d Tripped=%v", fw.Written(), fw.Tripped())
+	}
+}
+
+func TestWriterCrashMode(t *testing.T) {
+	var sink bytes.Buffer
+	fw := NewWriter(&sink, 4, Crash)
+	// The crash-mode writer lies: every write reports full success.
+	for _, chunk := range []string{"ab", "cdef", "ghi"} {
+		if n, err := fw.Write([]byte(chunk)); n != len(chunk) || err != nil {
+			t.Fatalf("crash write %q: n=%d err=%v", chunk, n, err)
+		}
+	}
+	if sink.String() != "abcd" {
+		t.Fatalf("sink holds %q", sink.String())
+	}
+	if fw.Written() != 4 {
+		t.Fatalf("Written = %d", fw.Written())
+	}
+}
+
+func TestWriterZeroBudget(t *testing.T) {
+	var sink bytes.Buffer
+	fw := NewWriter(&sink, 0, Error)
+	if n, err := fw.Write([]byte("x")); n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if sink.Len() != 0 {
+		t.Fatalf("sink holds %q", sink.String())
+	}
+}
+
+func TestReaderFaultsAfterLimit(t *testing.T) {
+	fr := NewReader(strings.NewReader("abcdefgh"), 5)
+	got, err := io.ReadAll(fr)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if string(got) != "abcde" {
+		t.Fatalf("delivered %q", got)
+	}
+}

@@ -1,0 +1,108 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForContextUncancelableMatchesFor(t *testing.T) {
+	defer SetMaxWorkers(SetMaxWorkers(8))
+	n := 1000
+	seen := make([]int32, n)
+	if err := ForContext(context.Background(), n, n*Grain, func(lo, hi, w int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("index %d visited %d times", i, s)
+		}
+	}
+}
+
+func TestForContextCompletesOnLiveContext(t *testing.T) {
+	defer SetMaxWorkers(SetMaxWorkers(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 500
+	seen := make([]int32, n)
+	if err := ForContext(ctx, n, n*Grain, func(lo, hi, w int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("index %d visited %d times", i, s)
+		}
+	}
+}
+
+func TestForContextCanceledSkipsWork(t *testing.T) {
+	defer SetMaxWorkers(SetMaxWorkers(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForContext(ctx, 1000, 1000*Grain, func(lo, hi, w int) { ran = true })
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("body ran after cancellation")
+	}
+}
+
+func TestForContextMidFlightCancel(t *testing.T) {
+	defer SetMaxWorkers(SetMaxWorkers(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	var strips int
+	// One worker, strips of ~1 item each (work = n*Grain): cancel inside the
+	// third strip and verify the rest of the chunk is abandoned.
+	err := ForContext(ctx, 100, 100*Grain, func(lo, hi, w int) {
+		strips++
+		if strips == 3 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if strips != 3 {
+		t.Fatalf("ran %d strips after cancel at 3", strips)
+	}
+}
+
+func TestForContextStripsStayDisjoint(t *testing.T) {
+	defer SetMaxWorkers(SetMaxWorkers(8))
+	n := 10000
+	seen := make([]int32, n)
+	var mu sync.Mutex
+	workers := map[int]bool{}
+	if err := ForContext(context.TODO(), n, n*Grain, func(lo, hi, w int) {
+		mu.Lock()
+		workers[w] = true
+		mu.Unlock()
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&seen[i], 1)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("index %d visited %d times", i, s)
+		}
+	}
+	for w := range workers {
+		if w < 0 || w >= 8 {
+			t.Fatalf("worker index %d out of budget", w)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"rangecube/internal/core/blocked"
+	"rangecube/internal/core/maxtree"
+	"rangecube/internal/core/prefixsum"
+	"rangecube/internal/ndarray"
+)
+
+// TestChecksumDetectsEveryBitFlip flips each bit of every envelope kind and
+// requires the matching reader to reject the damaged bytes: the CRC32C
+// trailer catches payload corruption, the header checks catch the rest.
+func TestChecksumDetectsEveryBitFlip(t *testing.T) {
+	a := ndarray.FromSlice([]int64{3, 1, 4, 1, 5, 9}, 2, 3)
+	encode := map[string]struct {
+		bytes []byte
+		read  func([]byte) error
+	}{}
+
+	var buf bytes.Buffer
+	if err := WritePrefixSum(&buf, prefixsum.BuildInt(a)); err != nil {
+		t.Fatal(err)
+	}
+	encode["prefixsum"] = struct {
+		bytes []byte
+		read  func([]byte) error
+	}{append([]byte(nil), buf.Bytes()...), func(b []byte) error {
+		_, err := ReadPrefixSum(bytes.NewReader(b))
+		return err
+	}}
+
+	buf.Reset()
+	if err := WriteBlocked(&buf, blocked.BuildInt(a, 2)); err != nil {
+		t.Fatal(err)
+	}
+	encode["blocked"] = struct {
+		bytes []byte
+		read  func([]byte) error
+	}{append([]byte(nil), buf.Bytes()...), func(b []byte) error {
+		_, err := ReadBlocked(bytes.NewReader(b))
+		return err
+	}}
+
+	buf.Reset()
+	if err := WriteMaxTree(&buf, maxtree.Build(a, 2), false); err != nil {
+		t.Fatal(err)
+	}
+	encode["maxtree"] = struct {
+		bytes []byte
+		read  func([]byte) error
+	}{append([]byte(nil), buf.Bytes()...), func(b []byte) error {
+		_, err := ReadMaxTree(bytes.NewReader(b))
+		return err
+	}}
+
+	buf.Reset()
+	if err := WriteSnapshot(&buf, 7, a); err != nil {
+		t.Fatal(err)
+	}
+	encode["snapshot"] = struct {
+		bytes []byte
+		read  func([]byte) error
+	}{append([]byte(nil), buf.Bytes()...), func(b []byte) error {
+		_, _, err := ReadSnapshot(bytes.NewReader(b))
+		return err
+	}}
+
+	for name, e := range encode {
+		if err := e.read(e.bytes); err != nil {
+			t.Fatalf("%s: pristine envelope rejected: %v", name, err)
+		}
+		for off := range e.bytes {
+			for bit := 0; bit < 8; bit++ {
+				bad := append([]byte(nil), e.bytes...)
+				bad[off] ^= 1 << bit
+				if err := e.read(bad); err == nil {
+					t.Fatalf("%s: flip of byte %d bit %d went undetected", name, off, bit)
+				}
+			}
+		}
+	}
+}
+
+// TestReadsVersion1WithoutChecksum proves back-compat: a version-1 envelope
+// (no trailer) assembled with the low-level helpers still loads.
+func TestReadsVersion1WithoutChecksum(t *testing.T) {
+	a := ndarray.FromSlice([]int64{1, 2, 3, 4}, 2, 2)
+	ps := prefixsum.BuildInt(a)
+	var buf bytes.Buffer
+	for _, v := range []any{magic, version1, KindPrefixSum} {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := writeArray(&buf, ps.P()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPrefixSum(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("version-1 envelope rejected: %v", err)
+	}
+	r := ndarray.Region{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 1}}
+	if got.Sum(r, nil) != ps.Sum(r, nil) {
+		t.Fatal("version-1 round trip changed the answer")
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	a := ndarray.FromSlice([]int64{-1, 0, 7, 42, 9, -3}, 3, 2)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, 99, a); err != nil {
+		t.Fatal(err)
+	}
+	seq, cells, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 99 {
+		t.Fatalf("seq = %d, want 99", seq)
+	}
+	if !slices.Equal(cells.Shape(), a.Shape()) || !slices.Equal(cells.Data(), a.Data()) {
+		t.Fatal("cells differ after round trip")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.bin")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("first"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A failed write must leave the previous content and no temp litter.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		return os.ErrInvalid
+	}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "first" {
+		t.Fatalf("previous content lost: %q, %v", data, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+	// A successful rewrite replaces the content.
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("second"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if data, _ := os.ReadFile(path); string(data) != "second" {
+		t.Fatalf("content after rewrite: %q", data)
+	}
+}

@@ -1,0 +1,93 @@
+package persist_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rangecube/internal/faultio"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/persist"
+)
+
+// TestTruncatedSnapshotNeverLoads crashes a snapshot write at every byte
+// position: whatever prefix reached disk, ReadSnapshot must reject it. This
+// is the complement of the WAL invariant — a snapshot is all-or-nothing, so
+// the checksum trailer (which a truncated stream necessarily lacks or
+// mismatches) turns every partial write into a clean load failure instead of
+// a silently wrong cube.
+func TestTruncatedSnapshotNeverLoads(t *testing.T) {
+	a := ndarray.FromSlice([]int64{5, -2, 8, 0, 3, 11, -9, 4}, 2, 4)
+	var full bytes.Buffer
+	if err := persist.WriteSnapshot(&full, 42, a); err != nil {
+		t.Fatal(err)
+	}
+	for limit := 0; limit < full.Len(); limit++ {
+		var disk bytes.Buffer
+		fw := faultio.NewWriter(&disk, int64(limit), faultio.Crash)
+		// The write may or may not observe an error (binary.Write can fail
+		// on a short write even in crash mode); either way only the prefix
+		// reached disk, and only the artifact matters.
+		persist.WriteSnapshot(fw, 42, a)
+		if disk.Len() > limit {
+			t.Fatalf("limit %d: %d bytes escaped the fault writer", limit, disk.Len())
+		}
+		if _, _, err := persist.ReadSnapshot(bytes.NewReader(disk.Bytes())); err == nil {
+			t.Fatalf("limit %d: truncated snapshot loaded", limit)
+		}
+	}
+}
+
+// TestSnapshotWriteErrorPropagates: the error flavor must surface from
+// WriteSnapshot so the server knows the checkpoint failed.
+func TestSnapshotWriteErrorPropagates(t *testing.T) {
+	a := ndarray.FromSlice([]int64{1, 2, 3, 4}, 2, 2)
+	fw := faultio.NewWriter(io.Discard, 10, faultio.Error)
+	if err := persist.WriteSnapshot(fw, 1, a); err == nil {
+		t.Fatal("short write went unreported")
+	}
+}
+
+// TestWriteFileAtomicSurvivesInjectedFault: an injected failure mid-write
+// leaves the previous snapshot untouched on disk.
+func TestWriteFileAtomicSurvivesInjectedFault(t *testing.T) {
+	a := ndarray.FromSlice([]int64{9, 9, 9, 9}, 2, 2)
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	if err := persist.WriteFileAtomic(path, func(w io.Writer) error {
+		return persist.WriteSnapshot(w, 1, a)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = persist.WriteFileAtomic(path, func(w io.Writer) error {
+		return persist.WriteSnapshot(faultio.NewWriter(w, 10, faultio.Error), 2, a)
+	})
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("atomic write error = %v", err)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed rewrite damaged the previous snapshot")
+	}
+	if seq, _, err := loadFile(path); err != nil || seq != 1 {
+		t.Fatalf("surviving snapshot: seq=%d err=%v", seq, err)
+	}
+}
+
+func loadFile(path string) (uint64, *ndarray.Array[int64], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	return persist.ReadSnapshot(f)
+}

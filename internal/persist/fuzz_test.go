@@ -31,6 +31,11 @@ func FuzzReaders(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	buf.Reset()
+	if err := WriteSnapshot(&buf, 42, a); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte{0x42, 0x55, 0x43, 0x52})
 
@@ -44,6 +49,9 @@ func FuzzReaders(f *testing.F) {
 		}
 		if tr, err := ReadMaxTree(bytes.NewReader(data)); err == nil {
 			tr.MaxIndex(tr.Cube().Bounds(), nil)
+		}
+		if _, cells, err := ReadSnapshot(bytes.NewReader(data)); err == nil {
+			_ = cells.Size()
 		}
 	})
 }

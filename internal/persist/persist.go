@@ -11,11 +11,18 @@
 //   - a max tree persists the cube plus its fanout and MIN flag and is
 //     rebuilt on load (construction is a single O(N) pass, and the tree
 //     levels are derived state).
+//
+// Since version 2 every envelope ends with a CRC32C (Castagnoli) checksum
+// of all preceding bytes (magic through payload), so silent corruption of
+// a stored structure — a truncated copy, a flipped bit on disk — is
+// detected at load time instead of producing wrong query answers. Readers
+// still accept version-1 envelopes, which carry no checksum.
 package persist
 
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"rangecube/internal/algebra"
@@ -26,9 +33,51 @@ import (
 )
 
 const (
-	magic   = uint32(0x52435542) // "RCUB"
-	version = uint16(1)
+	magic    = uint32(0x52435542) // "RCUB"
+	version1 = uint16(1)          // no checksum trailer
+	version  = uint16(2)          // current: trailing CRC32C
 )
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter hashes everything written through it; the envelope writers
+// stream the header and payload through one and append the final sum.
+type crcWriter struct {
+	w   io.Writer
+	sum uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.sum = crc32.Update(cw.sum, castagnoli, p[:n])
+	return n, err
+}
+
+// crcReader hashes everything read through it; verify compares the running
+// sum against the stored trailer (read from the underlying reader so the
+// trailer itself is not hashed).
+type crcReader struct {
+	r   io.Reader
+	sum uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.sum = crc32.Update(cr.sum, castagnoli, p[:n])
+	return n, err
+}
+
+func (cr *crcReader) verify() error {
+	want := cr.sum
+	var stored uint32
+	if err := binary.Read(cr.r, binary.LittleEndian, &stored); err != nil {
+		return fmt.Errorf("persist: reading checksum trailer: %w", err)
+	}
+	if stored != want {
+		return fmt.Errorf("persist: checksum mismatch: stored %#08x, computed %#08x", stored, want)
+	}
+	return nil
+}
 
 // Kind tags the structure stored in an envelope.
 type Kind uint8
@@ -55,29 +104,29 @@ func writeHeader(w io.Writer, kind Kind) error {
 	return binary.Write(w, binary.LittleEndian, kind)
 }
 
-func readHeader(r io.Reader, want Kind) error {
+func readHeader(r io.Reader, want Kind) (uint16, error) {
 	var m uint32
 	if err := binary.Read(r, binary.LittleEndian, &m); err != nil {
-		return fmt.Errorf("persist: reading magic: %w", err)
+		return 0, fmt.Errorf("persist: reading magic: %w", err)
 	}
 	if m != magic {
-		return fmt.Errorf("persist: bad magic %#x", m)
+		return 0, fmt.Errorf("persist: bad magic %#x", m)
 	}
 	var v uint16
 	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
-		return err
+		return 0, err
 	}
-	if v != version {
-		return fmt.Errorf("persist: unsupported version %d", v)
+	if v != version1 && v != version {
+		return 0, fmt.Errorf("persist: unsupported version %d", v)
 	}
 	var k Kind
 	if err := binary.Read(r, binary.LittleEndian, &k); err != nil {
-		return err
+		return 0, err
 	}
 	if k != want {
-		return fmt.Errorf("persist: expected structure kind %d, found %d", want, k)
+		return 0, fmt.Errorf("persist: expected structure kind %d, found %d", want, k)
 	}
-	return nil
+	return v, nil
 }
 
 func writeInts(w io.Writer, xs []int) error {
@@ -158,54 +207,76 @@ func readArray(r io.Reader) (*ndarray.Array[int64], error) {
 
 // WritePrefixSum serializes a prefix-sum index (its P array).
 func WritePrefixSum(w io.Writer, ps *prefixsum.IntArray) error {
-	if err := writeHeader(w, KindPrefixSum); err != nil {
+	cw := &crcWriter{w: w}
+	if err := writeHeader(cw, KindPrefixSum); err != nil {
 		return err
 	}
-	return writeArray(w, ps.P())
+	if err := writeArray(cw, ps.P()); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, cw.sum)
 }
 
 // ReadPrefixSum deserializes a prefix-sum index.
 func ReadPrefixSum(r io.Reader) (*prefixsum.IntArray, error) {
-	if err := readHeader(r, KindPrefixSum); err != nil {
-		return nil, err
-	}
-	p, err := readArray(r)
+	cr := &crcReader{r: r}
+	ver, err := readHeader(cr, KindPrefixSum)
 	if err != nil {
 		return nil, err
+	}
+	p, err := readArray(cr)
+	if err != nil {
+		return nil, err
+	}
+	if ver >= version {
+		if err := cr.verify(); err != nil {
+			return nil, err
+		}
 	}
 	return prefixsum.FromPrecomputed[int64, algebra.IntSum](p), nil
 }
 
 // WriteBlocked serializes a blocked index: block sizes, cube, packed sums.
 func WriteBlocked(w io.Writer, bl *blocked.IntArray) error {
-	if err := writeHeader(w, KindBlocked); err != nil {
+	cw := &crcWriter{w: w}
+	if err := writeHeader(cw, KindBlocked); err != nil {
 		return err
 	}
-	if err := writeInts(w, bl.BlockSizes()); err != nil {
+	if err := writeInts(cw, bl.BlockSizes()); err != nil {
 		return err
 	}
-	if err := writeArray(w, bl.Cube()); err != nil {
+	if err := writeArray(cw, bl.Cube()); err != nil {
 		return err
 	}
-	return writeArray(w, bl.Packed().P())
+	if err := writeArray(cw, bl.Packed().P()); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, cw.sum)
 }
 
 // ReadBlocked deserializes a blocked index.
 func ReadBlocked(r io.Reader) (*blocked.IntArray, error) {
-	if err := readHeader(r, KindBlocked); err != nil {
-		return nil, err
-	}
-	bs, err := readInts(r, maxDims)
+	cr := &crcReader{r: r}
+	ver, err := readHeader(cr, KindBlocked)
 	if err != nil {
 		return nil, err
 	}
-	cube, err := readArray(r)
+	bs, err := readInts(cr, maxDims)
 	if err != nil {
 		return nil, err
 	}
-	packed, err := readArray(r)
+	cube, err := readArray(cr)
 	if err != nil {
 		return nil, err
+	}
+	packed, err := readArray(cr)
+	if err != nil {
+		return nil, err
+	}
+	if ver >= version {
+		if err := cr.verify(); err != nil {
+			return nil, err
+		}
 	}
 	if len(bs) != cube.Dims() {
 		return nil, fmt.Errorf("persist: %d block sizes for %d dimensions", len(bs), cube.Dims())
@@ -221,41 +292,54 @@ func ReadBlocked(r io.Reader) (*blocked.IntArray, error) {
 // WriteMaxTree serializes a max tree: flags, fanout and the cube; levels
 // are rebuilt on load.
 func WriteMaxTree(w io.Writer, tr *maxtree.Tree[int64], isMin bool) error {
-	if err := writeHeader(w, KindMaxTree); err != nil {
+	cw := &crcWriter{w: w}
+	if err := writeHeader(cw, KindMaxTree); err != nil {
 		return err
 	}
 	flags := uint8(0)
 	if isMin {
 		flags = 1
 	}
-	if err := binary.Write(w, binary.LittleEndian, flags); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, flags); err != nil {
 		return err
 	}
-	if err := binary.Write(w, binary.LittleEndian, uint32(tr.Fanout())); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, uint32(tr.Fanout())); err != nil {
 		return err
 	}
-	return writeArray(w, tr.Cube())
+	if err := writeArray(cw, tr.Cube()); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, cw.sum)
 }
 
 // ReadMaxTree deserializes and rebuilds a max (or min) tree.
 func ReadMaxTree(r io.Reader) (*maxtree.Tree[int64], error) {
-	if err := readHeader(r, KindMaxTree); err != nil {
+	cr := &crcReader{r: r}
+	ver, err := readHeader(cr, KindMaxTree)
+	if err != nil {
 		return nil, err
 	}
 	var flags uint8
-	if err := binary.Read(r, binary.LittleEndian, &flags); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &flags); err != nil {
 		return nil, err
 	}
 	var fanout uint32
-	if err := binary.Read(r, binary.LittleEndian, &fanout); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &fanout); err != nil {
 		return nil, err
 	}
 	if fanout < 2 || fanout > 1<<20 {
 		return nil, fmt.Errorf("persist: implausible fanout %d", fanout)
 	}
-	cube, err := readArray(r)
+	cube, err := readArray(cr)
 	if err != nil {
 		return nil, err
+	}
+	// Verify before the O(N) rebuild: a corrupt cube must not be built into
+	// a tree that would then answer queries from damaged data.
+	if ver >= version {
+		if err := cr.verify(); err != nil {
+			return nil, err
+		}
 	}
 	if flags&1 != 0 {
 		return maxtree.BuildMin(cube, int(fanout)), nil

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"runtime/debug"
+)
+
+// statusWriter remembers whether a handler already committed a response, so
+// the panic middleware knows if a 500 can still be sent.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(p)
+}
+
+// recovered converts a panicking handler into a logged 500 JSON response
+// instead of a torn connection — one poisoned request must not read as an
+// outage to every client sharing the connection pool.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				// The sentinel means "drop the connection on purpose";
+				// net/http handles it, and suppressing it would hide that.
+				panic(v)
+			}
+			s.logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			if !sw.wrote {
+				s.writeError(sw, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// limited applies the admission semaphore: a request either acquires a slot
+// immediately or is shed with 429 and a Retry-After hint. Shedding beats
+// queueing here because a queued range query holds memory and, once its
+// client times out, computes an answer nobody reads.
+func (s *Server) limited(next http.Handler) http.Handler {
+	if s.inflight == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", cap(s.inflight))
+		}
+	})
+}
+
+// deadlined bounds the request context with the configured query timeout;
+// the core scans observe it at their cancellation checkpoints.
+func (s *Server) deadlined(next http.Handler) http.Handler {
+	if s.opts.QueryTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.QueryTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}

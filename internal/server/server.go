@@ -14,15 +14,28 @@
 // Selector syntax per dimension: name=value, name=lo..hi, name=*
 // (unspecified dimensions default to "all"). op=sum responses include the
 // §11 [lower, upper] bounds computed before the exact answer.
+//
+// Robustness model: update batches are appended to a write-ahead log and
+// fsynced before they touch memory, a checksummed snapshot of the cube is
+// rotated in atomically every CompactEvery batches (after which the log is
+// truncated), long queries honor request-context cancellation at ~64k-cell
+// checkpoints, and an admission semaphore sheds excess query load with 429
+// rather than queueing without bound.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"rangecube/internal/core/batchsum"
 	"rangecube/internal/core/blocked"
@@ -31,13 +44,71 @@ import (
 	"rangecube/internal/cube"
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
+	"rangecube/internal/persist"
 	"rangecube/internal/planner"
+	"rangecube/internal/wal"
 )
+
+// Options configures the optional robustness machinery. The zero value
+// reproduces the original in-memory server: no durability, no admission
+// limit, no deadline.
+type Options struct {
+	// BlockSize is the uniform block size of the §5.2 blocked index.
+	BlockSize int
+	// Fanout is the branching factor of the §6 max/min trees.
+	Fanout int
+
+	// WALPath, when non-empty, enables write-ahead logging: every /update
+	// batch is appended and fsynced before it is applied. On startup the
+	// log's committed prefix is replayed over the cube (after the snapshot,
+	// if one exists).
+	WALPath string
+	// SnapshotPath, when non-empty, is where compaction writes checksummed
+	// cube snapshots (atomically: temp + fsync + rename). On startup an
+	// existing snapshot is loaded before WAL replay.
+	SnapshotPath string
+	// CompactEvery is the number of logged batches after which the server
+	// snapshots the cube and truncates the WAL. 0 means 64. It only takes
+	// effect when both WALPath and SnapshotPath are set.
+	CompactEvery int
+
+	// MaxInflight caps concurrently executing /query and /advise requests;
+	// excess requests are shed immediately with 429 and Retry-After. 0
+	// means unlimited.
+	MaxInflight int
+	// QueryTimeout bounds each /query request; past the deadline the
+	// scan abandons work at its next cancellation checkpoint and the
+	// request fails with 503. 0 means no deadline.
+	QueryTimeout time.Duration
+	// MaxUpdateBytes caps the /update request body; larger bodies fail
+	// with 413. 0 means 8 MiB.
+	MaxUpdateBytes int64
+
+	// Logf receives operational log lines (recovery, compaction, panics).
+	// Nil means log.Printf.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = 64
+	}
+	if o.MaxUpdateBytes <= 0 {
+		o.MaxUpdateBytes = 8 << 20
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
 
 // Server holds the cube and its indexes. Queries take the read lock;
 // update batches take the write lock and rebuild nothing — they run the
 // §5/§7 incremental algorithms.
 type Server struct {
+	opts Options
+	logf func(format string, args ...any)
+
 	mu sync.RWMutex
 
 	cube *cube.Cube
@@ -46,43 +117,214 @@ type Server struct {
 	max  *maxtree.Tree[int64]
 	min  *maxtree.Tree[int64]
 
+	wal       *wal.Log // nil when WALPath is empty
+	seq       uint64   // sequence number of the last applied batch
+	sinceSnap int      // batches logged since the last snapshot
+
+	inflight chan struct{} // admission semaphore; nil when unlimited
+
 	logMu sync.Mutex
 	log   []ndarray.Region // recent query regions, input to /advise
 }
 
-// New builds a server over the cube with the given uniform block size for
-// the blocked index and fanout for the max/min trees.
+// New builds a purely in-memory server over the cube with the given uniform
+// block size for the blocked index and fanout for the max/min trees.
 func New(c *cube.Cube, blockSize, fanout int) *Server {
+	s, err := NewWithOptions(c, Options{BlockSize: blockSize, Fanout: fanout})
+	if err != nil {
+		// Without durability paths no constructor step can fail.
+		panic(err)
+	}
+	return s
+}
+
+// NewWithOptions builds a server over the cube and, when durability paths
+// are configured, performs crash recovery: load the snapshot (verifying its
+// checksum), replay the WAL's committed prefix on top, truncate any torn
+// tail, and only then build the query structures from the recovered cells.
+// The cube's cell array is mutated in place to the recovered state.
+func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
+	opts = opts.withDefaults()
+	s := &Server{opts: opts, logf: opts.Logf, cube: c}
+
+	if opts.SnapshotPath != "" {
+		if err := s.loadSnapshot(); err != nil {
+			return nil, err
+		}
+	}
+	if opts.WALPath != "" {
+		l, batches, err := wal.Open(opts.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = l
+		replayed := 0
+		for _, b := range batches {
+			if b.Seq <= s.seq {
+				continue // already folded into the snapshot
+			}
+			if err := s.replayBatch(b); err != nil {
+				l.Close()
+				return nil, fmt.Errorf("server: replaying batch %d: %w", b.Seq, err)
+			}
+			s.seq = b.Seq
+			replayed++
+		}
+		s.sinceSnap = replayed
+		if replayed > 0 || len(batches) > 0 {
+			s.logf("server: recovered %d WAL batches (%d replayed past snapshot seq)", len(batches), replayed)
+		}
+	}
+
 	// The blocked index shares (and updates) the cube's array; the max and
 	// min trees get their own copies so the §7 update protocol can compare
 	// old and new cell values independently of the §5 path.
-	return &Server{
-		cube: c,
-		sum:  prefixsum.BuildInt(c.Data()),
-		blk:  blocked.BuildInt(c.Data(), blockSize),
-		max:  maxtree.Build(c.Data().Clone(), fanout),
-		min:  maxtree.BuildMin(c.Data().Clone(), fanout),
+	s.sum = prefixsum.BuildInt(c.Data())
+	s.blk = blocked.BuildInt(c.Data(), opts.BlockSize)
+	s.max = maxtree.Build(c.Data().Clone(), opts.Fanout)
+	s.min = maxtree.BuildMin(c.Data().Clone(), opts.Fanout)
+
+	if opts.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInflight)
 	}
+	return s, nil
 }
 
-// Handler returns the HTTP routes.
+// loadSnapshot replaces the cube's cells with the snapshot's, if one exists.
+func (s *Server) loadSnapshot() error {
+	f, err := os.Open(s.opts.SnapshotPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil // first boot: the provided cube is the initial state
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	seq, cells, err := persist.ReadSnapshot(f)
+	if err != nil {
+		return fmt.Errorf("server: loading snapshot %s: %w", s.opts.SnapshotPath, err)
+	}
+	dst := s.cube.Data()
+	if !shapeEqual(dst.Shape(), cells.Shape()) {
+		return fmt.Errorf("server: snapshot shape %v does not match cube %v", cells.Shape(), dst.Shape())
+	}
+	copy(dst.Data(), cells.Data())
+	s.seq = seq
+	s.logf("server: loaded snapshot %s (seq %d)", s.opts.SnapshotPath, seq)
+	return nil
+}
+
+func shapeEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// replayBatch applies a recovered WAL batch directly to the cube cells; the
+// query structures are built afterwards, so no incremental repair is needed.
+func (s *Server) replayBatch(b wal.Batch) error {
+	a := s.cube.Data()
+	shape := a.Shape()
+	for _, u := range b.Updates {
+		if len(u.Coords) != len(shape) {
+			return fmt.Errorf("update has %d coords, want %d", len(u.Coords), len(shape))
+		}
+		for j, x := range u.Coords {
+			if x < 0 || x >= shape[j] {
+				return fmt.Errorf("coordinate %d out of bounds in dimension %d", x, j)
+			}
+		}
+		a.Set(a.At(u.Coords...)+u.Delta, u.Coords...)
+	}
+	return nil
+}
+
+// Seq returns the sequence number of the last applied update batch.
+func (s *Server) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// Checkpoint forces a snapshot-and-truncate compaction. It is what the
+// process calls on graceful shutdown so the next boot replays nothing.
+func (s *Server) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// Close checkpoints if possible and releases the WAL file. The server must
+// not serve requests afterwards.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.compactLocked()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.wal = nil
+	return err
+}
+
+// compactLocked writes an atomic checksummed snapshot of the current cells
+// and truncates the WAL. Called with the write lock held. A snapshot
+// failure leaves the WAL intact: the state is still durable, just longer to
+// replay.
+func (s *Server) compactLocked() error {
+	if s.wal == nil || s.opts.SnapshotPath == "" {
+		return nil
+	}
+	if s.sinceSnap == 0 {
+		return nil // nothing new since the last snapshot
+	}
+	err := persist.WriteFileAtomic(s.opts.SnapshotPath, func(w io.Writer) error {
+		return persist.WriteSnapshot(w, s.seq, s.cube.Data())
+	})
+	if err != nil {
+		return fmt.Errorf("server: snapshot: %w", err)
+	}
+	if err := s.wal.Reset(); err != nil {
+		return fmt.Errorf("server: truncating WAL after snapshot: %w", err)
+	}
+	s.sinceSnap = 0
+	s.logf("server: snapshot %s at seq %d, WAL truncated", s.opts.SnapshotPath, s.seq)
+	return nil
+}
+
+// Handler returns the HTTP routes wrapped in the robustness middleware:
+// panic recovery outermost, then admission control and per-request
+// deadlines on the query paths.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /schema", s.handleSchema)
-	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.Handle("GET /query", s.limited(s.deadlined(http.HandlerFunc(s.handleQuery))))
 	mux.HandleFunc("POST /update", s.handleUpdate)
-	mux.HandleFunc("GET /advise", s.handleAdvise)
-	return mux
+	mux.Handle("GET /advise", s.limited(http.HandlerFunc(s.handleAdvise)))
+	return s.recovered(mux)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Usually the client hung up; the response cannot be repaired, but
+		// the failure should not vanish without a trace.
+		s.logf("server: encoding response: %v", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // handleSchema reports the dimensions.
@@ -98,7 +340,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		d := s.cube.Dimension(i)
 		dims[i] = dim{Name: d.Name(), Size: d.Size(), Low: d.ValueAt(0), High: d.ValueAt(d.Size() - 1)}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"dimensions": dims,
 		"cells":      s.cube.Data().Size(),
 	})
@@ -108,8 +350,13 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 func (s *Server) parseRegion(r *http.Request) (ndarray.Region, error) {
 	var sels []cube.Selector
 	for name, vals := range r.URL.Query() {
-		if name == "op" || name == "space" {
+		if name == "op" {
 			continue
+		}
+		if name == "space" {
+			// Catch the common confusion with /advise explicitly instead of
+			// reporting a baffling "unknown dimension".
+			return nil, fmt.Errorf("%q is an /advise parameter, not a query selector", name)
 		}
 		if len(vals) != 1 {
 			return nil, fmt.Errorf("dimension %q specified %d times", name, len(vals))
@@ -152,7 +399,7 @@ type queryResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	region, err := s.parseRegion(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	op := r.URL.Query().Get("op")
@@ -165,13 +412,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.logMu.Unlock()
 
+	ctx := r.Context()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var c metrics.Counter
 	resp := queryResponse{Op: op, Volume: region.Volume()}
 	switch op {
 	case "sum":
-		lo, hi := blocked.Bounds(s.blk, region, nil)
+		lo, hi, err := blocked.BoundsContext(ctx, s.blk, region, nil)
+		if err != nil {
+			s.writeCtxError(w, err)
+			return
+		}
 		resp.LowerBnd, resp.UpperBnd = &lo, &hi
 		resp.Value = s.sum.Sum(region, &c)
 	case "count":
@@ -187,7 +439,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if op == "min" {
 			tree = s.min
 		}
-		off, v, ok := tree.MaxIndex(region, &c)
+		off, v, ok, err := tree.MaxIndexContext(ctx, region, &c)
+		if err != nil {
+			s.writeCtxError(w, err)
+			return
+		}
 		if !ok {
 			resp.Empty = true
 			break
@@ -199,11 +455,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.At[i] = fmt.Sprintf("%s=%s", s.cube.Dimension(i).Name(), s.cube.Dimension(i).ValueAt(rank))
 		}
 	default:
-		writeError(w, http.StatusBadRequest, "unknown op %q (sum, count, avg, max, min)", op)
+		s.writeError(w, http.StatusBadRequest, "unknown op %q (sum, count, avg, max, min)", op)
 		return
 	}
 	resp.Accesses = c.Total()
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// writeCtxError reports an abandoned query. A deadline is the server's
+// fault (503, the client may retry); a cancellation means the client is
+// gone and the status is a formality.
+func (s *Server) writeCtxError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.writeError(w, http.StatusServiceUnavailable, "query exceeded the %v deadline", s.opts.QueryTimeout)
+		return
+	}
+	s.writeError(w, http.StatusServiceUnavailable, "query canceled: %v", err)
 }
 
 // updateRequest is the JSON shape of /update batches. Deltas adjust the
@@ -216,30 +483,54 @@ type updateRequest struct {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUpdateBytes)
 	var req updateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding update batch: %v", err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "update batch exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "decoding update batch: %v", err)
 		return
 	}
 	if len(req.Updates) == 0 {
-		writeError(w, http.StatusBadRequest, "empty update batch")
+		s.writeError(w, http.StatusBadRequest, "empty update batch")
 		return
 	}
 	shape := s.cube.Shape()
 	for i, u := range req.Updates {
 		if len(u.Coords) != len(shape) {
-			writeError(w, http.StatusBadRequest, "update %d has %d coords, want %d", i, len(u.Coords), len(shape))
+			s.writeError(w, http.StatusBadRequest, "update %d has %d coords, want %d", i, len(u.Coords), len(shape))
 			return
 		}
 		for j, x := range u.Coords {
 			if x < 0 || x >= shape[j] {
-				writeError(w, http.StatusBadRequest, "update %d out of bounds in dimension %d", i, j)
+				s.writeError(w, http.StatusBadRequest, "update %d out of bounds in dimension %d", i, j)
 				return
 			}
 		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+
+	// Durability first: the batch must be on disk before any structure sees
+	// it, so a crash between here and the end of the handler replays it
+	// instead of losing it.
+	if s.wal != nil {
+		b := wal.Batch{Seq: s.seq + 1, Updates: make([]wal.Update, len(req.Updates))}
+		for i, u := range req.Updates {
+			b.Updates[i] = wal.Update{Coords: u.Coords, Delta: u.Delta}
+		}
+		if err := s.wal.Append(b); err != nil {
+			s.logf("server: WAL append failed: %v", err)
+			s.writeError(w, http.StatusServiceUnavailable, "update not durable: %v", err)
+			return
+		}
+		s.sinceSnap++
+	}
+	s.seq++
+
 	bups := make([]batchsum.IntUpdate, len(req.Updates))
 	for i, u := range req.Updates {
 		bups[i] = batchsum.IntUpdate{Coords: u.Coords, Delta: u.Delta}
@@ -257,7 +548,15 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.max.BatchUpdate(maxUps, nil)
 	s.min.BatchUpdate(maxUps, nil)
-	writeJSON(w, http.StatusOK, map[string]any{"applied": len(req.Updates)})
+
+	if s.sinceSnap >= s.opts.CompactEvery {
+		if err := s.compactLocked(); err != nil {
+			// The WAL still has everything; compaction will be retried on
+			// the next batch.
+			s.logf("%v", err)
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"applied": len(req.Updates), "seq": s.seq})
 }
 
 // handleAdvise runs the §9 planner over the accumulated query log.
@@ -266,7 +565,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("space"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil || f <= 0 {
-			writeError(w, http.StatusBadRequest, "bad space budget %q", v)
+			s.writeError(w, http.StatusBadRequest, "bad space budget %q", v)
 			return
 		}
 		space = f
@@ -275,12 +574,12 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	log := append([]ndarray.Region(nil), s.log...)
 	s.logMu.Unlock()
 	if len(log) == 0 {
-		writeError(w, http.StatusConflict, "no queries logged yet")
+		s.writeError(w, http.StatusConflict, "no queries logged yet")
 		return
 	}
 	p, err := planner.New(s.cube, log, space)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	type choice struct {
@@ -297,7 +596,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		}
 		choices = append(choices, choice{Dimensions: names, BlockSize: ch.BlockSize})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"queries_profiled": len(log),
 		"space_budget":     space,
 		"space_used":       p.SpaceUsed(),

@@ -1,0 +1,148 @@
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"rangecube/internal/faultio"
+	"rangecube/internal/wal"
+)
+
+// encodeLog builds a WAL byte stream of n batches in memory and returns the
+// stream plus the committed length after each batch.
+func encodeLog(t *testing.T, n int) ([]byte, []wal.Batch, []int64) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wal.WriteHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	batches := make([]wal.Batch, n)
+	ends := []int64{int64(buf.Len())}
+	for i := range batches {
+		batches[i] = wal.Batch{Seq: uint64(i + 1), Updates: []wal.Update{
+			{Coords: []int{i, i * i}, Delta: int64(13*i - 4)},
+			{Coords: []int{2*i + 1, 0}, Delta: int64(i)},
+		}}
+		p, err := wal.EncodeBatch(batches[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wal.AppendRecord(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+		ends = append(ends, int64(buf.Len()))
+	}
+	return buf.Bytes(), batches, ends
+}
+
+// TestCrashAtEveryByteReplaysCommittedPrefix simulates a process dying at
+// every possible byte position while appending to the log: the bytes that
+// reached "disk" are whatever a crash-mode fault writer let through. Scan of
+// that artifact must recover exactly the batches whose records completed
+// before the crash — never a torn batch, never a missing committed one.
+func TestCrashAtEveryByteReplaysCommittedPrefix(t *testing.T) {
+	full, batches, ends := encodeLog(t, 4)
+	for limit := int64(len(mustHeader(t))); limit <= int64(len(full)); limit++ {
+		var disk bytes.Buffer
+		fw := faultio.NewWriter(&disk, limit, faultio.Crash)
+		// Re-drive the exact append sequence through the fault writer. The
+		// crash mode reports success, as a dying process would never see the
+		// failure, so the loop runs to completion like the real server.
+		if err := wal.WriteHeader(fw); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range batches {
+			p, err := wal.EncodeBatch(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := wal.AppendRecord(fw, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if fw.Written() != limit {
+			t.Fatalf("limit %d: %d bytes reached disk", limit, fw.Written())
+		}
+
+		committed := 0
+		for _, e := range ends[1:] {
+			if e <= limit {
+				committed++
+			}
+		}
+		got, valid, err := wal.Scan(bytes.NewReader(disk.Bytes()))
+		if err != nil {
+			t.Fatalf("limit %d: scan failed: %v", limit, err)
+		}
+		if len(got) != committed {
+			t.Fatalf("limit %d: recovered %d batches, want %d", limit, len(got), committed)
+		}
+		if committed > 0 && !reflect.DeepEqual(got, batches[:committed]) {
+			t.Fatalf("limit %d: recovered wrong batches", limit)
+		}
+		if valid != ends[committed] {
+			t.Fatalf("limit %d: valid %d, want %d", limit, valid, ends[committed])
+		}
+	}
+}
+
+// TestWriteErrorSurfacesAndPrefixSurvives covers the error flavor: the disk
+// fails mid-record, AppendRecord reports it, and the bytes already written
+// still scan to the previously committed prefix.
+func TestWriteErrorSurfacesAndPrefixSurvives(t *testing.T) {
+	_, batches, ends := encodeLog(t, 3)
+	// Fail partway through the second record.
+	limit := ends[1] + 3
+	var disk bytes.Buffer
+	fw := faultio.NewWriter(&disk, limit, faultio.Error)
+	if err := wal.WriteHeader(fw); err != nil {
+		t.Fatal(err)
+	}
+	var failed error
+	for _, b := range batches {
+		p, err := wal.EncodeBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wal.AppendRecord(fw, p); err != nil {
+			failed = err
+			break
+		}
+	}
+	if !errors.Is(failed, faultio.ErrInjected) {
+		t.Fatalf("append error = %v", failed)
+	}
+	got, valid, err := wal.Scan(bytes.NewReader(disk.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], batches[0]) {
+		t.Fatalf("recovered %+v, want only batch 1", got)
+	}
+	if valid != ends[1] {
+		t.Fatalf("valid = %d, want %d", valid, ends[1])
+	}
+}
+
+// TestScanSurfacesReadFaults distinguishes a clean truncation (end of the
+// committed prefix, not an error) from an IO error mid-scan, which must be
+// reported so recovery does not silently treat a flaky disk as a short log.
+func TestScanSurfacesReadFaults(t *testing.T) {
+	full, _, ends := encodeLog(t, 3)
+	fr := faultio.NewReader(bytes.NewReader(full), ends[2]+5)
+	_, _, err := wal.Scan(fr)
+	if !errors.Is(err, faultio.ErrInjected) {
+		t.Fatalf("scan error = %v", err)
+	}
+}
+
+func mustHeader(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wal.WriteHeader(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

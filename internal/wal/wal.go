@@ -1,0 +1,322 @@
+// Package wal implements a write-ahead log for the server's §5 update
+// batches. The paper's deployment model precomputes structures offline and
+// applies incremental batch updates online; those batches are the only
+// state that cannot be rebuilt from the source data, so they are the state
+// that must survive a crash. A server appends each validated batch to the
+// log (fsynced) before applying it in memory; on restart it replays the
+// log's committed prefix on top of the last snapshot.
+//
+// File layout (all little-endian):
+//
+//	header:  u32 magic "RCWL", u16 version
+//	record:  u32 payload length, u32 CRC32C(payload), payload
+//	payload: u64 seq, u16 dims, u32 count, count × (dims × i32 coords, i64 delta)
+//
+// Recovery invariant: Scan returns exactly the batches whose records are
+// entirely present and checksum-clean, stopping at the first truncated or
+// corrupt record — the committed prefix. Open truncates the file to that
+// prefix, so a crash mid-append (a torn record tail) is erased and the log
+// is again append-clean. Sequence numbers are strictly increasing; replay
+// after a snapshot skips batches with seq ≤ the snapshot's.
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+)
+
+const (
+	fileMagic   = uint32(0x4C574352) // "RCWL"
+	fileVersion = uint16(1)
+	headerSize  = 6
+	frameSize   = 8 // u32 length + u32 crc per record
+
+	// maxRecord bounds a single record so a corrupt length field cannot
+	// drive a giant allocation; 64 MiB is far above any realistic batch.
+	maxRecord = 64 << 20
+
+	maxDims = 64
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Update is one cell delta of a batch, the JSON shape of the server's
+// /update entries.
+type Update struct {
+	Coords []int `json:"coords"`
+	Delta  int64 `json:"delta"`
+}
+
+// Batch is one durable unit: the updates applied atomically under the
+// server's write lock, tagged with its position in the update sequence.
+type Batch struct {
+	Seq     uint64
+	Updates []Update
+}
+
+// EncodeBatch serializes a batch payload. All updates must share a
+// dimensionality ≤ 64 with coordinates that fit in int32 — the server
+// validates batches against the cube shape before logging, so a failure
+// here means a caller bug.
+func EncodeBatch(b Batch) ([]byte, error) {
+	if len(b.Updates) == 0 {
+		return nil, errors.New("wal: empty batch")
+	}
+	dims := len(b.Updates[0].Coords)
+	if dims < 1 || dims > maxDims {
+		return nil, fmt.Errorf("wal: %d-dimensional update", dims)
+	}
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, b.Seq)
+	binary.Write(&buf, binary.LittleEndian, uint16(dims))
+	binary.Write(&buf, binary.LittleEndian, uint32(len(b.Updates)))
+	for _, u := range b.Updates {
+		if len(u.Coords) != dims {
+			return nil, fmt.Errorf("wal: mixed dimensionality %d vs %d", len(u.Coords), dims)
+		}
+		for _, x := range u.Coords {
+			if x < math.MinInt32 || x > math.MaxInt32 {
+				return nil, fmt.Errorf("wal: coordinate %d overflows int32", x)
+			}
+			binary.Write(&buf, binary.LittleEndian, int32(x))
+		}
+		binary.Write(&buf, binary.LittleEndian, u.Delta)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBatch parses a record payload. The payload length must match the
+// declared count exactly; trailing or missing bytes are corruption.
+func DecodeBatch(p []byte) (Batch, error) {
+	const head = 8 + 2 + 4
+	if len(p) < head {
+		return Batch{}, fmt.Errorf("wal: payload of %d bytes", len(p))
+	}
+	seq := binary.LittleEndian.Uint64(p[0:])
+	dims := int(binary.LittleEndian.Uint16(p[8:]))
+	count := int(binary.LittleEndian.Uint32(p[10:]))
+	if dims < 1 || dims > maxDims {
+		return Batch{}, fmt.Errorf("wal: %d-dimensional payload", dims)
+	}
+	entry := 4*dims + 8
+	if count < 1 || len(p)-head != count*entry {
+		return Batch{}, fmt.Errorf("wal: payload length %d does not match %d updates of %d dims", len(p), count, dims)
+	}
+	b := Batch{Seq: seq, Updates: make([]Update, count)}
+	off := head
+	for i := range b.Updates {
+		coords := make([]int, dims)
+		for j := range coords {
+			coords[j] = int(int32(binary.LittleEndian.Uint32(p[off:])))
+			off += 4
+		}
+		b.Updates[i] = Update{Coords: coords, Delta: int64(binary.LittleEndian.Uint64(p[off:]))}
+		off += 8
+	}
+	return b, nil
+}
+
+// AppendRecord frames and writes one payload: length, CRC32C, bytes. It
+// performs a single Write so a short write leaves at most one torn record
+// at the tail, which recovery discards.
+func AppendRecord(w io.Writer, payload []byte) error {
+	if len(payload) > maxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	rec := make([]byte, frameSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, castagnoli))
+	copy(rec[frameSize:], payload)
+	n, err := w.Write(rec)
+	if err == nil && n < len(rec) {
+		err = io.ErrShortWrite
+	}
+	return err
+}
+
+// WriteHeader writes the file header; Open calls it on a fresh log file.
+func WriteHeader(w io.Writer) error {
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], fileMagic)
+	binary.LittleEndian.PutUint16(hdr[4:], fileVersion)
+	_, err := w.Write(hdr[:])
+	return err
+}
+
+// Scan reads a log stream and returns its committed prefix: every batch
+// whose record is fully present with a matching checksum, in order, plus
+// the byte length of that prefix (header included). A truncated or corrupt
+// tail ends the scan silently — that is the recovery semantic, not an
+// error. err is non-nil only when the stream is not a WAL at all (bad or
+// missing header) or a read fails with something other than EOF.
+func Scan(r io.Reader) (batches []Batch, valid int64, err error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("wal: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != fileMagic {
+		return nil, 0, errors.New("wal: bad magic")
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:]); v != fileVersion {
+		return nil, 0, fmt.Errorf("wal: unsupported version %d", v)
+	}
+	valid = headerSize
+	var seq uint64
+	for {
+		var frame [frameSize]byte
+		if _, err := io.ReadFull(r, frame[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return batches, valid, nil // truncated frame: end of committed prefix
+			}
+			return batches, valid, err
+		}
+		n := binary.LittleEndian.Uint32(frame[0:])
+		if n == 0 || n > maxRecord {
+			return batches, valid, nil // implausible length: corrupt tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return batches, valid, nil // truncated payload
+			}
+			return batches, valid, err
+		}
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(frame[4:]) {
+			return batches, valid, nil // corrupt record
+		}
+		b, err := DecodeBatch(payload)
+		if err != nil {
+			return batches, valid, nil // checksum-clean but malformed: treat as corruption
+		}
+		if b.Seq <= seq {
+			return batches, valid, nil // sequence must be strictly increasing
+		}
+		seq = b.Seq
+		batches = append(batches, b)
+		valid += frameSize + int64(n)
+	}
+}
+
+// Log is an open write-ahead log file positioned for appends.
+type Log struct {
+	f       *os.File
+	path    string
+	size    int64 // committed length; the file never holds more durable bytes
+	lastSeq uint64
+}
+
+// Open opens (or creates) the log at path, recovers its committed prefix,
+// truncates any torn tail, and returns the recovered batches for replay.
+// The returned log is positioned to append the next batch.
+func Open(path string) (*Log, []Batch, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l := &Log{f: f, path: path}
+	if info.Size() == 0 {
+		// Fresh log: write and persist the header.
+		if err := WriteHeader(f); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.size = headerSize
+		return l, nil, nil
+	}
+	batches, valid, err := Scan(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: recovering %s: %w", path, err)
+	}
+	if valid < info.Size() {
+		// Torn tail from a crash mid-append: erase it so the next record
+		// starts at a clean boundary.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	l.size = valid
+	if n := len(batches); n > 0 {
+		l.lastSeq = batches[n-1].Seq
+	}
+	return l, batches, nil
+}
+
+// LastSeq returns the highest sequence number in the log (0 if empty).
+func (l *Log) LastSeq() uint64 { return l.lastSeq }
+
+// Size returns the committed length of the log file in bytes.
+func (l *Log) Size() int64 { return l.size }
+
+// Append encodes, writes and fsyncs one batch. It returns only after the
+// batch is durable; on any error the file is truncated back to its last
+// committed length so a failed append cannot leave a torn record for a
+// later append to build on.
+func (l *Log) Append(b Batch) error {
+	if b.Seq <= l.lastSeq {
+		return fmt.Errorf("wal: sequence %d not after %d", b.Seq, l.lastSeq)
+	}
+	payload, err := EncodeBatch(b)
+	if err != nil {
+		return err
+	}
+	if err := AppendRecord(l.f, payload); err != nil {
+		// Best effort: restore the committed-prefix invariant on disk.
+		l.f.Truncate(l.size)
+		l.f.Seek(l.size, io.SeekStart)
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Truncate(l.size)
+		l.f.Seek(l.size, io.SeekStart)
+		return err
+	}
+	l.size += int64(frameSize + len(payload))
+	l.lastSeq = b.Seq
+	return nil
+}
+
+// Reset truncates the log back to its header after a snapshot has made its
+// contents redundant (snapshot-then-truncate compaction). The sequence
+// counter is retained in memory so appends stay strictly increasing; after
+// a restart it is re-anchored by the snapshot's sequence number.
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(headerSize); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(headerSize, io.SeekStart); err != nil {
+		return err
+	}
+	l.size = headerSize
+	return nil
+}
+
+// Close closes the log file.
+func (l *Log) Close() error { return l.f.Close() }
