@@ -1,0 +1,143 @@
+// Command cubeconform runs seeded cross-engine conformance rounds: every
+// registered range-query engine (prefix sum, blocked at several block
+// sizes, sum tree, max/min trees, sparse cube, and the WAL-recovered HTTP
+// server) is driven through generated workloads of interleaved queries,
+// updates and crash/recovery checkpoints, checked differentially against
+// the naive scan and against the paper's metamorphic identities, plus the
+// parallel==sequential bit-identity of the bulk kernels.
+//
+// On a failure the scenario is shrunk to a minimal cube and operation
+// sequence, then written out as a replayable JSON golden vector and a
+// generated Go regression test. Typical use:
+//
+//	go run ./cmd/cubeconform -rounds 200            # local soak
+//	go run -race ./cmd/cubeconform -rounds 50       # CI job
+//	go run ./cmd/cubeconform -replay failure.json   # re-run a golden vector
+//
+// See TESTING.md for the property catalogue and how to adopt a shrunk
+// counterexample as a permanent regression test.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rangecube/internal/conformance"
+)
+
+func main() {
+	var (
+		rounds   = flag.Int("rounds", 50, "number of seeded scenarios to run")
+		seed     = flag.Int64("seed", 1, "base seed; round i uses seed+i")
+		engines  = flag.String("engines", "", "comma-separated substrings selecting engines (empty = all)")
+		out      = flag.String("out", "conformance-failures", "directory for shrunk counterexamples")
+		replay   = flag.String("replay", "", "replay one golden vector file instead of generating rounds")
+		parseq   = flag.Bool("parseq", true, "also check parallel==sequential build bit-identity each round")
+		noShrink = flag.Bool("no-shrink", false, "report the raw failing scenario without minimizing it")
+		verbose  = flag.Bool("v", false, "log each round")
+	)
+	flag.Parse()
+
+	sums := conformance.FilterSum(conformance.DefaultSumEngines(), *engines)
+	maxes := conformance.FilterMax(conformance.DefaultMaxEngines(), *engines)
+	if len(sums) == 0 && len(maxes) == 0 {
+		fmt.Fprintf(os.Stderr, "cubeconform: -engines %q matches nothing\n", *engines)
+		os.Exit(2)
+	}
+	opts := conformance.Options{Sum: sums, Max: maxes}
+
+	if *replay != "" {
+		f, err := conformance.LoadGolden(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		fail, err := conformance.Run(f.Scenario, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if fail != nil {
+			fmt.Printf("REPLAY FAIL: %v\n", fail)
+			os.Exit(1)
+		}
+		fmt.Printf("replay ok: %s (%d cells, %d ops)\n", *replay, f.Scenario.Cells(), len(f.Scenario.Ops))
+		return
+	}
+
+	queries, updates, checkpoints := 0, 0, 0
+	for i := 0; i < *rounds; i++ {
+		s := *seed + int64(i)
+		sc := conformance.GenScenario(s)
+		for _, op := range sc.Ops {
+			switch op.Kind {
+			case conformance.OpSum, conformance.OpMax:
+				queries++
+			case conformance.OpUpdate:
+				updates++
+			case conformance.OpCheckpoint:
+				checkpoints++
+			}
+		}
+		if *verbose {
+			fmt.Printf("round %d: seed %d, %s, shape %v, %d ops\n", i, s, sc.Label, sc.Shape, len(sc.Ops))
+		}
+		fail, err := conformance.Run(sc, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if fail == nil && *parseq {
+			fail = conformance.CheckParSeq(sc, 8)
+		}
+		if fail != nil {
+			report(fail, opts, *out, *noShrink)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("cubeconform: %d rounds ok (%d engines, %d queries, %d update batches, %d checkpoints, parseq=%v)\n",
+		*rounds, len(sums)+len(maxes), queries, updates, checkpoints, *parseq)
+}
+
+// report shrinks the failure (restricted to the engine that tripped, which
+// makes minimization fast and faithful) and writes the golden vector plus
+// a generated regression test.
+func report(fail *conformance.Failure, opts conformance.Options, out string, noShrink bool) {
+	fmt.Printf("FAIL: %v\n", fail)
+	if !noShrink && fail.Check != "parseq" {
+		shrinkOpts := conformance.Options{
+			Sum: conformance.FilterSum(opts.Sum, fail.Engine),
+			Max: conformance.FilterMax(opts.Max, fail.Engine),
+		}
+		if len(shrinkOpts.Sum) == 0 && len(shrinkOpts.Max) == 0 {
+			shrinkOpts = opts
+		}
+		check := func(sc *conformance.Scenario) *conformance.Failure {
+			f, err := conformance.Run(sc, shrinkOpts)
+			if err != nil {
+				return nil
+			}
+			return f
+		}
+		if shrunk, sf := conformance.Shrink(fail.Scenario, check, 0); shrunk != nil {
+			fmt.Printf("shrunk to %d cells (shape %v), %d ops: %v\n", shrunk.Cells(), shrunk.Shape, len(shrunk.Ops), sf)
+			fail = sf
+		} else {
+			fmt.Println("shrinking lost the failure (flaky engine state?); keeping the original scenario")
+		}
+	}
+	golden := filepath.Join(out, "counterexample.json")
+	if err := conformance.WriteGolden(golden, fail); err != nil {
+		fatal(err)
+	}
+	gotest := filepath.Join(out, "regression_test.go.txt")
+	if err := os.WriteFile(gotest, []byte(fail.GoTest("Shrunk")), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("golden vector:   %s  (replay: go run ./cmd/cubeconform -replay %s)\n", golden, golden)
+	fmt.Printf("regression test: %s  (adopt per TESTING.md)\n", gotest)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cubeconform: %v\n", err)
+	os.Exit(1)
+}

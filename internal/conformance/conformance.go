@@ -1,0 +1,205 @@
+// Package conformance is the cross-engine correctness substrate: it drives
+// every range-query engine in this repository — prefix sum (§3), blocked
+// prefix sums at several block sizes (§4), the sum tree (§8), the range-max
+// tree (§6/§7), the sparse cube (§10) and the WAL-recovered HTTP server —
+// through one seeded workload of interleaved queries, updates and
+// crash/recovery checkpoints, and checks two things on every step:
+//
+//   - differential agreement: each engine's answer equals the naive scan's
+//     (internal/naive.Oracle), the ground truth the paper's theorems reduce
+//     every structure to;
+//   - metamorphic properties the paper guarantees regardless of the data:
+//     split-additivity of SUM, the 2^d-corner inclusion–exclusion identity
+//     (§3, eq. 1), update-then-query vs query-then-adjust commutativity
+//     (§5), block-size invariance (§4), and bit-identical parallel vs
+//     sequential construction.
+//
+// A failing scenario is shrunk to a minimal cube and operation sequence
+// (shrink.go) and emitted both as a replayable golden vector file and as
+// generated Go test source (emit.go), so every bug the harness finds
+// becomes a permanent regression test. cmd/cubeconform runs seeded rounds
+// from the command line and in CI.
+package conformance
+
+import (
+	"fmt"
+
+	"rangecube/internal/ndarray"
+)
+
+// OpKind names one step of a scenario.
+type OpKind string
+
+const (
+	// OpSum is a range-sum query: every sum engine must agree with the
+	// oracle scan over Region.
+	OpSum OpKind = "sum"
+	// OpMax is a range-extreme query: max engines are checked against the
+	// oracle maximum and min engines against the oracle minimum.
+	OpMax OpKind = "max"
+	// OpUpdate applies Assigns as one batch: absolute values for the max
+	// engines (§7 form), oracle-derived deltas for the sum engines (§5
+	// form).
+	OpUpdate OpKind = "update"
+	// OpCheckpoint asks engines with a durability story to cross a
+	// crash/restart boundary (the server closes and recovers from
+	// snapshot + WAL); engines without one ignore it.
+	OpCheckpoint OpKind = "checkpoint"
+)
+
+// Assign sets one cell to an absolute value.
+type Assign struct {
+	Coords []int `json:"coords"`
+	Value  int64 `json:"value"`
+}
+
+// Rect is the JSON form of an ndarray.Region: one [lo, hi] pair per
+// dimension (closed interval, hi < lo empty).
+type Rect [][2]int
+
+// RectOf converts a Region.
+func RectOf(r ndarray.Region) Rect {
+	rc := make(Rect, len(r))
+	for i, rng := range r {
+		rc[i] = [2]int{rng.Lo, rng.Hi}
+	}
+	return rc
+}
+
+// Region converts back to the ndarray form.
+func (rc Rect) Region() ndarray.Region {
+	r := make(ndarray.Region, len(rc))
+	for i, p := range rc {
+		r[i] = ndarray.Range{Lo: p[0], Hi: p[1]}
+	}
+	return r
+}
+
+// Op is one scenario step.
+type Op struct {
+	Kind    OpKind   `json:"kind"`
+	Region  Rect     `json:"region,omitempty"`
+	Assigns []Assign `json:"assigns,omitempty"`
+}
+
+// Scenario is a self-contained, replayable conformance case: a seed cube
+// plus an operation sequence. Scenarios serialize to JSON (the golden
+// vector format) and render as Go source (emit.go).
+type Scenario struct {
+	// Seed records the generator seed that produced the scenario (0 for
+	// hand-written or shrunk cases); Label the value distribution.
+	Seed  int64  `json:"seed,omitempty"`
+	Label string `json:"label,omitempty"`
+	Shape []int  `json:"shape"`
+	// Data is the initial cube in row-major order; len must equal the
+	// product of Shape.
+	Data []int64 `json:"data"`
+	Ops  []Op    `json:"ops"`
+}
+
+// Cells returns the cube volume, the size measure the shrinker minimizes.
+func (s *Scenario) Cells() int {
+	n := 1
+	for _, e := range s.Shape {
+		n *= e
+	}
+	return n
+}
+
+// Bounds returns the full-cube region.
+func (s *Scenario) Bounds() ndarray.Region {
+	r := make(ndarray.Region, len(s.Shape))
+	for i, e := range s.Shape {
+		r[i] = ndarray.Range{Lo: 0, Hi: e - 1}
+	}
+	return r
+}
+
+// Clone deep-copies the scenario so shrink candidates can be mutated
+// freely.
+func (s *Scenario) Clone() *Scenario {
+	c := &Scenario{
+		Seed:  s.Seed,
+		Label: s.Label,
+		Shape: append([]int(nil), s.Shape...),
+		Data:  append([]int64(nil), s.Data...),
+		Ops:   make([]Op, len(s.Ops)),
+	}
+	for i, op := range s.Ops {
+		c.Ops[i] = Op{Kind: op.Kind, Region: append(Rect(nil), op.Region...)}
+		for _, a := range op.Assigns {
+			c.Ops[i].Assigns = append(c.Ops[i].Assigns, Assign{
+				Coords: append([]int(nil), a.Coords...),
+				Value:  a.Value,
+			})
+		}
+	}
+	return c
+}
+
+// Validate checks internal consistency so hand-edited golden files fail
+// loudly instead of panicking deep inside an engine.
+func (s *Scenario) Validate() error {
+	if len(s.Shape) == 0 {
+		return fmt.Errorf("conformance: scenario has no dimensions")
+	}
+	n := 1
+	for i, e := range s.Shape {
+		if e < 1 {
+			return fmt.Errorf("conformance: dimension %d has extent %d", i, e)
+		}
+		n *= e
+	}
+	if len(s.Data) != n {
+		return fmt.Errorf("conformance: %d data cells for shape %v (want %d)", len(s.Data), s.Shape, n)
+	}
+	for i, op := range s.Ops {
+		switch op.Kind {
+		case OpSum, OpMax:
+			if len(op.Region) != len(s.Shape) {
+				return fmt.Errorf("conformance: op %d region %v has wrong dimensionality", i, op.Region)
+			}
+			for j, p := range op.Region {
+				// Empty ranges (hi < lo) are legal queries, but both ends
+				// must still sit inside the addressable index space.
+				if p[0] < 0 || p[0] >= s.Shape[j] || p[1] >= s.Shape[j] || p[1] < p[0]-1 {
+					return fmt.Errorf("conformance: op %d range %v out of bounds in dimension %d", i, p, j)
+				}
+			}
+		case OpUpdate:
+			for _, a := range op.Assigns {
+				if len(a.Coords) != len(s.Shape) {
+					return fmt.Errorf("conformance: op %d assign %v has wrong dimensionality", i, a.Coords)
+				}
+				for j, x := range a.Coords {
+					if x < 0 || x >= s.Shape[j] {
+						return fmt.Errorf("conformance: op %d assign %v out of bounds in dimension %d", i, a.Coords, j)
+					}
+				}
+			}
+		case OpCheckpoint:
+		default:
+			return fmt.Errorf("conformance: op %d has unknown kind %q", i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// Failure describes one conformance violation. The embedded scenario is
+// the (possibly shrunk) reproducer; Check names the property that failed.
+type Failure struct {
+	Scenario *Scenario `json:"scenario"`
+	OpIndex  int       `json:"op_index"`
+	Engine   string    `json:"engine"`
+	// Check is one of: differential, split, corners, commute, parseq,
+	// error, checkpoint.
+	Check  string `json:"check"`
+	Got    int64  `json:"got"`
+	Want   int64  `json:"want"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("conformance: engine %q failed %s check at op %d: got %d, want %d (%s)",
+		f.Engine, f.Check, f.OpIndex, f.Got, f.Want, f.Detail)
+}

@@ -1,0 +1,43 @@
+package conformance
+
+import (
+	"rangecube/internal/core/batchsum"
+	"rangecube/internal/core/blocked"
+	"rangecube/internal/ndarray"
+)
+
+// FaultySumFactory registers a deliberately broken blocked engine used to
+// validate the harness itself: when the query's low edge in dimension 0 is
+// not block-aligned it slides that edge up by one cell, the classic §4
+// boundary off-by-one (treating an interior low boundary as exclusive).
+// The harness self-test proves this is caught by differential testing and
+// shrunk to a counterexample of at most 3 cells; it must never appear in a
+// default registry.
+func FaultySumFactory(b int) SumFactory {
+	return SumFactory{Name: "faulty-blocked", New: func(_ Env, a *ndarray.Array[int64]) (SumEngine, error) {
+		return &faultyBlocked{bl: blocked.BuildInt(a, b), b: b}, nil
+	}}
+}
+
+type faultyBlocked struct {
+	bl *blocked.IntArray
+	b  int
+}
+
+func (e *faultyBlocked) Name() string { return "faulty-blocked" }
+
+func (e *faultyBlocked) Sum(r ndarray.Region) (int64, error) {
+	if len(r) > 0 && !r.Empty() && r[0].Lo%e.b != 0 {
+		r = r.Clone()
+		r[0].Lo++ // the injected off-by-one
+		if r.Empty() {
+			return 0, nil
+		}
+	}
+	return e.bl.Sum(r, nil), nil
+}
+
+func (e *faultyBlocked) Apply(b []batchsum.IntUpdate) error {
+	batchsum.ApplyBlockedInt(e.bl, b, nil)
+	return nil
+}

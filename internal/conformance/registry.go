@@ -1,0 +1,154 @@
+package conformance
+
+import (
+	"os"
+	"strings"
+
+	"rangecube/internal/ndarray"
+)
+
+// Env supplies the resources engine factories may need. The zero value is
+// usable: temp directories come from os.MkdirTemp and are removed when the
+// engine closes.
+type Env struct {
+	// TempDir returns a fresh private directory for one engine instance.
+	// Tests pass t.TempDir; nil falls back to os.MkdirTemp + cleanup on
+	// engine Close.
+	TempDir func() (string, error)
+}
+
+func (e Env) tempDir() (string, func(), error) {
+	if e.TempDir != nil {
+		d, err := e.TempDir()
+		return d, func() {}, err
+	}
+	d, err := os.MkdirTemp("", "cubeconform-*")
+	if err != nil {
+		return "", nil, err
+	}
+	return d, func() { os.RemoveAll(d) }, nil
+}
+
+// SumFactory builds one registered sum engine over a private copy of the
+// seed cube.
+type SumFactory struct {
+	Name string
+	New  func(env Env, a *ndarray.Array[int64]) (SumEngine, error)
+}
+
+// MaxFactory builds one registered max/min engine.
+type MaxFactory struct {
+	Name string
+	New  func(env Env, a *ndarray.Array[int64]) (MaxEngine, error)
+}
+
+func simpleSum(name string, build func(a *ndarray.Array[int64]) SumEngine) SumFactory {
+	return SumFactory{Name: name, New: func(_ Env, a *ndarray.Array[int64]) (SumEngine, error) {
+		return build(a), nil
+	}}
+}
+
+// DefaultSumEngines returns the full sum-side registry: the §3 prefix sum,
+// the §4 blocked structure at several uniform block sizes plus a mixed
+// per-dimension one, the §8 sum tree at two fanouts, the §10 sparse cube,
+// and the WAL-recovered HTTP server.
+func DefaultSumEngines() []SumFactory {
+	return []SumFactory{
+		simpleSum("prefixsum", newPrefixSum),
+		simpleSum("blocked/b=1", func(a *ndarray.Array[int64]) SumEngine { return newBlocked(a, 1) }),
+		simpleSum("blocked/b=2", func(a *ndarray.Array[int64]) SumEngine { return newBlocked(a, 2) }),
+		simpleSum("blocked/b=3", func(a *ndarray.Array[int64]) SumEngine { return newBlocked(a, 3) }),
+		simpleSum("blocked/b=7", func(a *ndarray.Array[int64]) SumEngine { return newBlocked(a, 7) }),
+		simpleSum("blocked/dims", func(a *ndarray.Array[int64]) SumEngine { return newBlockedDims(a, []int{1, 3, 2, 5}) }),
+		simpleSum("sumtree/b=2", func(a *ndarray.Array[int64]) SumEngine { return newSumTree(a, 2) }),
+		simpleSum("sumtree/b=4", func(a *ndarray.Array[int64]) SumEngine { return newSumTree(a, 4) }),
+		simpleSum("sparse", newSparse),
+		{Name: "server", New: func(env Env, a *ndarray.Array[int64]) (SumEngine, error) {
+			dir, cleanup, err := env.tempDir()
+			if err != nil {
+				return nil, err
+			}
+			e, err := newServerEngine(a, dir)
+			if err != nil {
+				cleanup()
+				return nil, err
+			}
+			return &cleanupEngine{SumEngine: e, cleanup: cleanup}, nil
+		}},
+	}
+}
+
+// DefaultMaxEngines returns the max-side registry: §6 max trees at two
+// fanouts and the MIN twin.
+func DefaultMaxEngines() []MaxFactory {
+	mk := func(name string, build func(a *ndarray.Array[int64]) MaxEngine) MaxFactory {
+		return MaxFactory{Name: name, New: func(_ Env, a *ndarray.Array[int64]) (MaxEngine, error) {
+			return build(a), nil
+		}}
+	}
+	return []MaxFactory{
+		mk("maxtree/b=2", func(a *ndarray.Array[int64]) MaxEngine { return newMaxTree(a, 2) }),
+		mk("maxtree/b=3", func(a *ndarray.Array[int64]) MaxEngine { return newMaxTree(a, 3) }),
+		mk("mintree/b=2", func(a *ndarray.Array[int64]) MaxEngine { return newMinTree(a, 2) }),
+	}
+}
+
+// FilterSum keeps factories whose name contains any of the comma-separated
+// patterns (empty keeps all).
+func FilterSum(fs []SumFactory, patterns string) []SumFactory {
+	if patterns == "" {
+		return fs
+	}
+	var out []SumFactory
+	for _, f := range fs {
+		if matchAny(f.Name, patterns) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FilterMax is FilterSum for the max registry.
+func FilterMax(fs []MaxFactory, patterns string) []MaxFactory {
+	if patterns == "" {
+		return fs
+	}
+	var out []MaxFactory
+	for _, f := range fs {
+		if matchAny(f.Name, patterns) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func matchAny(name, patterns string) bool {
+	for _, p := range strings.Split(patterns, ",") {
+		if p = strings.TrimSpace(p); p != "" && strings.Contains(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// cleanupEngine removes the engine's temp directory after Close.
+type cleanupEngine struct {
+	SumEngine
+	cleanup func()
+}
+
+func (c *cleanupEngine) Checkpoint() error {
+	if cp, ok := c.SumEngine.(Checkpointer); ok {
+		return cp.Checkpoint()
+	}
+	return nil
+}
+
+func (c *cleanupEngine) Close() error {
+	var err error
+	if cl, ok := c.SumEngine.(Closer); ok {
+		err = cl.Close()
+	}
+	c.cleanup()
+	return err
+}

@@ -1,0 +1,176 @@
+package conformance
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rangecube/internal/core/batchsum"
+	"rangecube/internal/core/prefixsum"
+	"rangecube/internal/ndarray"
+)
+
+// TestHarnessCatchesInjectedOffByOne is the harness's proof of usefulness:
+// a deliberately broken blocked engine (low boundary in dimension 0 slides
+// up one cell when unaligned, the classic §4 boundary bug) must be caught
+// by differential testing within a few seeded rounds and shrunk to a
+// counterexample of at most 3 cells and at most 2 operations, which then
+// round-trips through the golden vector format and the generated Go test.
+func TestHarnessCatchesInjectedOffByOne(t *testing.T) {
+	opts := Options{
+		Sum:             []SumFactory{FaultySumFactory(2)},
+		Max:             []MaxFactory{}, // sum-side fault, max engines irrelevant
+		SkipMetamorphic: true,
+	}
+	check := func(sc *Scenario) *Failure {
+		fail, err := Run(sc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fail
+	}
+
+	var caught *Failure
+	var caughtSeed int64
+	for seed := int64(1); seed <= 50; seed++ {
+		if f := check(GenScenario(seed)); f != nil {
+			caught, caughtSeed = f, seed
+			break
+		}
+	}
+	if caught == nil {
+		t.Fatal("50 seeded rounds failed to catch the injected off-by-one")
+	}
+	if caught.Check != "differential" || caught.Engine != "faulty-blocked" {
+		t.Fatalf("unexpected failure shape: %v", caught)
+	}
+	t.Logf("caught at seed %d: %v", caughtSeed, caught)
+
+	shrunk, fail := Shrink(caught.Scenario, check, 0)
+	if shrunk == nil {
+		t.Fatal("shrinker lost the failure")
+	}
+	t.Logf("shrunk to shape %v (%d cells), %d ops: %v", shrunk.Shape, shrunk.Cells(), len(shrunk.Ops), fail)
+	if shrunk.Cells() > 3 {
+		t.Fatalf("shrunk counterexample has %d cells, want <= 3 (shape %v)", shrunk.Cells(), shrunk.Shape)
+	}
+	if len(shrunk.Ops) > 2 {
+		t.Fatalf("shrunk counterexample has %d ops, want <= 2", len(shrunk.Ops))
+	}
+	if check(shrunk) == nil {
+		t.Fatal("shrunk scenario no longer reproduces the failure")
+	}
+
+	// The counterexample must survive the golden round trip and still
+	// reproduce, and must pass on the real (unbroken) engines — that pair
+	// of properties is what makes adoption as a regression test sound.
+	golden := filepath.Join(t.TempDir(), "offbyone.json")
+	if err := WriteGolden(golden, fail); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGolden(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check(loaded.Scenario) == nil {
+		t.Fatal("golden round trip lost the failure")
+	}
+	env := Env{TempDir: func() (string, error) { return t.TempDir(), nil }}
+	if realFail, err := Run(loaded.Scenario, Options{Env: env}); err != nil || realFail != nil {
+		t.Fatalf("shrunk scenario should pass on real engines: fail=%v err=%v", realFail, err)
+	}
+
+	src := fail.GoTest("InjectedOffByOne")
+	if testing.Verbose() {
+		t.Logf("generated regression test:\n%s", src)
+	}
+	if len(src) == 0 {
+		t.Fatal("empty generated test")
+	}
+}
+
+// TestShrinkKeepsScenarioValid runs the shrinker against a failure that
+// depends on an update and a checkpoint surviving, making sure shrinking
+// never produces an invalid scenario and respects its budget.
+func TestShrinkKeepsScenarioValid(t *testing.T) {
+	// A fault that only fires after at least one update: catches shrinkers
+	// that throw away load-bearing ops.
+	opts := Options{
+		Sum: []SumFactory{{Name: "late-fault", New: newLateFaultEngine}},
+		Max: []MaxFactory{}, SkipMetamorphic: true,
+	}
+	check := func(sc *Scenario) *Failure {
+		fail, err := Run(sc, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fail
+	}
+	var caught *Failure
+	for seed := int64(1); seed <= 80; seed++ {
+		if f := check(GenScenario(seed)); f != nil {
+			caught = f
+			break
+		}
+	}
+	if caught == nil {
+		t.Fatal("late fault never fired")
+	}
+	shrunk, fail := Shrink(caught.Scenario, check, 1500)
+	if shrunk == nil || fail == nil {
+		t.Fatal("shrinker lost the failure")
+	}
+	if err := shrunk.Validate(); err != nil {
+		t.Fatalf("shrinker produced an invalid scenario: %v", err)
+	}
+	// The fault needs an update followed by a query, so both must survive.
+	hasUpdate := false
+	for _, op := range shrunk.Ops {
+		if op.Kind == OpUpdate {
+			hasUpdate = true
+		}
+	}
+	if !hasUpdate {
+		t.Fatalf("shrinker dropped the load-bearing update: %+v", shrunk.Ops)
+	}
+}
+
+// lateFault answers correctly until its first Apply, then overcounts
+// non-empty sums by one. Run rebuilds engines per call, so the armed state
+// resets with each check.
+type lateFault struct {
+	ps    *prefixsum.IntArray
+	armed bool
+}
+
+func newLateFaultEngine(_ Env, a *ndarray.Array[int64]) (SumEngine, error) {
+	return &lateFault{ps: prefixsum.BuildInt(a)}, nil
+}
+
+func (e *lateFault) Name() string { return "late-fault" }
+
+func (e *lateFault) Sum(r ndarray.Region) (int64, error) {
+	v := e.ps.Sum(r, nil)
+	if e.armed && !r.Empty() {
+		v++
+	}
+	return v, nil
+}
+
+func (e *lateFault) Apply(b []batchsum.IntUpdate) error {
+	batchsum.ApplyInt(e.ps, b, nil)
+	e.armed = true
+	return nil
+}
+
+func TestWriteGoldenCreatesDirectories(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "deep", "case.json")
+	f := &Failure{Scenario: &Scenario{Shape: []int{1}, Data: []int64{7}}}
+	if err := WriteGolden(path, f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}

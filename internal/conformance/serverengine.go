@@ -1,0 +1,145 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+
+	"rangecube/internal/core/batchsum"
+	"rangecube/internal/cube"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/server"
+)
+
+// serverEngine drives the full serving stack over HTTP: cube model, WAL,
+// checksummed snapshots, and the query handlers. Checkpoint is a simulated
+// crash: the server is closed and a fresh one is recovered from the
+// snapshot + WAL in the same directory, so differential agreement after a
+// checkpoint certifies the §5 durability path end to end.
+type serverEngine struct {
+	dir  string
+	opts server.Options
+	dims []*cube.Dimension
+	init []int64
+
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+// newServerEngine builds the engine in dir (which must exist and be
+// private to it). CompactEvery is deliberately tiny so scenarios cross
+// snapshot-truncate boundaries, not just WAL appends.
+func newServerEngine(a *ndarray.Array[int64], dir string) (SumEngine, error) {
+	e := &serverEngine{
+		dir:  dir,
+		init: append([]int64(nil), a.Data()...),
+	}
+	for j, n := range a.Shape() {
+		e.dims = append(e.dims, cube.NewIntDimension(fmt.Sprintf("d%d", j), 0, n-1))
+	}
+	e.opts = server.Options{
+		BlockSize:    2,
+		Fanout:       2,
+		WALPath:      filepath.Join(dir, "updates.wal"),
+		SnapshotPath: filepath.Join(dir, "cube.snap"),
+		CompactEvery: 3,
+		Logf:         func(string, ...any) {},
+	}
+	if err := e.start(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// start boots (or recovers) the server from the directory. The in-memory
+// seed data is loaded first; recovery replays the snapshot and WAL on top,
+// which on a fresh directory is a no-op and after Checkpoint restores all
+// applied batches.
+func (e *serverEngine) start() error {
+	c := cube.New(e.dims...)
+	copy(c.Data().Data(), e.init)
+	srv, err := server.NewWithOptions(c, e.opts)
+	if err != nil {
+		return fmt.Errorf("server engine: start: %w", err)
+	}
+	e.srv = srv
+	e.ts = httptest.NewServer(srv.Handler())
+	return nil
+}
+
+func (e *serverEngine) Name() string { return "server" }
+
+func (e *serverEngine) Sum(r ndarray.Region) (int64, error) {
+	if r.Empty() {
+		// The selector syntax has no empty interval; an empty region is a
+		// degenerate client-side case with a fixed answer.
+		return 0, nil
+	}
+	q := url.Values{"op": {"sum"}}
+	for j, rng := range r {
+		q.Set(fmt.Sprintf("d%d", j), fmt.Sprintf("%d..%d", rng.Lo, rng.Hi))
+	}
+	resp, err := e.ts.Client().Get(e.ts.URL + "/query?" + q.Encode())
+	if err != nil {
+		return 0, fmt.Errorf("server engine: query: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("server engine: query status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Value int64 `json:"value"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return 0, fmt.Errorf("server engine: decoding query response: %w", err)
+	}
+	return out.Value, nil
+}
+
+func (e *serverEngine) Apply(batch []batchsum.IntUpdate) error {
+	type ju struct {
+		Coords []int `json:"coords"`
+		Delta  int64 `json:"delta"`
+	}
+	req := struct {
+		Updates []ju `json:"updates"`
+	}{Updates: make([]ju, len(batch))}
+	for i, u := range batch {
+		req.Updates[i] = ju{Coords: u.Coords, Delta: u.Delta}
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := e.ts.Client().Post(e.ts.URL+"/update", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("server engine: update: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server engine: update status %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}
+
+// Checkpoint simulates crash + recovery: the HTTP server and WAL handles
+// are torn down and a new server is recovered from the on-disk state.
+func (e *serverEngine) Checkpoint() error {
+	e.ts.Close()
+	if err := e.srv.Close(); err != nil {
+		return fmt.Errorf("server engine: close before recovery: %w", err)
+	}
+	return e.start()
+}
+
+func (e *serverEngine) Close() error {
+	e.ts.Close()
+	return e.srv.Close()
+}

@@ -1,0 +1,219 @@
+package conformance
+
+import "rangecube/internal/ndarray"
+
+// Shrink greedily minimizes a failing scenario: it repeatedly tries
+// structure-removing transformations (drop operations, shrink dimensions,
+// zero and simplify values, narrow query regions) and keeps any candidate
+// on which check still reports a failure — not necessarily the original
+// failure; any violation keeps the reproducer interesting. It stops at a
+// fixpoint or after maxChecks candidate runs (<= 0 means 4000) and returns
+// the minimal scenario with its failure.
+//
+// check must be deterministic and side-effect free across calls (Run
+// builds fresh engines per call, so the default runner qualifies). Passing
+// a check restricted to the originally failing engine makes shrinking both
+// much faster and more faithful.
+func Shrink(sc *Scenario, check func(*Scenario) *Failure, maxChecks int) (*Scenario, *Failure) {
+	if maxChecks <= 0 {
+		maxChecks = 4000
+	}
+	cur := sc.Clone()
+	curFail := check(cur)
+	if curFail == nil {
+		return nil, nil
+	}
+	budget := maxChecks
+	try := func(cand *Scenario) bool {
+		if budget <= 0 || cand.Validate() != nil {
+			return false
+		}
+		budget--
+		if f := check(cand); f != nil {
+			cur, curFail = cand, f
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed && budget > 0; {
+		changed = false
+
+		// 1. Drop chunks of operations, largest first.
+		for size := len(cur.Ops); size >= 1; size /= 2 {
+			for lo := 0; lo+size <= len(cur.Ops); lo++ {
+				cand := cur.Clone()
+				cand.Ops = append(cand.Ops[:lo], cand.Ops[lo+size:]...)
+				if try(cand) {
+					changed = true
+					lo-- // the window now holds fresh ops; retry in place
+				}
+			}
+		}
+
+		// 2. Drop individual assigns inside update ops.
+		for i := 0; i < len(cur.Ops); i++ {
+			for k := 0; k < len(cur.Ops[i].Assigns); k++ {
+				cand := cur.Clone()
+				cand.Ops[i].Assigns = append(cand.Ops[i].Assigns[:k], cand.Ops[i].Assigns[k+1:]...)
+				if len(cand.Ops[i].Assigns) == 0 {
+					cand.Ops = append(cand.Ops[:i], cand.Ops[i+1:]...)
+				}
+				if try(cand) {
+					changed = true
+					k--
+				}
+			}
+		}
+
+		// 3. Shrink each dimension: keep a window [lo, lo+m) and translate
+		// everything into it. Back-cuts (lo = 0) shrink toward the origin;
+		// front-cuts slide high-index witnesses down so a failure living
+		// at the far boundary can keep shrinking.
+		for j := 0; j < len(cur.Shape); j++ {
+			windows := func(n int) [][2]int {
+				return [][2]int{
+					{0, 1}, {0, n / 2}, {0, n - 1}, // back-cuts
+					{n - 1, 1}, {n - 2, 2}, {n / 2, n - n/2}, {1, n - 1}, // front-cuts
+				}
+			}
+			for k := 0; k < len(windows(2)); k++ {
+				// cur (and hence the extent) changes whenever a candidate
+				// is accepted, so windows are derived from the live shape.
+				n := cur.Shape[j]
+				w := windows(n)[k]
+				lo, m := w[0], w[1]
+				if m < 1 || m >= n || lo < 0 || lo+m > n {
+					continue
+				}
+				if try(shrinkDim(cur, j, lo, m)) {
+					changed = true
+				}
+			}
+		}
+
+		// 4. Simplify data: zero cells, then pull magnitudes toward ±1.
+		for i := 0; i < len(cur.Data); i++ {
+			v := cur.Data[i]
+			if v == 0 {
+				continue
+			}
+			for _, nv := range []int64{0, sign(v), v / 2} {
+				if nv == v {
+					continue
+				}
+				cand := cur.Clone()
+				cand.Data[i] = nv
+				if try(cand) {
+					changed = true
+					break
+				}
+			}
+		}
+
+		// 5. Simplify assign values the same way.
+		for i := range cur.Ops {
+			for k := range cur.Ops[i].Assigns {
+				v := cur.Ops[i].Assigns[k].Value
+				if v == 0 {
+					continue
+				}
+				for _, nv := range []int64{0, sign(v), v / 2} {
+					if nv == v {
+						continue
+					}
+					cand := cur.Clone()
+					cand.Ops[i].Assigns[k].Value = nv
+					if try(cand) {
+						changed = true
+						break
+					}
+				}
+			}
+		}
+
+		// 6. Narrow query regions: collapse to the low or high edge, then
+		// trim one index at a time.
+		for i := range cur.Ops {
+			op := cur.Ops[i]
+			if op.Kind != OpSum && op.Kind != OpMax {
+				continue
+			}
+			for j := range op.Region {
+				lo, hi := op.Region[j][0], op.Region[j][1]
+				if lo >= hi {
+					continue
+				}
+				for _, np := range [][2]int{{lo, lo}, {hi, hi}, {lo + 1, hi}, {lo, hi - 1}} {
+					cand := cur.Clone()
+					cand.Ops[i].Region[j] = np
+					if try(cand) {
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+	return cur, curFail
+}
+
+// shrinkDim restricts dimension j to the index window [lo, lo+m): data
+// outside is sliced away and the window translates to [0, m). Query ranges
+// are clamped into the window (a query entirely outside drops its op),
+// assigns outside are dropped (as is an update op left with no assigns).
+func shrinkDim(sc *Scenario, j, lo, m int) *Scenario {
+	old := ndarray.FromSlice(append([]int64(nil), sc.Data...), sc.Shape...)
+	shape := append([]int(nil), sc.Shape...)
+	shape[j] = m
+	next := ndarray.New[int64](shape...)
+	coords := make([]int, len(shape))
+	src := make([]int, len(shape))
+	for {
+		copy(src, coords)
+		src[j] += lo
+		next.Set(old.At(src...), coords...)
+		if ndarray.Incr(coords, shape) {
+			break
+		}
+	}
+	cand := &Scenario{Label: sc.Label, Shape: shape, Data: next.Data()}
+	for _, op := range sc.Ops {
+		switch op.Kind {
+		case OpSum, OpMax:
+			rc := append(Rect(nil), op.Region...)
+			nlo := max(rc[j][0]-lo, 0)
+			nhi := min(rc[j][1]-lo, m-1)
+			if nlo > m-1 {
+				continue // the query lived entirely in the cut slab
+			}
+			if nhi < nlo {
+				nhi = nlo - 1 // normalize an emptied range
+			}
+			rc[j] = [2]int{nlo, nhi}
+			cand.Ops = append(cand.Ops, Op{Kind: op.Kind, Region: rc})
+		case OpUpdate:
+			var keep []Assign
+			for _, a := range op.Assigns {
+				if a.Coords[j] >= lo && a.Coords[j] < lo+m {
+					c := append([]int(nil), a.Coords...)
+					c[j] -= lo
+					keep = append(keep, Assign{Coords: c, Value: a.Value})
+				}
+			}
+			if len(keep) > 0 {
+				cand.Ops = append(cand.Ops, Op{Kind: OpUpdate, Assigns: keep})
+			}
+		case OpCheckpoint:
+			cand.Ops = append(cand.Ops, Op{Kind: OpCheckpoint})
+		}
+	}
+	return cand
+}
+
+func sign(v int64) int64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,127 @@
+package conformance
+
+import (
+	"math/rand"
+
+	"rangecube/internal/ndarray"
+)
+
+// Value distributions the generator cycles through. Each stresses a
+// different failure class: allzero catches identity/empty-region bugs,
+// negative catches unsigned-thinking and max/min asymmetries, bignum sits
+// next to int64 overflow so any engine that deviates from two's-complement
+// prefix arithmetic (e.g. by reordering into a float, or by saturating)
+// diverges, sparseish produces ~20% occupancy (the [Col96] density §10
+// cites) so the sparse cube sees realistic region structure.
+var distributions = []string{"uniform", "allzero", "negative", "bignum", "sparseish", "permutation"}
+
+// GenScenario derives a complete scenario from one seed: geometry, data
+// distribution, and an interleaved op sequence. Equal seeds yield equal
+// scenarios; the stream is independent of map iteration and time.
+func GenScenario(seed int64) *Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	d := 1 + rng.Intn(4)
+	shape := make([]int, d)
+	cells := 1
+	for j := range shape {
+		// Extent 1 dimensions are legal and historically bug-prone.
+		shape[j] = 1 + rng.Intn(9)
+		cells *= shape[j]
+	}
+	label := distributions[rng.Intn(len(distributions))]
+	sc := &Scenario{
+		Seed:  seed,
+		Label: label,
+		Shape: shape,
+		Data:  make([]int64, cells),
+	}
+	for i := range sc.Data {
+		sc.Data[i] = genValue(rng, label)
+	}
+
+	nops := 8 + rng.Intn(16)
+	for len(sc.Ops) < nops {
+		switch k := rng.Intn(100); {
+		case k < 45:
+			sc.Ops = append(sc.Ops, Op{Kind: OpSum, Region: genRect(rng, shape)})
+		case k < 65:
+			sc.Ops = append(sc.Ops, Op{Kind: OpMax, Region: genRect(rng, shape)})
+		case k < 92:
+			nu := 1 + rng.Intn(6)
+			op := Op{Kind: OpUpdate}
+			for i := 0; i < nu; i++ {
+				coords := make([]int, d)
+				for j := range coords {
+					coords[j] = rng.Intn(shape[j])
+				}
+				op.Assigns = append(op.Assigns, Assign{Coords: coords, Value: genValue(rng, label)})
+			}
+			sc.Ops = append(sc.Ops, op)
+		default:
+			sc.Ops = append(sc.Ops, Op{Kind: OpCheckpoint})
+		}
+	}
+	return sc
+}
+
+// genValue draws one cell value under the scenario's distribution.
+func genValue(rng *rand.Rand, label string) int64 {
+	switch label {
+	case "allzero":
+		return 0
+	case "negative":
+		return -rng.Int63n(1000)
+	case "bignum":
+		// Alternate huge positives and negatives so running prefix sums
+		// repeatedly cross the int64 boundary in both directions.
+		v := int64(1)<<61 + rng.Int63n(1<<60)
+		if rng.Intn(2) == 0 {
+			return -v
+		}
+		return v
+	case "sparseish":
+		if rng.Intn(5) != 0 {
+			return 0
+		}
+		return 1 + rng.Int63n(99)
+	case "permutation":
+		return rng.Int63n(256)
+	default: // uniform
+		return rng.Int63n(401) - 200
+	}
+}
+
+// genRect draws a query region: usually a uniform non-empty box, sometimes
+// a single cell, occasionally deliberately empty in one dimension (every
+// engine must answer 0 / not-found on those).
+func genRect(rng *rand.Rand, shape []int) Rect {
+	rc := make(Rect, len(shape))
+	for j, n := range shape {
+		lo := rng.Intn(n)
+		rc[j] = [2]int{lo, lo + rng.Intn(n-lo)}
+	}
+	switch rng.Intn(10) {
+	case 0: // single cell
+		for j := range rc {
+			rc[j][1] = rc[j][0]
+		}
+	case 1: // empty in one dimension
+		j := rng.Intn(len(rc))
+		if rc[j][0] > 0 {
+			rc[j][1] = rc[j][0] - 1
+		}
+	case 2: // full cube
+		for j, n := range shape {
+			rc[j] = [2]int{0, n - 1}
+		}
+	}
+	return rc
+}
+
+// probeRegion derives a deterministic secondary region from an op index,
+// used by the commutativity check so the probe is independent of the
+// regions the scenario itself queries.
+func probeRegion(sc *Scenario, opIndex int) ndarray.Region {
+	rng := rand.New(rand.NewSource(sc.Seed*1_000_003 + int64(opIndex)))
+	return genRect(rng, sc.Shape).Region()
+}

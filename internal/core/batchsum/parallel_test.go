@@ -1,6 +1,7 @@
 package batchsum
 
 import (
+	"flag"
 	"testing"
 
 	"rangecube/internal/algebra"
@@ -11,13 +12,17 @@ import (
 	"rangecube/internal/workload"
 )
 
+// seedFlag makes the randomized equivalence tests reproducible: the fixed
+// default pins the historical workload, and failures log the seed.
+var seedFlag = flag.Int64("seed", 13, "base seed for randomized parallel-equivalence tests")
+
 // TestApplyParallelMatchesSequential proves the sharded region-application
 // loop produces bit-identical prefix arrays and identical counter totals to
 // a single-worker run, for batches large and small.
 func TestApplyParallelMatchesSequential(t *testing.T) {
 	prev := parallel.SetMaxWorkers(8)
 	t.Cleanup(func() { parallel.SetMaxWorkers(prev) })
-	g := workload.New(13)
+	g := workload.SeededGen(t, *seedFlag, 0)
 	for _, k := range []int{1, 4, 33} {
 		a := g.UniformCube([]int{97, 101}, 1000)
 		raw := g.Updates(a.Shape(), k, 100)

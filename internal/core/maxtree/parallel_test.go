@@ -1,12 +1,17 @@
 package maxtree
 
 import (
+	"flag"
 	"testing"
 
 	"rangecube/internal/ndarray"
 	"rangecube/internal/parallel"
 	"rangecube/internal/workload"
 )
+
+// seedFlag makes the randomized equivalence tests reproducible: the fixed
+// default pins the historical workload, and failures log the seed.
+var seedFlag = flag.Int64("seed", 23, "base seed for randomized parallel-equivalence tests")
 
 // TestParallelBuildMatchesSequential proves the slab-parallel level build
 // answers every query identically to the single-worker build — including
@@ -15,7 +20,7 @@ import (
 func TestParallelBuildMatchesSequential(t *testing.T) {
 	prev := parallel.SetMaxWorkers(8)
 	t.Cleanup(func() { parallel.SetMaxWorkers(prev) })
-	g := workload.New(23)
+	g := workload.SeededGen(t, *seedFlag, 0)
 	cubes := map[string]*ndarray.Array[int64]{
 		"permutation": g.PermutationCube(4096),
 		"uniform2d":   g.UniformCube([]int{130, 126}, 50), // many ties
@@ -49,7 +54,7 @@ func TestParallelBuildMatchesSequential(t *testing.T) {
 func TestParallelBuildMin(t *testing.T) {
 	prev := parallel.SetMaxWorkers(8)
 	t.Cleanup(func() { parallel.SetMaxWorkers(prev) })
-	g := workload.New(29)
+	g := workload.SeededGen(t, *seedFlag, 6)
 	a := g.UniformCube([]int{127, 65}, 1000)
 	want := func() *Tree[int64] {
 		p := parallel.SetMaxWorkers(1)

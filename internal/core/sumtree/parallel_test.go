@@ -1,11 +1,16 @@
 package sumtree
 
 import (
+	"flag"
 	"testing"
 
 	"rangecube/internal/parallel"
 	"rangecube/internal/workload"
 )
+
+// seedFlag makes the randomized equivalence tests reproducible: the fixed
+// default pins the historical workload, and failures log the seed.
+var seedFlag = flag.Int64("seed", 31, "base seed for randomized parallel-equivalence tests")
 
 // TestParallelBuildMatchesSequential proves the slab-parallel level build
 // produces node sums identical to the single-worker build at every level
@@ -13,7 +18,7 @@ import (
 func TestParallelBuildMatchesSequential(t *testing.T) {
 	prev := parallel.SetMaxWorkers(8)
 	t.Cleanup(func() { parallel.SetMaxWorkers(prev) })
-	g := workload.New(31)
+	g := workload.SeededGen(t, *seedFlag, 0)
 	for _, shape := range [][]int{{513}, {129, 131}, {17, 19, 23}} {
 		a := g.UniformCube(shape, 1000)
 		want := func() *IntTree {

@@ -114,6 +114,9 @@ func (t *Tree[T, G]) contract(prev *ndarray.Array[T]) *ndarray.Array[T] {
 // Cube returns the underlying data cube.
 func (t *Tree[T, G]) Cube() *ndarray.Array[T] { return t.a }
 
+// Fanout returns the per-dimension branching factor b.
+func (t *Tree[T, G]) Fanout() int { return t.b }
+
 // Height returns the number of non-leaf levels.
 func (t *Tree[T, G]) Height() int { return len(t.levels) }
 

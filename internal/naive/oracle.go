@@ -1,0 +1,70 @@
+package naive
+
+import (
+	"fmt"
+
+	"rangecube/internal/ndarray"
+)
+
+// Oracle is the mutable ground truth of the conformance harness: a plain
+// dense cube answered by full scans. Every precomputed engine in this
+// repository claims to compute exactly what the Oracle computes (Theorem 1
+// for prefix sums, Theorem 2 for batch updates, §6 for range-max), just
+// with fewer accesses; differential testing holds them to it.
+//
+// The Oracle owns its array — construction copies the seed data, and all
+// mutation goes through Assign/Add so callers cannot diverge from it by
+// aliasing.
+type Oracle struct {
+	a *ndarray.Array[int64]
+}
+
+// NewOracle builds an oracle over a copy of the row-major data.
+func NewOracle(shape []int, data []int64) *Oracle {
+	a := ndarray.New[int64](shape...)
+	if len(data) != a.Size() {
+		panic(fmt.Sprintf("naive: oracle got %d cells for shape %v (want %d)", len(data), shape, a.Size()))
+	}
+	copy(a.Data(), data)
+	return &Oracle{a: a}
+}
+
+// Cube returns the oracle's array. Callers must treat it as read-only.
+func (o *Oracle) Cube() *ndarray.Array[int64] { return o.a }
+
+// Shape returns the cube extents.
+func (o *Oracle) Shape() []int { return o.a.Shape() }
+
+// Get reads one cell.
+func (o *Oracle) Get(coords []int) int64 { return o.a.At(coords...) }
+
+// Assign sets the cell to v and returns the delta v − old, the bridge
+// between the ⟨index, value⟩ update form of the max structures (§7) and
+// the additive-delta form of the sum structures (§5).
+func (o *Oracle) Assign(coords []int, v int64) (delta int64) {
+	off := o.a.Offset(coords...)
+	delta = v - o.a.Data()[off]
+	o.a.Data()[off] = v
+	return delta
+}
+
+// Add applies an additive delta to the cell.
+func (o *Oracle) Add(coords []int, delta int64) {
+	off := o.a.Offset(coords...)
+	o.a.Data()[off] += delta
+}
+
+// Sum scans the region.
+func (o *Oracle) Sum(r ndarray.Region) int64 { return SumInt64(o.a, r, nil) }
+
+// Max scans the region for its maximum value.
+func (o *Oracle) Max(r ndarray.Region) (int64, bool) {
+	_, v, ok := Max(o.a, r, nil)
+	return v, ok
+}
+
+// Min scans the region for its minimum value.
+func (o *Oracle) Min(r ndarray.Region) (int64, bool) {
+	_, v, ok := Min(o.a, r, nil)
+	return v, ok
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"rangecube/internal/cube"
+	"rangecube/internal/naive"
+	"rangecube/internal/ndarray"
+)
+
+// TestE2EConcurrentUpdatesRacingQueries hammers a durable server with
+// concurrent /update batches racing /query requests (the interesting case
+// under -race: queries hold the read lock while batches take the write
+// lock and the WAL fsyncs + compacts underneath). After the drain every
+// query structure must agree with an oracle fed the same deltas; then the
+// server is crashed and recovered from its snapshot + WAL and must agree
+// again.
+func TestE2EConcurrentUpdatesRacingQueries(t *testing.T) {
+	const (
+		updaters         = 4
+		batchesPer       = 24
+		queryWorkers     = 3
+		queriesPerWorker = 40
+	)
+	dims := func() []*cube.Dimension {
+		return []*cube.Dimension{
+			cube.NewIntDimension("x", 0, 11),
+			cube.NewIntDimension("y", 0, 9),
+		}
+	}
+	initial := make([]int64, 12*10)
+	seedRng := rand.New(rand.NewSource(101))
+	for i := range initial {
+		initial[i] = int64(seedRng.Intn(201) - 100)
+	}
+	newCube := func() *cube.Cube {
+		c := cube.New(dims()...)
+		copy(c.Data().Data(), initial)
+		return c
+	}
+
+	dir := t.TempDir()
+	opts := Options{
+		BlockSize:    3,
+		Fanout:       3,
+		WALPath:      filepath.Join(dir, "updates.wal"),
+		SnapshotPath: filepath.Join(dir, "cube.snap"),
+		CompactEvery: 5, // cross several snapshot-truncate boundaries mid-race
+		Logf:         func(string, ...any) {},
+	}
+	s, err := NewWithOptions(newCube(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	type ju struct {
+		Coords []int `json:"coords"`
+		Delta  int64 `json:"delta"`
+	}
+	post := func(updates []ju) (int, error) {
+		payload, err := json.Marshal(map[string]any{"updates": updates})
+		if err != nil {
+			return 0, err
+		}
+		resp, err := ts.Client().Post(ts.URL+"/update", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return 0, err
+		}
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// Updaters record every delta the server acknowledged; /update has no
+	// shedding, so every batch must be acknowledged.
+	applied := make([][]ju, updaters)
+	var wg sync.WaitGroup
+	for g := 0; g < updaters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for b := 0; b < batchesPer; b++ {
+				batch := make([]ju, rng.Intn(4)+1)
+				for i := range batch {
+					batch[i] = ju{
+						Coords: []int{rng.Intn(12), rng.Intn(10)},
+						Delta:  int64(rng.Intn(41) - 20),
+					}
+				}
+				code, err := post(batch)
+				if err != nil {
+					t.Errorf("updater %d: %v", g, err)
+					return
+				}
+				if code != http.StatusOK {
+					t.Errorf("updater %d batch %d: status %d, want 200", g, b, code)
+					return
+				}
+				applied[g] = append(applied[g], batch...)
+			}
+		}(g)
+	}
+	for q := 0; q < queryWorkers; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(2000 + q)))
+			ops := []string{"sum", "max", "min", "avg", "count"}
+			for i := 0; i < queriesPerWorker; i++ {
+				xlo, ylo := rng.Intn(12), rng.Intn(10)
+				xhi := xlo + rng.Intn(12-xlo)
+				yhi := ylo + rng.Intn(10-ylo)
+				path := fmt.Sprintf("/query?op=%s&x=%d..%d&y=%d..%d", ops[i%len(ops)], xlo, xhi, ylo, yhi)
+				var out queryResponse
+				if code := get(t, ts, path, &out); code != http.StatusOK {
+					t.Errorf("query worker %d: %s -> status %d", q, path, code)
+					return
+				}
+				// Mid-race values are racing the updaters; only the response
+				// shape is checkable here. Consistency is checked post-drain.
+				if out.Volume != (xhi-xlo+1)*(yhi-ylo+1) {
+					t.Errorf("query worker %d: %s -> volume %d", q, path, out.Volume)
+					return
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Oracle: initial cells plus every acknowledged delta, in any order
+	// (addition commutes, so interleaving does not matter).
+	oracle := ndarray.FromSlice(append([]int64(nil), initial...), 12, 10)
+	for _, batch := range applied {
+		for _, u := range batch {
+			off := oracle.Offset(u.Coords...)
+			oracle.Data()[off] += u.Delta
+		}
+	}
+
+	probes := []ndarray.Region{
+		ndarray.Reg(0, 11, 0, 9), // full cube
+		ndarray.Reg(0, 0, 0, 0),
+		ndarray.Reg(3, 8, 2, 7), // unaligned against BlockSize 3
+		ndarray.Reg(11, 11, 9, 9),
+		ndarray.Reg(2, 10, 5, 5),
+	}
+	checkAgainstOracle := func(stage string) {
+		t.Helper()
+		for _, r := range probes {
+			sel := fmt.Sprintf("x=%d..%d&y=%d..%d", r[0].Lo, r[0].Hi, r[1].Lo, r[1].Hi)
+			var out queryResponse
+			if code := get(t, ts, "/query?op=sum&"+sel, &out); code != http.StatusOK {
+				t.Fatalf("%s: sum %s -> status %d", stage, sel, code)
+			}
+			if want := naive.SumInt64(oracle, r, nil); out.Value != want {
+				t.Fatalf("%s: sum over %v = %d, oracle says %d", stage, r, out.Value, want)
+			}
+			if code := get(t, ts, "/query?op=max&"+sel, &out); code != http.StatusOK {
+				t.Fatalf("%s: max %s -> status %d", stage, sel, code)
+			}
+			if _, want, ok := naive.Max(oracle, r, nil); !ok || out.Value != want {
+				t.Fatalf("%s: max over %v = %d (empty=%v), oracle says %d", stage, r, out.Value, out.Empty, want)
+			}
+		}
+	}
+	checkAgainstOracle("after drain")
+
+	// Crash: drop the HTTP server and WAL handles, then recover a fresh
+	// server from the on-disk snapshot + WAL over the original seed cube.
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewWithOptions(newCube(), opts)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	ts = httptest.NewServer(s2.Handler())
+	defer ts.Close()
+	defer s2.Close()
+	checkAgainstOracle("after recovery")
+}

@@ -1,0 +1,25 @@
+package workload
+
+// TB is the subset of testing.TB the seeded-generator helper needs; keeping
+// it structural avoids importing testing into library code.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Failed() bool
+	Logf(format string, args ...any)
+}
+
+// SeededGen returns New(base+offset) for a randomized test and arranges for
+// the effective seed to be logged if the test fails, so every randomized
+// failure is reproducible: packages thread base from a -seed test flag with
+// a fixed default, and distinct tests in one package use distinct offsets.
+func SeededGen(t TB, base, offset int64) *Gen {
+	t.Helper()
+	seed := base + offset
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("workload seed %d (base %d + offset %d); rerun with -seed=%d", seed, base, offset, base)
+		}
+	})
+	return New(seed)
+}
