@@ -6,10 +6,11 @@
 //	cubebench -exp figure11 -quick  # skip the measured columns / shrink sizes
 //
 // Experiments: figure1, figure11, figure12, figure13, figure14, theorem3,
-// rangesum, rangemax, update, sparse, kernels.
+// rangesum, rangemax, update, sparse, kernels, queries.
 //
-// With -json, the kernels experiment additionally writes its timing record
-// to BENCH_kernels.json in the current directory.
+// With -json, the kernels and queries experiments additionally write their
+// timing records to BENCH_kernels.json / BENCH_queries.json in the current
+// directory.
 package main
 
 import (
@@ -21,8 +22,24 @@ import (
 	"rangecube/internal/harness"
 )
 
+// writeJSON persists one experiment's machine-readable record when -json is
+// set.
+func writeJSON(enabled bool, path string, rec any) {
+	if !enabled {
+		return
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cubebench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, figure1, figure11, figure12, figure13, figure14, paging, bounds, theorem3, rangesum, rangemax, update, sparse, kernels)")
+	exp := flag.String("exp", "all", "experiment id (all, figure1, figure11, figure12, figure13, figure14, paging, bounds, theorem3, rangesum, rangemax, update, sparse, kernels, queries)")
 	quick := flag.Bool("quick", false, "smaller sizes, skip measured Figure 11 columns")
 	jsonOut := flag.Bool("json", false, "write machine-readable results (kernels -> BENCH_kernels.json)")
 	flag.Parse()
@@ -52,16 +69,16 @@ func main() {
 		{"sparse", func() harness.Table { return harness.SparseExperiment(n / 2) }},
 		{"kernels", func() harness.Table {
 			tab, rec := harness.Kernels(n)
-			if *jsonOut {
-				data, err := json.MarshalIndent(rec, "", "  ")
-				if err == nil {
-					err = os.WriteFile("BENCH_kernels.json", append(data, '\n'), 0o644)
-				}
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "cubebench: writing BENCH_kernels.json: %v\n", err)
-					os.Exit(1)
-				}
+			writeJSON(*jsonOut, "BENCH_kernels.json", rec)
+			return tab
+		}},
+		{"queries", func() harness.Table {
+			nq := 2048
+			if *quick {
+				nq = 256
 			}
+			tab, rec := harness.Queries(n/2, nq)
+			writeJSON(*jsonOut, "BENCH_queries.json", rec)
 			return tab
 		}},
 	}

@@ -8,6 +8,7 @@
 //	curl 'localhost:8080/schema'
 //	curl 'localhost:8080/query?op=sum&age=37..52&year=1988..1996&type=auto'
 //	curl 'localhost:8080/query?op=max&state=CA..TX'
+//	curl -X POST localhost:8080/query/batch -d '[{"op":"sum","select":{"age":"37..52"}},{"op":"max"}]'
 //	curl -X POST localhost:8080/update -d '{"updates":[{"coords":[0,0,0,0],"delta":5}]}'
 //	curl 'localhost:8080/advise?space=100000'
 //
@@ -51,8 +52,10 @@ func run() error {
 	walPath := flag.String("wal", "", "write-ahead log path (durability off when empty)")
 	snapPath := flag.String("snapshot", "", "snapshot path for compaction and recovery")
 	compactEvery := flag.Int("compact-every", 64, "snapshot and truncate the WAL every N batches")
-	maxInflight := flag.Int("max-inflight", 64, "max concurrent queries before shedding with 429 (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrent requests (queries and updates) before shedding with 429 (0 = unlimited)")
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 = none)")
+	cacheSize := flag.Int("cache-size", 0, "result cache entries, flushed on every update batch (0 = caching off)")
+	sumEngine := flag.String("sum-engine", "prefixsum", "structure answering range sums: prefixsum or blocked")
 	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 	flag.Parse()
 	if *data == "" {
@@ -81,6 +84,8 @@ func run() error {
 		CompactEvery: *compactEvery,
 		MaxInflight:  *maxInflight,
 		QueryTimeout: *queryTimeout,
+		CacheSize:    *cacheSize,
+		SumEngine:    *sumEngine,
 	})
 	if err != nil {
 		return err

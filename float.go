@@ -2,6 +2,7 @@ package rangecube
 
 import (
 	"rangecube/internal/algebra"
+	"rangecube/internal/core/batchsum"
 	"rangecube/internal/core/blocked"
 	"rangecube/internal/core/maxtree"
 	"rangecube/internal/core/prefixsum"
@@ -44,6 +45,15 @@ func (s *FloatSumIndex) SumCounted(r Region, c *Counter) float64 { return s.ps.S
 // Cell reconstructs one cube cell (§3.4).
 func (s *FloatSumIndex) Cell(coords ...int) float64 { return s.ps.Cell(coords, nil) }
 
+// FloatUpdate is one queued delta update in the §5 (location, value-to-add)
+// form, for float measures.
+type FloatUpdate = batchsum.Update[float64]
+
+// Apply runs the §5 batch-update algorithm over the prefix sums.
+func (s *FloatSumIndex) Apply(updates []FloatUpdate) {
+	batchsum.Apply[float64, algebra.FloatSum](s.ps, updates, nil)
+}
+
 // FloatBlockedSumIndex is BlockedSumIndex for float64 measures (§4).
 type FloatBlockedSumIndex struct {
 	bl *blocked.Array[float64, algebra.FloatSum]
@@ -60,6 +70,12 @@ func (s *FloatBlockedSumIndex) Sum(r Region) float64 { return s.bl.Sum(r, nil) }
 // SumCounted is Sum with cost accounting.
 func (s *FloatBlockedSumIndex) SumCounted(r Region, c *Counter) float64 { return s.bl.Sum(r, c) }
 
+// Apply runs the §5.2 two-phase batch update: the deltas are applied to the
+// retained cube cells and, block-contracted, to the packed prefix sums.
+func (s *FloatBlockedSumIndex) Apply(updates []FloatUpdate) {
+	batchsum.ApplyBlocked[float64, algebra.FloatSum](s.bl, updates, nil)
+}
+
 // FloatMaxResult reports a float range-max (or min) answer.
 type FloatMaxResult struct {
 	Coords []int
@@ -67,25 +83,57 @@ type FloatMaxResult struct {
 	OK     bool
 }
 
+// FloatAssign sets one cell to an absolute value, the §7 ⟨index, value⟩
+// update form the max/min trees repair themselves from.
+type FloatAssign = maxtree.PointUpdate[float64]
+
 // FloatMaxIndex is MaxIndex for float64 measures (§6).
 type FloatMaxIndex struct {
 	tr *maxtree.Tree[float64]
 }
 
-// NewFloatMaxIndex and NewFloatMinIndex build float max/min trees.
+// NewFloatMaxIndex builds a float range-max tree with fanout b.
 func NewFloatMaxIndex(a *FloatArray, b int) *FloatMaxIndex {
 	return &FloatMaxIndex{tr: maxtree.Build(a, b)}
 }
 
-func NewFloatMinIndex(a *FloatArray, b int) *FloatMaxIndex {
-	return &FloatMaxIndex{tr: maxtree.BuildMin(a, b)}
-}
-
-// Max returns the position and value of an extreme cell in the region.
+// Max returns the position and value of a maximum cell in the region.
 func (m *FloatMaxIndex) Max(r Region) FloatMaxResult {
 	off, v, ok := m.tr.MaxIndex(r, nil)
 	if !ok {
 		return FloatMaxResult{}
 	}
 	return FloatMaxResult{Coords: m.tr.Cube().Coords(off, nil), Value: v, OK: true}
+}
+
+// Assign applies a batch of absolute-value cell assignments through the §7
+// protocol: the cube cells are written and the tree nodes repaired.
+func (m *FloatMaxIndex) Assign(assigns []FloatAssign) {
+	m.tr.BatchUpdate(assigns, nil)
+}
+
+// FloatMinIndex is the range-MIN twin of FloatMaxIndex: the same tree with
+// an inverted comparison (§6 notes MIN is the mirror image).
+type FloatMinIndex struct {
+	tr *maxtree.Tree[float64]
+}
+
+// NewFloatMinIndex builds a float range-min tree with fanout b.
+func NewFloatMinIndex(a *FloatArray, b int) *FloatMinIndex {
+	return &FloatMinIndex{tr: maxtree.BuildMin(a, b)}
+}
+
+// Min returns the position and value of a minimum cell in the region.
+func (m *FloatMinIndex) Min(r Region) FloatMaxResult {
+	off, v, ok := m.tr.MaxIndex(r, nil)
+	if !ok {
+		return FloatMaxResult{}
+	}
+	return FloatMaxResult{Coords: m.tr.Cube().Coords(off, nil), Value: v, OK: true}
+}
+
+// Assign applies a batch of absolute-value cell assignments through the §7
+// protocol.
+func (m *FloatMinIndex) Assign(assigns []FloatAssign) {
+	m.tr.BatchUpdate(assigns, nil)
 }

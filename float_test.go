@@ -43,11 +43,66 @@ func TestFloatMaxMinIndex(t *testing.T) {
 		t.Fatalf("float Max = %+v", res)
 	}
 	mn := NewFloatMinIndex(a, 2)
-	res = mn.Max(Reg(0, 1, 0, 2))
+	res = mn.Min(Reg(0, 1, 0, 2))
 	if !res.OK || res.Value != -2.25 {
 		t.Fatalf("float Min = %+v", res)
 	}
 	if got := mx.Max(Reg(1, 0, 0, 2)); got.OK {
 		t.Fatal("empty region reported OK")
+	}
+}
+
+func TestFloatUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	base := make([]float64, 12*10)
+	for i := range base {
+		base[i] = rng.Float64()*20 - 10
+	}
+	s := NewFloatSumIndex(FloatFromSlice(append([]float64(nil), base...), 12, 10))
+	bl := NewFloatBlockedSumIndex(FloatFromSlice(append([]float64(nil), base...), 12, 10), 3)
+	mx := NewFloatMaxIndex(FloatFromSlice(append([]float64(nil), base...), 12, 10), 2)
+	mn := NewFloatMinIndex(FloatFromSlice(append([]float64(nil), base...), 12, 10), 2)
+
+	ref := FloatFromSlice(append([]float64(nil), base...), 12, 10)
+	for batch := 0; batch < 8; batch++ {
+		var ups []FloatUpdate
+		var asg []FloatAssign
+		for k := 0; k < rng.Intn(4)+1; k++ {
+			coords := []int{rng.Intn(12), rng.Intn(10)}
+			v := rng.Float64()*40 - 20
+			d := v - ref.At(coords...)
+			ref.Set(v, coords...)
+			ups = append(ups, FloatUpdate{Coords: coords, Delta: d})
+			asg = append(asg, FloatAssign{Coords: coords, Value: v})
+		}
+		s.Apply(ups)
+		bl.Apply(ups)
+		mx.Assign(asg)
+		mn.Assign(asg)
+
+		lo0, lo1 := rng.Intn(12), rng.Intn(10)
+		r := Reg(lo0, lo0+rng.Intn(12-lo0), lo1, lo1+rng.Intn(10-lo1))
+		var want float64
+		wantMax, wantMin := math.Inf(-1), math.Inf(1)
+		r.ForEach(func(c []int) {
+			v := ref.At(c...)
+			want += v
+			wantMax = math.Max(wantMax, v)
+			wantMin = math.Min(wantMin, v)
+		})
+		tol := 1e-9 * float64(ref.Size()) * 20
+		if got := s.Sum(r); math.Abs(got-want) > tol {
+			t.Fatalf("batch %d: float Sum(%v) = %g, want %g", batch, r, got, want)
+		}
+		if got := bl.Sum(r); math.Abs(got-want) > tol {
+			t.Fatalf("batch %d: float blocked Sum(%v) = %g, want %g", batch, r, got, want)
+		}
+		// Extremes are exact: the tree stores cell values, not sums.
+		if got := mx.Max(r); !got.OK || got.Value != wantMax {
+			t.Fatalf("batch %d: float Max(%v) = %+v, want %g", batch, r, got, wantMax)
+		}
+		if got := mn.Min(r); !got.OK || got.Value != wantMin {
+			t.Fatalf("batch %d: float Min(%v) = %+v, want %g", batch, r, got, wantMin)
+		}
 	}
 }

@@ -1,0 +1,263 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+
+	"rangecube"
+	"rangecube/internal/ndarray"
+)
+
+// Float conformance: the float64 instantiations of the public API (§1 notes
+// the structures are generic over any invertible operator) run the same
+// scenarios as the int64 engines, against a float64 reference scan.
+// Differential agreement is tolerance-aware for SUM — prefix sums
+// re-associate additions, so answers are exact only up to float64 rounding —
+// and exact for MAX/MIN, whose trees store cell values, never sums.
+
+// FloatScale maps a scenario's int64 values into float64 measure space.
+// A non-integral scale makes the data genuinely fractional instead of
+// floats that happen to hold integers.
+const FloatScale = 0.1
+
+// FloatSumEngine is one registered float64 range-sum implementation.
+type FloatSumEngine interface {
+	Name() string
+	Sum(r ndarray.Region) (float64, error)
+	Apply(batch []rangecube.FloatUpdate) error
+}
+
+// FloatMaxEngine is one registered float64 range-extreme implementation.
+type FloatMaxEngine interface {
+	Name() string
+	IsMin() bool
+	Extreme(r ndarray.Region) (float64, bool, error)
+	Assign(batch []rangecube.FloatAssign) error
+}
+
+// FloatSumFactory builds one float sum engine over a private copy of the
+// (already scaled) seed cube.
+type FloatSumFactory struct {
+	Name string
+	New  func(a *rangecube.FloatArray) FloatSumEngine
+}
+
+// FloatMaxFactory builds one float max/min engine.
+type FloatMaxFactory struct {
+	Name string
+	New  func(a *rangecube.FloatArray) FloatMaxEngine
+}
+
+// DefaultFloatSumEngines returns the float sum registry: the §3 prefix sum
+// and the §4 blocked structure at two block sizes, all through the public
+// float API.
+func DefaultFloatSumEngines() []FloatSumFactory {
+	return []FloatSumFactory{
+		{Name: "float/prefixsum", New: func(a *rangecube.FloatArray) FloatSumEngine {
+			return &floatPrefixEngine{s: rangecube.NewFloatSumIndex(a)}
+		}},
+		{Name: "float/blocked/b=2", New: func(a *rangecube.FloatArray) FloatSumEngine {
+			return &floatBlockedEngine{name: "float/blocked/b=2", s: rangecube.NewFloatBlockedSumIndex(a, 2)}
+		}},
+		{Name: "float/blocked/b=5", New: func(a *rangecube.FloatArray) FloatSumEngine {
+			return &floatBlockedEngine{name: "float/blocked/b=5", s: rangecube.NewFloatBlockedSumIndex(a, 5)}
+		}},
+	}
+}
+
+// DefaultFloatMaxEngines returns the float extreme registry: the §6 max
+// tree and its MIN twin (the NewFloatMinIndex constructor regression —
+// returning a max tree — is exactly what this pairing catches).
+func DefaultFloatMaxEngines() []FloatMaxFactory {
+	return []FloatMaxFactory{
+		{Name: "float/maxtree/b=2", New: func(a *rangecube.FloatArray) FloatMaxEngine {
+			return &floatMaxEngine{s: rangecube.NewFloatMaxIndex(a, 2)}
+		}},
+		{Name: "float/mintree/b=2", New: func(a *rangecube.FloatArray) FloatMaxEngine {
+			return &floatMinEngine{s: rangecube.NewFloatMinIndex(a, 2)}
+		}},
+	}
+}
+
+type floatPrefixEngine struct{ s *rangecube.FloatSumIndex }
+
+func (e *floatPrefixEngine) Name() string                          { return "float/prefixsum" }
+func (e *floatPrefixEngine) Sum(r ndarray.Region) (float64, error) { return e.s.Sum(r), nil }
+func (e *floatPrefixEngine) Apply(b []rangecube.FloatUpdate) error { e.s.Apply(b); return nil }
+
+type floatBlockedEngine struct {
+	name string
+	s    *rangecube.FloatBlockedSumIndex
+}
+
+func (e *floatBlockedEngine) Name() string                          { return e.name }
+func (e *floatBlockedEngine) Sum(r ndarray.Region) (float64, error) { return e.s.Sum(r), nil }
+func (e *floatBlockedEngine) Apply(b []rangecube.FloatUpdate) error { e.s.Apply(b); return nil }
+
+type floatMaxEngine struct{ s *rangecube.FloatMaxIndex }
+
+func (e *floatMaxEngine) Name() string { return "float/maxtree/b=2" }
+func (e *floatMaxEngine) IsMin() bool  { return false }
+func (e *floatMaxEngine) Extreme(r ndarray.Region) (float64, bool, error) {
+	res := e.s.Max(r)
+	return res.Value, res.OK, nil
+}
+func (e *floatMaxEngine) Assign(b []rangecube.FloatAssign) error { e.s.Assign(b); return nil }
+
+type floatMinEngine struct{ s *rangecube.FloatMinIndex }
+
+func (e *floatMinEngine) Name() string { return "float/mintree/b=2" }
+func (e *floatMinEngine) IsMin() bool  { return true }
+func (e *floatMinEngine) Extreme(r ndarray.Region) (float64, bool, error) {
+	res := e.s.Min(r)
+	return res.Value, res.OK, nil
+}
+func (e *floatMinEngine) Assign(b []rangecube.FloatAssign) error { e.s.Assign(b); return nil }
+
+// FloatFailure is Failure for the float side, with float64 payloads and the
+// tolerance the comparison used.
+type FloatFailure struct {
+	Scenario *Scenario `json:"scenario"`
+	OpIndex  int       `json:"op_index"`
+	Engine   string    `json:"engine"`
+	Check    string    `json:"check"`
+	Got      float64   `json:"got"`
+	Want     float64   `json:"want"`
+	Tol      float64   `json:"tol,omitempty"`
+	Detail   string    `json:"detail,omitempty"`
+}
+
+func (f *FloatFailure) Error() string {
+	return fmt.Sprintf("conformance: float engine %q failed %s check at op %d: got %g, want %g ±%g (%s)",
+		f.Engine, f.Check, f.OpIndex, f.Got, f.Want, f.Tol, f.Detail)
+}
+
+// FloatOptions configures one float scenario run; nil registries mean the
+// defaults, explicit empty slices disable that side.
+type FloatOptions struct {
+	Sum []FloatSumFactory
+	Max []FloatMaxFactory
+}
+
+// RunFloat executes the scenario's float64 image (every value scaled by
+// FloatScale) against the float engines. SUM answers are compared to the
+// reference scan within a tolerance proportional to the data magnitude and
+// the number of additions either side may have performed; extremes are
+// exact. Checkpoints are skipped — the float engines have no durability
+// story.
+func RunFloat(sc *Scenario, opts FloatOptions) (*FloatFailure, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Sum == nil {
+		opts.Sum = DefaultFloatSumEngines()
+	}
+	if opts.Max == nil {
+		opts.Max = DefaultFloatMaxEngines()
+	}
+
+	// The reference is a plain float64 cube updated in op order; scans over
+	// it are ground truth (a single left-to-right accumulation).
+	ref := rangecube.NewFloatArray(sc.Shape...)
+	maxAbs := 0.0
+	for i, v := range sc.Data {
+		f := float64(v) * FloatScale
+		ref.Data()[i] = f
+		maxAbs = math.Max(maxAbs, math.Abs(f))
+	}
+
+	var sums []FloatSumEngine
+	var maxes []FloatMaxEngine
+	for _, f := range opts.Sum {
+		sums = append(sums, f.New(ref.Clone()))
+	}
+	for _, f := range opts.Max {
+		maxes = append(maxes, f.New(ref.Clone()))
+	}
+
+	for i, op := range sc.Ops {
+		fail := func(engine, check string, got, want, tol float64, detail string) *FloatFailure {
+			return &FloatFailure{Scenario: sc, OpIndex: i, Engine: engine, Check: check, Got: got, Want: want, Tol: tol, Detail: detail}
+		}
+		switch op.Kind {
+		case OpSum:
+			r := op.Region.Region()
+			var want float64
+			r.ForEach(func(c []int) { want += ref.At(c...) })
+			// Either side performs at most (cube cells + region volume)
+			// additions on values bounded by maxAbs; 1e-9 ≈ 2^4 ulps of
+			// headroom per addition. The +1 terms keep the tolerance
+			// positive for empty regions and all-zero data.
+			tol := 1e-9 * (maxAbs + 1) * float64(ref.Size()+r.Volume()+1)
+			for _, e := range sums {
+				got, err := e.Sum(r)
+				if err != nil {
+					return fail(e.Name(), "error", 0, want, tol, err.Error()), nil
+				}
+				if math.Abs(got-want) > tol || math.IsNaN(got) {
+					return fail(e.Name(), "differential", got, want, tol, fmt.Sprintf("float sum over %v", r)), nil
+				}
+			}
+
+		case OpMax:
+			r := op.Region.Region()
+			wantMax, wantMin, any := math.Inf(-1), math.Inf(1), false
+			r.ForEach(func(c []int) {
+				v := ref.At(c...)
+				wantMax, wantMin, any = math.Max(wantMax, v), math.Min(wantMin, v), true
+			})
+			for _, e := range maxes {
+				want := wantMax
+				if e.IsMin() {
+					want = wantMin
+				}
+				got, ok, err := e.Extreme(r)
+				if err != nil {
+					return fail(e.Name(), "error", 0, want, 0, err.Error()), nil
+				}
+				if ok != any {
+					return fail(e.Name(), "differential", boolFloat(ok), boolFloat(any), 0, fmt.Sprintf("emptiness over %v", r)), nil
+				}
+				// Exact: the tree stores assigned cell values, not sums.
+				if ok && got != want {
+					return fail(e.Name(), "differential", got, want, 0, fmt.Sprintf("float extreme over %v", r)), nil
+				}
+			}
+
+		case OpUpdate:
+			// Same last-wins semantics as the int64 run: deltas are derived
+			// against the reference in order, so duplicate coordinates fold
+			// into one well-defined batch.
+			ups := make([]rangecube.FloatUpdate, 0, len(op.Assigns))
+			asg := make([]rangecube.FloatAssign, 0, len(op.Assigns))
+			for _, a := range op.Assigns {
+				v := float64(a.Value) * FloatScale
+				ups = append(ups, rangecube.FloatUpdate{Coords: a.Coords, Delta: v - ref.At(a.Coords...)})
+				asg = append(asg, rangecube.FloatAssign{Coords: a.Coords, Value: v})
+				ref.Set(v, a.Coords...)
+				maxAbs = math.Max(maxAbs, math.Abs(v))
+			}
+			for _, e := range sums {
+				if err := e.Apply(ups); err != nil {
+					return fail(e.Name(), "error", 0, 0, 0, err.Error()), nil
+				}
+			}
+			for _, e := range maxes {
+				if err := e.Assign(asg); err != nil {
+					return fail(e.Name(), "error", 0, 0, 0, err.Error()), nil
+				}
+			}
+
+		case OpCheckpoint:
+			// No float engine has a durability story; checkpoints are no-ops.
+		}
+	}
+	return nil, nil
+}
+
+func boolFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,65 @@
+package conformance
+
+import (
+	"strings"
+	"testing"
+
+	"rangecube"
+	"rangecube/internal/ndarray"
+)
+
+// TestFloatConformanceSeeds holds every float engine to the reference scan
+// across seeded scenarios of interleaved queries and updates.
+func TestFloatConformanceSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		sc := GenScenario(seed)
+		fail, err := RunFloat(sc, FloatOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if fail != nil {
+			t.Fatalf("seed %d: %v", seed, fail)
+		}
+	}
+}
+
+// skewedFloatSum answers one cell-magnitude too high: close enough that a
+// sloppy comparison would shrug, far outside honest rounding error.
+type skewedFloatSum struct{ FloatSumEngine }
+
+func (s skewedFloatSum) Name() string { return "float/skewed" }
+func (s skewedFloatSum) Sum(r ndarray.Region) (float64, error) {
+	v, err := s.FloatSumEngine.Sum(r)
+	return v + 0.1, err
+}
+
+// TestFloatToleranceRejectsOffByOneCell: the tolerance must admit rounding
+// drift but reject an answer wrong by a single small cell.
+func TestFloatToleranceRejectsOffByOneCell(t *testing.T) {
+	sc := &Scenario{
+		Shape: []int{4, 3},
+		Data:  []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+		Ops:   []Op{{Kind: OpSum, Region: Rect{{0, 3}, {0, 2}}}},
+	}
+	skew := []FloatSumFactory{{Name: "float/skewed", New: func(a *rangecube.FloatArray) FloatSumEngine {
+		return skewedFloatSum{&floatPrefixEngine{s: rangecube.NewFloatSumIndex(a)}}
+	}}}
+	fail, err := RunFloat(sc, FloatOptions{Sum: skew, Max: []FloatMaxFactory{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fail == nil {
+		t.Fatal("off-by-one-cell engine passed the tolerance check")
+	}
+	if fail.Check != "differential" || !strings.Contains(fail.Engine, "skewed") {
+		t.Fatalf("unexpected failure attribution: %+v", fail)
+	}
+	if fail.Tol >= 0.1 {
+		t.Fatalf("tolerance %g is loose enough to hide a missing cell", fail.Tol)
+	}
+
+	// Sanity: the honest engines pass the identical scenario.
+	if fail, err := RunFloat(sc, FloatOptions{}); err != nil || fail != nil {
+		t.Fatalf("honest engines failed: %v, %v", fail, err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"rangecube/internal/ndarray"
+	"rangecube/internal/server"
 )
 
 // Env supplies the resources engine factories may need. The zero value is
@@ -63,19 +64,31 @@ func DefaultSumEngines() []SumFactory {
 		simpleSum("sumtree/b=2", func(a *ndarray.Array[int64]) SumEngine { return newSumTree(a, 2) }),
 		simpleSum("sumtree/b=4", func(a *ndarray.Array[int64]) SumEngine { return newSumTree(a, 4) }),
 		simpleSum("sparse", newSparse),
-		{Name: "server", New: func(env Env, a *ndarray.Array[int64]) (SumEngine, error) {
-			dir, cleanup, err := env.tempDir()
-			if err != nil {
-				return nil, err
-			}
-			e, err := newServerEngine(a, dir)
-			if err != nil {
-				cleanup()
-				return nil, err
-			}
-			return &cleanupEngine{SumEngine: e, cleanup: cleanup}, nil
-		}},
+		serverSum("server", false, nil),
+		// /query/batch answering on the parallel blocked engine: one read
+		// epoch per batch, per-item error isolation, boundary-region fan-out.
+		serverSum("server/batch", true, func(o *server.Options) { o.SumEngine = "blocked" }),
+		// The epoch-invalidated result cache: hits must be bit-identical to
+		// recomputation across every interleaved update and recovery.
+		serverSum("server/cached", false, func(o *server.Options) { o.CacheSize = 64 }),
 	}
+}
+
+// serverSum wraps a serving-stack variant as a registry factory with temp
+// directory management.
+func serverSum(name string, batch bool, tune func(*server.Options)) SumFactory {
+	return SumFactory{Name: name, New: func(env Env, a *ndarray.Array[int64]) (SumEngine, error) {
+		dir, cleanup, err := env.tempDir()
+		if err != nil {
+			return nil, err
+		}
+		e, err := newServerVariant(a, dir, name, batch, tune)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		return &cleanupEngine{SumEngine: e, cleanup: cleanup}, nil
+	}}
 }
 
 // DefaultMaxEngines returns the max-side registry: §6 max trees at two

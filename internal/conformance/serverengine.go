@@ -22,22 +22,35 @@ import (
 // snapshot + WAL in the same directory, so differential agreement after a
 // checkpoint certifies the §5 durability path end to end.
 type serverEngine struct {
-	dir  string
-	opts server.Options
-	dims []*cube.Dimension
-	init []int64
+	name  string
+	batch bool // answer Sum through POST /query/batch instead of GET /query
+	dir   string
+	opts  server.Options
+	dims  []*cube.Dimension
+	init  []int64
 
 	srv *server.Server
 	ts  *httptest.Server
 }
 
-// newServerEngine builds the engine in dir (which must exist and be
+// newServerEngine builds the default engine in dir (which must exist and be
 // private to it). CompactEvery is deliberately tiny so scenarios cross
 // snapshot-truncate boundaries, not just WAL appends.
 func newServerEngine(a *ndarray.Array[int64], dir string) (SumEngine, error) {
+	return newServerVariant(a, dir, "server", false, nil)
+}
+
+// newServerVariant builds a named serving-stack engine. batch routes every
+// Sum through the concurrent /query/batch endpoint; tune mutates the server
+// options (result cache, sum engine selection) before startup, so the
+// cached and blocked-engine configurations are held to the same oracle as
+// the plain one.
+func newServerVariant(a *ndarray.Array[int64], dir, name string, batch bool, tune func(*server.Options)) (SumEngine, error) {
 	e := &serverEngine{
-		dir:  dir,
-		init: append([]int64(nil), a.Data()...),
+		name:  name,
+		batch: batch,
+		dir:   dir,
+		init:  append([]int64(nil), a.Data()...),
 	}
 	for j, n := range a.Shape() {
 		e.dims = append(e.dims, cube.NewIntDimension(fmt.Sprintf("d%d", j), 0, n-1))
@@ -49,6 +62,9 @@ func newServerEngine(a *ndarray.Array[int64], dir string) (SumEngine, error) {
 		SnapshotPath: filepath.Join(dir, "cube.snap"),
 		CompactEvery: 3,
 		Logf:         func(string, ...any) {},
+	}
+	if tune != nil {
+		tune(&e.opts)
 	}
 	if err := e.start(); err != nil {
 		return nil, err
@@ -72,13 +88,16 @@ func (e *serverEngine) start() error {
 	return nil
 }
 
-func (e *serverEngine) Name() string { return "server" }
+func (e *serverEngine) Name() string { return e.name }
 
 func (e *serverEngine) Sum(r ndarray.Region) (int64, error) {
 	if r.Empty() {
 		// The selector syntax has no empty interval; an empty region is a
 		// degenerate client-side case with a fixed answer.
 		return 0, nil
+	}
+	if e.batch {
+		return e.sumViaBatch(r)
 	}
 	q := url.Values{"op": {"sum"}}
 	for j, rng := range r {
@@ -100,6 +119,62 @@ func (e *serverEngine) Sum(r ndarray.Region) (int64, error) {
 		return 0, fmt.Errorf("server engine: decoding query response: %w", err)
 	}
 	return out.Value, nil
+}
+
+// sumViaBatch answers one range-sum through POST /query/batch. The posted
+// batch is [query, query, bogus-op]: the duplicate pins down the
+// one-read-epoch guarantee (both items must answer identically) and the
+// bogus op pins down per-item error isolation (its failure must not poison
+// the real answers).
+func (e *serverEngine) sumViaBatch(r ndarray.Region) (int64, error) {
+	sel := make(map[string]string, len(r))
+	for j, rng := range r {
+		sel[fmt.Sprintf("d%d", j)] = fmt.Sprintf("%d..%d", rng.Lo, rng.Hi)
+	}
+	items := []map[string]any{
+		{"op": "sum", "select": sel},
+		{"op": "sum", "select": sel},
+		{"op": "mode", "select": sel},
+	}
+	payload, err := json.Marshal(items)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := e.ts.Client().Post(e.ts.URL+"/query/batch", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, fmt.Errorf("server engine: batch query: %w", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("server engine: batch query status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Results []struct {
+			Result *struct {
+				Value int64 `json:"value"`
+			} `json:"result"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return 0, fmt.Errorf("server engine: decoding batch response: %w", err)
+	}
+	if len(out.Results) != len(items) {
+		return 0, fmt.Errorf("server engine: batch returned %d results for %d queries", len(out.Results), len(items))
+	}
+	for i := 0; i < 2; i++ {
+		if out.Results[i].Error != "" || out.Results[i].Result == nil {
+			return 0, fmt.Errorf("server engine: batch item %d failed: %s", i, out.Results[i].Error)
+		}
+	}
+	if a, b := out.Results[0].Result.Value, out.Results[1].Result.Value; a != b {
+		return 0, fmt.Errorf("server engine: duplicate batch items disagree: %d vs %d", a, b)
+	}
+	if out.Results[2].Error == "" {
+		return 0, fmt.Errorf("server engine: bogus-op batch item was not rejected")
+	}
+	return out.Results[0].Result.Value, nil
 }
 
 func (e *serverEngine) Apply(batch []batchsum.IntUpdate) error {

@@ -21,7 +21,14 @@ import (
 	"rangecube/internal/ctxcheck"
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
+	"rangecube/internal/parallel"
 )
+
+// parBoundaryCells is the minimum total boundary-region volume (in cell
+// visits) before a single query fans its 3^d sub-regions out across the
+// worker pool; below it the decomposition runs inline. It is a variable so
+// equivalence tests can force the parallel path on tiny cubes.
+var parBoundaryCells = parallel.Grain
 
 // Array is a blocked prefix-sum structure over a retained data cube. Unlike
 // the basic algorithm, the original cube cannot be dropped (§4.1).
@@ -238,7 +245,7 @@ func (ds dimSplit) superRange(k rangeKind) ndarray.Range {
 // identity. Costs are attributed to c: packed prefix-sum reads as Aux,
 // original-cube reads as Cells.
 func (bl *Array[T, G]) Sum(r ndarray.Region, c *metrics.Counter) T {
-	v, _ := bl.sum(r, c, nil) // a nil checker never fails
+	v, _ := bl.sum(nil, r, c) // a nil context never cancels
 	return v
 }
 
@@ -249,10 +256,18 @@ func (bl *Array[T, G]) Sum(r ndarray.Region, c *metrics.Counter) T {
 // returns ctx's error and a meaningless partial value; the counter reflects
 // only the work actually done.
 func (bl *Array[T, G]) SumContext(ctx context.Context, r ndarray.Region, c *metrics.Counter) (T, error) {
-	return bl.sum(r, c, ctxcheck.New(ctx))
+	return bl.sum(ctx, r, c)
 }
 
-func (bl *Array[T, G]) sum(r ndarray.Region, c *metrics.Counter, ck *ctxcheck.Checker) (T, error) {
+// sumTask is one non-empty sub-region of the 3^d decomposition, recorded in
+// odometer order so results and counter shards merge back deterministically.
+type sumTask struct {
+	sub    ndarray.Region
+	kinds  []rangeKind
+	allMid bool
+}
+
+func (bl *Array[T, G]) sum(ctx context.Context, r ndarray.Region, c *metrics.Counter) (T, error) {
 	d := bl.a.Dims()
 	if len(r) != d {
 		panic(fmt.Sprintf("blocked: query of dimension %d against cube of dimension %d", len(r), d))
@@ -270,8 +285,11 @@ func (bl *Array[T, G]) sum(r ndarray.Region, c *metrics.Counter, ck *ctxcheck.Ch
 	for j := range splits {
 		splits[j] = bl.split(j, r[j])
 	}
-	total := bl.g.Identity()
-	// Odometer over the per-dimension sub-range choices (up to 3^d).
+	// Odometer over the per-dimension sub-range choices (up to 3^d),
+	// collecting the non-empty sub-regions in visit order. Boundary volume
+	// (cells the scans will touch) decides whether fanning out pays.
+	var tasks []sumTask
+	boundaryCells := 0
 	choice := make([]int, d)
 	sub := make(ndarray.Region, d)
 	kinds := make([]rangeKind, d)
@@ -289,19 +307,14 @@ func (bl *Array[T, G]) sum(r ndarray.Region, c *metrics.Counter, ck *ctxcheck.Ch
 			}
 		}
 		if !empty {
-			if allMid {
-				if err := ck.Tick(1); err != nil {
-					return total, err
-				}
-				total = bl.g.Combine(total, bl.alignedSum(sub, c))
-			} else {
-				part, err := bl.boundarySum(sub, kinds, splits, c, ck)
-				if err != nil {
-					return total, err
-				}
-				total = bl.g.Combine(total, part)
+			tasks = append(tasks, sumTask{
+				sub:    sub.Clone(),
+				kinds:  append([]rangeKind(nil), kinds...),
+				allMid: allMid,
+			})
+			if !allMid {
+				boundaryCells += sub.Volume()
 			}
-			c.AddSteps(1)
 		}
 		// Advance the odometer.
 		j := d - 1
@@ -315,6 +328,59 @@ func (bl *Array[T, G]) sum(r ndarray.Region, c *metrics.Counter, ck *ctxcheck.Ch
 		if j < 0 {
 			break
 		}
+	}
+	// eval answers one sub-region; it is internally sequential, so each
+	// task's value and counter shard are the same bits whether the tasks run
+	// inline or on the pool.
+	eval := func(t sumTask, c *metrics.Counter, ck *ctxcheck.Checker) (T, error) {
+		if t.allMid {
+			if err := ck.Tick(1); err != nil {
+				return bl.g.Identity(), err
+			}
+			v := bl.alignedSum(t.sub, c)
+			c.AddSteps(1)
+			return v, nil
+		}
+		v, err := bl.boundarySum(t.sub, t.kinds, splits, c, ck)
+		if err != nil {
+			return v, err
+		}
+		c.AddSteps(1)
+		return v, nil
+	}
+
+	total := bl.g.Identity()
+	if len(tasks) < 2 || boundaryCells < parBoundaryCells || parallel.Workers() < 2 {
+		ck := ctxcheck.New(ctx)
+		for _, t := range tasks {
+			v, err := eval(t, c, ck)
+			if err != nil {
+				return total, err
+			}
+			total = bl.g.Combine(total, v)
+		}
+		return total, nil
+	}
+	// Parallel path: one result and counter shard per task, bodies loop over
+	// contiguous task chunks with a per-goroutine cancellation checker
+	// (ctxcheck.Checker is not goroutine-safe). Merging values and shards in
+	// task order reproduces the sequential bits exactly — floats included —
+	// because ⊕ is applied in the same order to the same partials.
+	results := make([]T, len(tasks))
+	errs := make([]error, len(tasks))
+	shards := make([]metrics.Counter, len(tasks))
+	parallel.For(len(tasks), boundaryCells, func(lo, hi, _ int) {
+		ck := ctxcheck.New(ctx)
+		for i := lo; i < hi; i++ {
+			results[i], errs[i] = eval(tasks[i], &shards[i], ck)
+		}
+	})
+	for i := range tasks {
+		c.Merge(&shards[i])
+		if errs[i] != nil {
+			return total, errs[i]
+		}
+		total = bl.g.Combine(total, results[i])
 	}
 	return total, nil
 }

@@ -23,6 +23,12 @@ import (
 	"rangecube/internal/parallel"
 )
 
+// parDescendVolume is the minimum query-region volume before the root of
+// the branch-and-bound search fans its Bout subtrees out across the worker
+// pool; below it the whole descent runs inline. It is a variable so
+// equivalence tests can force the parallel path on tiny cubes.
+var parDescendVolume = parallel.Grain
+
 // Tree is the precomputed hierarchy. Level 0 is the cube itself; level i>0
 // is a contracted grid of ⌈nj/b^i⌉ per dimension whose node (k1,...,kd)
 // covers the cube region [kj·b^i, min((kj+1)·b^i−1, nj−1)] per dimension.
@@ -190,7 +196,7 @@ func (t *Tree[T]) cover(levelIdx int, nodeCoords []int) ndarray.Region {
 // ok is false for an empty region. Costs are attributed to c: node-maximum
 // reads as Aux, cube-cell reads as Cells, comparisons as Steps.
 func (t *Tree[T]) MaxIndex(r ndarray.Region, c *metrics.Counter) (offset int, value T, ok bool) {
-	offset, value, ok, _ = t.maxIndex(r, c, nil) // a nil checker never fails
+	offset, value, ok, _ = t.maxIndex(nil, r, c) // a nil context never cancels
 	return offset, value, ok
 }
 
@@ -202,10 +208,10 @@ func (t *Tree[T]) MaxIndex(r ndarray.Region, c *metrics.Counter) (offset int, va
 // error and a meaningless partial candidate; the counter reflects only the
 // work actually done.
 func (t *Tree[T]) MaxIndexContext(ctx context.Context, r ndarray.Region, c *metrics.Counter) (offset int, value T, ok bool, err error) {
-	return t.maxIndex(r, c, ctxcheck.New(ctx))
+	return t.maxIndex(ctx, r, c)
 }
 
-func (t *Tree[T]) maxIndex(r ndarray.Region, c *metrics.Counter, ck *ctxcheck.Checker) (offset int, value T, ok bool, err error) {
+func (t *Tree[T]) maxIndex(ctx context.Context, r ndarray.Region, c *metrics.Counter) (offset int, value T, ok bool, err error) {
 	d := t.a.Dims()
 	if len(r) != d {
 		panic(fmt.Sprintf("maxtree: query of dimension %d against cube of dimension %d", len(r), d))
@@ -271,8 +277,74 @@ func (t *Tree[T]) maxIndex(r ndarray.Region, c *metrics.Counter, ck *ctxcheck.Ch
 	}
 	c.AddCells(1)
 	curVal := t.a.Data()[curOff]
-	curOff, curVal, err = t.descend(lvl, node, r, curOff, curVal, c, ck)
+	curOff, curVal, err = t.descendRoot(ctx, lvl, node, r, curOff, curVal, c)
 	return curOff, curVal, true, err
+}
+
+// descendRoot runs the first level of the branch-and-bound descent, fanning
+// the root's Bout subtrees out across the worker pool when the query region
+// is large enough to pay for it. Every Bout subtree is searched from the
+// shared pre-descent candidate instead of the running one, which weakens
+// pruning (the counters may record more node and cell visits than a
+// sequential run) but cannot change the answer: a subtree whose true
+// maximum beats the start candidate is never pruned, and descend returns
+// the first occurrence of the subtree maximum in the canonical visit order
+// regardless of the start value, so folding the per-subtree results back in
+// Bout order with the same strict comparison reproduces the sequential
+// (offset, value) pair bit for bit.
+func (t *Tree[T]) descendRoot(ctx context.Context, levelIdx int, node []int, r ndarray.Region, curOff int, curVal T, c *metrics.Counter) (int, T, error) {
+	if levelIdx < 2 || parallel.Workers() < 2 || r.Volume() < parDescendVolume {
+		return t.descend(levelIdx, node, r, curOff, curVal, c, ctxcheck.New(ctx))
+	}
+	ck := ctxcheck.New(ctx)
+	curOff, curVal, bouts, err := t.scanChildren(levelIdx, node, r, curOff, curVal, c, ck)
+	if err != nil || len(bouts) == 0 {
+		return curOff, curVal, err
+	}
+	lv := t.levels[levelIdx-2]
+	if len(bouts) == 1 {
+		c.AddSteps(1)
+		if t.better(lv.vals.Data()[bouts[0].noff], curVal) {
+			k := lv.vals.Coords(bouts[0].noff, nil)
+			return t.descend(levelIdx-1, k, bouts[0].inter, curOff, curVal, c, ck)
+		}
+		return curOff, curVal, nil
+	}
+	startOff, startVal := curOff, curVal
+	offs := make([]int, len(bouts))
+	vals := make([]T, len(bouts))
+	errs := make([]error, len(bouts))
+	shards := make([]metrics.Counter, len(bouts))
+	work := 0
+	for _, bo := range bouts {
+		work += bo.inter.Volume()
+	}
+	parallel.For(len(bouts), work, func(lo, hi, _ int) {
+		// One cancellation checker per goroutine (ctxcheck.Checker is not
+		// goroutine-safe); one counter shard per subtree so merge order
+		// stays the Bout visit order, not the chunking.
+		ck := ctxcheck.New(ctx)
+		for i := lo; i < hi; i++ {
+			bo := bouts[i]
+			co, cv := startOff, startVal
+			shards[i].AddSteps(1)
+			if t.better(lv.vals.Data()[bo.noff], cv) {
+				k := lv.vals.Coords(bo.noff, nil)
+				co, cv, errs[i] = t.descend(levelIdx-1, k, bo.inter, co, cv, &shards[i], ck)
+			}
+			offs[i], vals[i] = co, cv
+		}
+	})
+	for i := range bouts {
+		c.Merge(&shards[i])
+		if errs[i] != nil {
+			return curOff, curVal, errs[i]
+		}
+		if t.better(vals[i], curVal) {
+			curOff, curVal = offs[i], vals[i]
+		}
+	}
+	return curOff, curVal, nil
 }
 
 // MaxBounds implements the §11 approximate answer for range-max: a lower
@@ -345,33 +417,14 @@ func (t *Tree[T]) MaxBounds(r ndarray.Region, c *metrics.Counter) (lo, hi T, exa
 // and Bin children (whose stored maxima are usable directly), then recurses
 // into Bout children that can still beat the current candidate.
 func (t *Tree[T]) descend(levelIdx int, node []int, r ndarray.Region, curOff int, curVal T, c *metrics.Counter, ck *ctxcheck.Checker) (int, T, error) {
-	d := len(node)
 	childLevel := levelIdx - 1
-	// Child coordinate ranges within this node's block, clipped to the
-	// child grid (the last block of a level may be ragged).
-	var childShape []int
-	if childLevel == 0 {
-		childShape = t.a.Shape()
-	} else {
-		childShape = t.levels[childLevel-1].vals.Shape()
-	}
-	childRange := make(ndarray.Region, d)
-	for j, k := range node {
-		lo := k * t.b
-		hi := lo + t.b - 1
-		if hi >= childShape[j] {
-			hi = childShape[j] - 1
-		}
-		childRange[j] = ndarray.Range{Lo: lo, Hi: hi}
-	}
-
 	if childLevel == 0 {
 		// Children are cube cells: every cell inside R is a candidate. The
 		// block is scanned one contiguous line at a time, with the counter
 		// accounted per line (totals match per-cell accounting). The
 		// cancellation checkpoint fires between lines; once it reports an
 		// error the remaining lines are skipped, untouched and unaccounted.
-		inter := childRange.Intersect(r)
+		inter := t.childRange(levelIdx, node).Intersect(r)
 		data := t.a.Data()
 		cells := int64(0)
 		var err error
@@ -395,17 +448,71 @@ func (t *Tree[T]) descend(levelIdx int, node []int, r ndarray.Region, curOff int
 		return curOff, curVal, err
 	}
 
+	var bouts []boundaryChild
+	var err error
+	curOff, curVal, bouts, err = t.scanChildren(levelIdx, node, r, curOff, curVal, c, ck)
+	if err != nil {
+		return curOff, curVal, err
+	}
+	lv := t.levels[childLevel-1]
+	// Lines (4)-(6): recurse into boundary children only if their
+	// precomputed maximum can still beat the candidate — the
+	// branch-and-bound pruning.
+	for _, bo := range bouts {
+		c.AddSteps(1)
+		if t.better(lv.vals.Data()[bo.noff], curVal) {
+			k := lv.vals.Coords(bo.noff, nil)
+			if curOff, curVal, err = t.descend(childLevel, k, bo.inter, curOff, curVal, c, ck); err != nil {
+				return curOff, curVal, err
+			}
+		}
+	}
+	return curOff, curVal, nil
+}
+
+// childRange returns the coordinate range of node's children in the child
+// grid, clipped to that grid (the last block of a level may be ragged).
+func (t *Tree[T]) childRange(levelIdx int, node []int) ndarray.Region {
+	childLevel := levelIdx - 1
+	var childShape []int
+	if childLevel == 0 {
+		childShape = t.a.Shape()
+	} else {
+		childShape = t.levels[childLevel-1].vals.Shape()
+	}
+	cr := make(ndarray.Region, len(node))
+	for j, k := range node {
+		lo := k * t.b
+		hi := lo + t.b - 1
+		if hi >= childShape[j] {
+			hi = childShape[j] - 1
+		}
+		cr[j] = ndarray.Range{Lo: lo, Hi: hi}
+	}
+	return cr
+}
+
+// boundaryChild is a deferred Bout child: its offset in the child level and
+// its intersection with the query region.
+type boundaryChild struct {
+	noff  int
+	inter ndarray.Region
+}
+
+// scanChildren is the first pass of get_max_index over node's children at
+// levelIdx (which must be ≥ 2, so the children are tree nodes, not cells):
+// external children are skipped, internal and Bin children fold their
+// stored maxima into the candidate in visit order, and Bout children are
+// collected — in the same visit order — for the caller's pruned recursion.
+func (t *Tree[T]) scanChildren(levelIdx int, node []int, r ndarray.Region, curOff int, curVal T, c *metrics.Counter, ck *ctxcheck.Checker) (int, T, []boundaryChild, error) {
+	d := len(node)
+	childLevel := levelIdx - 1
 	lv := t.levels[childLevel-1]
 	side := pow(t.b, childLevel)
 	coords := make([]int, d)
-	// Deferred Bout children: (childOffset, intersection with R).
-	type boundary struct {
-		noff  int
-		inter ndarray.Region
-	}
-	var bouts []boundary
+	var bouts []boundaryChild
 	var err error
-	childRange.ForEach(func(k []int) {
+	t.childRange(levelIdx, node).ForEach(func(k []int) {
 		if err != nil {
 			return
 		}
@@ -443,22 +550,7 @@ func (t *Tree[T]) descend(levelIdx int, node []int, r ndarray.Region, curOff int
 			}
 			return
 		}
-		bouts = append(bouts, boundary{noff: noff, inter: cov.Intersect(r)})
+		bouts = append(bouts, boundaryChild{noff: noff, inter: cov.Intersect(r)})
 	})
-	if err != nil {
-		return curOff, curVal, err
-	}
-	// Lines (4)-(6): recurse into boundary children only if their
-	// precomputed maximum can still beat the candidate — the
-	// branch-and-bound pruning.
-	for _, bo := range bouts {
-		c.AddSteps(1)
-		if t.better(lv.vals.Data()[bo.noff], curVal) {
-			k := lv.vals.Coords(bo.noff, nil)
-			if curOff, curVal, err = t.descend(childLevel, k, bo.inter, curOff, curVal, c, ck); err != nil {
-				return curOff, curVal, err
-			}
-		}
-	}
-	return curOff, curVal, nil
+	return curOff, curVal, bouts, err
 }

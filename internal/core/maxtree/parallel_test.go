@@ -71,3 +71,50 @@ func TestParallelBuildMin(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelDescendMatchesSequential proves the fanned-out root descent
+// returns the same (offset, value) as the sequential branch-and-bound on
+// every query — including tie-breaks, which must resolve to the first
+// occurrence in the canonical visit order. The volume gate is forced to 1
+// so the parallel path runs on small cubes, and the value domains are tiny
+// so ties are everywhere. Counters are NOT compared: searching every Bout
+// subtree from the shared pre-descent candidate weakens pruning, so the
+// parallel path may legitimately visit more nodes.
+func TestParallelDescendMatchesSequential(t *testing.T) {
+	prev := parallel.SetMaxWorkers(4)
+	t.Cleanup(func() { parallel.SetMaxWorkers(prev) })
+	prevGate := parDescendVolume
+	parDescendVolume = 1
+	t.Cleanup(func() { parDescendVolume = prevGate })
+
+	g := workload.SeededGen(t, *seedFlag, 7)
+	cubes := map[string]*ndarray.Array[int64]{
+		"permutation": g.PermutationCube(4096),
+		"uniform2d":   g.UniformCube([]int{130, 126}, 50),
+		"tiny-domain": g.UniformCube([]int{9, 10, 11}, 2),
+		"one-dim":     g.UniformCube([]int{700}, 5),
+	}
+	for name, a := range cubes {
+		for _, b := range []int{2, 8} {
+			for _, mk := range []struct {
+				kind  string
+				build func(*ndarray.Array[int64], int) *Tree[int64]
+			}{{"max", Build[int64]}, {"min", BuildMin[int64]}} {
+				tr := mk.build(a, b)
+				for i := 0; i < 128; i++ {
+					r := g.UniformRegion(a.Shape())
+					wOff, wVal, wOK := func() (int, int64, bool) {
+						p := parallel.SetMaxWorkers(1)
+						defer parallel.SetMaxWorkers(p)
+						return tr.MaxIndex(r, nil)
+					}()
+					gOff, gVal, gOK := tr.MaxIndex(r, nil)
+					if gOff != wOff || gVal != wVal || gOK != wOK {
+						t.Fatalf("%s b=%d %s query %v: parallel (%d,%d,%v) vs sequential (%d,%d,%v)",
+							name, b, mk.kind, r, gOff, gVal, gOK, wOff, wVal, wOK)
+					}
+				}
+			}
+		}
+	}
+}

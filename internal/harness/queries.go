@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"rangecube/internal/cube"
+	"rangecube/internal/parallel"
+	"rangecube/internal/server"
+	"rangecube/internal/workload"
+)
+
+// QueriesResult is the machine-readable record of the query-serving
+// benchmark, emitted by cubebench -json as BENCH_queries.json: end-to-end
+// HTTP throughput and latency for batch sizes 1, 16 and 256 across the
+// registered engine configurations. Batch size 1 goes through GET /query;
+// larger batches through POST /query/batch.
+type QueriesResult struct {
+	Shape   []int               `json:"shape"`
+	Workers int                 `json:"workers"`
+	Queries int                 `json:"queries"`
+	Engines []QueryEngineResult `json:"engines"`
+}
+
+// QueryEngineResult is one server configuration's rows.
+type QueryEngineResult struct {
+	Engine string          `json:"engine"`
+	Op     string          `json:"op"`
+	Runs   []QueryBenchRun `json:"runs"`
+}
+
+// QueryBenchRun is one (engine, batch size) measurement. Latencies are
+// per-request (one request carries BatchSize queries); QPS counts queries,
+// not requests, so SpeedupVsB1 is the throughput gain of batching.
+type QueryBenchRun struct {
+	BatchSize   int     `json:"batch_size"`
+	Requests    int     `json:"requests"`
+	Queries     int     `json:"queries"`
+	TotalNS     int64   `json:"total_ns"`
+	QPS         float64 `json:"qps"`
+	P50NS       int64   `json:"p50_ns"`
+	P99NS       int64   `json:"p99_ns"`
+	SpeedupVsB1 float64 `json:"speedup_vs_b1"`
+}
+
+// queryConfig is one benchmarked server configuration.
+type queryConfig struct {
+	name string
+	op   string
+	opts server.Options
+}
+
+// Queries measures the serving stack end to end on an n×n cube: nq seeded
+// uniform range queries per (engine, batch size) cell, sent over real HTTP
+// to an httptest server. The result quantifies what the batch endpoint is
+// for — amortizing per-request overhead (routing, JSON, admission, locking)
+// across many queries answered under one read epoch.
+func Queries(n, nq int) (Table, QueriesResult) {
+	g := workload.New(2026)
+	seed := g.UniformCube([]int{n, n}, 1000)
+
+	configs := []queryConfig{
+		{"prefixsum", "sum", server.Options{BlockSize: 7, Fanout: 4, SumEngine: "prefixsum"}},
+		{"blocked/b=2", "sum", server.Options{BlockSize: 2, Fanout: 4, SumEngine: "blocked"}},
+		{"blocked/b=7", "sum", server.Options{BlockSize: 7, Fanout: 4, SumEngine: "blocked"}},
+		{"maxtree/b=4", "max", server.Options{BlockSize: 7, Fanout: 4}},
+	}
+	batchSizes := []int{1, 16, 256}
+
+	res := QueriesResult{Shape: []int{n, n}, Workers: parallel.Workers(), Queries: nq}
+	tab := Table{
+		Title:   "Query serving throughput (HTTP, batch vs single)",
+		Note:    fmt.Sprintf("%d uniform range queries on a %dx%d cube; p50/p99 are per-request latencies; speedup is QPS vs batch size 1 on the same engine.", nq, n, n),
+		Headers: []string{"engine", "op", "batch", "requests", "qps", "p50 us", "p99 us", "speedup vs b=1"},
+	}
+
+	regions := make([]cubeRegionSpec, nq)
+	rg := workload.New(4051)
+	for i := range regions {
+		r := rg.UniformRegion([]int{n, n})
+		regions[i] = cubeRegionSpec{
+			d0: fmt.Sprintf("%d..%d", r[0].Lo, r[0].Hi),
+			d1: fmt.Sprintf("%d..%d", r[1].Lo, r[1].Hi),
+		}
+	}
+
+	for _, cfg := range configs {
+		c := cube.New(
+			cube.NewIntDimension("d0", 0, n-1),
+			cube.NewIntDimension("d1", 0, n-1),
+		)
+		copy(c.Data().Data(), seed.Data())
+		cfg.opts.Logf = func(string, ...any) {}
+		srv, err := server.NewWithOptions(c, cfg.opts)
+		if err != nil {
+			panic(fmt.Sprintf("harness: building %s server: %v", cfg.name, err))
+		}
+		ts := httptest.NewServer(srv.Handler())
+
+		er := QueryEngineResult{Engine: cfg.name, Op: cfg.op}
+		var b1qps float64
+		for _, bs := range batchSizes {
+			run := measureQueries(ts, cfg.op, regions, bs)
+			if bs == 1 {
+				b1qps = run.QPS
+			}
+			if b1qps > 0 {
+				run.SpeedupVsB1 = run.QPS / b1qps
+			}
+			er.Runs = append(er.Runs, run)
+			tab.Add(cfg.name, cfg.op, bs, run.Requests,
+				fmt.Sprintf("%.0f", run.QPS),
+				fmt.Sprintf("%.1f", float64(run.P50NS)/1e3),
+				fmt.Sprintf("%.1f", float64(run.P99NS)/1e3),
+				fmt.Sprintf("%.2fx", run.SpeedupVsB1))
+		}
+		res.Engines = append(res.Engines, er)
+		ts.Close()
+	}
+	return tab, res
+}
+
+type cubeRegionSpec struct{ d0, d1 string }
+
+// measureQueries answers every region once at the given batch size and
+// returns throughput plus per-request latency percentiles. Bodies and URLs
+// are prebuilt so the timed loop measures the server, not the generator;
+// one untimed warm-up request primes the connection and any lazy state.
+func measureQueries(ts *httptest.Server, op string, regions []cubeRegionSpec, batchSize int) QueryBenchRun {
+	client := ts.Client()
+	run := QueryBenchRun{BatchSize: batchSize, Queries: len(regions)}
+
+	var urls []string
+	var bodies [][]byte
+	if batchSize == 1 {
+		for _, r := range regions {
+			urls = append(urls, fmt.Sprintf("%s/query?op=%s&d0=%s&d1=%s", ts.URL, op, r.d0, r.d1))
+		}
+	} else {
+		for lo := 0; lo < len(regions); lo += batchSize {
+			hi := min(lo+batchSize, len(regions))
+			items := make([]map[string]any, 0, hi-lo)
+			for _, r := range regions[lo:hi] {
+				items = append(items, map[string]any{
+					"op":     op,
+					"select": map[string]string{"d0": r.d0, "d1": r.d1},
+				})
+			}
+			body, err := json.Marshal(items)
+			if err != nil {
+				panic(fmt.Sprintf("harness: marshaling batch: %v", err))
+			}
+			bodies = append(bodies, body)
+		}
+	}
+
+	send := func(i int) {
+		var resp *http.Response
+		var err error
+		if batchSize == 1 {
+			resp, err = client.Get(urls[i])
+		} else {
+			resp, err = client.Post(ts.URL+"/query/batch", "application/json", bytes.NewReader(bodies[i]))
+		}
+		if err != nil {
+			panic(fmt.Sprintf("harness: query request: %v", err))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("harness: query status %d", resp.StatusCode))
+		}
+	}
+
+	requests := len(urls) + len(bodies)
+	send(0) // warm-up: connection setup, first-touch allocations
+
+	lat := make([]int64, requests)
+	start := time.Now()
+	for i := 0; i < requests; i++ {
+		t0 := time.Now()
+		send(i)
+		lat[i] = time.Since(t0).Nanoseconds()
+	}
+	run.TotalNS = time.Since(start).Nanoseconds()
+	run.Requests = requests
+	run.QPS = float64(run.Queries) / (float64(run.TotalNS) / 1e9)
+	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
+	run.P50NS = lat[len(lat)/2]
+	run.P99NS = lat[min(len(lat)-1, len(lat)*99/100)]
+	return run
+}

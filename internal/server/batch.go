@@ -1,0 +1,152 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"rangecube/internal/cube"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/parallel"
+)
+
+// batchQuery is one element of a POST /query/batch request body (a JSON
+// array). Select maps dimension names to the same selector grammar as the
+// GET /query parameters: "lo..hi", "*", or a single value. Op defaults to
+// "sum".
+type batchQuery struct {
+	Op     string            `json:"op"`
+	Select map[string]string `json:"select"`
+}
+
+// batchResult is one element of the response array, in request order:
+// either the query's answer or its error, never both. Errors are isolated
+// per item — a malformed selector or unknown op fails only its own slot.
+type batchResult struct {
+	Result *queryResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// errInternal marks a batch item whose evaluation panicked; the panic is
+// logged server-side and the client sees only a generic error.
+var errInternal = errors.New("internal error")
+
+// handleQueryBatch evaluates a JSON array of range queries concurrently on
+// the worker pool under one read-lock epoch: every item sees the same cube
+// state, whatever updates are racing the batch. Item-level failures (bad
+// selector, unknown op, a panic in evaluation) are isolated to their slot;
+// a cancellation or deadline fails the whole request, since the remaining
+// answers were abandoned mid-flight.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUpdateBytes)
+	var items []batchQuery
+	if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.writeError(w, http.StatusRequestEntityTooLarge, "query batch exceeds %d bytes", tooBig.Limit)
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, "decoding query batch: %v", err)
+		return
+	}
+	if len(items) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty query batch")
+		return
+	}
+	if len(items) > s.opts.MaxBatchQueries {
+		s.writeError(w, http.StatusRequestEntityTooLarge, "batch of %d queries exceeds the %d-query limit", len(items), s.opts.MaxBatchQueries)
+		return
+	}
+
+	// Parse every item up front; only well-formed items join the parallel
+	// evaluation (region == nil marks a dead slot). Volume drives the
+	// pool's work estimate, so a batch of point lookups stays inline while
+	// big scans fan out.
+	type slot struct {
+		op     string
+		region ndarray.Region
+	}
+	results := make([]batchResult, len(items))
+	slots := make([]slot, len(items))
+	work := 0
+	runnable := 0
+	for i, q := range items {
+		op := q.Op
+		if op == "" {
+			op = "sum"
+		}
+		if !validOp(op) {
+			results[i].Error = fmt.Sprintf("unknown op %q (sum, count, avg, max, min)", op)
+			continue
+		}
+		region, err := s.regionFromSpecs(q.Select)
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		s.qlog.Add(region)
+		slots[i] = slot{op: op, region: region}
+		work += region.Volume()
+		runnable++
+	}
+
+	var ctxErr error
+	if runnable > 0 {
+		ctx := r.Context()
+		errs := make([]error, len(items))
+		s.mu.RLock()
+		parallel.For(len(items), work+len(items), func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				if slots[i].region == nil {
+					continue
+				}
+				func() {
+					// A panic on a pool goroutine would kill the process (the
+					// recovered middleware only guards the handler goroutine),
+					// so evaluation failures degrade to an item error.
+					defer func() {
+						if p := recover(); p != nil {
+							s.logf("server: batch query %d (%s over %v) panicked: %v", i, slots[i].op, slots[i].region, p)
+							errs[i] = errInternal
+						}
+					}()
+					resp, err := s.evalCached(ctx, slots[i].op, slots[i].region)
+					if err != nil {
+						errs[i] = err
+						return
+					}
+					results[i].Result = &resp
+				}()
+			}
+		})
+		s.mu.RUnlock()
+		for i, err := range errs {
+			switch {
+			case err == nil:
+			case errors.Is(err, errInternal):
+				results[i].Error = errInternal.Error()
+			default:
+				ctxErr = err
+			}
+		}
+	}
+	if ctxErr != nil {
+		s.writeCtxError(w, ctxErr)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"count":   len(items),
+		"results": results,
+	})
+}
+
+// regionFromSpecs resolves a name→selector map to a rank-domain region
+// (the batch-body form of parseRegion's URL parameters).
+func (s *Server) regionFromSpecs(specs map[string]string) (ndarray.Region, error) {
+	sels := make([]cube.Selector, 0, len(specs))
+	for name, spec := range specs {
+		sels = append(sels, selectorFromSpec(name, spec))
+	}
+	return s.cube.Region(sels...)
+}

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"rangecube/internal/ndarray"
+)
+
+// resultCache is a bounded LRU of fully evaluated query answers keyed by
+// the canonicalized (op, region) pair, valid only within a single update
+// epoch: every applied update batch flushes it wholesale (under the write
+// lock, before the batch is acknowledged), so a cached answer can never be
+// served across an update — including updates replayed from the WAL on
+// recovery, which happen before the cache exists. Entries additionally
+// carry the epoch they were computed in, and a mismatched epoch on lookup
+// drops the entry instead of serving it; that defends the invalidation
+// contract even if a future write path forgets to flush.
+//
+// A nil *resultCache is valid and caches nothing, so the disabled
+// configuration costs one nil check per query.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	// ll orders entries most-recently-used first; every element's Value is
+	// a *cacheEntry also indexed by key.
+	ll    *list.List
+	byKey map[string]*list.Element
+
+	hits, misses, evictions, flushes uint64
+}
+
+type cacheEntry struct {
+	key  string
+	seq  uint64
+	resp queryResponse
+}
+
+// newResultCache returns a cache bounded to max entries, or nil (caching
+// disabled) when max <= 0.
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		return nil
+	}
+	return &resultCache{max: max, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Get returns the cached answer for key computed at epoch seq, if present.
+func (c *resultCache) Get(key string, seq uint64) (queryResponse, bool) {
+	if c == nil {
+		return queryResponse{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return queryResponse{}, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if ent.seq != seq {
+		// Stale epoch: the flush-on-update contract should make this
+		// unreachable, but serving it would be a correctness bug, so drop it.
+		c.ll.Remove(el)
+		delete(c.byKey, key)
+		c.misses++
+		return queryResponse{}, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return ent.resp, true
+}
+
+// Put stores an answer computed at epoch seq, evicting the least recently
+// used entry when over capacity.
+func (c *resultCache) Put(key string, seq uint64, resp queryResponse) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.seq, ent.resp = seq, resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, seq: seq, resp: resp})
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Flush empties the cache; called under the server's write lock on every
+// applied update batch.
+func (c *resultCache) Flush() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.byKey)
+	c.flushes++
+}
+
+// Len reports the current number of cached answers.
+func (c *resultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats reports lifetime hit/miss/eviction/flush counts.
+func (c *resultCache) Stats() (hits, misses, evictions, flushes uint64) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.flushes
+}
+
+// cacheKey canonicalizes a query to "op|lo:hi|lo:hi|...". Regions arrive
+// already resolved to rank-domain bounds per dimension in dimension order,
+// so equal queries — however they were spelled as selectors — share a key.
+func cacheKey(op string, r ndarray.Region) string {
+	var b strings.Builder
+	b.Grow(len(op) + 8*len(r))
+	b.WriteString(op)
+	for _, rng := range r {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(rng.Lo))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(rng.Hi))
+	}
+	return b.String()
+}

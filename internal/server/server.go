@@ -8,6 +8,8 @@
 //	GET  /schema                      cube dimensions and sizes
 //	GET  /query?op=sum&age=37..52&type=auto
 //	GET  /query?op=max&year=1990..1995     (also min, avg, count)
+//	POST /query/batch                 JSON array of {op, select}, answered
+//	                                  concurrently under one read epoch
 //	POST /update                      JSON batch of {coords, delta}
 //	GET  /advise?space=100000         §9 planner choices for the query log
 //
@@ -57,6 +59,20 @@ type Options struct {
 	BlockSize int
 	// Fanout is the branching factor of the §6 max/min trees.
 	Fanout int
+	// SumEngine selects the structure answering op=sum and op=avg:
+	// "prefixsum" (default; the §3 array, 2^d accesses per query) or
+	// "blocked" (the §4 decomposition over the blocked index, whose
+	// boundary scans parallelize for large regions). Both stay maintained
+	// under updates either way; this picks which one serves reads.
+	SumEngine string
+
+	// CacheSize bounds the query result cache (in entries); 0 disables
+	// caching. Cached answers are keyed by canonicalized (op, region) and
+	// are valid for one update epoch: any applied /update batch flushes the
+	// cache wholesale before it is acknowledged, so a cached answer can
+	// never be stale — including across the WAL/snapshot recovery path,
+	// which replays updates before the cache exists.
+	CacheSize int
 
 	// WALPath, when non-empty, enables write-ahead logging: every /update
 	// batch is appended and fsynced before it is applied. On startup the
@@ -72,10 +88,16 @@ type Options struct {
 	// effect when both WALPath and SnapshotPath are set.
 	CompactEvery int
 
-	// MaxInflight caps concurrently executing /query and /advise requests;
-	// excess requests are shed immediately with 429 and Retry-After. 0
-	// means unlimited.
+	// MaxInflight caps concurrently executing /query, /query/batch,
+	// /update and /advise requests; excess requests are shed immediately
+	// with 429 and Retry-After. 0 means unlimited.
 	MaxInflight int
+	// MaxBatchQueries caps the number of queries in one /query/batch
+	// request; larger batches fail with 413. 0 means 1024.
+	MaxBatchQueries int
+	// QueryLogSize caps the /advise query log: the ring buffer keeps the
+	// most recent QueryLogSize queried regions. 0 means 10000.
+	QueryLogSize int
 	// QueryTimeout bounds each /query request; past the deadline the
 	// scan abandons work at its next cancellation checkpoint and the
 	// request fails with 503. 0 means no deadline.
@@ -95,6 +117,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxUpdateBytes <= 0 {
 		o.MaxUpdateBytes = 8 << 20
+	}
+	if o.MaxBatchQueries <= 0 {
+		o.MaxBatchQueries = 1024
+	}
+	if o.QueryLogSize <= 0 {
+		o.QueryLogSize = 10000
+	}
+	if o.SumEngine == "" {
+		o.SumEngine = "prefixsum"
 	}
 	if o.Logf == nil {
 		o.Logf = log.Printf
@@ -123,8 +154,8 @@ type Server struct {
 
 	inflight chan struct{} // admission semaphore; nil when unlimited
 
-	logMu sync.Mutex
-	log   []ndarray.Region // recent query regions, input to /advise
+	qlog  *queryLog    // recent query regions, input to /advise
+	cache *resultCache // epoch-invalidated result cache; nil when disabled
 }
 
 // New builds a purely in-memory server over the cube with the given uniform
@@ -145,7 +176,12 @@ func New(c *cube.Cube, blockSize, fanout int) *Server {
 // The cube's cell array is mutated in place to the recovered state.
 func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
+	if opts.SumEngine != "prefixsum" && opts.SumEngine != "blocked" {
+		return nil, fmt.Errorf("server: unknown sum engine %q (prefixsum, blocked)", opts.SumEngine)
+	}
 	s := &Server{opts: opts, logf: opts.Logf, cube: c}
+	s.qlog = newQueryLog(opts.QueryLogSize)
+	s.cache = newResultCache(opts.CacheSize)
 
 	if opts.SnapshotPath != "" {
 		if err := s.loadSnapshot(); err != nil {
@@ -308,7 +344,12 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /schema", s.handleSchema)
 	mux.Handle("GET /query", s.limited(s.deadlined(http.HandlerFunc(s.handleQuery))))
-	mux.HandleFunc("POST /update", s.handleUpdate)
+	mux.Handle("POST /query/batch", s.limited(s.deadlined(http.HandlerFunc(s.handleQueryBatch))))
+	// Updates pass admission control too — an update flood must shed at the
+	// same MaxInflight cap as queries, not bypass it — but take no deadline:
+	// once a batch is WAL-logged it must finish applying, never abandon
+	// half-applied state.
+	mux.Handle("POST /update", s.limited(http.HandlerFunc(s.handleUpdate)))
 	mux.Handle("GET /advise", s.limited(http.HandlerFunc(s.handleAdvise)))
 	return s.recovered(mux)
 }
@@ -361,24 +402,39 @@ func (s *Server) parseRegion(r *http.Request) (ndarray.Region, error) {
 		if len(vals) != 1 {
 			return nil, fmt.Errorf("dimension %q specified %d times", name, len(vals))
 		}
-		spec := vals[0]
-		lo, hi, isRange := strings.Cut(spec, "..")
-		conv := func(s string) any {
-			if v, err := strconv.Atoi(s); err == nil {
-				return v
-			}
-			return s
-		}
-		switch {
-		case isRange:
-			sels = append(sels, cube.Between(name, conv(lo), conv(hi)))
-		case spec == "*":
-			sels = append(sels, cube.All(name))
-		default:
-			sels = append(sels, cube.Eq(name, conv(spec)))
-		}
+		sels = append(sels, selectorFromSpec(name, vals[0]))
 	}
 	return s.cube.Region(sels...)
+}
+
+// selectorFromSpec translates one name=spec selector — the grammar shared
+// by GET /query parameters and POST /query/batch select maps — into a cube
+// selector: "lo..hi", "*", or a single value.
+func selectorFromSpec(name, spec string) cube.Selector {
+	lo, hi, isRange := strings.Cut(spec, "..")
+	conv := func(s string) any {
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+		return s
+	}
+	switch {
+	case isRange:
+		return cube.Between(name, conv(lo), conv(hi))
+	case spec == "*":
+		return cube.All(name)
+	default:
+		return cube.Eq(name, conv(spec))
+	}
+}
+
+// validOp reports whether op names a supported query operator.
+func validOp(op string) bool {
+	switch op {
+	case "sum", "count", "avg", "max", "min":
+		return true
+	}
+	return false
 }
 
 // queryResponse is the JSON shape of /query answers.
@@ -393,7 +449,10 @@ type queryResponse struct {
 	LowerBnd *int64 `json:"lower_bound,omitempty"`
 	UpperBnd *int64 `json:"upper_bound,omitempty"`
 	Volume   int    `json:"volume"`
-	Accesses int64  `json:"accesses"`
+	// Accesses is the paper's cost proxy for answering this request; a
+	// cache hit reports 0 accesses and Cached=true.
+	Accesses int64 `json:"accesses"`
+	Cached   bool  `json:"cached,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -406,30 +465,52 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if op == "" {
 		op = "sum"
 	}
-	s.logMu.Lock()
-	if len(s.log) < 10000 {
-		s.log = append(s.log, region.Clone())
+	if !validOp(op) {
+		s.writeError(w, http.StatusBadRequest, "unknown op %q (sum, count, avg, max, min)", op)
+		return
 	}
-	s.logMu.Unlock()
+	s.qlog.Add(region)
 
-	ctx := r.Context()
 	s.mu.RLock()
-	defer s.mu.RUnlock()
+	resp, err := s.evalCached(r.Context(), op, region)
+	s.mu.RUnlock()
+	if err != nil {
+		s.writeCtxError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// evalQuery answers one validated query. The caller must hold the read
+// lock; a non-nil error is always a context cancellation or deadline.
+func (s *Server) evalQuery(ctx context.Context, op string, region ndarray.Region) (queryResponse, error) {
 	var c metrics.Counter
 	resp := queryResponse{Op: op, Volume: region.Volume()}
+	if resp.Volume == 0 {
+		// A zero-volume region has a defined answer shape — explicitly
+		// empty, identity sum, no average — rather than NaN or a bogus
+		// extreme leaking into the encoder. (The HTTP selector grammar
+		// cannot express an empty region today; this guards direct callers
+		// and future grammars.)
+		resp.Empty = true
+	}
 	switch op {
 	case "sum":
 		lo, hi, err := blocked.BoundsContext(ctx, s.blk, region, nil)
 		if err != nil {
-			s.writeCtxError(w, err)
-			return
+			return resp, err
 		}
 		resp.LowerBnd, resp.UpperBnd = &lo, &hi
-		resp.Value = s.sum.Sum(region, &c)
+		if resp.Value, err = s.rangeSum(ctx, region, &c); err != nil {
+			return resp, err
+		}
 	case "count":
 		resp.Value = int64(region.Volume())
 	case "avg":
-		sum := s.sum.Sum(region, &c)
+		sum, err := s.rangeSum(ctx, region, &c)
+		if err != nil {
+			return resp, err
+		}
 		if v := region.Volume(); v > 0 {
 			resp.Average = float64(sum) / float64(v)
 		}
@@ -441,8 +522,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		off, v, ok, err := tree.MaxIndexContext(ctx, region, &c)
 		if err != nil {
-			s.writeCtxError(w, err)
-			return
+			return resp, err
 		}
 		if !ok {
 			resp.Empty = true
@@ -454,12 +534,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		for i, rank := range coords {
 			resp.At[i] = fmt.Sprintf("%s=%s", s.cube.Dimension(i).Name(), s.cube.Dimension(i).ValueAt(rank))
 		}
-	default:
-		s.writeError(w, http.StatusBadRequest, "unknown op %q (sum, count, avg, max, min)", op)
-		return
 	}
 	resp.Accesses = c.Total()
-	s.writeJSON(w, http.StatusOK, resp)
+	return resp, nil
+}
+
+// rangeSum answers a range sum with the read engine selected by
+// Options.SumEngine.
+func (s *Server) rangeSum(ctx context.Context, r ndarray.Region, c *metrics.Counter) (int64, error) {
+	if s.opts.SumEngine == "blocked" {
+		return s.blk.SumContext(ctx, r, c)
+	}
+	// The §3 prefix-sum answer touches 2^d cells; no cancellation
+	// checkpoints needed.
+	return s.sum.Sum(r, c), nil
+}
+
+// evalCached is evalQuery behind the result cache: hits are served from the
+// current epoch's cache with Cached=true and zero reported accesses; misses
+// are evaluated and stored. The caller must hold the read lock — that is
+// what makes reading s.seq and publishing against it race-free.
+func (s *Server) evalCached(ctx context.Context, op string, region ndarray.Region) (queryResponse, error) {
+	if s.cache == nil {
+		return s.evalQuery(ctx, op, region)
+	}
+	key := cacheKey(op, region)
+	if resp, ok := s.cache.Get(key, s.seq); ok {
+		resp.Cached = true
+		resp.Accesses = 0
+		return resp, nil
+	}
+	resp, err := s.evalQuery(ctx, op, region)
+	if err != nil {
+		return resp, err
+	}
+	s.cache.Put(key, s.seq, resp)
+	return resp, nil
 }
 
 // writeCtxError reports an abandoned query. A deadline is the server's
@@ -549,6 +659,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.max.BatchUpdate(maxUps, nil)
 	s.min.BatchUpdate(maxUps, nil)
 
+	// Invalidate every cached answer before the batch is acknowledged:
+	// the write lock is held, so no reader can observe the new cells with a
+	// pre-update cache entry.
+	s.cache.Flush()
+
 	if s.sinceSnap >= s.opts.CompactEvery {
 		if err := s.compactLocked(); err != nil {
 			// The WAL still has everything; compaction will be retried on
@@ -570,9 +685,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		}
 		space = f
 	}
-	s.logMu.Lock()
-	log := append([]ndarray.Region(nil), s.log...)
-	s.logMu.Unlock()
+	log := s.qlog.Snapshot()
 	if len(log) == 0 {
 		s.writeError(w, http.StatusConflict, "no queries logged yet")
 		return
