@@ -18,15 +18,30 @@
 // boot the snapshot plus the WAL's committed prefix reconstruct the exact
 // pre-crash state. SIGINT/SIGTERM drain in-flight requests, checkpoint, and
 // exit cleanly.
+//
+// Observability: -metrics (default on) mounts GET /metrics with the
+// Prometheus text exposition — per-route latency histograms, shed/timeout
+// counters, cache and WAL series, and the paper's §8 cost histograms per op
+// and engine. -access-log logs one line per request with its correlation ID
+// (X-Request-Id, accepted or minted, echoed on every response and error
+// body). -debug-addr serves /debug/pprof and /debug/vars on a separate
+// listener so profiling never competes with — or is shed by — the serving
+// port:
+//
+//	cubeserver -data records.csv -debug-addr localhost:6060 &
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//	curl -s localhost:8080/metrics | grep cube_query_cost
 package main
 
 import (
 	"bufio"
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +72,9 @@ func run() error {
 	cacheSize := flag.Int("cache-size", 0, "result cache entries, flushed on every update batch (0 = caching off)")
 	sumEngine := flag.String("sum-engine", "prefixsum", "structure answering range sums: prefixsum or blocked")
 	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
+	metrics := flag.Bool("metrics", true, "serve the Prometheus exposition at GET /metrics")
+	accessLog := flag.Bool("access-log", false, "log one line per request (method, path, status, bytes, latency, request ID)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for /debug/pprof and /debug/vars (off when empty)")
 	flag.Parse()
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "cubeserver: -data is required (generate one with cubegen)")
@@ -86,9 +104,31 @@ func run() error {
 		QueryTimeout: *queryTimeout,
 		CacheSize:    *cacheSize,
 		SumEngine:    *sumEngine,
+		Metrics:      *metrics,
+		AccessLog:    *accessLog,
 	})
 	if err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		// Profiling gets its own mux on its own listener: it must never be
+		// shed by the admission semaphore, and the serving port must never
+		// expose pprof. The standard routes are registered explicitly so
+		// nothing else rides along on a DefaultServeMux import.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				fmt.Fprintf(os.Stderr, "cubeserver: debug listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("cubeserver: pprof and expvar on http://%s/debug/\n", *debugAddr)
 	}
 
 	hs := &http.Server{

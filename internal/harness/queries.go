@@ -5,27 +5,43 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
-	"sort"
 	"time"
 
 	"rangecube/internal/cube"
 	"rangecube/internal/parallel"
 	"rangecube/internal/server"
+	"rangecube/internal/telemetry"
 	"rangecube/internal/workload"
 )
 
 // QueriesResult is the machine-readable record of the query-serving
 // benchmark, emitted by cubebench -json as BENCH_queries.json: end-to-end
 // HTTP throughput and latency for batch sizes 1, 16 and 256 across the
-// registered engine configurations. Batch size 1 goes through GET /query;
-// larger batches through POST /query/batch.
+// registered engine configurations, plus the measured cost of the telemetry
+// layer itself. Batch size 1 goes through GET /query; larger batches
+// through POST /query/batch.
 type QueriesResult struct {
-	Shape   []int               `json:"shape"`
-	Workers int                 `json:"workers"`
-	Queries int                 `json:"queries"`
-	Engines []QueryEngineResult `json:"engines"`
+	Shape    []int               `json:"shape"`
+	Workers  int                 `json:"workers"`
+	Queries  int                 `json:"queries"`
+	Engines  []QueryEngineResult `json:"engines"`
+	Overhead *TelemetryOverhead  `json:"telemetry_overhead,omitempty"`
+}
+
+// TelemetryOverhead records the instrumentation-overhead guard: the same
+// batch-256 prefix-sum load served with telemetry recording on vs off
+// (interleaved rounds, best round kept on each side to shed scheduler
+// noise). OverheadPct is the relative QPS cost of recording; the budget is
+// <3% on this path.
+type TelemetryOverhead struct {
+	BatchSize   int     `json:"batch_size"`
+	Rounds      int     `json:"rounds"`
+	OnQPS       float64 `json:"on_qps"`
+	OffQPS      float64 `json:"off_qps"`
+	OverheadPct float64 `json:"overhead_pct"`
 }
 
 // QueryEngineResult is one server configuration's rows.
@@ -36,8 +52,11 @@ type QueryEngineResult struct {
 }
 
 // QueryBenchRun is one (engine, batch size) measurement. Latencies are
-// per-request (one request carries BatchSize queries); QPS counts queries,
-// not requests, so SpeedupVsB1 is the throughput gain of batching.
+// per-request (one request carries BatchSize queries) and are read from a
+// telemetry log2 histogram — the same estimator a live scrape of
+// cube_http_request_seconds gives an operator, so the bench numbers and the
+// production dashboards agree by construction. QPS counts queries, not
+// requests, so SpeedupVsB1 is the throughput gain of batching.
 type QueryBenchRun struct {
 	BatchSize   int     `json:"batch_size"`
 	Requests    int     `json:"requests"`
@@ -45,6 +64,7 @@ type QueryBenchRun struct {
 	TotalNS     int64   `json:"total_ns"`
 	QPS         float64 `json:"qps"`
 	P50NS       int64   `json:"p50_ns"`
+	P95NS       int64   `json:"p95_ns"`
 	P99NS       int64   `json:"p99_ns"`
 	SpeedupVsB1 float64 `json:"speedup_vs_b1"`
 }
@@ -60,7 +80,8 @@ type queryConfig struct {
 // uniform range queries per (engine, batch size) cell, sent over real HTTP
 // to an httptest server. The result quantifies what the batch endpoint is
 // for — amortizing per-request overhead (routing, JSON, admission, locking)
-// across many queries answered under one read epoch.
+// across many queries answered under one read epoch — and guards the
+// telemetry layer's cost on the hottest path.
 func Queries(n, nq int) (Table, QueriesResult) {
 	g := workload.New(2026)
 	seed := g.UniformCube([]int{n, n}, 1000)
@@ -76,8 +97,8 @@ func Queries(n, nq int) (Table, QueriesResult) {
 	res := QueriesResult{Shape: []int{n, n}, Workers: parallel.Workers(), Queries: nq}
 	tab := Table{
 		Title:   "Query serving throughput (HTTP, batch vs single)",
-		Note:    fmt.Sprintf("%d uniform range queries on a %dx%d cube; p50/p99 are per-request latencies; speedup is QPS vs batch size 1 on the same engine.", nq, n, n),
-		Headers: []string{"engine", "op", "batch", "requests", "qps", "p50 us", "p99 us", "speedup vs b=1"},
+		Note:    fmt.Sprintf("%d uniform range queries on a %dx%d cube; p50/p95/p99 are per-request latencies from the telemetry log2 histogram; speedup is QPS vs batch size 1 on the same engine.", nq, n, n),
+		Headers: []string{"engine", "op", "batch", "requests", "qps", "p50 us", "p95 us", "p99 us", "speedup vs b=1"},
 	}
 
 	regions := make([]cubeRegionSpec, nq)
@@ -91,16 +112,7 @@ func Queries(n, nq int) (Table, QueriesResult) {
 	}
 
 	for _, cfg := range configs {
-		c := cube.New(
-			cube.NewIntDimension("d0", 0, n-1),
-			cube.NewIntDimension("d1", 0, n-1),
-		)
-		copy(c.Data().Data(), seed.Data())
-		cfg.opts.Logf = func(string, ...any) {}
-		srv, err := server.NewWithOptions(c, cfg.opts)
-		if err != nil {
-			panic(fmt.Sprintf("harness: building %s server: %v", cfg.name, err))
-		}
+		srv := newBenchServer(n, seed.Data(), cfg.opts)
 		ts := httptest.NewServer(srv.Handler())
 
 		er := QueryEngineResult{Engine: cfg.name, Op: cfg.op}
@@ -117,21 +129,80 @@ func Queries(n, nq int) (Table, QueriesResult) {
 			tab.Add(cfg.name, cfg.op, bs, run.Requests,
 				fmt.Sprintf("%.0f", run.QPS),
 				fmt.Sprintf("%.1f", float64(run.P50NS)/1e3),
+				fmt.Sprintf("%.1f", float64(run.P95NS)/1e3),
 				fmt.Sprintf("%.1f", float64(run.P99NS)/1e3),
 				fmt.Sprintf("%.2fx", run.SpeedupVsB1))
 		}
 		res.Engines = append(res.Engines, er)
 		ts.Close()
 	}
+
+	res.Overhead = measureOverhead(n, seed.Data(), regions)
+	tab.Note += fmt.Sprintf(" Telemetry overhead on the batch-256 prefix-sum path: %.2f%% (on %.0f qps vs off %.0f qps, budget <3%%).",
+		res.Overhead.OverheadPct, res.Overhead.OnQPS, res.Overhead.OffQPS)
 	return tab, res
+}
+
+// newBenchServer builds one benchmark server over a fresh cube seeded with
+// the shared cell data.
+func newBenchServer(n int, cells []int64, opts server.Options) *server.Server {
+	c := cube.New(
+		cube.NewIntDimension("d0", 0, n-1),
+		cube.NewIntDimension("d1", 0, n-1),
+	)
+	copy(c.Data().Data(), cells)
+	opts.Logf = func(string, ...any) {}
+	srv, err := server.NewWithOptions(c, opts)
+	if err != nil {
+		panic(fmt.Sprintf("harness: building server: %v", err))
+	}
+	return srv
+}
+
+// measureOverhead runs the instrumentation-overhead guard: identical
+// batch-256 prefix-sum servers with telemetry on and off, the full query
+// set driven through each in alternating rounds, best round kept per side.
+// Alternation means drift (thermal, GC, scheduler) hits both sides equally;
+// best-of discards the rounds a background hiccup poisoned.
+func measureOverhead(n int, cells []int64, regions []cubeRegionSpec) *TelemetryOverhead {
+	const batchSize = 256
+	const rounds = 5
+
+	base := server.Options{BlockSize: 7, Fanout: 4, SumEngine: "prefixsum"}
+	off := base
+	off.NoTelemetry = true
+
+	tsOn := httptest.NewServer(newBenchServer(n, cells, base).Handler())
+	defer tsOn.Close()
+	tsOff := httptest.NewServer(newBenchServer(n, cells, off).Handler())
+	defer tsOff.Close()
+
+	bestOn, bestOff := math.MaxInt64, math.MaxInt64
+	for r := 0; r < rounds; r++ {
+		runOff := measureQueries(tsOff, "sum", regions, batchSize)
+		runOn := measureQueries(tsOn, "sum", regions, batchSize)
+		bestOff = min(bestOff, int(runOff.TotalNS))
+		bestOn = min(bestOn, int(runOn.TotalNS))
+	}
+
+	nq := float64(len(regions))
+	o := &TelemetryOverhead{
+		BatchSize: batchSize,
+		Rounds:    rounds,
+		OnQPS:     nq / (float64(bestOn) / 1e9),
+		OffQPS:    nq / (float64(bestOff) / 1e9),
+	}
+	o.OverheadPct = (o.OffQPS - o.OnQPS) / o.OffQPS * 100
+	return o
 }
 
 type cubeRegionSpec struct{ d0, d1 string }
 
 // measureQueries answers every region once at the given batch size and
-// returns throughput plus per-request latency percentiles. Bodies and URLs
-// are prebuilt so the timed loop measures the server, not the generator;
-// one untimed warm-up request primes the connection and any lazy state.
+// returns throughput plus per-request latency percentiles read from a
+// telemetry histogram. Bodies and URLs are prebuilt so the timed loop
+// measures the server, not the generator; one untimed warm-up request
+// primes the connection and any lazy state.
 func measureQueries(ts *httptest.Server, op string, regions []cubeRegionSpec, batchSize int) QueryBenchRun {
 	client := ts.Client()
 	run := QueryBenchRun{BatchSize: batchSize, Queries: len(regions)}
@@ -181,18 +252,19 @@ func measureQueries(ts *httptest.Server, op string, regions []cubeRegionSpec, ba
 	requests := len(urls) + len(bodies)
 	send(0) // warm-up: connection setup, first-touch allocations
 
-	lat := make([]int64, requests)
+	var lat telemetry.Histogram
 	start := time.Now()
 	for i := 0; i < requests; i++ {
 		t0 := time.Now()
 		send(i)
-		lat[i] = time.Since(t0).Nanoseconds()
+		lat.Observe(time.Since(t0).Nanoseconds())
 	}
 	run.TotalNS = time.Since(start).Nanoseconds()
 	run.Requests = requests
 	run.QPS = float64(run.Queries) / (float64(run.TotalNS) / 1e9)
-	sort.Slice(lat, func(a, b int) bool { return lat[a] < lat[b] })
-	run.P50NS = lat[len(lat)/2]
-	run.P99NS = lat[min(len(lat)-1, len(lat)*99/100)]
+	snap := lat.Snapshot()
+	run.P50NS = int64(math.Round(snap.Quantile(0.50)))
+	run.P95NS = int64(math.Round(snap.Quantile(0.95)))
+	run.P99NS = int64(math.Round(snap.Quantile(0.99)))
 	return run
 }

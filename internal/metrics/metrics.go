@@ -66,6 +66,24 @@ func (c *Counter) Total() int64 {
 	return c.Cells + c.Aux
 }
 
+// Observer receives a finished query's cost components. The telemetry layer
+// implements it to feed the live §8 cost histograms; keeping the interface
+// here (and the dependency arrow pointing at this package) lets every query
+// engine stay ignorant of how — or whether — its counts are exported.
+type Observer interface {
+	ObserveCost(cells, aux, steps int64)
+}
+
+// Publish reports c's accumulated components to obs. Either side may be
+// nil: a nil counter publishes nothing, a nil observer receives nothing, so
+// un-instrumented paths pay two nil checks.
+func (c *Counter) Publish(obs Observer) {
+	if c == nil || obs == nil {
+		return
+	}
+	obs.ObserveCost(c.Cells, c.Aux, c.Steps)
+}
+
 // Reset zeroes the counter.
 func (c *Counter) Reset() {
 	if c != nil {

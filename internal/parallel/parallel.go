@@ -36,6 +36,24 @@ const Grain = 32 * 1024
 // (and benchmarks can force the sequential one on big ones).
 var maxWorkers atomic.Int64
 
+// Pool accounting, exported via Stats for the telemetry layer. The pool is
+// fork-join with no run queue, so "queue depth" is the number of chunks
+// currently executing (activeChunks); forCalls and chunksRun are lifetime
+// totals. The sequential fallback pays exactly one atomic add per call and
+// the parallel path three more per dispatch — nothing per item.
+var (
+	forCalls     atomic.Int64 // For/ForContext invocations (both paths)
+	chunksRun    atomic.Int64 // chunks dispatched, inline chunk 0 included
+	activeChunks atomic.Int64 // chunks executing right now
+)
+
+// Stats reports the pool's lifetime dispatch counts and current occupancy:
+// calls to For/ForContext, total chunks those calls dispatched, and the
+// number of chunks executing at this instant.
+func Stats() (calls, chunks, active int64) {
+	return forCalls.Load(), chunksRun.Load(), activeChunks.Load()
+}
+
 // Workers returns the current worker budget: the SetMaxWorkers override if
 // set, otherwise runtime.GOMAXPROCS(0).
 func Workers() int {
@@ -90,11 +108,15 @@ func For(n, work int, body func(lo, hi, worker int)) int {
 	if n <= 0 {
 		return 0
 	}
+	forCalls.Add(1)
 	w := chunks(n, work)
 	if w == 1 {
 		body(0, n, 0)
 		return 1
 	}
+	chunksRun.Add(int64(w))
+	activeChunks.Add(int64(w))
+	defer activeChunks.Add(-int64(w))
 	var wg sync.WaitGroup
 	wg.Add(w - 1)
 	for k := 1; k < w; k++ {
@@ -128,6 +150,7 @@ func ForContext(ctx context.Context, n, work int, body func(lo, hi, worker int))
 	if n <= 0 {
 		return ctx.Err()
 	}
+	forCalls.Add(1)
 	// Strip length in items such that a strip is ~Grain cells of work.
 	per := work / n // cells per item, floored
 	if per < 1 {
@@ -155,6 +178,9 @@ func ForContext(ctx context.Context, n, work int, body func(lo, hi, worker int))
 	if w == 1 {
 		run(0, n, 0)
 	} else {
+		chunksRun.Add(int64(w))
+		activeChunks.Add(int64(w))
+		defer activeChunks.Add(-int64(w))
 		var wg sync.WaitGroup
 		wg.Add(w - 1)
 		for k := 1; k < w; k++ {

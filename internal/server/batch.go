@@ -44,20 +44,23 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, "query batch exceeds %d bytes", tooBig.Limit)
+			s.met.tooLarge.Inc()
+			s.writeError(w, r, http.StatusRequestEntityTooLarge, "query batch exceeds %d bytes", tooBig.Limit)
 			return
 		}
-		s.writeError(w, http.StatusBadRequest, "decoding query batch: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "decoding query batch: %v", err)
 		return
 	}
 	if len(items) == 0 {
-		s.writeError(w, http.StatusBadRequest, "empty query batch")
+		s.writeError(w, r, http.StatusBadRequest, "empty query batch")
 		return
 	}
 	if len(items) > s.opts.MaxBatchQueries {
-		s.writeError(w, http.StatusRequestEntityTooLarge, "batch of %d queries exceeds the %d-query limit", len(items), s.opts.MaxBatchQueries)
+		s.met.tooLarge.Inc()
+		s.writeError(w, r, http.StatusRequestEntityTooLarge, "batch of %d queries exceeds the %d-query limit", len(items), s.opts.MaxBatchQueries)
 		return
 	}
+	s.met.batchQueries.Observe(int64(len(items)))
 
 	// Parse every item up front; only well-formed items join the parallel
 	// evaluation (region == nil marks a dead slot). Volume drives the
@@ -107,7 +110,9 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 					// so evaluation failures degrade to an item error.
 					defer func() {
 						if p := recover(); p != nil {
-							s.logf("server: batch query %d (%s over %v) panicked: %v", i, slots[i].op, slots[i].region, p)
+							s.met.panics.Inc()
+							s.logf("server: batch query %d (%s over %v) rid=%s panicked: %v",
+								i, slots[i].op, slots[i].region, RequestIDFrom(ctx), p)
 							errs[i] = errInternal
 						}
 					}()
@@ -132,10 +137,17 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if ctxErr != nil {
-		s.writeCtxError(w, ctxErr)
+		s.writeCtxError(w, r, ctxErr)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	itemErrs := int64(0)
+	for i := range results {
+		if results[i].Error != "" {
+			itemErrs++
+		}
+	}
+	s.met.batchItemErrs.Observe(itemErrs)
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
 		"count":   len(items),
 		"results": results,
 	})

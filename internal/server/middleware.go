@@ -4,31 +4,102 @@ import (
 	"context"
 	"net/http"
 	"runtime/debug"
+	"strconv"
+	"time"
 )
 
-// statusWriter remembers whether a handler already committed a response, so
-// the panic middleware knows if a 500 can still be sent.
+// statusWriter records the committed status code and body size of a
+// response, so the outer middleware can account per-status metrics, emit
+// access-log lines, and know whether a panic can still be converted into a
+// 500. A handler that writes without an explicit WriteHeader has committed
+// an implicit 200, and that is what status() reports.
 type statusWriter struct {
 	http.ResponseWriter
-	wrote bool
+	code  int // 0 until the response is committed
+	bytes int64
 }
 
 func (sw *statusWriter) WriteHeader(status int) {
-	sw.wrote = true
+	if sw.code == 0 {
+		sw.code = status
+	}
 	sw.ResponseWriter.WriteHeader(status)
 }
 
 func (sw *statusWriter) Write(p []byte) (int, error) {
-	sw.wrote = true
-	return sw.ResponseWriter.Write(p)
+	if sw.code == 0 {
+		sw.code = http.StatusOK // implicit WriteHeader(200)
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// wrote reports whether any part of the response has been committed.
+func (sw *statusWriter) wrote() bool { return sw.code != 0 }
+
+// status returns the committed status code, or 200 for a handler that
+// returned without writing anything (net/http sends 200 on its behalf).
+func (sw *statusWriter) status() int {
+	if sw.code == 0 {
+		return http.StatusOK
+	}
+	return sw.code
+}
+
+// Flush forwards to the underlying writer when it supports streaming, so
+// wrapping a handler in telemetry does not silently break flushing.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrumented is the outermost middleware: it assigns the request its
+// correlation ID (accepting a sane client-supplied X-Request-Id, minting one
+// otherwise, echoing it on the response), wraps the writer so the final
+// status and size are observable, and records the per-route request count,
+// latency histogram, in-flight gauge and optional access-log line. Every
+// inner path — including sheds, timeouts and recovered panics — therefore
+// carries the request ID and lands in cube_http_requests_total under its
+// real status code.
+func (s *Server) instrumented(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := clientRequestID(r.Header.Get("X-Request-Id"))
+		if rid == "" {
+			rid = s.newRequestID()
+		}
+		w.Header().Set("X-Request-Id", rid)
+		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+
+		sw := &statusWriter{ResponseWriter: w}
+		path := pathLabel(r.URL.Path)
+		s.met.inflight.Inc()
+		t0 := time.Now()
+
+		next.ServeHTTP(sw, r)
+
+		dur := time.Since(t0)
+		s.met.inflight.Dec()
+		s.met.requests.With(r.Method, path, strconv.Itoa(sw.status())).Inc()
+		s.met.latency.With(path).Observe(dur.Nanoseconds())
+		if s.opts.AccessLog {
+			s.logf("access: %s %s %d %dB %s rid=%s", r.Method, r.URL.Path, sw.status(), sw.bytes, dur, rid)
+		}
+	})
 }
 
 // recovered converts a panicking handler into a logged 500 JSON response
 // instead of a torn connection — one poisoned request must not read as an
-// outage to every client sharing the connection pool.
+// outage to every client sharing the connection pool. It reuses the
+// instrumented middleware's statusWriter when present so the 500 is
+// attributed correctly.
 func (s *Server) recovered(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
+		sw, ok := w.(*statusWriter)
+		if !ok {
+			sw = &statusWriter{ResponseWriter: w}
+		}
 		defer func() {
 			v := recover()
 			if v == nil {
@@ -39,9 +110,11 @@ func (s *Server) recovered(next http.Handler) http.Handler {
 				// net/http handles it, and suppressing it would hide that.
 				panic(v)
 			}
-			s.logf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
-			if !sw.wrote {
-				s.writeError(sw, http.StatusInternalServerError, "internal error")
+			s.met.panics.Inc()
+			s.logf("server: panic serving %s %s rid=%s: %v\n%s",
+				r.Method, r.URL.Path, RequestIDFrom(r.Context()), v, debug.Stack())
+			if !sw.wrote() {
+				s.writeError(sw, r, http.StatusInternalServerError, "internal error")
 			}
 		}()
 		next.ServeHTTP(sw, r)
@@ -62,8 +135,9 @@ func (s *Server) limited(next http.Handler) http.Handler {
 			defer func() { <-s.inflight }()
 			next.ServeHTTP(w, r)
 		default:
+			s.met.shed.Inc()
 			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", cap(s.inflight))
+			s.writeError(w, r, http.StatusTooManyRequests, "server at capacity (%d in flight)", cap(s.inflight))
 		}
 	})
 }

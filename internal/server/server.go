@@ -37,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rangecube/internal/core/batchsum"
@@ -48,6 +49,7 @@ import (
 	"rangecube/internal/ndarray"
 	"rangecube/internal/persist"
 	"rangecube/internal/planner"
+	"rangecube/internal/telemetry"
 	"rangecube/internal/wal"
 )
 
@@ -106,6 +108,18 @@ type Options struct {
 	// with 413. 0 means 8 MiB.
 	MaxUpdateBytes int64
 
+	// Metrics exposes GET /metrics (Prometheus text exposition) on the
+	// serving handler. The telemetry itself is recorded either way; this
+	// only controls whether the scrape endpoint is mounted.
+	Metrics bool
+	// AccessLog emits one Logf line per served request: method, path,
+	// status, bytes, latency, request ID.
+	AccessLog bool
+	// NoTelemetry disables all metric recording (every series no-ops and
+	// /metrics is never mounted). It exists for the benchmark guard that
+	// measures instrumentation overhead; production servers leave it off.
+	NoTelemetry bool
+
 	// Logf receives operational log lines (recovery, compaction, panics).
 	// Nil means log.Printf.
 	Logf func(format string, args ...any)
@@ -156,6 +170,10 @@ type Server struct {
 
 	qlog  *queryLog    // recent query regions, input to /advise
 	cache *resultCache // epoch-invalidated result cache; nil when disabled
+
+	met       *serverMetrics // always non-nil; its primitives are nil when telemetry is off
+	ridPrefix string         // per-server random prefix for minted request IDs
+	ridSeq    atomic.Uint64  // sequence for minted request IDs
 }
 
 // New builds a purely in-memory server over the cube with the given uniform
@@ -182,6 +200,17 @@ func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 	s := &Server{opts: opts, logf: opts.Logf, cube: c}
 	s.qlog = newQueryLog(opts.QueryLogSize)
 	s.cache = newResultCache(opts.CacheSize)
+	s.ridPrefix = ridPrefix()
+
+	// Telemetry registration precedes recovery so the WAL can be wired the
+	// moment it opens. With NoTelemetry the registry is nil and every
+	// primitive below no-ops; s.met itself is always non-nil so recording
+	// sites need no branches.
+	var reg *telemetry.Registry
+	if !opts.NoTelemetry {
+		reg = telemetry.NewRegistry()
+	}
+	s.met = newServerMetrics(s, reg)
 
 	if opts.SnapshotPath != "" {
 		if err := s.loadSnapshot(); err != nil {
@@ -194,6 +223,7 @@ func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 			return nil, err
 		}
 		s.wal = l
+		l.SetMetrics(&s.met.walMet)
 		replayed := 0
 		for _, b := range batches {
 			if b.Seq <= s.seq {
@@ -323,23 +353,28 @@ func (s *Server) compactLocked() error {
 	if s.sinceSnap == 0 {
 		return nil // nothing new since the last snapshot
 	}
+	stop := s.met.snapshotNanos.Time()
 	err := persist.WriteFileAtomic(s.opts.SnapshotPath, func(w io.Writer) error {
 		return persist.WriteSnapshot(w, s.seq, s.cube.Data())
 	})
+	stop()
 	if err != nil {
 		return fmt.Errorf("server: snapshot: %w", err)
 	}
 	if err := s.wal.Reset(); err != nil {
 		return fmt.Errorf("server: truncating WAL after snapshot: %w", err)
 	}
+	s.met.compactions.Inc()
 	s.sinceSnap = 0
 	s.logf("server: snapshot %s at seq %d, WAL truncated", s.opts.SnapshotPath, s.seq)
 	return nil
 }
 
-// Handler returns the HTTP routes wrapped in the robustness middleware:
-// panic recovery outermost, then admission control and per-request
-// deadlines on the query paths.
+// Handler returns the HTTP routes wrapped in the robustness and telemetry
+// middleware: request-ID assignment and metric recording outermost, panic
+// recovery inside it, then admission control and per-request deadlines on
+// the query paths. GET /metrics (when enabled) bypasses admission control —
+// the scraper must be able to see the server precisely when it is shedding.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /schema", s.handleSchema)
@@ -351,21 +386,37 @@ func (s *Server) Handler() http.Handler {
 	// half-applied state.
 	mux.Handle("POST /update", s.limited(http.HandlerFunc(s.handleUpdate)))
 	mux.Handle("GET /advise", s.limited(http.HandlerFunc(s.handleAdvise)))
-	return s.recovered(mux)
+	if s.opts.Metrics && s.met.reg != nil {
+		mux.Handle("GET /metrics", s.met.reg.Handler())
+	}
+	return s.instrumented(s.recovered(mux))
 }
 
-func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+// Metrics returns the server's telemetry registry, or nil when telemetry is
+// disabled — for embedding the exposition somewhere other than /metrics.
+func (s *Server) Metrics() *telemetry.Registry {
+	return s.met.reg
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		// Usually the client hung up; the response cannot be repaired, but
 		// the failure should not vanish without a trace.
-		s.logf("server: encoding response: %v", err)
+		s.logf("server: encoding response rid=%s: %v", RequestIDFrom(r.Context()), err)
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeError answers with a JSON error body carrying the request's
+// correlation ID, so a client-side failure can be matched to the server-side
+// log line without shared clocks.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	if rid := RequestIDFrom(r.Context()); rid != "" {
+		body["request_id"] = rid
+	}
+	s.writeJSON(w, r, status, body)
 }
 
 // handleSchema reports the dimensions.
@@ -381,7 +432,7 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		d := s.cube.Dimension(i)
 		dims[i] = dim{Name: d.Name(), Size: d.Size(), Low: d.ValueAt(0), High: d.ValueAt(d.Size() - 1)}
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
 		"dimensions": dims,
 		"cells":      s.cube.Data().Size(),
 	})
@@ -458,7 +509,7 @@ type queryResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	region, err := s.parseRegion(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	op := r.URL.Query().Get("op")
@@ -466,7 +517,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		op = "sum"
 	}
 	if !validOp(op) {
-		s.writeError(w, http.StatusBadRequest, "unknown op %q (sum, count, avg, max, min)", op)
+		s.writeError(w, r, http.StatusBadRequest, "unknown op %q (sum, count, avg, max, min)", op)
 		return
 	}
 	s.qlog.Add(region)
@@ -475,10 +526,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp, err := s.evalCached(r.Context(), op, region)
 	s.mu.RUnlock()
 	if err != nil {
-		s.writeCtxError(w, err)
+		s.writeCtxError(w, r, err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
 // evalQuery answers one validated query. The caller must hold the read
@@ -536,6 +587,11 @@ func (s *Server) evalQuery(ctx context.Context, op string, region ndarray.Region
 		}
 	}
 	resp.Accesses = c.Total()
+	// Bridge the paper's per-query cost counter into the live §8 histograms;
+	// cache hits never reach this point, so the distributions describe real
+	// evaluation work only. The observers are pinned per op at construction,
+	// so this is three atomic histogram records, no label resolution.
+	c.Publish(s.met.costObs[op])
 	return resp, nil
 }
 
@@ -575,12 +631,13 @@ func (s *Server) evalCached(ctx context.Context, op string, region ndarray.Regio
 // writeCtxError reports an abandoned query. A deadline is the server's
 // fault (503, the client may retry); a cancellation means the client is
 // gone and the status is a formality.
-func (s *Server) writeCtxError(w http.ResponseWriter, err error) {
+func (s *Server) writeCtxError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
-		s.writeError(w, http.StatusServiceUnavailable, "query exceeded the %v deadline", s.opts.QueryTimeout)
+		s.met.timeouts.Inc()
+		s.writeError(w, r, http.StatusServiceUnavailable, "query exceeded the %v deadline", s.opts.QueryTimeout)
 		return
 	}
-	s.writeError(w, http.StatusServiceUnavailable, "query canceled: %v", err)
+	s.writeError(w, r, http.StatusServiceUnavailable, "query canceled: %v", err)
 }
 
 // updateRequest is the JSON shape of /update batches. Deltas adjust the
@@ -598,25 +655,26 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.writeError(w, http.StatusRequestEntityTooLarge, "update batch exceeds %d bytes", tooBig.Limit)
+			s.met.tooLarge.Inc()
+			s.writeError(w, r, http.StatusRequestEntityTooLarge, "update batch exceeds %d bytes", tooBig.Limit)
 			return
 		}
-		s.writeError(w, http.StatusBadRequest, "decoding update batch: %v", err)
+		s.writeError(w, r, http.StatusBadRequest, "decoding update batch: %v", err)
 		return
 	}
 	if len(req.Updates) == 0 {
-		s.writeError(w, http.StatusBadRequest, "empty update batch")
+		s.writeError(w, r, http.StatusBadRequest, "empty update batch")
 		return
 	}
 	shape := s.cube.Shape()
 	for i, u := range req.Updates {
 		if len(u.Coords) != len(shape) {
-			s.writeError(w, http.StatusBadRequest, "update %d has %d coords, want %d", i, len(u.Coords), len(shape))
+			s.writeError(w, r, http.StatusBadRequest, "update %d has %d coords, want %d", i, len(u.Coords), len(shape))
 			return
 		}
 		for j, x := range u.Coords {
 			if x < 0 || x >= shape[j] {
-				s.writeError(w, http.StatusBadRequest, "update %d out of bounds in dimension %d", i, j)
+				s.writeError(w, r, http.StatusBadRequest, "update %d out of bounds in dimension %d", i, j)
 				return
 			}
 		}
@@ -634,7 +692,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		}
 		if err := s.wal.Append(b); err != nil {
 			s.logf("server: WAL append failed: %v", err)
-			s.writeError(w, http.StatusServiceUnavailable, "update not durable: %v", err)
+			s.writeError(w, r, http.StatusServiceUnavailable, "update not durable: %v", err)
 			return
 		}
 		s.sinceSnap++
@@ -664,6 +722,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// pre-update cache entry.
 	s.cache.Flush()
 
+	s.met.updateBatches.Inc()
+	s.met.updateCells.Add(int64(len(req.Updates)))
+
 	if s.sinceSnap >= s.opts.CompactEvery {
 		if err := s.compactLocked(); err != nil {
 			// The WAL still has everything; compaction will be retried on
@@ -671,7 +732,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			s.logf("%v", err)
 		}
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"applied": len(req.Updates), "seq": s.seq})
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"applied": len(req.Updates), "seq": s.seq})
 }
 
 // handleAdvise runs the §9 planner over the accumulated query log.
@@ -680,19 +741,19 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	if v := r.URL.Query().Get("space"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil || f <= 0 {
-			s.writeError(w, http.StatusBadRequest, "bad space budget %q", v)
+			s.writeError(w, r, http.StatusBadRequest, "bad space budget %q", v)
 			return
 		}
 		space = f
 	}
 	log := s.qlog.Snapshot()
 	if len(log) == 0 {
-		s.writeError(w, http.StatusConflict, "no queries logged yet")
+		s.writeError(w, r, http.StatusConflict, "no queries logged yet")
 		return
 	}
 	p, err := planner.New(s.cube, log, space)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	type choice struct {
@@ -709,7 +770,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		}
 		choices = append(choices, choice{Dimensions: names, BlockSize: ch.BlockSize})
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
 		"queries_profiled": len(log),
 		"space_budget":     space,
 		"space_used":       p.SpaceUsed(),

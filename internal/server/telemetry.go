@@ -1,0 +1,236 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+
+	"rangecube/internal/metrics"
+	"rangecube/internal/parallel"
+	"rangecube/internal/telemetry"
+	"rangecube/internal/wal"
+)
+
+// serverMetrics is every telemetry series the serving stack records into,
+// registered once per server. With telemetry disabled (Options.NoTelemetry)
+// the registry is nil and so is every primitive below — recording through
+// them is a no-op, so the instrumented code paths are identical either way
+// and the on/off delta measured by the benchmark guard is purely the atomic
+// adds.
+//
+// Naming scheme (DESIGN.md §10): everything is prefixed cube_, units are
+// encoded in the suffix (_total for monotonic counts, _seconds, _bytes),
+// histograms record raw integers (nanoseconds, cells) and export scaled.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	// HTTP surface.
+	requests *telemetry.CounterVec   // method, path, status
+	latency  *telemetry.HistogramVec // path; nanoseconds, exported as seconds
+	inflight *telemetry.Gauge
+	shed     *telemetry.Counter // 429 from the admission semaphore
+	timeouts *telemetry.Counter // 503 from the query deadline
+	panics   *telemetry.Counter // recovered handler panics (500)
+	tooLarge *telemetry.Counter // 413 from body and batch caps
+
+	// Batch endpoint shape.
+	batchQueries  *telemetry.Histogram // queries per /query/batch request
+	batchItemErrs *telemetry.Histogram // failed items per /query/batch request
+	updateBatches *telemetry.Counter
+	updateCells   *telemetry.Counter
+	compactions   *telemetry.Counter
+	snapshotNanos *telemetry.Histogram // compaction snapshot write latency
+	walMet        wal.Metrics
+	costCells     *telemetry.HistogramVec // op, engine — the paper's §8 Cells
+	costAux       *telemetry.HistogramVec // op, engine — §8 auxiliary reads
+	costSteps     *telemetry.HistogramVec // op, engine — §8 combining steps
+
+	// costObs pins one observer per op. The engine serving each op is fixed
+	// at construction, so the label resolution (a locked map lookup in the
+	// registry) happens once here instead of three times per evaluated
+	// query — under concurrent batch evaluation that lock is hot. Nil when
+	// telemetry is off.
+	costObs map[string]metrics.Observer
+}
+
+// newServerMetrics registers the full series set. s must already hold its
+// cache and query log (their stats are exported by callback so the counts
+// are never double-accounted); the WAL is wired afterwards via walMet.
+func newServerMetrics(s *Server, reg *telemetry.Registry) *serverMetrics {
+	m := &serverMetrics{reg: reg}
+
+	m.requests = reg.CounterVec("cube_http_requests_total",
+		"HTTP requests served, by method, route and status code.",
+		"method", "path", "status")
+	m.latency = reg.HistogramVec("cube_http_request_seconds",
+		"End-to-end request latency by route.", 1e-9, "path")
+	m.inflight = reg.Gauge("cube_http_inflight",
+		"Requests currently being served.")
+	m.shed = reg.Counter("cube_http_shed_total",
+		"Requests shed with 429 by the admission semaphore.")
+	m.timeouts = reg.Counter("cube_http_timeout_total",
+		"Queries abandoned at the deadline and answered 503.")
+	m.panics = reg.Counter("cube_http_panic_total",
+		"Handler panics recovered into 500 responses.")
+	m.tooLarge = reg.Counter("cube_http_too_large_total",
+		"Requests rejected with 413 (body or batch over the cap).")
+
+	m.batchQueries = reg.Histogram("cube_batch_queries",
+		"Queries carried per /query/batch request.", 1)
+	m.batchItemErrs = reg.Histogram("cube_batch_item_errors",
+		"Failed items per /query/batch request.", 1)
+
+	m.updateBatches = reg.Counter("cube_update_batches_total",
+		"Update batches applied.")
+	m.updateCells = reg.Counter("cube_update_cells_total",
+		"Cell deltas applied across all update batches.")
+	m.compactions = reg.Counter("cube_wal_compactions_total",
+		"Snapshot-then-truncate compactions completed.")
+	m.snapshotNanos = reg.Histogram("cube_snapshot_seconds",
+		"Latency of writing one compaction snapshot.", 1e-9)
+
+	m.walMet = wal.Metrics{
+		AppendBytes: reg.Counter("cube_wal_append_bytes_total",
+			"Durable bytes appended to the write-ahead log."),
+		AppendBatches: reg.Counter("cube_wal_append_batches_total",
+			"Batches appended to the write-ahead log."),
+		FsyncSeconds: reg.Histogram("cube_wal_fsync_seconds",
+			"Latency of the fsync that commits each WAL append.", 1e-9),
+		Resets: reg.Counter("cube_wal_resets_total",
+			"WAL truncations back to the header after a snapshot."),
+	}
+
+	// The paper's §8 cost model, live: every evaluated query feeds its
+	// Cells/Aux/Steps into per-op, per-engine histograms, so a scrape shows
+	// the measured cost distribution of the running workload — the numbers
+	// Table 1 and Figure 11 report offline.
+	m.costCells = reg.HistogramVec("cube_query_cost_cells",
+		"Data-cube cells read per query (§8 cost model).", 1, "op", "engine")
+	m.costAux = reg.HistogramVec("cube_query_cost_aux",
+		"Auxiliary precomputed entries read per query (§8 cost model).", 1, "op", "engine")
+	m.costSteps = reg.HistogramVec("cube_query_cost_steps",
+		"Combining operations per query (§8 cost model).", 1, "op", "engine")
+	if reg != nil {
+		m.costObs = make(map[string]metrics.Observer, 5)
+		for _, op := range []string{"sum", "count", "avg", "max", "min"} {
+			eng := s.engineLabel(op)
+			m.costObs[op] = costObserver{
+				cells: m.costCells.With(op, eng),
+				aux:   m.costAux.With(op, eng),
+				steps: m.costSteps.With(op, eng),
+			}
+		}
+	}
+
+	// Sources that keep their own counts are exported by callback — the
+	// cache and pool numbers exist whether or not telemetry is on, and a
+	// callback cannot drift from them.
+	reg.CounterFunc("cube_cache_hits_total",
+		"Result-cache hits.", func() int64 { h, _, _, _ := s.cache.Stats(); return int64(h) })
+	reg.CounterFunc("cube_cache_misses_total",
+		"Result-cache misses.", func() int64 { _, mi, _, _ := s.cache.Stats(); return int64(mi) })
+	reg.CounterFunc("cube_cache_evictions_total",
+		"Result-cache LRU evictions.", func() int64 { _, _, e, _ := s.cache.Stats(); return int64(e) })
+	reg.CounterFunc("cube_cache_flushes_total",
+		"Result-cache wholesale flushes (one per applied update batch).",
+		func() int64 { _, _, _, f := s.cache.Stats(); return int64(f) })
+	reg.GaugeFunc("cube_cache_entries",
+		"Result-cache entries currently held.", func() int64 { return int64(s.cache.Len()) })
+	reg.GaugeFunc("cube_advise_log_entries",
+		"Query regions held in the /advise ring buffer.", func() int64 { return int64(s.qlog.Len()) })
+
+	reg.CounterFunc("cube_parallel_for_total",
+		"Fork-join dispatches on the worker pool (including inline runs).",
+		func() int64 { c, _, _ := parallel.Stats(); return c })
+	reg.CounterFunc("cube_parallel_chunks_total",
+		"Chunks dispatched across all pool runs.",
+		func() int64 { _, c, _ := parallel.Stats(); return c })
+	reg.GaugeFunc("cube_parallel_active_chunks",
+		"Chunks executing on the pool right now (the pool has no queue; this is its depth).",
+		func() int64 { _, _, a := parallel.Stats(); return a })
+
+	reg.GaugeFunc("cube_server_seq",
+		"Sequence number of the last applied update batch.",
+		func() int64 { return int64(s.Seq()) })
+	return m
+}
+
+// costObserver bridges one query's metrics.Counter into the §8 histograms.
+type costObserver struct {
+	cells, aux, steps *telemetry.Histogram
+}
+
+func (o costObserver) ObserveCost(cells, aux, steps int64) {
+	o.cells.Observe(cells)
+	o.aux.Observe(aux)
+	o.steps.Observe(steps)
+}
+
+// engineLabel names the structure that answered op, the "engine" dimension
+// of the cost histograms.
+func (s *Server) engineLabel(op string) string {
+	switch op {
+	case "sum", "avg":
+		return s.opts.SumEngine
+	case "max":
+		return "maxtree"
+	case "min":
+		return "mintree"
+	default: // count is answered from the region geometry alone
+		return "volume"
+	}
+}
+
+// pathLabel buckets a request path into the fixed route set so the path
+// label stays low-cardinality no matter what clients probe for.
+func pathLabel(p string) string {
+	switch p {
+	case "/schema", "/query", "/query/batch", "/update", "/advise", "/metrics":
+		return p
+	}
+	return "other"
+}
+
+// ridKey is the context key the request ID travels under.
+type ridKey struct{}
+
+// RequestIDFrom returns the request's correlation ID, or "" outside the
+// middleware (direct handler tests).
+func RequestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey{}).(string)
+	return rid
+}
+
+// clientRequestID returns a client-supplied X-Request-Id if it is sane —
+// bounded length, characters that cannot corrupt a log line or a JSON
+// string — and "" otherwise.
+func clientRequestID(v string) string {
+	if v == "" || len(v) > 64 {
+		return ""
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == ':':
+		default:
+			return ""
+		}
+	}
+	return v
+}
+
+// newRequestID mints a process-unique correlation ID: a random per-server
+// prefix plus a sequence number, cheap enough for every request and unique
+// across restarts without coordination.
+func (s *Server) newRequestID() string {
+	return s.ridPrefix + strconv.FormatUint(s.ridSeq.Add(1), 10)
+}
+
+// ridPrefix generates the per-server random prefix.
+func ridPrefix() string {
+	var b [4]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b[:]) + "-"
+}

@@ -1,0 +1,357 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rangecube/internal/cube"
+)
+
+// metricsTestServer builds a fully featured server — WAL, snapshot, cache,
+// admission limit, metrics endpoint — over a small cube.
+func metricsTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	c := cube.New(
+		cube.NewIntDimension("age", 1, 50),
+		cube.NewIntDimension("year", 1990, 1999),
+	)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		if err := c.Add(int64(rng.Intn(100)), 1+rng.Intn(50), 1990+rng.Intn(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	s, err := NewWithOptions(c, Options{
+		BlockSize:    5,
+		Fanout:       4,
+		WALPath:      filepath.Join(dir, "updates.wal"),
+		SnapshotPath: filepath.Join(dir, "cube.snap"),
+		CacheSize:    32,
+		MaxInflight:  8,
+		Metrics:      true,
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// seriesValue returns the value of the first sample line whose name matches
+// exactly (histogram series match their _bucket/_sum/_count children) and
+// whose label block contains labelSubstr, or -1 when absent.
+func seriesValue(body, name, labelSubstr string) float64 {
+	for _, line := range strings.Split(body, "\n") {
+		if !strings.HasPrefix(line, name) {
+			continue
+		}
+		rest := line[len(name):]
+		if rest == "" || (rest[0] != ' ' && rest[0] != '{' && !strings.HasPrefix(rest, "_bucket") &&
+			!strings.HasPrefix(rest, "_sum") && !strings.HasPrefix(rest, "_count")) {
+			continue // a longer metric name sharing the prefix
+		}
+		if labelSubstr != "" && !strings.Contains(rest, labelSubstr) {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return -1
+		}
+		return v
+	}
+	return -1
+}
+
+// TestMetricsEndToEnd drives a mixed load — queries (repeated, so the cache
+// hits), a batch with one poisoned item, an update through the WAL — then
+// scrapes /metrics and asserts every required series is present with a sane
+// value: per-endpoint request accounting, the live §8 cost histograms,
+// cache counters and WAL fsync latency.
+func TestMetricsEndToEnd(t *testing.T) {
+	_, ts := metricsTestServer(t)
+
+	get := func(path string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+	post := func(path, body string, wantStatus int) {
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("POST %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+	}
+
+	for i := 0; i < 5; i++ {
+		get("/query?op=sum&age=3..40&year=1991..1997") // identical: 4 cache hits
+	}
+	get("/query?op=max&age=10..30")
+	get("/query?op=min&year=1992..1995")
+	get("/query?op=count&age=5..9")
+	post("/query/batch", `[{"op":"sum","select":{"age":"1..20"}},{"op":"bogus"}]`, http.StatusOK)
+	post("/update", `{"updates":[{"coords":[0,0],"delta":5}]}`, http.StatusOK)
+
+	body := scrape(t, ts)
+
+	// Required series with a minimum sane value. Histograms are checked via
+	// their _count child, so presence implies a complete exposition.
+	checks := []struct {
+		name, labels string
+		min          float64
+	}{
+		{"cube_http_requests_total", `path="/query"`, 8},
+		{"cube_http_requests_total", `path="/update"`, 1},
+		{"cube_http_request_seconds_count", `path="/query"`, 8},
+		{"cube_query_cost_cells_count", `op="sum",engine="prefixsum"`, 1},
+		{"cube_query_cost_aux_count", `op="max",engine="maxtree"`, 1},
+		{"cube_query_cost_steps_count", `op="sum"`, 1},
+		{"cube_cache_hits_total", "", 4},
+		{"cube_cache_misses_total", "", 1},
+		{"cube_cache_flushes_total", "", 1},
+		{"cube_wal_fsync_seconds_count", "", 1},
+		{"cube_wal_append_bytes_total", "", 1},
+		{"cube_update_batches_total", "", 1},
+		{"cube_update_cells_total", "", 1},
+		{"cube_batch_queries_count", "", 1},
+		{"cube_batch_item_errors_sum", "", 1}, // the bogus op failed its slot
+		{"cube_server_seq", "", 1},
+	}
+	for _, c := range checks {
+		if got := seriesValue(body, c.name, c.labels); got < c.min {
+			t.Errorf("series %s{%s} = %v, want >= %v", c.name, c.labels, got, c.min)
+		}
+	}
+	if strings.Contains(body, "NaN") || strings.Contains(body, "Inf ") {
+		t.Errorf("exposition contains NaN/Inf sample values:\n%s", body)
+	}
+	// The WAL fsync histogram must report real time: a positive sum.
+	if sum := seriesValue(body, "cube_wal_fsync_seconds_sum", ""); sum <= 0 {
+		t.Errorf("cube_wal_fsync_seconds_sum = %v, want > 0", sum)
+	}
+	// The cached answers must not have fed the cost histograms: 5 identical
+	// sum queries = 1 evaluation.
+	if got := seriesValue(body, "cube_query_cost_cells_count", `op="sum",engine="prefixsum"`); got >= 5 {
+		t.Errorf("cost histogram saw %v sum evaluations; cache hits must not record cost", got)
+	}
+}
+
+// TestRequestIDPropagation: a sane client ID is accepted and echoed; a
+// missing or hostile one is replaced with a minted ID; error bodies carry
+// the ID for correlation.
+func TestRequestIDPropagation(t *testing.T) {
+	_, ts := metricsTestServer(t)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/query?op=sum&age=1..5", nil)
+	req.Header.Set("X-Request-Id", "client-abc.123")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "client-abc.123" {
+		t.Errorf("sane client ID not echoed: got %q", got)
+	}
+
+	req, _ = http.NewRequest("GET", ts.URL+"/query?op=sum&age=1..5", nil)
+	req.Header.Set("X-Request-Id", `evil" label{;`)
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got == `evil" label{;` || got == "" {
+		t.Errorf("hostile client ID must be replaced, got %q", got)
+	}
+
+	// An error response carries the request ID in its body.
+	req, _ = http.NewRequest("GET", ts.URL+"/query?op=bogus&age=1..5", nil)
+	req.Header.Set("X-Request-Id", "corr-42")
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if out.RequestID != "corr-42" {
+		t.Errorf("error body request_id = %q, want corr-42", out.RequestID)
+	}
+	if out.Error == "" {
+		t.Errorf("error body missing error text")
+	}
+}
+
+// TestStatusWriterCapturesCode: the per-status accounting sees the real
+// committed code — an explicit error status, and the implicit 200 of a
+// handler that only writes a body.
+func TestStatusWriterCapturesCode(t *testing.T) {
+	_, ts := metricsTestServer(t)
+
+	get := func(path string) int {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/query?op=bogus"); got != http.StatusBadRequest {
+		t.Fatalf("bogus op: status %d", got)
+	}
+	get("/schema")
+
+	body := scrape(t, ts)
+	if got := seriesValue(body, "cube_http_requests_total", `status="400"`); got < 1 {
+		t.Errorf("no 400 accounted in cube_http_requests_total: %v", got)
+	}
+	if got := seriesValue(body, "cube_http_requests_total", `path="/schema",status="200"`); got < 1 {
+		t.Errorf("implicit 200 not accounted: %v", got)
+	}
+}
+
+// TestStatusWriterForwardsFlush: wrapping must not hide the Flusher
+// capability from handlers that stream.
+func TestStatusWriterForwardsFlush(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	var _ http.Flusher = sw // compile-time: statusWriter implements Flusher
+	sw.Write([]byte("x"))
+	sw.Flush()
+	if !rec.Flushed {
+		t.Fatal("Flush not forwarded to the underlying writer")
+	}
+	if sw.status() != http.StatusOK {
+		t.Fatalf("implicit status = %d, want 200", sw.status())
+	}
+	if sw.bytes != 1 {
+		t.Fatalf("bytes = %d, want 1", sw.bytes)
+	}
+}
+
+// TestShedAccounting: requests shed by the admission semaphore land in
+// cube_http_shed_total and cube_http_requests_total{status="429"}, and the
+// shed response still carries a request ID.
+func TestShedAccounting(t *testing.T) {
+	c := cube.New(cube.NewIntDimension("age", 1, 10))
+	for i := 1; i <= 10; i++ {
+		if err := c.Add(1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	block := make(chan struct{})
+	holding := make(chan struct{})
+	s, err := NewWithOptions(c, Options{
+		BlockSize:   2,
+		Fanout:      2,
+		MaxInflight: 1,
+		Metrics:     true,
+		Logf:        func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the only slot with a handler that signals arrival, then parks
+	// until released.
+	occupied := s.limited(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(holding)
+		<-block
+		w.WriteHeader(http.StatusOK)
+	}))
+	mux := http.NewServeMux()
+	mux.Handle("/park", occupied)
+	mux.Handle("/query", s.limited(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	if s.met.reg != nil {
+		mux.Handle("/metrics", s.met.reg.Handler())
+	}
+	ts := httptest.NewServer(s.instrumented(s.recovered(mux)))
+	defer ts.Close()
+
+	parked := make(chan struct{})
+	go func() {
+		resp, err := ts.Client().Get(ts.URL + "/park")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		close(parked)
+	}()
+
+	// Once the parked handler holds the only slot, any further request must
+	// shed deterministically.
+	<-holding
+	resp, err := ts.Client().Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	rid := resp.Header.Get("X-Request-Id")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("contended request: status %d, want 429", resp.StatusCode)
+	}
+	if rid == "" {
+		t.Error("shed response missing X-Request-Id")
+	}
+	close(block)
+	<-parked
+
+	body := scrape(t, ts)
+	if got := seriesValue(body, "cube_http_shed_total", ""); got < 1 {
+		t.Errorf("cube_http_shed_total = %v, want >= 1", got)
+	}
+	if got := seriesValue(body, "cube_http_requests_total", `status="429"`); got < 1 {
+		t.Errorf("no 429 accounted in cube_http_requests_total: %v", got)
+	}
+}

@@ -1,0 +1,104 @@
+// Package telemetry is the runtime metrics core of the serving stack: atomic
+// counters and gauges, lock-free log2-bucketed histograms, and a registry
+// that renders the Prometheus text exposition format — all from the standard
+// library, so every other package in this repository can depend on it
+// without pulling anything in.
+//
+// The paper evaluates its algorithms by "the number of elements required to
+// answer the query" (§8); internal/metrics accounts that cost per query.
+// This package is what makes those numbers — and the operational health of
+// the WAL/shedding/caching machinery around them — observable on a live
+// server rather than only in offline benches.
+//
+// Concurrency model: every primitive is safe for concurrent use and every
+// hot-path operation is a single atomic add (histograms: two). Histogram
+// state is pure integer counts, so Merge is associative and commutative and
+// a parallel run's totals are bit-identical to a sequential run's — the same
+// determinism contract the kernel counters in internal/metrics follow.
+//
+// Nil receivers are valid everywhere and record nothing, mirroring
+// metrics.Counter: a server built with telemetry disabled passes nil
+// primitives around and pays one nil check per event.
+package telemetry
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is a caller bug and is ignored).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the gauge by n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Timer measures one operation's duration into a histogram. Usage:
+//
+//	defer h.Time()()
+//
+// or stop := h.Time(); ...; stop(). A nil histogram returns a no-op stop.
+func (h *Histogram) Time() func() {
+	if h == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { h.Observe(time.Since(t0).Nanoseconds()) }
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

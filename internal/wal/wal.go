@@ -29,6 +29,9 @@ import (
 	"io"
 	"math"
 	"os"
+	"time"
+
+	"rangecube/internal/telemetry"
 )
 
 const (
@@ -203,13 +206,34 @@ func Scan(r io.Reader) (batches []Batch, valid int64, err error) {
 	}
 }
 
+// Metrics carries the optional telemetry hooks a Log reports into. All
+// fields may be nil (telemetry primitives no-op on nil receivers), and a nil
+// *Metrics disables accounting entirely — the default for logs opened
+// outside a server.
+type Metrics struct {
+	// AppendBytes counts durable bytes appended (frame + payload), and
+	// AppendBatches the batches they carried.
+	AppendBytes   *telemetry.Counter
+	AppendBatches *telemetry.Counter
+	// FsyncSeconds observes the latency of each successful appending fsync
+	// in nanoseconds (export with scale 1e-9).
+	FsyncSeconds *telemetry.Histogram
+	// Resets counts snapshot-driven truncations back to the header.
+	Resets *telemetry.Counter
+}
+
 // Log is an open write-ahead log file positioned for appends.
 type Log struct {
 	f       *os.File
 	path    string
 	size    int64 // committed length; the file never holds more durable bytes
 	lastSeq uint64
+	met     *Metrics
 }
+
+// SetMetrics installs telemetry hooks; pass nil to disable. Not safe to
+// call concurrently with Append.
+func (l *Log) SetMetrics(m *Metrics) { l.met = m }
 
 // Open opens (or creates) the log at path, recovers its committed prefix,
 // truncates any torn tail, and returns the recovered batches for replay.
@@ -290,10 +314,16 @@ func (l *Log) Append(b Batch) error {
 		l.f.Seek(l.size, io.SeekStart)
 		return err
 	}
+	t0 := time.Now()
 	if err := l.f.Sync(); err != nil {
 		l.f.Truncate(l.size)
 		l.f.Seek(l.size, io.SeekStart)
 		return err
+	}
+	if l.met != nil {
+		l.met.FsyncSeconds.Observe(time.Since(t0).Nanoseconds())
+		l.met.AppendBytes.Add(int64(frameSize + len(payload)))
+		l.met.AppendBatches.Inc()
 	}
 	l.size += int64(frameSize + len(payload))
 	l.lastSeq = b.Seq
@@ -315,6 +345,9 @@ func (l *Log) Reset() error {
 		return err
 	}
 	l.size = headerSize
+	if l.met != nil {
+		l.met.Resets.Inc()
+	}
 	return nil
 }
 
