@@ -39,7 +39,7 @@ func writeJSON(enabled bool, path string, rec any) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, figure1, figure11, figure12, figure13, figure14, paging, bounds, theorem3, rangesum, rangemax, update, sparse, kernels, queries)")
+	exp := flag.String("exp", "all", "experiment id (all, figure1, figure11, figure12, figure13, figure14, paging, bounds, theorem3, rangesum, rangemax, update, sparse, kernels, queries, ingest)")
 	quick := flag.Bool("quick", false, "smaller sizes, skip measured Figure 11 columns")
 	jsonOut := flag.Bool("json", false, "write machine-readable results (kernels -> BENCH_kernels.json)")
 	flag.Parse()
@@ -79,6 +79,15 @@ func main() {
 			}
 			tab, rec := harness.Queries(n/2, nq)
 			writeJSON(*jsonOut, "BENCH_queries.json", rec)
+			return tab
+		}},
+		{"ingest", func() harness.Table {
+			writers, per := 64, 96
+			if *quick {
+				writers, per = 16, 8
+			}
+			tab, rec := harness.Ingest(16, writers, per)
+			writeJSON(*jsonOut, "BENCH_ingest.json", rec)
 			return tab
 		}},
 	}

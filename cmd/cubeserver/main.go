@@ -19,6 +19,14 @@
 // pre-crash state. SIGINT/SIGTERM drain in-flight requests, checkpoint, and
 // exit cleanly.
 //
+// Updates flow through an ingestion pipeline (-ingest-queue): concurrent
+// /update writers are coalesced through the §5 update model and committed
+// as one WAL batch with one fsync per group. -ingest-durability picks the
+// default acknowledgment (sync = 200 after the group's fsync, async = 202
+// at enqueue; a later sync ack implies every earlier async submission
+// committed), overridable per request with ?durability=; a full queue
+// sheds with 429.
+//
 // Observability: -metrics (default on) mounts GET /metrics with the
 // Prometheus text exposition — per-route latency histograms, shed/timeout
 // counters, cache and WAL series, and the paper's §8 cost histograms per op
@@ -71,6 +79,9 @@ func run() error {
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 = none)")
 	cacheSize := flag.Int("cache-size", 0, "result cache entries, flushed on every update batch (0 = caching off)")
 	sumEngine := flag.String("sum-engine", "prefixsum", "structure answering range sums: prefixsum or blocked")
+	ingestQueue := flag.Int("ingest-queue", 256, "ingestion pipeline queue depth; concurrent /update writers group-commit with one fsync per flushed group (0 = commit per request)")
+	ingestMaxWait := flag.Duration("ingest-max-wait", 0, "how long the flusher holds an under-filled group open for more writers (0 = commit as soon as the queue is momentarily empty)")
+	ingestDurability := flag.String("ingest-durability", "sync", "default /update ack mode: sync (200 after the group fsync) or async (202 at enqueue); clients override per request with ?durability=")
 	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 	metrics := flag.Bool("metrics", true, "serve the Prometheus exposition at GET /metrics")
 	accessLog := flag.Bool("access-log", false, "log one line per request (method, path, status, bytes, latency, request ID)")
@@ -106,6 +117,10 @@ func run() error {
 		SumEngine:    *sumEngine,
 		Metrics:      *metrics,
 		AccessLog:    *accessLog,
+
+		IngestQueue:      *ingestQueue,
+		IngestMaxWait:    *ingestMaxWait,
+		IngestDurability: *ingestDurability,
 	})
 	if err != nil {
 		return err

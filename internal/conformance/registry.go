@@ -71,6 +71,14 @@ func DefaultSumEngines() []SumFactory {
 		// The epoch-invalidated result cache: hits must be bit-identical to
 		// recomputation across every interleaved update and recovery.
 		serverSum("server/cached", false, func(o *server.Options) { o.CacheSize = 64 }),
+		// The async ingestion pipeline: updates coalesce through the §5
+		// update-class machinery and group-commit in one WAL fsync. Sync
+		// acks keep the harness's update→query ordering, so the coalesced
+		// answers must stay bit-identical to the naive oracle.
+		serverSum("server/async", false, func(o *server.Options) {
+			o.IngestQueue = 128
+			o.IngestDurability = "sync"
+		}),
 	}
 }
 

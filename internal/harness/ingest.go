@@ -1,0 +1,239 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"rangecube/internal/ingest"
+	"rangecube/internal/server"
+	"rangecube/internal/telemetry"
+	"rangecube/internal/workload"
+)
+
+// IngestResult is the machine-readable record of the ingestion benchmark,
+// emitted by cubebench -json as BENCH_ingest.json: durable update
+// throughput for the per-request commit path versus the group-commit
+// pipeline at 1 and many concurrent writers, in both durability modes.
+// The two acceptance numbers are SpeedupVsDirect (>=10x at full
+// concurrency on a pipeline row) and FsyncsPerUpdate (<0.1 there: one
+// fsync amortized over 10+ acked updates).
+//
+// Writers drive the server's commit path in process (Server.SubmitUpdates)
+// rather than over HTTP: on small machines per-request HTTP+JSON handling
+// costs more CPU than the fsync being amortized, so an HTTP loop measures
+// the transport, not the pipeline. The queries experiment covers the HTTP
+// surface.
+type IngestResult struct {
+	Shape     []int              `json:"shape"`
+	PerWriter int                `json:"updates_per_writer"`
+	Modes     []IngestModeResult `json:"modes"`
+}
+
+// IngestModeResult is one (commit path, durability, writer count) row.
+// P50/P95 are per-update acknowledgment latencies: commit wait for sync
+// writers, enqueue time for async ones.
+type IngestModeResult struct {
+	Mode            string  `json:"mode"` // direct/sync, group/sync, group/async
+	Writers         int     `json:"writers"`
+	MaxWaitNS       int64   `json:"max_wait_ns"`
+	Updates         int     `json:"updates"`
+	TotalNS         int64   `json:"total_ns"`
+	UpdatesPerSec   float64 `json:"updates_per_sec"`
+	P50NS           int64   `json:"p50_ns"`
+	P95NS           int64   `json:"p95_ns"`
+	Fsyncs          uint64  `json:"fsyncs"`
+	FsyncsPerUpdate float64 `json:"fsyncs_per_update"`
+	SpeedupVsDirect float64 `json:"speedup_vs_direct"` // vs direct/sync at the same writer count
+}
+
+// ingestMode is one benchmarked configuration.
+type ingestMode struct {
+	name    string
+	writers int
+	queue   int // 0 = direct per-request commits
+	maxWait time.Duration
+	async   bool
+}
+
+// Ingest measures durable update ingestion on an n×n cube with a WAL
+// attached: every sync ack means the update survived an fsync; async acks
+// at enqueue and the run ends with a sync barrier so the clock covers the
+// whole durable drain. The direct path pays one fsync per submission; the
+// pipeline coalesces concurrent writers into group commits, so its fsync
+// count is the number of flushed groups — the §5 update-class batching
+// applied to durability. Sync pipeline writers block for their group's
+// commit, so a small MaxWait holds groups open long enough for all of
+// them to join; async writers outrun the flusher and form groups
+// naturally. Writer count and per-writer volume come from the caller so
+// -quick can shrink the run.
+func Ingest(n, writers, perWriter int) (Table, IngestResult) {
+	g := workload.New(909)
+	seed := g.UniformCube([]int{n, n}, 1000)
+
+	modes := []ingestMode{
+		{"direct/sync", 1, 0, 0, false},
+		{"direct/sync", writers, 0, 0, false},
+		{"group/sync", writers, 4 * writers, 500 * time.Microsecond, false},
+		{"group/async", writers, 16 * writers, 0, true},
+	}
+
+	res := IngestResult{Shape: []int{n, n}, PerWriter: perWriter}
+	tab := Table{
+		Title: "Durable update ingestion: per-request fsync vs group commit",
+		Note: fmt.Sprintf("%d point updates per writer through the in-process commit path, WAL fsync per commit; "+
+			"group modes coalesce concurrent writers into one fsync per flushed group; "+
+			"async acks at enqueue and ends with a sync barrier; p50/p95 are per-update ack latencies; "+
+			"speedup is vs direct/sync at the same writer count.", perWriter),
+		Headers: []string{"mode", "writers", "updates", "upd/s", "p50 us", "p95 us", "fsyncs", "fsync/upd", "speedup"},
+	}
+
+	directQPS := map[int]float64{}
+	for _, m := range modes {
+		run := measureIngest(n, seed.Data(), m, perWriter)
+		if m.queue == 0 {
+			directQPS[m.writers] = run.UpdatesPerSec
+		}
+		if base := directQPS[m.writers]; base > 0 {
+			run.SpeedupVsDirect = run.UpdatesPerSec / base
+		}
+		res.Modes = append(res.Modes, run)
+		tab.Add(run.Mode, run.Writers, run.Updates,
+			fmt.Sprintf("%.0f", run.UpdatesPerSec),
+			fmt.Sprintf("%.1f", float64(run.P50NS)/1e3),
+			fmt.Sprintf("%.1f", float64(run.P95NS)/1e3),
+			run.Fsyncs,
+			fmt.Sprintf("%.4f", run.FsyncsPerUpdate),
+			fmt.Sprintf("%.2fx", run.SpeedupVsDirect))
+	}
+	return tab, res
+}
+
+// measureIngest drives one configuration: a fresh WAL-backed server, the
+// writers hammering SubmitUpdates concurrently with single-point
+// submissions, wall clock over the whole durable drain. Fsyncs are read
+// as the committed sequence number delta — with no compaction every
+// committed batch is exactly one WAL append and one fsync.
+func measureIngest(n int, cells []int64, m ingestMode, perWriter int) IngestModeResult {
+	dir, err := os.MkdirTemp("", "cubebench-ingest-*")
+	if err != nil {
+		panic(fmt.Sprintf("harness: temp dir: %v", err))
+	}
+	defer os.RemoveAll(dir)
+
+	opts := server.Options{
+		BlockSize:        7,
+		Fanout:           4,
+		WALPath:          filepath.Join(dir, "updates.wal"),
+		CompactEvery:     1 << 30,
+		IngestQueue:      m.queue,
+		IngestMaxWait:    m.maxWait,
+		IngestDurability: "sync",
+	}
+	srv := newBenchServer(n, cells, opts)
+	defer srv.Close()
+
+	// Pre-build every submission: deltas strictly positive so no group can
+	// coalesce to zero (every update must reach the WAL), coordinates
+	// spread by a seeded generator.
+	rng := rand.New(rand.NewSource(int64(7000 + m.writers + m.queue)))
+	subs := make([][][]ingest.Update, m.writers)
+	for w := range subs {
+		subs[w] = make([][]ingest.Update, perWriter)
+		for i := range subs[w] {
+			subs[w][i] = []ingest.Update{{
+				Coords: []int{rng.Intn(n), rng.Intn(n)},
+				Delta:  int64(rng.Intn(50) + 1),
+			}}
+		}
+	}
+
+	submitSync := func(ups []ingest.Update) error {
+		ack, err := srv.SubmitUpdates(ups, true)
+		if err != nil {
+			return err
+		}
+		if r := <-ack; r.Err != nil {
+			panic(fmt.Sprintf("harness: commit failed: %v", r.Err))
+		}
+		return nil
+	}
+
+	// Warm-up outside the timed window: pools, first-touch allocations.
+	if err := submitSync([]ingest.Update{{Coords: []int{0, 0}, Delta: 1}}); err != nil {
+		panic(fmt.Sprintf("harness: warm-up: %v", err))
+	}
+	seq0 := srv.Seq()
+
+	lats := make([]telemetry.Histogram, m.writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < m.writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, ups := range subs[w] {
+				for {
+					t0 := time.Now()
+					var err error
+					if m.async {
+						_, err = srv.SubmitUpdates(ups, false)
+					} else {
+						err = submitSync(ups)
+					}
+					if errors.Is(err, ingest.ErrQueueFull) {
+						time.Sleep(50 * time.Microsecond) // shed; back off and retry
+						continue
+					}
+					if err != nil {
+						panic(fmt.Sprintf("harness: submit: %v", err))
+					}
+					lats[w].Observe(time.Since(t0).Nanoseconds())
+					break
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.async {
+		// The async drain isn't done until a sync barrier commits behind
+		// the queued tail; durable throughput must include that wait.
+		for {
+			err := submitSync([]ingest.Update{{Coords: []int{0, 0}, Delta: 1}})
+			if errors.Is(err, ingest.ErrQueueFull) {
+				time.Sleep(50 * time.Microsecond)
+				continue
+			}
+			if err != nil {
+				panic(fmt.Sprintf("harness: sync barrier: %v", err))
+			}
+			break
+		}
+	}
+	total := time.Since(start).Nanoseconds()
+
+	var lat telemetry.Histogram
+	for w := range lats {
+		lat.Merge(&lats[w])
+	}
+	snap := lat.Snapshot()
+	updates := m.writers * perWriter
+	run := IngestModeResult{
+		Mode:          m.name,
+		Writers:       m.writers,
+		MaxWaitNS:     m.maxWait.Nanoseconds(),
+		Updates:       updates,
+		TotalNS:       total,
+		UpdatesPerSec: float64(updates) / (float64(total) / 1e9),
+		P50NS:         int64(math.Round(snap.Quantile(0.50))),
+		P95NS:         int64(math.Round(snap.Quantile(0.95))),
+		Fsyncs:        srv.Seq() - seq0,
+	}
+	run.FsyncsPerUpdate = float64(run.Fsyncs) / float64(updates)
+	return run
+}

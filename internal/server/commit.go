@@ -1,0 +1,189 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"rangecube/internal/core/batchsum"
+	"rangecube/internal/core/maxtree"
+	"rangecube/internal/ingest"
+	"rangecube/internal/wal"
+)
+
+// The flush path converts each committed group into three structure-update
+// slices (WAL batch, §5 prefix-sum deltas, §7 max/min reassignments). None
+// of the consumers retain the slices past the call — wal.Append encodes
+// synchronously, batchsum copies before re-sorting, maxtree dedups into its
+// own carried list — so the backing arrays are pooled instead of allocated
+// fresh per batch.
+var (
+	walUpsPool = sync.Pool{New: func() any { return new([]wal.Update) }}
+	sumUpsPool = sync.Pool{New: func() any { return new([]batchsum.IntUpdate) }}
+	maxUpsPool = sync.Pool{New: func() any { return new([]maxtree.PointUpdate[int64]) }}
+)
+
+// SubmitUpdates feeds validated point updates straight into the ingestion
+// path, bypassing HTTP — the embedded-use API the benchmark harness
+// drives. With sync=true the returned channel delivers exactly one Result
+// after the group's durable commit; with sync=false (which requires the
+// pipeline) the updates are acknowledged by enqueue and the channel is
+// nil. A full queue returns ingest.ErrQueueFull; the caller should back
+// off and retry. Coordinates are not bounds-checked here: out-of-range
+// coords panic in the commit path, exactly like a direct structure update.
+func (s *Server) SubmitUpdates(ups []ingest.Update, sync bool) (<-chan ingest.Result, error) {
+	if s.batcher == nil {
+		if !sync {
+			return nil, errors.New("server: async submission requires the ingestion pipeline (IngestQueue > 0)")
+		}
+		enq := time.Now()
+		seq, err := s.commitGroups([][]ingest.Update{ups})
+		ack := make(chan ingest.Result, 1)
+		done := time.Now()
+		ack <- ingest.Result{Seq: seq, Enqueued: enq, Flushed: enq, Committed: done, Err: err}
+		return ack, nil
+	}
+	ack, _, err := s.batcher.Submit(ups, sync)
+	if err != nil {
+		return nil, err
+	}
+	return ack, nil
+}
+
+// cellDelta is one coalesced update: the net value-to-add for a single
+// cell after merging every duplicate coordinate in the group.
+type cellDelta struct {
+	coords []int
+	delta  int64
+}
+
+// commitGroups is the single commit point for update ingestion — the
+// batcher's CommitFunc, and (wrapped in a one-element group) the direct
+// per-request path. It coalesces the group through the §5 update model,
+// appends one WAL batch with one fsync, applies everything to the
+// prefix-sum, blocked, max and min structures under one write-lock epoch,
+// and returns the committed sequence number.
+//
+// Coalescing merges duplicate coordinates additively (the §5
+// value-to-add form is order-independent, so concurrent writers' deltas
+// fold freely) and drops cells whose net delta is zero. A group that
+// coalesces to nothing commits nothing: no WAL record, no sequence bump,
+// no cache flush, no max/min-tree walk — the acked sequence is simply the
+// current one, which recovery reproduces exactly because nothing was
+// logged.
+func (s *Server) commitGroups(groups [][]ingest.Update) (uint64, error) {
+	raw := 0
+	for _, g := range groups {
+		raw += len(g)
+	}
+	// Offsets depend only on the cube's immutable shape/strides, so the
+	// coalescing pass runs outside the lock.
+	a := s.cube.Data()
+	byOff := make(map[int]int, raw)
+	cells := make([]cellDelta, 0, raw)
+	for _, g := range groups {
+		for i := range g {
+			off := a.Offset(g[i].Coords...)
+			if j, ok := byOff[off]; ok {
+				cells[j].delta += g[i].Delta
+			} else {
+				byOff[off] = len(cells)
+				cells = append(cells, cellDelta{coords: g[i].Coords, delta: g[i].Delta})
+			}
+		}
+	}
+	live := cells[:0]
+	for _, c := range cells {
+		if c.delta != 0 {
+			live = append(live, c)
+		}
+	}
+	if raw > 0 {
+		den := len(live)
+		if den == 0 {
+			den = 1
+		}
+		s.met.coalesceRatio.Observe(int64(raw) * 100 / int64(den))
+	}
+
+	if len(live) == 0 {
+		s.mu.RLock()
+		seq := s.seq
+		s.mu.RUnlock()
+		return seq, nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq, err := s.applyLocked(live)
+	if err != nil {
+		return 0, err
+	}
+	s.met.updateBatches.Inc()
+	s.met.updateCells.Add(int64(raw))
+	return seq, nil
+}
+
+// applyLocked durably commits one coalesced batch. The caller holds the
+// write lock; on a WAL failure nothing has been applied and the sequence
+// is unchanged.
+func (s *Server) applyLocked(cells []cellDelta) (uint64, error) {
+	// Durability first: the batch must be on disk before any structure
+	// sees it, so a crash between here and the end of the commit replays
+	// it instead of losing it. One Append is one fsync for the whole
+	// group — the amortization the pipeline exists for.
+	if s.wal != nil {
+		wupsP := walUpsPool.Get().(*[]wal.Update)
+		wups := (*wupsP)[:0]
+		for _, c := range cells {
+			wups = append(wups, wal.Update{Coords: c.coords, Delta: c.delta})
+		}
+		err := s.wal.Append(wal.Batch{Seq: s.seq + 1, Updates: wups})
+		*wupsP = wups[:0]
+		walUpsPool.Put(wupsP)
+		if err != nil {
+			return 0, err
+		}
+		s.sinceSnap++
+	}
+	s.seq++
+
+	bupsP := sumUpsPool.Get().(*[]batchsum.IntUpdate)
+	bups := (*bupsP)[:0]
+	for _, c := range cells {
+		bups = append(bups, batchsum.IntUpdate{Coords: c.coords, Delta: c.delta})
+	}
+	// The prefix-sum index holds its own P; the blocked index additionally
+	// applies the deltas to the shared cube cells (§5.2).
+	batchsum.ApplyInt(s.sum, bups, nil)
+	batchsum.ApplyBlockedInt(s.blk, bups, nil)
+	*bupsP = bups[:0]
+	sumUpsPool.Put(bupsP)
+
+	// The max/min trees share that cube, which now holds the final values:
+	// feed those values through the §7 protocol (re-assigning a cell its
+	// current value is a no-op on A but repairs the tree nodes).
+	mupsP := maxUpsPool.Get().(*[]maxtree.PointUpdate[int64])
+	mups := (*mupsP)[:0]
+	for _, c := range cells {
+		mups = append(mups, maxtree.PointUpdate[int64]{Coords: c.coords, Value: s.cube.Data().At(c.coords...)})
+	}
+	s.max.BatchUpdate(mups, nil)
+	s.min.BatchUpdate(mups, nil)
+	*mupsP = mups[:0]
+	maxUpsPool.Put(mupsP)
+
+	// Invalidate every cached answer before the batch is acknowledged:
+	// the write lock is held, so no reader can observe the new cells with
+	// a pre-update cache entry.
+	s.cache.Flush()
+
+	if s.sinceSnap >= s.opts.CompactEvery {
+		if err := s.compactLocked(); err != nil {
+			// The WAL still has everything; compaction will be retried on
+			// the next batch.
+			s.logf("%v", err)
+		}
+	}
+	return s.seq, nil
+}

@@ -40,11 +40,11 @@ import (
 	"sync/atomic"
 	"time"
 
-	"rangecube/internal/core/batchsum"
 	"rangecube/internal/core/blocked"
 	"rangecube/internal/core/maxtree"
 	"rangecube/internal/core/prefixsum"
 	"rangecube/internal/cube"
+	"rangecube/internal/ingest"
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
 	"rangecube/internal/persist"
@@ -108,6 +108,28 @@ type Options struct {
 	// with 413. 0 means 8 MiB.
 	MaxUpdateBytes int64
 
+	// IngestQueue, when > 0, enables the async ingestion pipeline: /update
+	// writers enqueue into a bounded group-commit batcher (this many
+	// pending submissions) and a single flusher coalesces each drained
+	// group through the §5 update-class machinery, appends one WAL batch
+	// with one fsync, and applies it under one write-lock epoch. A full
+	// queue sheds writers with 429. 0 keeps the direct per-request path.
+	IngestQueue int
+	// IngestMaxBatch caps the point updates gathered into one flushed
+	// group. 0 means 4096.
+	IngestMaxBatch int
+	// IngestMaxWait is how long the flusher holds an under-filled group
+	// open for more arrivals. 0 commits as soon as the queue is
+	// momentarily empty — batches then form naturally while a commit's
+	// fsync is in flight, adding no idle latency.
+	IngestMaxWait time.Duration
+	// IngestDurability is the default /update acknowledgment mode:
+	// "sync" (ack after the group's WAL fsync; the default) or "async"
+	// (ack 202 at enqueue; a crash before the flush loses the update).
+	// Writers may override per request with ?durability=. Only meaningful
+	// with IngestQueue > 0.
+	IngestDurability string
+
 	// Metrics exposes GET /metrics (Prometheus text exposition) on the
 	// serving handler. The telemetry itself is recorded either way; this
 	// only controls whether the scrape endpoint is mounted.
@@ -141,6 +163,12 @@ func (o Options) withDefaults() Options {
 	if o.SumEngine == "" {
 		o.SumEngine = "prefixsum"
 	}
+	if o.IngestMaxBatch <= 0 {
+		o.IngestMaxBatch = 4096
+	}
+	if o.IngestDurability == "" {
+		o.IngestDurability = "sync"
+	}
 	if o.Logf == nil {
 		o.Logf = log.Printf
 	}
@@ -165,6 +193,8 @@ type Server struct {
 	wal       *wal.Log // nil when WALPath is empty
 	seq       uint64   // sequence number of the last applied batch
 	sinceSnap int      // batches logged since the last snapshot
+
+	batcher *ingest.Batcher // nil when IngestQueue is 0 (direct commits)
 
 	inflight chan struct{} // admission semaphore; nil when unlimited
 
@@ -196,6 +226,9 @@ func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 	opts = opts.withDefaults()
 	if opts.SumEngine != "prefixsum" && opts.SumEngine != "blocked" {
 		return nil, fmt.Errorf("server: unknown sum engine %q (prefixsum, blocked)", opts.SumEngine)
+	}
+	if opts.IngestDurability != "sync" && opts.IngestDurability != "async" {
+		return nil, fmt.Errorf("server: unknown ingest durability %q (sync, async)", opts.IngestDurability)
 	}
 	s := &Server{opts: opts, logf: opts.Logf, cube: c}
 	s.qlog = newQueryLog(opts.QueryLogSize)
@@ -252,6 +285,18 @@ func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 
 	if opts.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInflight)
+	}
+	if opts.IngestQueue > 0 {
+		// The batcher starts only after recovery so its commits never race
+		// the replay; its flusher is the sole caller of commitGroups when
+		// enabled.
+		s.batcher = ingest.New(ingest.Options{
+			QueueSize: opts.IngestQueue,
+			MaxBatch:  opts.IngestMaxBatch,
+			MaxWait:   opts.IngestMaxWait,
+			Commit:    s.commitGroups,
+			Metrics:   &s.met.ingestMet,
+		})
 	}
 	return s, nil
 }
@@ -326,9 +371,14 @@ func (s *Server) Checkpoint() error {
 	return s.compactLocked()
 }
 
-// Close checkpoints if possible and releases the WAL file. The server must
-// not serve requests afterwards.
+// Close drains the ingestion pipeline, checkpoints if possible and
+// releases the WAL file. The server must not serve requests afterwards.
 func (s *Server) Close() error {
+	if s.batcher != nil {
+		// Stop before taking the lock: the drain commits queued groups,
+		// and each commit needs the write lock itself.
+		s.batcher.Stop()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
@@ -649,6 +699,23 @@ type updateRequest struct {
 	} `json:"updates"`
 }
 
+// updateResponse is the JSON shape of /update acknowledgments. The three
+// pipeline fields decompose ingestion latency for sync writers: when the
+// submission entered the queue, how long it waited for its group's flush,
+// and how long the group commit (coalesce + WAL fsync + apply) took.
+type updateResponse struct {
+	Applied    int    `json:"applied"`
+	Seq        uint64 `json:"seq"`
+	Durability string `json:"durability,omitempty"`
+	// Enqueued means the batch was accepted but not yet committed — the
+	// async-mode acknowledgment; Seq is 0 and the committed sequence is
+	// only observable later (e.g. via cube_server_seq).
+	Enqueued       bool  `json:"enqueued,omitempty"`
+	EnqueuedUnixNS int64 `json:"enqueued_unix_ns,omitempty"`
+	QueueWaitNS    int64 `json:"queue_wait_ns,omitempty"`
+	CommitNS       int64 `json:"commit_ns,omitempty"`
+}
+
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUpdateBytes)
 	var req updateRequest
@@ -679,60 +746,69 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	// Durability first: the batch must be on disk before any structure sees
-	// it, so a crash between here and the end of the handler replays it
-	// instead of losing it.
-	if s.wal != nil {
-		b := wal.Batch{Seq: s.seq + 1, Updates: make([]wal.Update, len(req.Updates))}
-		for i, u := range req.Updates {
-			b.Updates[i] = wal.Update{Coords: u.Coords, Delta: u.Delta}
+	mode := s.opts.IngestDurability
+	if v := r.URL.Query().Get("durability"); v != "" {
+		if v != "sync" && v != "async" {
+			s.writeError(w, r, http.StatusBadRequest, "unknown durability %q (sync, async)", v)
+			return
 		}
-		if err := s.wal.Append(b); err != nil {
+		mode = v
+	}
+	ups := make([]ingest.Update, len(req.Updates))
+	for i, u := range req.Updates {
+		ups[i] = ingest.Update{Coords: u.Coords, Delta: u.Delta}
+	}
+
+	if s.batcher == nil {
+		if mode == "async" {
+			s.writeError(w, r, http.StatusBadRequest, "async durability requires the ingestion pipeline (IngestQueue > 0)")
+			return
+		}
+		seq, err := s.commitGroups([][]ingest.Update{ups})
+		if err != nil {
 			s.logf("server: WAL append failed: %v", err)
 			s.writeError(w, r, http.StatusServiceUnavailable, "update not durable: %v", err)
 			return
 		}
-		s.sinceSnap++
+		s.writeJSON(w, r, http.StatusOK, updateResponse{Applied: len(ups), Seq: seq, Durability: "sync"})
+		return
 	}
-	s.seq++
 
-	bups := make([]batchsum.IntUpdate, len(req.Updates))
-	for i, u := range req.Updates {
-		bups[i] = batchsum.IntUpdate{Coords: u.Coords, Delta: u.Delta}
+	ack, enq, err := s.batcher.Submit(ups, mode == "sync")
+	switch {
+	case errors.Is(err, ingest.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, r, http.StatusTooManyRequests, "ingest queue full, retry later")
+		return
+	case errors.Is(err, ingest.ErrClosed):
+		s.writeError(w, r, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case err != nil:
+		s.writeError(w, r, http.StatusServiceUnavailable, "enqueue failed: %v", err)
+		return
 	}
-	// The prefix-sum index holds its own P; the blocked index additionally
-	// applies the deltas to the shared cube cells (§5.2).
-	batchsum.ApplyInt(s.sum, bups, nil)
-	batchsum.ApplyBlockedInt(s.blk, bups, nil)
-	// The max/min trees share that cube, which now holds the final values:
-	// feed those values through the §7 protocol (re-assigning a cell its
-	// current value is a no-op on A but repairs the tree nodes).
-	maxUps := make([]maxtree.PointUpdate[int64], len(req.Updates))
-	for i, u := range req.Updates {
-		maxUps[i] = maxtree.PointUpdate[int64]{Coords: u.Coords, Value: s.cube.Data().At(u.Coords...)}
+	if mode == "async" {
+		// Acknowledge at enqueue: the batch will commit in FIFO order, but
+		// a crash before its group's fsync loses it — that is the contract
+		// the client chose.
+		s.writeJSON(w, r, http.StatusAccepted, updateResponse{
+			Applied: len(ups), Durability: "async",
+			Enqueued: true, EnqueuedUnixNS: enq.UnixNano(),
+		})
+		return
 	}
-	s.max.BatchUpdate(maxUps, nil)
-	s.min.BatchUpdate(maxUps, nil)
-
-	// Invalidate every cached answer before the batch is acknowledged:
-	// the write lock is held, so no reader can observe the new cells with a
-	// pre-update cache entry.
-	s.cache.Flush()
-
-	s.met.updateBatches.Inc()
-	s.met.updateCells.Add(int64(len(req.Updates)))
-
-	if s.sinceSnap >= s.opts.CompactEvery {
-		if err := s.compactLocked(); err != nil {
-			// The WAL still has everything; compaction will be retried on
-			// the next batch.
-			s.logf("%v", err)
-		}
+	res := <-ack
+	if res.Err != nil {
+		s.logf("server: group commit failed: %v", res.Err)
+		s.writeError(w, r, http.StatusServiceUnavailable, "update not durable: %v", res.Err)
+		return
 	}
-	s.writeJSON(w, r, http.StatusOK, map[string]any{"applied": len(req.Updates), "seq": s.seq})
+	s.writeJSON(w, r, http.StatusOK, updateResponse{
+		Applied: len(ups), Seq: res.Seq, Durability: "sync",
+		EnqueuedUnixNS: res.Enqueued.UnixNano(),
+		QueueWaitNS:    res.Flushed.Sub(res.Enqueued).Nanoseconds(),
+		CommitNS:       res.Committed.Sub(res.Flushed).Nanoseconds(),
+	})
 }
 
 // handleAdvise runs the §9 planner over the accumulated query log.

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"strconv"
 
+	"rangecube/internal/ingest"
 	"rangecube/internal/metrics"
 	"rangecube/internal/parallel"
 	"rangecube/internal/telemetry"
@@ -42,6 +43,13 @@ type serverMetrics struct {
 	compactions   *telemetry.Counter
 	snapshotNanos *telemetry.Histogram // compaction snapshot write latency
 	walMet        wal.Metrics
+
+	// Ingestion pipeline: the batcher records its own series through
+	// ingestMet; coalesceRatio is recorded by the commit path (which owns
+	// the coalescing) as raw updates per surviving coalesced update, in
+	// percent (100 = nothing merged, 400 = 4 raw updates per cell).
+	ingestMet     ingest.Metrics
+	coalesceRatio *telemetry.Histogram
 	costCells     *telemetry.HistogramVec // op, engine — the paper's §8 Cells
 	costAux       *telemetry.HistogramVec // op, engine — §8 auxiliary reads
 	costSteps     *telemetry.HistogramVec // op, engine — §8 combining steps
@@ -89,6 +97,30 @@ func newServerMetrics(s *Server, reg *telemetry.Registry) *serverMetrics {
 		"Snapshot-then-truncate compactions completed.")
 	m.snapshotNanos = reg.Histogram("cube_snapshot_seconds",
 		"Latency of writing one compaction snapshot.", 1e-9)
+
+	// Ingestion pipeline. cube_ingest_batch_updates doubles as the fsync
+	// amortization distribution: with a WAL attached every flushed group
+	// is exactly one fsync, so the histogram reads "updates per fsync".
+	m.ingestMet = ingest.Metrics{
+		Enqueued: reg.Counter("cube_ingest_enqueued_total",
+			"Update submissions accepted into the ingest queue."),
+		Rejected: reg.Counter("cube_ingest_rejected_total",
+			"Update submissions shed with 429 on a full ingest queue."),
+		Flushes: reg.Counter("cube_ingest_flushes_total",
+			"Groups flushed by the ingest batcher (one WAL fsync each)."),
+		BatchUpdates: reg.Histogram("cube_ingest_batch_updates",
+			"Point updates per flushed group (updates amortized per WAL fsync).", 1),
+		BatchRequests: reg.Histogram("cube_ingest_batch_requests",
+			"Writer submissions per flushed group.", 1),
+		QueueDelayNanos: reg.Histogram("cube_ingest_queue_delay_seconds",
+			"Time from enqueue to the submission's group flush.", 1e-9),
+		CommitNanos: reg.Histogram("cube_ingest_commit_seconds",
+			"Group commit latency: coalesce, WAL append + fsync, apply.", 1e-9),
+		Depth: reg.Gauge("cube_ingest_queue_depth",
+			"Submissions waiting in the ingest queue."),
+	}
+	m.coalesceRatio = reg.Histogram("cube_ingest_coalesce_ratio",
+		"Raw updates per surviving coalesced cell delta, in percent (100 = no duplicates merged).", 0.01)
 
 	m.walMet = wal.Metrics{
 		AppendBytes: reg.Counter("cube_wal_append_bytes_total",

@@ -21,7 +21,6 @@
 package wal
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,6 +28,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync"
 	"time"
 
 	"rangecube/internal/telemetry"
@@ -68,6 +68,13 @@ type Batch struct {
 // validates batches against the cube shape before logging, so a failure
 // here means a caller bug.
 func EncodeBatch(b Batch) ([]byte, error) {
+	return appendBatch(nil, b)
+}
+
+// appendBatch encodes the batch payload onto dst (appending, so callers on
+// the hot path can reuse one buffer across batches instead of allocating
+// per append).
+func appendBatch(dst []byte, b Batch) ([]byte, error) {
 	if len(b.Updates) == 0 {
 		return nil, errors.New("wal: empty batch")
 	}
@@ -75,10 +82,9 @@ func EncodeBatch(b Batch) ([]byte, error) {
 	if dims < 1 || dims > maxDims {
 		return nil, fmt.Errorf("wal: %d-dimensional update", dims)
 	}
-	var buf bytes.Buffer
-	binary.Write(&buf, binary.LittleEndian, b.Seq)
-	binary.Write(&buf, binary.LittleEndian, uint16(dims))
-	binary.Write(&buf, binary.LittleEndian, uint32(len(b.Updates)))
+	dst = binary.LittleEndian.AppendUint64(dst, b.Seq)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(dims))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Updates)))
 	for _, u := range b.Updates {
 		if len(u.Coords) != dims {
 			return nil, fmt.Errorf("wal: mixed dimensionality %d vs %d", len(u.Coords), dims)
@@ -87,11 +93,11 @@ func EncodeBatch(b Batch) ([]byte, error) {
 			if x < math.MinInt32 || x > math.MaxInt32 {
 				return nil, fmt.Errorf("wal: coordinate %d overflows int32", x)
 			}
-			binary.Write(&buf, binary.LittleEndian, int32(x))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(int32(x)))
 		}
-		binary.Write(&buf, binary.LittleEndian, u.Delta)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(u.Delta))
 	}
-	return buf.Bytes(), nil
+	return dst, nil
 }
 
 // DecodeBatch parses a record payload. The payload length must match the
@@ -296,6 +302,12 @@ func (l *Log) LastSeq() uint64 { return l.lastSeq }
 // Size returns the committed length of the log file in bytes.
 func (l *Log) Size() int64 { return l.size }
 
+// recordPool recycles the framed-record buffers Append builds, so the
+// group-commit flush path encodes each batch with zero steady-state
+// allocation. Records are (frame + payload) built in one slice and written
+// with one Write, preserving the torn-tail recovery semantic.
+var recordPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // Append encodes, writes and fsyncs one batch. It returns only after the
 // batch is durable; on any error the file is truncated back to its last
 // committed length so a failed append cannot leave a torn record for a
@@ -304,15 +316,32 @@ func (l *Log) Append(b Batch) error {
 	if b.Seq <= l.lastSeq {
 		return fmt.Errorf("wal: sequence %d not after %d", b.Seq, l.lastSeq)
 	}
-	payload, err := EncodeBatch(b)
+	recP := recordPool.Get().(*[]byte)
+	rec := *recP
+	if cap(rec) < frameSize {
+		rec = make([]byte, frameSize, 512)
+	}
+	rec, err := appendBatch(rec[:frameSize], b)
 	if err != nil {
+		recordPool.Put(recP)
 		return err
 	}
-	if err := AppendRecord(l.f, payload); err != nil {
+	*recP = rec[:0] // keep the (possibly grown) backing array for reuse
+	defer recordPool.Put(recP)
+	payloadLen := len(rec) - frameSize
+	if payloadLen > maxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", payloadLen)
+	}
+	binary.LittleEndian.PutUint32(rec[0:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(rec[frameSize:], castagnoli))
+	if n, werr := l.f.Write(rec); werr != nil || n < len(rec) {
+		if werr == nil {
+			werr = io.ErrShortWrite
+		}
 		// Best effort: restore the committed-prefix invariant on disk.
 		l.f.Truncate(l.size)
 		l.f.Seek(l.size, io.SeekStart)
-		return err
+		return werr
 	}
 	t0 := time.Now()
 	if err := l.f.Sync(); err != nil {
@@ -322,10 +351,10 @@ func (l *Log) Append(b Batch) error {
 	}
 	if l.met != nil {
 		l.met.FsyncSeconds.Observe(time.Since(t0).Nanoseconds())
-		l.met.AppendBytes.Add(int64(frameSize + len(payload)))
+		l.met.AppendBytes.Add(int64(len(rec)))
 		l.met.AppendBatches.Inc()
 	}
-	l.size += int64(frameSize + len(payload))
+	l.size += int64(len(rec))
 	l.lastSeq = b.Seq
 	return nil
 }
