@@ -6,7 +6,7 @@
 //	cubebench -exp figure11 -quick  # skip the measured columns / shrink sizes
 //
 // Experiments: figure1, figure11, figure12, figure13, figure14, theorem3,
-// rangesum, rangemax, update, sparse, kernels, queries.
+// rangesum, rangemax, update, sparse, kernels, queries, ingest, chaos.
 //
 // With -json, the kernels and queries experiments additionally write their
 // timing records to BENCH_kernels.json / BENCH_queries.json in the current
@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rangecube/internal/harness"
 )
@@ -39,7 +40,7 @@ func writeJSON(enabled bool, path string, rec any) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, figure1, figure11, figure12, figure13, figure14, paging, bounds, theorem3, rangesum, rangemax, update, sparse, kernels, queries, ingest)")
+	exp := flag.String("exp", "all", "experiment id (all, figure1, figure11, figure12, figure13, figure14, paging, bounds, theorem3, rangesum, rangemax, update, sparse, kernels, queries, ingest, chaos)")
 	quick := flag.Bool("quick", false, "smaller sizes, skip measured Figure 11 columns")
 	jsonOut := flag.Bool("json", false, "write machine-readable results (kernels -> BENCH_kernels.json)")
 	flag.Parse()
@@ -88,6 +89,22 @@ func main() {
 			}
 			tab, rec := harness.Ingest(16, writers, per)
 			writeJSON(*jsonOut, "BENCH_ingest.json", rec)
+			return tab
+		}},
+		{"chaos", func() harness.Table {
+			dur := 3 * time.Second
+			if *quick {
+				dur = 500 * time.Millisecond
+			}
+			tab, rec := harness.Chaos(12, 4, 3, dur)
+			writeJSON(*jsonOut, "BENCH_chaos.json", rec)
+			if len(rec.Failures) > 0 {
+				tab.Fprint(os.Stdout)
+				for _, f := range rec.Failures {
+					fmt.Fprintf(os.Stderr, "cubebench: chaos invariant violated: %s\n", f)
+				}
+				os.Exit(1)
+			}
 			return tab
 		}},
 	}

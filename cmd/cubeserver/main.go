@@ -27,6 +27,16 @@
 // committed), overridable per request with ?durability=; a full queue
 // sheds with 429.
 //
+// Storage faults do not kill the server: a WAL append that fails is rewound
+// and retried once; if the log cannot be repaired it is poisoned and the
+// server degrades to read-only — queries keep serving, updates shed with
+// 503 + Retry-After — while a background probe (-degraded-probe) rebuilds
+// durability from a fresh snapshot and WAL, then re-admits writes. GET
+// /healthz answers 200 whenever the process serves queries; GET /readyz
+// answers 200 only when updates are accepted too (degraded or draining →
+// 503), which is the endpoint load balancers and orchestrator readiness
+// gates should watch.
+//
 // Observability: -metrics (default on) mounts GET /metrics with the
 // Prometheus text exposition — per-route latency histograms, shed/timeout
 // counters, cache and WAL series, and the paper's §8 cost histograms per op
@@ -56,7 +66,9 @@ import (
 	"time"
 
 	"rangecube/internal/cube"
+	"rangecube/internal/faultio"
 	"rangecube/internal/server"
+	"rangecube/internal/wal"
 )
 
 func main() {
@@ -86,6 +98,8 @@ func run() error {
 	metrics := flag.Bool("metrics", true, "serve the Prometheus exposition at GET /metrics")
 	accessLog := flag.Bool("access-log", false, "log one line per request (method, path, status, bytes, latency, request ID)")
 	debugAddr := flag.String("debug-addr", "", "separate listener for /debug/pprof and /debug/vars (off when empty)")
+	degradedProbe := flag.Duration("degraded-probe", time.Second, "how often a poisoned WAL triggers a storage-recovery attempt while degraded (negative = probe off)")
+	chaosWAL := flag.String("chaos-wal", "", "TESTING ONLY: inject WAL fsync faults, as after:count — let AFTER syncs succeed, then fail the next COUNT (requires -wal)")
 	flag.Parse()
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "cubeserver: -data is required (generate one with cubegen)")
@@ -105,7 +119,7 @@ func run() error {
 		return err
 	}
 
-	srv, err := server.NewWithOptions(c, server.Options{
+	opts := server.Options{
 		BlockSize:    *block,
 		Fanout:       *fanout,
 		WALPath:      *walPath,
@@ -121,7 +135,28 @@ func run() error {
 		IngestQueue:      *ingestQueue,
 		IngestMaxWait:    *ingestMaxWait,
 		IngestDurability: *ingestDurability,
-	})
+
+		DegradedProbe: *degradedProbe,
+	}
+	if *chaosWAL != "" {
+		// Testing hook for CI's degraded-mode smoke: the WAL's backing file
+		// answers to a fault injector armed to fail a burst of fsyncs after a
+		// warm-up, driving the live server through poison → degraded →
+		// probe-recovery without any real disk misbehavior.
+		if *walPath == "" {
+			return errors.New("-chaos-wal requires -wal")
+		}
+		var after, count int
+		if _, err := fmt.Sscanf(*chaosWAL, "%d:%d", &after, &count); err != nil || after < 0 || count <= 0 {
+			return fmt.Errorf("-chaos-wal %q: want AFTER:COUNT with COUNT > 0", *chaosWAL)
+		}
+		inj := faultio.NewInjector()
+		inj.ArmSyncs(after, count, faultio.ErrIO)
+		opts.WALOpenFile = func(p string) (wal.File, error) { return inj.Open(p) }
+		fmt.Fprintf(os.Stderr, "cubeserver: CHAOS: WAL will fail %d fsyncs after the next %d succeed\n", count, after)
+	}
+
+	srv, err := server.NewWithOptions(c, opts)
 	if err != nil {
 		return err
 	}
@@ -171,7 +206,8 @@ func run() error {
 	}
 
 	fmt.Println("cubeserver: draining…")
-	stop() // a second signal kills immediately instead of waiting out the drain
+	srv.SetDraining(true) // /readyz flips 503 so load balancers stop routing here
+	stop()                // a second signal kills immediately instead of waiting out the drain
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {

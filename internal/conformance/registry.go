@@ -79,6 +79,22 @@ func DefaultSumEngines() []SumFactory {
 			o.IngestQueue = 128
 			o.IngestDurability = "sync"
 		}),
+		// The serving stack on a misbehaving disk: periodic injected WAL
+		// faults (inline-repaired and poisoning alike) with degraded-mode
+		// recovery in between — every acknowledged write must still match
+		// the oracle bit for bit.
+		{Name: "server/faulty-wal", New: func(env Env, a *ndarray.Array[int64]) (SumEngine, error) {
+			dir, cleanup, err := env.tempDir()
+			if err != nil {
+				return nil, err
+			}
+			e, err := newFaultyWalVariant(a, dir)
+			if err != nil {
+				cleanup()
+				return nil, err
+			}
+			return &cleanupEngine{SumEngine: e, cleanup: cleanup}, nil
+		}},
 	}
 }
 

@@ -9,11 +9,14 @@ import (
 	"net/http/httptest"
 	"net/url"
 	"path/filepath"
+	"time"
 
 	"rangecube/internal/core/batchsum"
 	"rangecube/internal/cube"
+	"rangecube/internal/faultio"
 	"rangecube/internal/ndarray"
 	"rangecube/internal/server"
+	"rangecube/internal/wal"
 )
 
 // serverEngine drives the full serving stack over HTTP: cube model, WAL,
@@ -217,4 +220,70 @@ func (e *serverEngine) Checkpoint() error {
 func (e *serverEngine) Close() error {
 	e.ts.Close()
 	return e.srv.Close()
+}
+
+// faultyWalEngine is the serving stack on a misbehaving disk: its WAL file
+// answers to a fault injector that fires on a fixed cadence — a repairable
+// single-fsync fault every 4th update batch (healed inline, invisible to
+// the oracle) and an unrepairable burst every 9th (poisoning the log,
+// flipping the server degraded, and forcing the background probe to rebuild
+// durability). Apply does not return until the batch is genuinely acked, so
+// differential agreement certifies that every acknowledged write — across
+// inline repairs, shed windows and degraded-mode recoveries — matches the
+// naive oracle, and Checkpoint additionally proves the recovery artifacts
+// survive a crash.
+type faultyWalEngine struct {
+	*serverEngine
+	inj     *faultio.Injector
+	applies int
+}
+
+func newFaultyWalVariant(a *ndarray.Array[int64], dir string) (SumEngine, error) {
+	inj := faultio.NewInjector()
+	base, err := newServerVariant(a, dir, "server/faulty-wal", false, func(o *server.Options) {
+		o.WALOpenFile = func(p string) (wal.File, error) { return inj.Open(p) }
+		o.DegradedProbe = 2 * time.Millisecond
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &faultyWalEngine{serverEngine: base.(*serverEngine), inj: inj}, nil
+}
+
+func (e *faultyWalEngine) Apply(batch []batchsum.IntUpdate) error {
+	e.applies++
+	switch {
+	case e.applies%9 == 0:
+		// A burst the rewind-and-retry path cannot clear; the leftover
+		// budget also fails the probe's first recovery attempts, so the
+		// retry loop below exercises repeated recovery failures too.
+		e.inj.FailSyncs(8, faultio.ErrIO)
+	case e.applies%4 == 0:
+		e.inj.FailSyncs(1, faultio.ErrNoSpace)
+	}
+	err := e.serverEngine.Apply(batch)
+	if err == nil {
+		return nil
+	}
+	// Shed (degraded 503): the batch was never applied, so re-submitting
+	// cannot double-apply. Wait out the probe's recovery and retry until
+	// the write is acked — only acked writes enter the oracle.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if !e.srv.Degraded() {
+			if err = e.serverEngine.Apply(batch); err == nil {
+				return nil
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("faulty-wal engine: update never acked: %w", err)
+}
+
+// Checkpoint heals the disk before the simulated crash: a leftover fault
+// budget would fail the recovery boot, which is a different scenario (a
+// disk still broken across restart) than the one this engine certifies.
+func (e *faultyWalEngine) Checkpoint() error {
+	e.inj.Clear()
+	return e.serverEngine.Checkpoint()
 }

@@ -186,6 +186,10 @@ func (b *Batcher) Submit(updates []Update, sync bool) (<-chan Result, time.Time,
 	}
 }
 
+// Depth reports the submissions currently waiting in the queue — the
+// number the HTTP layer turns into a Retry-After hint when shedding.
+func (b *Batcher) Depth() int { return len(b.ch) }
+
 // Stop rejects new submissions, drains and commits everything already
 // queued, and waits for the flusher to exit. Safe to call more than once.
 func (b *Batcher) Stop() {

@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -32,6 +33,13 @@ var (
 // off and retry. Coordinates are not bounds-checked here: out-of-range
 // coords panic in the commit path, exactly like a direct structure update.
 func (s *Server) SubmitUpdates(ups []ingest.Update, sync bool) (<-chan ingest.Result, error) {
+	if s.degraded.Load() {
+		reason := ""
+		if v, ok := s.degradedReason.Load().(string); ok {
+			reason = ": " + v
+		}
+		return nil, fmt.Errorf("%w%s", ErrDegraded, reason)
+	}
 	if s.batcher == nil {
 		if !sync {
 			return nil, errors.New("server: async submission requires the ingestion pipeline (IngestQueue > 0)")
@@ -117,6 +125,15 @@ func (s *Server) commitGroups(groups [][]ingest.Update) (uint64, error) {
 	defer s.mu.Unlock()
 	seq, err := s.applyLocked(live)
 	if err != nil {
+		// The error fans out to every sync writer in the group via their
+		// acks; log it too so async writers' losses are never silent.
+		s.logf("server: group commit failed (seq stays %d): %v", s.seq, err)
+		if errors.Is(err, wal.ErrPoisoned) {
+			// An unrepairable storage fault: flip to degraded read-only mode
+			// and let the background probe rebuild durability. Later groups
+			// are shed at submission, not dropped.
+			s.enterDegraded(err)
+		}
 		return 0, err
 	}
 	s.met.updateBatches.Inc()

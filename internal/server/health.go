@@ -1,0 +1,244 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"rangecube/internal/persist"
+	"rangecube/internal/wal"
+)
+
+// Degraded read-only mode is the server's answer to a disk it can no longer
+// trust. A poisoned WAL (a storage fault the log's rewind-and-retry repair
+// could not clear) means updates have lost their durability guarantee, but
+// nothing about the in-memory structures is wrong — every acknowledged
+// batch is still applied and still on the committed prefix. So the server
+// keeps serving queries and sheds writes: /update and SubmitUpdates return
+// 503 + Retry-After, and a background probe periodically rebuilds
+// durability from scratch (fresh snapshot capturing the full in-memory
+// state, then a brand-new WAL file superseding the poisoned one) and exits
+// degraded mode without a restart.
+
+// ErrDegraded matches (with errors.Is) every submission rejected because
+// the server is in degraded read-only mode.
+var ErrDegraded = errors.New("server: degraded read-only mode, updates shed")
+
+// Health is the server's self-assessment, the /readyz response body and the
+// introspection surface the chaos harness asserts against.
+type Health struct {
+	// Ready means the server is accepting its full API: not degraded, not
+	// draining. /readyz answers 200 iff Ready.
+	Ready    bool `json:"ready"`
+	Degraded bool `json:"degraded"`
+	Draining bool `json:"draining"`
+	// Reason describes the fault that triggered degraded mode, "" when
+	// healthy.
+	Reason string `json:"reason,omitempty"`
+	Seq    uint64 `json:"seq"`
+	// WALFaults / WALRepairs / Recoveries mirror the cube_wal_faults_total,
+	// cube_wal_repairs_total and cube_storage_recoveries_total counters
+	// (0 when telemetry is disabled).
+	WALFaults  uint64 `json:"wal_faults"`
+	WALRepairs uint64 `json:"wal_repairs"`
+	Recoveries uint64 `json:"recoveries"`
+}
+
+// Health reports the server's current availability state.
+func (s *Server) Health() Health {
+	h := Health{
+		Degraded:   s.degraded.Load(),
+		Draining:   s.draining.Load(),
+		Seq:        s.Seq(),
+		WALFaults:  uint64(s.met.walMet.Faults.Value()),
+		WALRepairs: uint64(s.met.walMet.Repairs.Value()),
+		Recoveries: uint64(s.met.recoveries.Value()),
+	}
+	if r, ok := s.degradedReason.Load().(string); ok && h.Degraded {
+		h.Reason = r
+	}
+	h.Ready = !h.Degraded && !h.Draining
+	return h
+}
+
+// SetDraining marks the server as draining: /readyz flips to 503 so load
+// balancers stop routing new work, while in-flight and straggler requests
+// are still served. The graceful-shutdown path sets it before the HTTP
+// listener begins its drain.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// enterDegraded flips the server into degraded read-only mode (idempotent;
+// the first cause is the reported reason).
+func (s *Server) enterDegraded(cause error) {
+	s.degradedReason.Store(cause.Error())
+	if s.degraded.CompareAndSwap(false, true) {
+		s.logf("server: entering degraded read-only mode: %v", cause)
+	}
+}
+
+func (s *Server) exitDegraded() {
+	if s.degraded.CompareAndSwap(true, false) {
+		s.logf("server: storage recovered, leaving degraded mode")
+	}
+}
+
+// Degraded reports whether the server is currently shedding updates.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// writeDegraded sheds one update request: 503 with a Retry-After hint tied
+// to the recovery probe's cadence — a client retrying after one probe
+// period has a real chance of landing on a recovered server.
+func (s *Server) writeDegraded(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(s.opts.DegradedProbe)))
+	reason := ""
+	if v, ok := s.degradedReason.Load().(string); ok {
+		reason = ": " + v
+	}
+	s.writeError(w, r, http.StatusServiceUnavailable, "degraded read-only mode, updates shed%s", reason)
+}
+
+// ceilSeconds rounds d up to whole seconds, clamped to [1, 30] — the range
+// a Retry-After header is useful in.
+func ceilSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
+// retryAfterHint estimates when the ingest queue will have room again:
+// current depth times the median group-commit latency, rounded up to whole
+// seconds and clamped to [1, 30]. Before any commit has been measured (or
+// with telemetry off) the estimate falls back to 1 second.
+func (s *Server) retryAfterHint() string {
+	if s.batcher == nil {
+		return "1"
+	}
+	depth := s.batcher.Depth()
+	snap := s.met.ingestMet.CommitNanos.Snapshot()
+	if depth == 0 || snap.Count == 0 {
+		return "1"
+	}
+	wait := time.Duration(float64(depth) * snap.Quantile(0.5)) // nanoseconds
+	return strconv.Itoa(ceilSeconds(wait))
+}
+
+// handleHealthz is the liveness probe: the process is up and the handler
+// runs. It must never consult storage — a degraded server is alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleReadyz is the readiness probe: 200 with the Health body while the
+// server accepts its full API, 503 (with Retry-After) while degraded or
+// draining. Load balancers key on the status; operators read the body.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.Health()
+	status := http.StatusOK
+	if !h.Ready {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(s.opts.DegradedProbe)))
+	}
+	s.writeJSON(w, r, status, h)
+}
+
+// startProbe launches the background recovery prober. It only exists when a
+// WAL is configured; without one there is no storage to degrade over.
+func (s *Server) startProbe() {
+	s.probeStop = make(chan struct{})
+	s.probeDone = make(chan struct{})
+	go s.probeLoop()
+}
+
+// stopProbe terminates the prober and waits for it; safe to call more than
+// once and without startProbe having run.
+func (s *Server) stopProbe() {
+	if s.probeStop == nil {
+		return
+	}
+	s.probeOnce.Do(func() { close(s.probeStop) })
+	<-s.probeDone
+}
+
+// probeLoop periodically attempts storage recovery while degraded. Healthy
+// ticks are a single atomic load.
+func (s *Server) probeLoop() {
+	defer close(s.probeDone)
+	t := time.NewTicker(s.opts.DegradedProbe)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.probeStop:
+			return
+		case <-t.C:
+			if !s.degraded.Load() {
+				continue
+			}
+			if err := s.recoverStorage(); err != nil {
+				s.logf("server: degraded-mode recovery attempt failed: %v", err)
+			}
+		}
+	}
+}
+
+// recoverStorage rebuilds durability under the write lock and, on success,
+// exits degraded mode.
+func (s *Server) recoverStorage() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.degraded.Load() {
+		return nil
+	}
+	return s.recoverStorageLocked()
+}
+
+// recoverStorageLocked supersedes a poisoned WAL. Order matters: first a
+// fresh snapshot makes the entire in-memory state durable (every batch the
+// poisoned log acked is applied in memory, so nothing depends on the old
+// file once the snapshot lands); only then is the log file recreated, which
+// truncates it. A failure at either step leaves the old WAL's committed
+// prefix untouched and the server degraded for the next probe tick.
+func (s *Server) recoverStorageLocked() error {
+	if s.wal == nil {
+		return errors.New("server: no WAL to recover")
+	}
+	if s.opts.SnapshotPath == "" {
+		// Without a snapshot destination there is nowhere to rebuild
+		// durability; the server stays degraded (still serving reads) until
+		// an operator intervenes.
+		return errors.New("server: recovery requires a snapshot path")
+	}
+	stop := s.met.snapshotNanos.Time()
+	err := persist.WriteFileAtomic(s.opts.SnapshotPath, func(w io.Writer) error {
+		return persist.WriteSnapshot(w, s.seq, s.cube.Data())
+	})
+	stop()
+	if err != nil {
+		return fmt.Errorf("server: recovery snapshot: %w", err)
+	}
+	nl, err := wal.Create(s.opts.WALPath, s.opts.WALOpenFile)
+	if err != nil {
+		return fmt.Errorf("server: recreating WAL: %w", err)
+	}
+	nl.SetMetrics(&s.met.walMet)
+	old := s.wal
+	s.wal = nl
+	// The old handle shares the (now truncated) inode and is never written
+	// again; its close error is cosmetic.
+	if cerr := old.Close(); cerr != nil {
+		s.logf("server: closing superseded WAL: %v", cerr)
+	}
+	s.sinceSnap = 0
+	s.met.recoveries.Inc()
+	s.exitDegraded()
+	s.logf("server: storage recovered: snapshot %s at seq %d, fresh WAL %s",
+		s.opts.SnapshotPath, s.seq, s.opts.WALPath)
+	return nil
+}

@@ -89,6 +89,15 @@ type Options struct {
 	// snapshots the cube and truncates the WAL. 0 means 64. It only takes
 	// effect when both WALPath and SnapshotPath are set.
 	CompactEvery int
+	// WALOpenFile overrides how the WAL's backing file is opened. Nil means
+	// the real filesystem; the disk-chaos harness injects ENOSPC/EIO/fsync
+	// faults here.
+	WALOpenFile wal.OpenFileFunc
+	// DegradedProbe is how often the background prober attempts storage
+	// recovery (fresh snapshot + new WAL) while the server is in degraded
+	// read-only mode. 0 means 1s; negative disables the prober (the server
+	// then stays degraded until restarted).
+	DegradedProbe time.Duration
 
 	// MaxInflight caps concurrently executing /query, /query/batch,
 	// /update and /advise requests; excess requests are shed immediately
@@ -151,6 +160,9 @@ func (o Options) withDefaults() Options {
 	if o.CompactEvery <= 0 {
 		o.CompactEvery = 64
 	}
+	if o.DegradedProbe == 0 {
+		o.DegradedProbe = time.Second
+	}
 	if o.MaxUpdateBytes <= 0 {
 		o.MaxUpdateBytes = 8 << 20
 	}
@@ -204,6 +216,15 @@ type Server struct {
 	met       *serverMetrics // always non-nil; its primitives are nil when telemetry is off
 	ridPrefix string         // per-server random prefix for minted request IDs
 	ridSeq    atomic.Uint64  // sequence for minted request IDs
+
+	// Degraded read-only mode (see health.go): set when the WAL is poisoned,
+	// cleared by a successful storage recovery.
+	degraded       atomic.Bool
+	degradedReason atomic.Value // string: the fault that flipped the mode
+	draining       atomic.Bool  // graceful shutdown: /readyz 503, still serving
+	probeStop      chan struct{}
+	probeDone      chan struct{}
+	probeOnce      sync.Once
 }
 
 // New builds a purely in-memory server over the cube with the given uniform
@@ -251,7 +272,7 @@ func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 		}
 	}
 	if opts.WALPath != "" {
-		l, batches, err := wal.Open(opts.WALPath)
+		l, batches, err := wal.OpenFile(opts.WALPath, opts.WALOpenFile)
 		if err != nil {
 			return nil, err
 		}
@@ -297,6 +318,12 @@ func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 			Commit:    s.commitGroups,
 			Metrics:   &s.met.ingestMet,
 		})
+	}
+	// Recovery rebuilds durability as fresh-snapshot-then-new-WAL, so with
+	// no snapshot path a probe could never succeed: a poisoned WAL-only
+	// server stays degraded (still serving reads) until restarted.
+	if s.wal != nil && opts.SnapshotPath != "" && opts.DegradedProbe > 0 {
+		s.startProbe()
 	}
 	return s, nil
 }
@@ -374,6 +401,7 @@ func (s *Server) Checkpoint() error {
 // Close drains the ingestion pipeline, checkpoints if possible and
 // releases the WAL file. The server must not serve requests afterwards.
 func (s *Server) Close() error {
+	s.stopProbe()
 	if s.batcher != nil {
 		// Stop before taking the lock: the drain commits queued groups,
 		// and each commit needs the write lock itself.
@@ -384,7 +412,20 @@ func (s *Server) Close() error {
 	if s.wal == nil {
 		return nil
 	}
-	err := s.compactLocked()
+	var err error
+	if s.wal.Poisoned() != nil {
+		// A poisoned log cannot be compacted (Reset fails fast). One last
+		// recovery attempt captures the state in a snapshot and supersedes
+		// the log; if that also fails the state is still durable on the old
+		// committed prefix, so closing is safe, just noisy.
+		if rerr := s.recoverStorageLocked(); rerr != nil {
+			s.logf("server: shutdown recovery failed, closing degraded: %v", rerr)
+			err = s.wal.Close()
+			s.wal = nil
+			return err
+		}
+	}
+	err = s.compactLocked()
 	if cerr := s.wal.Close(); err == nil {
 		err = cerr
 	}
@@ -436,6 +477,11 @@ func (s *Server) Handler() http.Handler {
 	// half-applied state.
 	mux.Handle("POST /update", s.limited(http.HandlerFunc(s.handleUpdate)))
 	mux.Handle("GET /advise", s.limited(http.HandlerFunc(s.handleAdvise)))
+	// The probes bypass admission control for the same reason /metrics does:
+	// an orchestrator must be able to assess a server precisely when it is
+	// overloaded or degraded.
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	if s.opts.Metrics && s.met.reg != nil {
 		mux.Handle("GET /metrics", s.met.reg.Handler())
 	}
@@ -684,6 +730,9 @@ func (s *Server) evalCached(ctx context.Context, op string, region ndarray.Regio
 func (s *Server) writeCtxError(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
 		s.met.timeouts.Inc()
+		// A deadline means the server is momentarily too loaded for this
+		// query; one second is the shortest honest retry hint.
+		w.Header().Set("Retry-After", "1")
 		s.writeError(w, r, http.StatusServiceUnavailable, "query exceeded the %v deadline", s.opts.QueryTimeout)
 		return
 	}
@@ -717,6 +766,12 @@ type updateResponse struct {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.degraded.Load() {
+		// Degraded read-only mode: shed the write before spending any work
+		// on its body. Queries are unaffected.
+		s.writeDegraded(w, r)
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUpdateBytes)
 	var req updateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -767,6 +822,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		seq, err := s.commitGroups([][]ingest.Update{ups})
 		if err != nil {
 			s.logf("server: WAL append failed: %v", err)
+			w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(s.opts.DegradedProbe)))
 			s.writeError(w, r, http.StatusServiceUnavailable, "update not durable: %v", err)
 			return
 		}
@@ -777,7 +833,9 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	ack, enq, err := s.batcher.Submit(ups, mode == "sync")
 	switch {
 	case errors.Is(err, ingest.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		// The hint is how long the current backlog takes to drain at the
+		// measured commit rate, not a constant.
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		s.writeError(w, r, http.StatusTooManyRequests, "ingest queue full, retry later")
 		return
 	case errors.Is(err, ingest.ErrClosed):
@@ -800,6 +858,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	res := <-ack
 	if res.Err != nil {
 		s.logf("server: group commit failed: %v", res.Err)
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(s.opts.DegradedProbe)))
 		s.writeError(w, r, http.StatusServiceUnavailable, "update not durable: %v", res.Err)
 		return
 	}

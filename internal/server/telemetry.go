@@ -50,9 +50,14 @@ type serverMetrics struct {
 	// percent (100 = nothing merged, 400 = 4 raw updates per cell).
 	ingestMet     ingest.Metrics
 	coalesceRatio *telemetry.Histogram
-	costCells     *telemetry.HistogramVec // op, engine — the paper's §8 Cells
-	costAux       *telemetry.HistogramVec // op, engine — §8 auxiliary reads
-	costSteps     *telemetry.HistogramVec // op, engine — §8 combining steps
+
+	// Storage-fault tolerance: recoveries counts successful degraded-mode
+	// exits (fresh snapshot + new WAL); the faults/repairs counters live in
+	// walMet. cube_degraded itself is a callback gauge over Server.degraded.
+	recoveries *telemetry.Counter
+	costCells  *telemetry.HistogramVec // op, engine — the paper's §8 Cells
+	costAux    *telemetry.HistogramVec // op, engine — §8 auxiliary reads
+	costSteps  *telemetry.HistogramVec // op, engine — §8 combining steps
 
 	// costObs pins one observer per op. The engine serving each op is fixed
 	// at construction, so the label resolution (a locked map lookup in the
@@ -131,7 +136,21 @@ func newServerMetrics(s *Server, reg *telemetry.Registry) *serverMetrics {
 			"Latency of the fsync that commits each WAL append.", 1e-9),
 		Resets: reg.Counter("cube_wal_resets_total",
 			"WAL truncations back to the header after a snapshot."),
+		Faults: reg.Counter("cube_wal_faults_total",
+			"Append-path storage errors (failed writes and fsyncs) observed by the WAL."),
+		Repairs: reg.Counter("cube_wal_repairs_total",
+			"WAL append faults healed in place by the rewind-and-retry path."),
 	}
+	m.recoveries = reg.Counter("cube_storage_recoveries_total",
+		"Degraded-mode recoveries completed (fresh snapshot + new WAL).")
+	reg.GaugeFunc("cube_degraded",
+		"1 while the server is in degraded read-only mode, 0 otherwise.",
+		func() int64 {
+			if s.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
 
 	// The paper's §8 cost model, live: every evaluated query feeds its
 	// Cells/Aux/Steps into per-op, per-engine histograms, so a scrape shows
@@ -218,7 +237,8 @@ func (s *Server) engineLabel(op string) string {
 // label stays low-cardinality no matter what clients probe for.
 func pathLabel(p string) string {
 	switch p {
-	case "/schema", "/query", "/query/batch", "/update", "/advise", "/metrics":
+	case "/schema", "/query", "/query/batch", "/update", "/advise", "/metrics",
+		"/healthz", "/readyz":
 		return p
 	}
 	return "other"

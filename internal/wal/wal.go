@@ -18,6 +18,17 @@
 // prefix, so a crash mid-append (a torn record tail) is erased and the log
 // is again append-clean. Sequence numbers are strictly increasing; replay
 // after a snapshot skips batches with seq ≤ the snapshot's.
+//
+// Storage-fault model: a log also defends its committed prefix against a
+// disk that misbehaves while the process survives (ENOSPC, EIO, a failed
+// fsync). Append tracks the last committed byte offset; on any write or
+// fsync error it rewinds the file to that offset (truncate + re-fsync) and
+// retries the record once. If the repair or the retry fails the log is
+// *poisoned*: the on-disk state can no longer be trusted, so every further
+// append fails fast with an error matching ErrPoisoned and the owner must
+// rebuild durability elsewhere (the server's answer is a fresh snapshot
+// plus a new log via Create). The committed prefix already on disk is never
+// touched by any failure path.
 package wal
 
 import (
@@ -226,15 +237,51 @@ type Metrics struct {
 	FsyncSeconds *telemetry.Histogram
 	// Resets counts snapshot-driven truncations back to the header.
 	Resets *telemetry.Counter
+	// Faults counts append-path storage errors (failed writes and fsyncs),
+	// and Repairs the faults healed in place by the rewind-and-retry path.
+	// Faults minus Repairs that did not poison the log is always 0 or 1 —
+	// a second fault inside one append poisons it.
+	Faults  *telemetry.Counter
+	Repairs *telemetry.Counter
+}
+
+// ErrPoisoned matches (with errors.Is) every error returned by a log whose
+// self-repair failed: the file's tail state is unknown, so appends are
+// disabled until the owner rebuilds durability (snapshot + Create).
+var ErrPoisoned = errors.New("wal: log poisoned")
+
+// File is the subset of *os.File the log needs. Accepting an interface
+// here is what lets the disk-chaos harness slide fault injection (ENOSPC,
+// EIO, failed fsyncs, slow I/O) under the real append and recovery code.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Truncate(size int64) error
+	Sync() error
+	Stat() (os.FileInfo, error)
+}
+
+// OpenFileFunc opens (creating if absent) the log's backing file for
+// read-write. Nil means the real filesystem.
+type OpenFileFunc func(path string) (File, error)
+
+func osOpen(path string) (File, error) {
+	return os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 }
 
 // Log is an open write-ahead log file positioned for appends.
 type Log struct {
-	f       *os.File
+	f       File
 	path    string
 	size    int64 // committed length; the file never holds more durable bytes
 	lastSeq uint64
 	met     *Metrics
+	// poisoned is the fault that disabled appends, nil while healthy. Reads
+	// and writes happen under the owner's commit serialization (the server's
+	// write lock), like every other Log field.
+	poisoned error
 }
 
 // SetMetrics installs telemetry hooks; pass nil to disable. Not safe to
@@ -244,8 +291,14 @@ func (l *Log) SetMetrics(m *Metrics) { l.met = m }
 // Open opens (or creates) the log at path, recovers its committed prefix,
 // truncates any torn tail, and returns the recovered batches for replay.
 // The returned log is positioned to append the next batch.
-func Open(path string) (*Log, []Batch, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func Open(path string) (*Log, []Batch, error) { return OpenFile(path, nil) }
+
+// OpenFile is Open with an injectable filesystem; nil open means os.OpenFile.
+func OpenFile(path string, open OpenFileFunc) (*Log, []Batch, error) {
+	if open == nil {
+		open = osOpen
+	}
+	f, err := open(path)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -296,11 +349,96 @@ func Open(path string) (*Log, []Batch, error) {
 	return l, batches, nil
 }
 
+// Create opens the log at path discarding any existing contents: truncate
+// to zero, write a fresh header, fsync. It is the degraded-mode recovery
+// path — once a snapshot has captured everything a poisoned log held, the
+// old file (whose tail state is unknown) is superseded wholesale rather
+// than repaired in place.
+func Create(path string, open OpenFileFunc) (*Log, error) {
+	if open == nil {
+		open = osOpen
+	}
+	f, err := open(path)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Log, error) {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(0); err != nil {
+		return fail(err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return fail(err)
+	}
+	if err := WriteHeader(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	return &Log{f: f, path: path, size: headerSize}, nil
+}
+
 // LastSeq returns the highest sequence number in the log (0 if empty).
 func (l *Log) LastSeq() uint64 { return l.lastSeq }
 
 // Size returns the committed length of the log file in bytes.
 func (l *Log) Size() int64 { return l.size }
+
+// Poisoned returns nil while the log can append, and otherwise an error
+// (matching ErrPoisoned) describing the fault that disabled it.
+func (l *Log) Poisoned() error {
+	if l.poisoned == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrPoisoned, l.poisoned)
+}
+
+// poison disables appends; the first cause wins.
+func (l *Log) poison(cause error) {
+	if l.poisoned == nil {
+		l.poisoned = cause
+	}
+}
+
+// rewind restores the committed-prefix invariant after a failed append: the
+// torn tail is truncated away, the truncation is made durable, and the file
+// is repositioned for the next record. Any failure here means the on-disk
+// state is unknowable.
+func (l *Log) rewind() error {
+	if err := l.f.Truncate(l.size); err != nil {
+		return fmt.Errorf("truncating to committed offset %d: %w", l.size, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("fsyncing truncation to offset %d: %w", l.size, err)
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		return fmt.Errorf("seeking to committed offset %d: %w", l.size, err)
+	}
+	return nil
+}
+
+// writeRecord writes and fsyncs one framed record at the current committed
+// offset. It does not touch bookkeeping; the caller decides what a failure
+// means.
+func (l *Log) writeRecord(rec []byte) error {
+	if n, err := l.f.Write(rec); err != nil || n < len(rec) {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return err
+	}
+	t0 := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	if l.met != nil {
+		l.met.FsyncSeconds.Observe(time.Since(t0).Nanoseconds())
+	}
+	return nil
+}
 
 // recordPool recycles the framed-record buffers Append builds, so the
 // group-commit flush path encodes each batch with zero steady-state
@@ -309,10 +447,15 @@ func (l *Log) Size() int64 { return l.size }
 var recordPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // Append encodes, writes and fsyncs one batch. It returns only after the
-// batch is durable; on any error the file is truncated back to its last
-// committed length so a failed append cannot leave a torn record for a
-// later append to build on.
+// batch is durable. On a storage error it self-heals: rewind the file to
+// the last committed offset (truncate + re-fsync, erasing any torn tail)
+// and retry the record once. A fault the retry cannot clear poisons the
+// log — the committed prefix on disk stays intact, but all further appends
+// fail fast with ErrPoisoned until the owner rebuilds via Create.
 func (l *Log) Append(b Batch) error {
+	if l.poisoned != nil {
+		return l.Poisoned()
+	}
 	if b.Seq <= l.lastSeq {
 		return fmt.Errorf("wal: sequence %d not after %d", b.Seq, l.lastSeq)
 	}
@@ -334,23 +477,34 @@ func (l *Log) Append(b Batch) error {
 	}
 	binary.LittleEndian.PutUint32(rec[0:], uint32(payloadLen))
 	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(rec[frameSize:], castagnoli))
-	if n, werr := l.f.Write(rec); werr != nil || n < len(rec) {
-		if werr == nil {
-			werr = io.ErrShortWrite
+
+	werr := l.writeRecord(rec)
+	if werr != nil {
+		if l.met != nil {
+			l.met.Faults.Inc()
 		}
-		// Best effort: restore the committed-prefix invariant on disk.
-		l.f.Truncate(l.size)
-		l.f.Seek(l.size, io.SeekStart)
-		return werr
-	}
-	t0 := time.Now()
-	if err := l.f.Sync(); err != nil {
-		l.f.Truncate(l.size)
-		l.f.Seek(l.size, io.SeekStart)
-		return err
+		if rerr := l.rewind(); rerr != nil {
+			l.poison(fmt.Errorf("append failed (%v) and repair failed: %v", werr, rerr))
+			return l.Poisoned()
+		}
+		if werr2 := l.writeRecord(rec); werr2 != nil {
+			if l.met != nil {
+				l.met.Faults.Inc()
+			}
+			// Leave the committed prefix clean if the disk still lets us;
+			// either way the log is done appending.
+			if rerr := l.rewind(); rerr != nil {
+				l.poison(fmt.Errorf("append retry failed (%v) and repair failed: %v", werr2, rerr))
+			} else {
+				l.poison(fmt.Errorf("append retry failed: %v", werr2))
+			}
+			return l.Poisoned()
+		}
+		if l.met != nil {
+			l.met.Repairs.Inc()
+		}
 	}
 	if l.met != nil {
-		l.met.FsyncSeconds.Observe(time.Since(t0).Nanoseconds())
 		l.met.AppendBytes.Add(int64(len(rec)))
 		l.met.AppendBatches.Inc()
 	}
@@ -363,15 +517,26 @@ func (l *Log) Append(b Batch) error {
 // contents redundant (snapshot-then-truncate compaction). The sequence
 // counter is retained in memory so appends stay strictly increasing; after
 // a restart it is re-anchored by the snapshot's sequence number.
+//
+// Reset reports success only once the truncation is durable: if the
+// post-truncate fsync (or the truncate itself) fails, the on-disk length is
+// unknown, so the log is poisoned rather than left claiming a committed
+// offset it cannot prove.
 func (l *Log) Reset() error {
+	if l.poisoned != nil {
+		return l.Poisoned()
+	}
 	if err := l.f.Truncate(headerSize); err != nil {
-		return err
+		l.poison(fmt.Errorf("reset truncate failed: %v", err))
+		return l.Poisoned()
 	}
 	if err := l.f.Sync(); err != nil {
-		return err
+		l.poison(fmt.Errorf("reset fsync failed: %v", err))
+		return l.Poisoned()
 	}
 	if _, err := l.f.Seek(headerSize, io.SeekStart); err != nil {
-		return err
+		l.poison(fmt.Errorf("reset seek failed: %v", err))
+		return l.Poisoned()
 	}
 	l.size = headerSize
 	if l.met != nil {
@@ -380,5 +545,17 @@ func (l *Log) Reset() error {
 	return nil
 }
 
-// Close closes the log file.
-func (l *Log) Close() error { return l.f.Close() }
+// Close syncs and closes the log file. The sync means a clean shutdown's
+// durability never depends on the kernel's writeback timing; it is skipped
+// on a poisoned log, whose contents are already superseded (every batch it
+// acked was fsynced individually, so nothing is lost either way).
+func (l *Log) Close() error {
+	var err error
+	if l.poisoned == nil {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
