@@ -6,7 +6,8 @@
 //	cubebench -exp figure11 -quick  # skip the measured columns / shrink sizes
 //
 // Experiments: figure1, figure11, figure12, figure13, figure14, theorem3,
-// rangesum, rangemax, update, sparse, kernels, queries, ingest, chaos.
+// rangesum, rangemax, update, sparse, kernels, queries, ingest, scale,
+// chaos.
 //
 // With -json, the kernels and queries experiments additionally write their
 // timing records to BENCH_kernels.json / BENCH_queries.json in the current
@@ -40,7 +41,7 @@ func writeJSON(enabled bool, path string, rec any) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, figure1, figure11, figure12, figure13, figure14, paging, bounds, theorem3, rangesum, rangemax, update, sparse, kernels, queries, ingest, chaos)")
+	exp := flag.String("exp", "all", "experiment id (all, figure1, figure11, figure12, figure13, figure14, paging, bounds, theorem3, rangesum, rangemax, update, sparse, kernels, queries, ingest, scale, chaos)")
 	quick := flag.Bool("quick", false, "smaller sizes, skip measured Figure 11 columns")
 	jsonOut := flag.Bool("json", false, "write machine-readable results (kernels -> BENCH_kernels.json)")
 	flag.Parse()
@@ -89,6 +90,20 @@ func main() {
 			}
 			tab, rec := harness.Ingest(16, writers, per)
 			writeJSON(*jsonOut, "BENCH_ingest.json", rec)
+			return tab
+		}},
+		{"scale", func() harness.Table {
+			readers, per := 8, 96
+			if *quick {
+				readers, per = 4, 8
+			}
+			tab, rec := harness.Scale(n/4, [][2]int{{1, 0}, {2, 1}, {4, 2}}, readers, 1, per, 32)
+			writeJSON(*jsonOut, "BENCH_scale.json", rec)
+			// Quick rounds are too short to carry a curve (a round sees one
+			// or two commits); they smoke-test the harness, not the shape.
+			if !rec.MonotoneQPS && !*quick {
+				fmt.Fprintln(os.Stderr, "cubebench: scale: QPS curve is not monotone (see table above)")
+			}
 			return tab
 		}},
 		{"chaos", func() harness.Table {

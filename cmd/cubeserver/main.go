@@ -91,6 +91,9 @@ func run() error {
 	queryTimeout := flag.Duration("query-timeout", 10*time.Second, "per-query deadline (0 = none)")
 	cacheSize := flag.Int("cache-size", 0, "result cache entries, flushed on every update batch (0 = caching off)")
 	sumEngine := flag.String("sum-engine", "prefixsum", "structure answering range sums: prefixsum or blocked")
+	shards := flag.Int("shards", 1, "slab-partition the cube across N engine shards along the planner-chosen dimension (1 = unsharded)")
+	followers := flag.Int("followers", 0, "in-process follower replicas fed by the WAL; /query/batch reads balance across them (requires -wal)")
+	balanceSeed := flag.Uint64("balance-seed", 0, "seed for the deterministic follower load-balancer (0 = fixed default; pass the workload seed for replayable runs)")
 	ingestQueue := flag.Int("ingest-queue", 256, "ingestion pipeline queue depth; concurrent /update writers group-commit with one fsync per flushed group (0 = commit per request)")
 	ingestMaxWait := flag.Duration("ingest-max-wait", 0, "how long the flusher holds an under-filled group open for more writers (0 = commit as soon as the queue is momentarily empty)")
 	ingestDurability := flag.String("ingest-durability", "sync", "default /update ack mode: sync (200 after the group fsync) or async (202 at enqueue); clients override per request with ?durability=")
@@ -107,6 +110,9 @@ func run() error {
 	}
 	if *snapPath != "" && *walPath == "" {
 		return errors.New("-snapshot requires -wal (a snapshot alone cannot make updates durable)")
+	}
+	if *followers > 0 && *walPath == "" {
+		return errors.New("-followers requires -wal (replicas tail the write-ahead log)")
 	}
 
 	f, err := os.Open(*data)
@@ -129,6 +135,9 @@ func run() error {
 		QueryTimeout: *queryTimeout,
 		CacheSize:    *cacheSize,
 		SumEngine:    *sumEngine,
+		Shards:       *shards,
+		Followers:    *followers,
+		BalanceSeed:  *balanceSeed,
 		Metrics:      *metrics,
 		AccessLog:    *accessLog,
 

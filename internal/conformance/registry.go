@@ -79,6 +79,27 @@ func DefaultSumEngines() []SumFactory {
 			o.IngestQueue = 128
 			o.IngestDurability = "sync"
 		}),
+		// The slab-partitioned scatter–gather router, driven directly: sums
+		// decompose into per-shard sub-ranges (split along the first and last
+		// dimension respectively) and merge by §3 additivity; updates scatter
+		// to the owning shards. Both must be bit-identical to every flat
+		// engine above.
+		SumFactory{Name: "sharded/2", New: func(_ Env, a *ndarray.Array[int64]) (SumEngine, error) {
+			return newShardedSum(a, 0, 2)
+		}},
+		SumFactory{Name: "sharded/4", New: func(_ Env, a *ndarray.Array[int64]) (SumEngine, error) {
+			return newShardedSum(a, -1, 4)
+		}},
+		// The full replicated serving tier: a 2-shard leader with 2 WAL-fed
+		// follower replicas, every sum asked through /query/batch so the
+		// seeded balancer routes reads across leader and followers. Any
+		// stale-follower read or torn epoch shows up as a differential
+		// mismatch against the oracle.
+		serverSum("sharded/replica", true, func(o *server.Options) {
+			o.Shards = 2
+			o.Followers = 2
+			o.BalanceSeed = 1
+		}),
 		// The serving stack on a misbehaving disk: periodic injected WAL
 		// faults (inline-repaired and poisoning alike) with degraded-mode
 		// recovery in between — every acknowledged write must still match
@@ -127,6 +148,14 @@ func DefaultMaxEngines() []MaxFactory {
 		mk("maxtree/b=2", func(a *ndarray.Array[int64]) MaxEngine { return newMaxTree(a, 2) }),
 		mk("maxtree/b=3", func(a *ndarray.Array[int64]) MaxEngine { return newMaxTree(a, 3) }),
 		mk("mintree/b=2", func(a *ndarray.Array[int64]) MaxEngine { return newMinTree(a, 2) }),
+		// Scatter–gather extremes: per-shard §6 trees folded in shard order
+		// must agree with the flat trees on every region and update schedule.
+		{Name: "sharded-max/3", New: func(_ Env, a *ndarray.Array[int64]) (MaxEngine, error) {
+			return newShardedMax(a, 3, false)
+		}},
+		{Name: "sharded-min/3", New: func(_ Env, a *ndarray.Array[int64]) (MaxEngine, error) {
+			return newShardedMax(a, 3, true)
+		}},
 	}
 }
 

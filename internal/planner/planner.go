@@ -103,6 +103,51 @@ func New(c *cube.Cube, log []ndarray.Region, spaceLimit float64) (*Planner, erro
 	return p, nil
 }
 
+// SplitDimension chooses the dimension a sharded serving tier should slab
+// along, with the same workload lens §9 uses for block sizes: a query that
+// spans a fraction f of the split dimension touches about f·N of N shards,
+// so the scatter cost of a workload is minimized by splitting where its
+// queries are narrowest relative to the extent. Given a query log it
+// returns the dimension of least mean fractional extent; without one it
+// falls back to the widest dimension (most room for non-trivial slabs).
+// Ties break toward the lowest dimension index, so the choice is
+// deterministic. An empty shape returns 0.
+func SplitDimension(shape []int, log []ndarray.Region) int {
+	if len(shape) == 0 {
+		return 0
+	}
+	best, bestScore := 0, math.Inf(1)
+	for j, e := range shape {
+		if e <= 1 {
+			continue // a 1-wide dimension cannot host more than one slab
+		}
+		var score float64
+		if len(log) == 0 {
+			// No workload: prefer width. Fractional-extent scores are in
+			// (0, 1], so 1/e keeps the two regimes on one scale.
+			score = 1 / float64(e)
+		} else {
+			n := 0
+			for _, q := range log {
+				if j >= len(q) || q.Empty() {
+					continue
+				}
+				score += float64(q[j].Len()) / float64(e)
+				n++
+			}
+			if n == 0 {
+				score = 1 / float64(e)
+			} else {
+				score /= float64(n)
+			}
+		}
+		if score < bestScore {
+			best, bestScore = j, score
+		}
+	}
+	return best
+}
+
 // classify returns the cuboid mask (non-"all" dimensions) and the Table 1
 // statistics of the projected query.
 func classify(q ndarray.Region, shape []int) (mask uint64, v, s float64) {

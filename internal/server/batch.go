@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -31,6 +32,47 @@ type batchResult struct {
 // errInternal marks a batch item whose evaluation panicked; the panic is
 // logged server-side and the client sees only a generic error.
 var errInternal = errors.New("internal error")
+
+// batchSlot is one parsed, runnable batch item (region == nil marks a dead
+// slot whose error is already recorded).
+type batchSlot struct {
+	op     string
+	region ndarray.Region
+}
+
+// evalSlots evaluates every runnable slot concurrently on the worker pool
+// through eval — the leader's cached evaluator or a follower view's. The
+// caller pins the epoch (read lock or follower view) around the call.
+func (s *Server) evalSlots(ctx context.Context, slots []batchSlot, work int,
+	results []batchResult, errs []error,
+	eval func(ctx context.Context, op string, region ndarray.Region) (queryResponse, error)) {
+	parallel.For(len(slots), work+len(slots), func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			if slots[i].region == nil {
+				continue
+			}
+			func() {
+				// A panic on a pool goroutine would kill the process (the
+				// recovered middleware only guards the handler goroutine),
+				// so evaluation failures degrade to an item error.
+				defer func() {
+					if p := recover(); p != nil {
+						s.met.panics.Inc()
+						s.logf("server: batch query %d (%s over %v) rid=%s panicked: %v",
+							i, slots[i].op, slots[i].region, RequestIDFrom(ctx), p)
+						errs[i] = errInternal
+					}
+				}()
+				resp, err := eval(ctx, slots[i].op, slots[i].region)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				results[i].Result = &resp
+			}()
+		}
+	})
+}
 
 // handleQueryBatch evaluates a JSON array of range queries concurrently on
 // the worker pool under one read-lock epoch: every item sees the same cube
@@ -66,12 +108,8 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	// evaluation (region == nil marks a dead slot). Volume drives the
 	// pool's work estimate, so a batch of point lookups stays inline while
 	// big scans fan out.
-	type slot struct {
-		op     string
-		region ndarray.Region
-	}
 	results := make([]batchResult, len(items))
-	slots := make([]slot, len(items))
+	slots := make([]batchSlot, len(items))
 	work := 0
 	runnable := 0
 	for i, q := range items {
@@ -89,7 +127,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.qlog.Add(region)
-		slots[i] = slot{op: op, region: region}
+		slots[i] = batchSlot{op: op, region: region}
 		work += region.Volume()
 		runnable++
 	}
@@ -98,34 +136,23 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	if runnable > 0 {
 		ctx := r.Context()
 		errs := make([]error, len(items))
-		s.mu.RLock()
-		parallel.For(len(items), work+len(items), func(lo, hi, _ int) {
-			for i := lo; i < hi; i++ {
-				if slots[i].region == nil {
-					continue
-				}
-				func() {
-					// A panic on a pool goroutine would kill the process (the
-					// recovered middleware only guards the handler goroutine),
-					// so evaluation failures degrade to an item error.
-					defer func() {
-						if p := recover(); p != nil {
-							s.met.panics.Inc()
-							s.logf("server: batch query %d (%s over %v) rid=%s panicked: %v",
-								i, slots[i].op, slots[i].region, RequestIDFrom(ctx), p)
-							errs[i] = errInternal
-						}
-					}()
-					resp, err := s.evalCached(ctx, slots[i].op, slots[i].region)
-					if err != nil {
-						errs[i] = err
-						return
-					}
-					results[i].Result = &resp
-				}()
-			}
-		})
-		s.mu.RUnlock()
+		if rep := s.pickFollower(); rep != nil {
+			// Balanced read: the whole batch evaluates against one follower
+			// view — a single pinned epoch, already verified to include
+			// everything committed at dispatch. Follower answers bypass the
+			// leader's result cache (its entries are keyed to the leader's
+			// epoch, not this replica's).
+			rt, release := rep.f.View()
+			s.evalSlots(ctx, slots, work, results, errs, func(ctx context.Context, op string, region ndarray.Region) (queryResponse, error) {
+				return s.evalQueryOn(ctx, rt, op, region)
+			})
+			release()
+			rep.batches.Inc()
+		} else {
+			s.mu.RLock()
+			s.evalSlots(ctx, slots, work, results, errs, s.evalCached)
+			s.mu.RUnlock()
+		}
 		for i, err := range errs {
 			switch {
 			case err == nil:

@@ -9,6 +9,7 @@ import (
 	"rangecube/internal/core/batchsum"
 	"rangecube/internal/core/maxtree"
 	"rangecube/internal/ingest"
+	"rangecube/internal/shard"
 	"rangecube/internal/wal"
 )
 
@@ -165,35 +166,55 @@ func (s *Server) applyLocked(cells []cellDelta) (uint64, error) {
 	}
 	s.seq++
 
-	bupsP := sumUpsPool.Get().(*[]batchsum.IntUpdate)
-	bups := (*bupsP)[:0]
-	for _, c := range cells {
-		bups = append(bups, batchsum.IntUpdate{Coords: c.coords, Delta: c.delta})
-	}
-	// The prefix-sum index holds its own P; the blocked index additionally
-	// applies the deltas to the shared cube cells (§5.2).
-	batchsum.ApplyInt(s.sum, bups, nil)
-	batchsum.ApplyBlockedInt(s.blk, bups, nil)
-	*bupsP = bups[:0]
-	sumUpsPool.Put(bupsP)
+	if s.router != nil {
+		// Sharded leader: keep the logical cube itself current (snapshots,
+		// recovery and follower boots read it), then scatter the batch to
+		// the owning shards — each shard applies only its slab's share, so
+		// the write-lock hold shrinks as the shard count grows.
+		a := s.cube.Data()
+		pds := make([]shard.PointDelta, len(cells))
+		for i, c := range cells {
+			a.Set(a.At(c.coords...)+c.delta, c.coords...)
+			pds[i] = shard.PointDelta{Coords: c.coords, Delta: c.delta}
+		}
+		s.router.Apply(pds)
+	} else {
+		bupsP := sumUpsPool.Get().(*[]batchsum.IntUpdate)
+		bups := (*bupsP)[:0]
+		for _, c := range cells {
+			bups = append(bups, batchsum.IntUpdate{Coords: c.coords, Delta: c.delta})
+		}
+		// The prefix-sum index holds its own P; the blocked index additionally
+		// applies the deltas to the shared cube cells (§5.2).
+		batchsum.ApplyInt(s.sum, bups, nil)
+		batchsum.ApplyBlockedInt(s.blk, bups, nil)
+		*bupsP = bups[:0]
+		sumUpsPool.Put(bupsP)
 
-	// The max/min trees share that cube, which now holds the final values:
-	// feed those values through the §7 protocol (re-assigning a cell its
-	// current value is a no-op on A but repairs the tree nodes).
-	mupsP := maxUpsPool.Get().(*[]maxtree.PointUpdate[int64])
-	mups := (*mupsP)[:0]
-	for _, c := range cells {
-		mups = append(mups, maxtree.PointUpdate[int64]{Coords: c.coords, Value: s.cube.Data().At(c.coords...)})
+		// The max/min trees share that cube, which now holds the final values:
+		// feed those values through the §7 protocol (re-assigning a cell its
+		// current value is a no-op on A but repairs the tree nodes).
+		mupsP := maxUpsPool.Get().(*[]maxtree.PointUpdate[int64])
+		mups := (*mupsP)[:0]
+		for _, c := range cells {
+			mups = append(mups, maxtree.PointUpdate[int64]{Coords: c.coords, Value: s.cube.Data().At(c.coords...)})
+		}
+		s.max.BatchUpdate(mups, nil)
+		s.min.BatchUpdate(mups, nil)
+		*mupsP = mups[:0]
+		maxUpsPool.Put(mupsP)
 	}
-	s.max.BatchUpdate(mups, nil)
-	s.min.BatchUpdate(mups, nil)
-	*mupsP = mups[:0]
-	maxUpsPool.Put(mupsP)
 
 	// Invalidate every cached answer before the batch is acknowledged:
 	// the write lock is held, so no reader can observe the new cells with
 	// a pre-update cache entry.
 	s.cache.Flush()
+
+	// Publish the commit to the replication tier: the lock-free committed
+	// mirror gates follower eligibility, and the notify wakes each pump to
+	// tail the record just fsynced.
+	s.committed.Store(s.seq)
+	s.notifyFollowers()
 
 	if s.sinceSnap >= s.opts.CompactEvery {
 		if err := s.compactLocked(); err != nil {

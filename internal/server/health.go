@@ -230,6 +230,9 @@ func (s *Server) recoverStorageLocked() error {
 	nl.SetMetrics(&s.met.walMet)
 	old := s.wal
 	s.wal = nl
+	// The poisoned log is superseded: replicas re-anchor on the recovery
+	// snapshot and tail the fresh file from its first record.
+	s.bumpWALGen()
 	// The old handle shares the (now truncated) inode and is never written
 	// again; its close error is cosmetic.
 	if cerr := old.Close(); cerr != nil {

@@ -49,6 +49,7 @@ import (
 	"rangecube/internal/ndarray"
 	"rangecube/internal/persist"
 	"rangecube/internal/planner"
+	"rangecube/internal/shard"
 	"rangecube/internal/telemetry"
 	"rangecube/internal/wal"
 )
@@ -67,6 +68,25 @@ type Options struct {
 	// boundary scans parallelize for large regions). Both stay maintained
 	// under updates either way; this picks which one serves reads.
 	SumEngine string
+
+	// Shards > 1 slab-partitions the logical cube across that many engine
+	// shards along the planner-chosen dimension (see planner.SplitDimension)
+	// and serves every query by scatter–gather over them. Answers are
+	// bit-identical to the unsharded structures; updates scatter to the
+	// owning shards, so each shard's apply cost shrinks with its slab.
+	// 0 or 1 keeps the flat structures.
+	Shards int
+	// Followers > 0 runs that many in-process read replicas of the whole
+	// logical cube, fed by the WAL's committed prefix as a replication
+	// stream (requires WALPath). /query/batch reads are balanced across
+	// leader and followers; a follower serves only when it has applied
+	// everything committed at dispatch, so balanced reads are
+	// epoch-consistent and never behind an acknowledged write.
+	Followers int
+	// BalanceSeed seeds the follower load-balancer's deterministic pick
+	// stream (the workload.SeededGen convention: pass the harness -seed for
+	// replayable runs). 0 uses a fixed default seed.
+	BalanceSeed uint64
 
 	// CacheSize bounds the query result cache (in entries); 0 disables
 	// caching. Cached answers are keyed by canonicalized (op, region) and
@@ -197,14 +217,30 @@ type Server struct {
 	mu sync.RWMutex
 
 	cube *cube.Cube
-	sum  *prefixsum.IntArray
-	blk  *blocked.IntArray
-	max  *maxtree.Tree[int64]
-	min  *maxtree.Tree[int64]
+	// The flat structures serve reads when Shards <= 1; with Shards > 1
+	// they stay nil and router serves instead (see sharding.go).
+	sum *prefixsum.IntArray
+	blk *blocked.IntArray
+	max *maxtree.Tree[int64]
+	min *maxtree.Tree[int64]
+
+	shardMap shard.Map     // slab partition of the cube (1 slab when unsharded)
+	router   *shard.Router // sharded serving structures; nil when Shards <= 1
 
 	wal       *wal.Log // nil when WALPath is empty
 	seq       uint64   // sequence number of the last applied batch
 	sinceSnap int      // batches logged since the last snapshot
+
+	// Replication (sharding.go): committed mirrors seq for lock-free
+	// follower-eligibility checks; walGen counts WAL resets/recreations so
+	// followers detect a superseded log (0 when no followers track it).
+	committed atomic.Uint64
+	walGen    atomic.Uint64
+	followers []*replica
+	balance   *balancer
+	pumpStop  chan struct{}
+	pumpOnce  sync.Once
+	pumpWG    sync.WaitGroup
 
 	batcher *ingest.Batcher // nil when IngestQueue is 0 (direct commits)
 
@@ -251,6 +287,9 @@ func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 	if opts.IngestDurability != "sync" && opts.IngestDurability != "async" {
 		return nil, fmt.Errorf("server: unknown ingest durability %q (sync, async)", opts.IngestDurability)
 	}
+	if opts.Shards < 0 || opts.Followers < 0 {
+		return nil, fmt.Errorf("server: negative shard (%d) or follower (%d) count", opts.Shards, opts.Followers)
+	}
 	s := &Server{opts: opts, logf: opts.Logf, cube: c}
 	s.qlog = newQueryLog(opts.QueryLogSize)
 	s.cache = newResultCache(opts.CacheSize)
@@ -296,13 +335,24 @@ func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 		}
 	}
 
-	// The blocked index shares (and updates) the cube's array; the max and
-	// min trees get their own copies so the §7 update protocol can compare
-	// old and new cell values independently of the §5 path.
-	s.sum = prefixsum.BuildInt(c.Data())
-	s.blk = blocked.BuildInt(c.Data(), opts.BlockSize)
-	s.max = maxtree.Build(c.Data().Clone(), opts.Fanout)
-	s.min = maxtree.BuildMin(c.Data().Clone(), opts.Fanout)
+	if opts.Shards <= 1 {
+		// The blocked index shares (and updates) the cube's array; the max and
+		// min trees get their own copies so the §7 update protocol can compare
+		// old and new cell values independently of the §5 path.
+		s.sum = prefixsum.BuildInt(c.Data())
+		s.blk = blocked.BuildInt(c.Data(), opts.BlockSize)
+		s.max = maxtree.Build(c.Data().Clone(), opts.Fanout)
+		s.min = maxtree.BuildMin(c.Data().Clone(), opts.Fanout)
+	}
+	// Sharded leader structures and follower replicas build over the same
+	// recovered cells; their pumps start here, before any request arrives.
+	if err := s.initSharding(); err != nil {
+		if s.wal != nil {
+			s.wal.Close()
+		}
+		return nil, err
+	}
+	s.committed.Store(s.seq)
 
 	if opts.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInflight)
@@ -402,6 +452,10 @@ func (s *Server) Checkpoint() error {
 // releases the WAL file. The server must not serve requests afterwards.
 func (s *Server) Close() error {
 	s.stopProbe()
+	s.stopPumps()
+	for _, r := range s.followers {
+		r.f.Close()
+	}
 	if s.batcher != nil {
 		// Stop before taking the lock: the drain commits queued groups,
 		// and each commit needs the write lock itself.
@@ -455,6 +509,9 @@ func (s *Server) compactLocked() error {
 	if err := s.wal.Reset(); err != nil {
 		return fmt.Errorf("server: truncating WAL after snapshot: %w", err)
 	}
+	// Replicas tailing the old log must re-anchor on the snapshot just
+	// written — their byte offsets no longer mean anything.
+	s.bumpWALGen()
 	s.met.compactions.Inc()
 	s.sinceSnap = 0
 	s.logf("server: snapshot %s at seq %d, WAL truncated", s.opts.SnapshotPath, s.seq)
@@ -628,9 +685,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, r, http.StatusOK, resp)
 }
 
-// evalQuery answers one validated query. The caller must hold the read
-// lock; a non-nil error is always a context cancellation or deadline.
+// evalQuery answers one validated query on the leader's structures. The
+// caller must hold the read lock; a non-nil error is always a context
+// cancellation or deadline.
 func (s *Server) evalQuery(ctx context.Context, op string, region ndarray.Region) (queryResponse, error) {
+	return s.evalQueryOn(ctx, s.backend(), op, region)
+}
+
+// evalQueryOn answers one validated query against an explicit structure
+// set — the leader's (flat or sharded) or a follower replica's. The caller
+// must pin the backend's epoch (the server's read lock, or the follower's
+// view) for the duration.
+func (s *Server) evalQueryOn(ctx context.Context, be backend, op string, region ndarray.Region) (queryResponse, error) {
 	var c metrics.Counter
 	resp := queryResponse{Op: op, Volume: region.Volume()}
 	if resp.Volume == 0 {
@@ -643,18 +709,18 @@ func (s *Server) evalQuery(ctx context.Context, op string, region ndarray.Region
 	}
 	switch op {
 	case "sum":
-		lo, hi, err := blocked.BoundsContext(ctx, s.blk, region, nil)
+		lo, hi, err := be.SumBounds(ctx, region)
 		if err != nil {
 			return resp, err
 		}
 		resp.LowerBnd, resp.UpperBnd = &lo, &hi
-		if resp.Value, err = s.rangeSum(ctx, region, &c); err != nil {
+		if resp.Value, err = be.Sum(ctx, region, &c); err != nil {
 			return resp, err
 		}
 	case "count":
 		resp.Value = int64(region.Volume())
 	case "avg":
-		sum, err := s.rangeSum(ctx, region, &c)
+		sum, err := be.Sum(ctx, region, &c)
 		if err != nil {
 			return resp, err
 		}
@@ -663,11 +729,7 @@ func (s *Server) evalQuery(ctx context.Context, op string, region ndarray.Region
 		}
 		resp.Value = sum
 	case "max", "min":
-		tree := s.max
-		if op == "min" {
-			tree = s.min
-		}
-		off, v, ok, err := tree.MaxIndexContext(ctx, region, &c)
+		coords, v, ok, err := be.Extreme(ctx, region, op == "min", &c)
 		if err != nil {
 			return resp, err
 		}
@@ -676,7 +738,6 @@ func (s *Server) evalQuery(ctx context.Context, op string, region ndarray.Region
 			break
 		}
 		resp.Value = v
-		coords := s.cube.Data().Coords(off, nil)
 		resp.At = make([]string, len(coords))
 		for i, rank := range coords {
 			resp.At[i] = fmt.Sprintf("%s=%s", s.cube.Dimension(i).Name(), s.cube.Dimension(i).ValueAt(rank))
@@ -689,17 +750,6 @@ func (s *Server) evalQuery(ctx context.Context, op string, region ndarray.Region
 	// so this is three atomic histogram records, no label resolution.
 	c.Publish(s.met.costObs[op])
 	return resp, nil
-}
-
-// rangeSum answers a range sum with the read engine selected by
-// Options.SumEngine.
-func (s *Server) rangeSum(ctx context.Context, r ndarray.Region, c *metrics.Counter) (int64, error) {
-	if s.opts.SumEngine == "blocked" {
-		return s.blk.SumContext(ctx, r, c)
-	}
-	// The §3 prefix-sum answer touches 2^d cells; no cancellation
-	// checkpoints needed.
-	return s.sum.Sum(r, c), nil
 }
 
 // evalCached is evalQuery behind the result cache: hits are served from the

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"rangecube/internal/core/blocked"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/planner"
+	"rangecube/internal/shard"
+	"rangecube/internal/telemetry"
+)
+
+// The sharded serving tier. With Options.Shards > 1 the leader's query
+// structures are a shard.Router — the logical cube slab-partitioned along
+// the planner-chosen dimension, answered by scatter–gather — instead of the
+// flat structures. With Options.Followers > 0 the server additionally runs
+// in-process read replicas fed by the WAL: each commit notifies per-replica
+// pump goroutines that tail the log's committed prefix (the same bytes
+// crash recovery replays) and apply each batch as one epoch; /query/batch
+// reads are then balanced across leader and followers, with a follower
+// eligible only when it has applied everything committed at dispatch time —
+// so a balanced read can never observe a torn epoch or a state older than
+// one already acknowledged to a writer.
+
+// backend answers the three structure-backed query shapes. The flat
+// structures and the shard router both implement it, which is what lets
+// evalQueryOn serve the leader, the sharded leader and any follower replica
+// through one code path — their answers are bit-identical by construction.
+type backend interface {
+	Sum(ctx context.Context, r ndarray.Region, c *metrics.Counter) (int64, error)
+	SumBounds(ctx context.Context, r ndarray.Region) (int64, int64, error)
+	Extreme(ctx context.Context, r ndarray.Region, min bool, c *metrics.Counter) ([]int, int64, bool, error)
+}
+
+// flatBackend adapts the unsharded structures (prefix sum, blocked index,
+// max/min trees) to the backend interface.
+type flatBackend struct{ s *Server }
+
+func (b flatBackend) Sum(ctx context.Context, r ndarray.Region, c *metrics.Counter) (int64, error) {
+	if b.s.opts.SumEngine == "blocked" {
+		return b.s.blk.SumContext(ctx, r, c)
+	}
+	// The §3 prefix-sum answer touches 2^d cells; no cancellation
+	// checkpoints needed.
+	return b.s.sum.Sum(r, c), nil
+}
+
+func (b flatBackend) SumBounds(ctx context.Context, r ndarray.Region) (int64, int64, error) {
+	return blocked.BoundsContext(ctx, b.s.blk, r, nil)
+}
+
+func (b flatBackend) Extreme(ctx context.Context, r ndarray.Region, min bool, c *metrics.Counter) ([]int, int64, bool, error) {
+	tree := b.s.max
+	if min {
+		tree = b.s.min
+	}
+	off, v, ok, err := tree.MaxIndexContext(ctx, r, c)
+	if err != nil || !ok {
+		return nil, 0, false, err
+	}
+	return b.s.cube.Data().Coords(off, nil), v, true, nil
+}
+
+// backend returns the structure set serving the leader's reads.
+func (s *Server) backend() backend {
+	if s.router != nil {
+		return s.router
+	}
+	return flatBackend{s}
+}
+
+// replica is one follower and its serving-tier state: the notify channel
+// its pump waits on and its pinned telemetry children.
+type replica struct {
+	f       *shard.Follower
+	notify  chan struct{}
+	lag     *telemetry.Gauge   // cube_replica_lag{replica=i}
+	batches *telemetry.Counter // cube_replica_batches_total{replica=i}
+}
+
+// balancer picks which replica serves the next balanced read: a splitmix64
+// stream over a seeded atomic counter. Seeding from the workload RNG's seed
+// (cubeserver -balance-seed, the harness's -seed) makes the whole
+// leader/follower assignment sequence replay deterministically, the
+// workload.SeededGen convention — an unseeded pick would make every scaled
+// run unreproducible.
+type balancer struct {
+	seed uint64
+	ctr  atomic.Uint64
+}
+
+func newBalancer(seed uint64) *balancer {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15 // fixed default: deterministic without configuration
+	}
+	return &balancer{seed: seed}
+}
+
+// pick returns a value in [0, n): the next element of the seeded stream.
+func (b *balancer) pick(n int) int {
+	x := b.seed + b.ctr.Add(1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// pickFollower returns a follower eligible to serve a batch read, or nil
+// when the read stays on the leader. Slot 0 of the balanced rotation is the
+// leader itself (it holds the result cache, so it should keep a share); a
+// picked follower is eligible only when its applied sequence has reached
+// everything committed at this instant — the consistency gate: no balanced
+// read ever sees state older than an acknowledged write.
+func (s *Server) pickFollower() *replica {
+	if s.balance == nil {
+		return nil
+	}
+	i := s.balance.pick(len(s.followers) + 1)
+	if i == 0 {
+		return nil
+	}
+	r := s.followers[i-1]
+	if r.f.AppliedSeq() < s.committed.Load() {
+		s.met.replicaFallbacks.Inc()
+		return nil
+	}
+	return r
+}
+
+// initSharding builds the shard map, the sharded leader structures (when
+// Shards > 1) and the follower replicas (when Followers > 0). Called by
+// NewWithOptions after recovery, so every structure is built over the
+// recovered cells; the pumps start last.
+func (s *Server) initSharding() error {
+	shape := s.cube.Shape()
+	n := s.opts.Shards
+	if n < 1 {
+		n = 1
+	}
+	m, err := shard.NewMap(shape, planner.SplitDimension(shape, nil), n)
+	if err != nil {
+		return err
+	}
+	s.shardMap = m
+	if n > 1 {
+		rt, err := shard.NewRouter(s.cube.Data(), m, s.opts.BlockSize, s.opts.Fanout, s.opts.SumEngine)
+		if err != nil {
+			return err
+		}
+		s.router = rt
+		s.logf("server: sharded %d ways along dimension %d (%s)", m.Shards(), m.Dim(), s.cube.Dimension(m.Dim()).Name())
+	}
+	if s.opts.Followers <= 0 {
+		return nil
+	}
+	if s.wal == nil {
+		return errors.New("server: followers replicate the WAL, set WALPath")
+	}
+	s.walGen.Store(1)
+	s.balance = newBalancer(s.opts.BalanceSeed)
+	s.pumpStop = make(chan struct{})
+	for i := 0; i < s.opts.Followers; i++ {
+		// The recovered leader state is the cheapest snapshot: the follower
+		// copies it at the current sequence and resumes the WAL at its
+		// committed end, so it boots caught up.
+		f, err := shard.NewFollower(i, s.cube.Data(), s.seq, 1, s.wal.Size(),
+			m, s.opts.BlockSize, s.opts.Fanout, s.opts.SumEngine)
+		if err != nil {
+			return err
+		}
+		label := strconv.Itoa(i)
+		s.followers = append(s.followers, &replica{
+			f:       f,
+			notify:  make(chan struct{}, 1),
+			lag:     s.met.replicaLag.With(label),
+			batches: s.met.replicaBatches.With(label),
+		})
+	}
+	for _, r := range s.followers {
+		s.pumpWG.Add(1)
+		go s.pumpLoop(r)
+	}
+	s.logf("server: %d follower replicas tailing %s", len(s.followers), s.opts.WALPath)
+	return nil
+}
+
+// stopPumps terminates the replication pumps and waits for them; safe to
+// call more than once and without followers.
+func (s *Server) stopPumps() {
+	if s.pumpStop == nil {
+		return
+	}
+	s.pumpOnce.Do(func() { close(s.pumpStop) })
+	s.pumpWG.Wait()
+}
+
+// notifyFollowers wakes every replication pump (non-blocking: a pump with a
+// pending notification needs no second one). Called after each commit and
+// after each WAL generation bump.
+func (s *Server) notifyFollowers() {
+	for _, r := range s.followers {
+		select {
+		case r.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// replicaPollInterval is the pumps' fallback wake-up. Commits notify
+// eagerly, so the ticker only matters after a missed edge (e.g. a WAL reset
+// racing a scan) — it bounds how stale a follower can stay, it does not set
+// the common-case lag.
+const replicaPollInterval = 25 * time.Millisecond
+
+func (s *Server) pumpLoop(r *replica) {
+	defer s.pumpWG.Done()
+	t := time.NewTicker(replicaPollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.pumpStop:
+			return
+		case <-r.notify:
+		case <-t.C:
+		}
+		s.syncFollower(r)
+	}
+}
+
+// syncFollower advances one replica: re-bootstrap from the snapshot if the
+// WAL generation moved (the log it was tailing was superseded by compaction
+// or degraded-mode recovery), then apply the log's new committed prefix.
+// The generation is re-checked after the scan: a reset that raced it could
+// have let the scan resume mid-file in a regrown log, so the replica
+// rebuilds from the snapshot — which, being always written before the log
+// is truncated, contains everything the old log held.
+func (s *Server) syncFollower(r *replica) {
+	gen := s.walGen.Load()
+	if r.f.Gen() != gen {
+		if err := s.rebootFollower(r.f, gen); err != nil {
+			s.logf("server: follower %d reboot: %v", r.f.ID(), err)
+			return
+		}
+	}
+	if _, err := r.f.CatchUp(s.opts.WALPath); err != nil {
+		s.logf("server: follower %d catch-up: %v", r.f.ID(), err)
+		// wal.ErrTruncated (and any transient read failure) falls through to
+		// the generation re-check below or the next tick.
+	}
+	if g := s.walGen.Load(); g != gen {
+		if err := s.rebootFollower(r.f, g); err != nil {
+			s.logf("server: follower %d reboot: %v", r.f.ID(), err)
+			return
+		}
+		if _, err := r.f.CatchUp(s.opts.WALPath); err != nil {
+			s.logf("server: follower %d catch-up: %v", r.f.ID(), err)
+		}
+	}
+	lag := int64(s.committed.Load()) - int64(r.f.AppliedSeq())
+	if lag < 0 {
+		lag = 0
+	}
+	r.lag.Set(lag)
+}
+
+// rebootFollower rebuilds a replica from the on-disk snapshot and tags it
+// with the WAL generation it will tail from the first record. Compaction
+// and recovery both write the snapshot before superseding the log, so the
+// snapshot plus the new log's prefix is always the complete state.
+func (s *Server) rebootFollower(f *shard.Follower, gen uint64) error {
+	if s.opts.SnapshotPath == "" {
+		// Unreachable in practice: the WAL generation only moves on
+		// compaction or recovery, both of which require a snapshot path.
+		return errors.New("server: follower reboot requires a snapshot path")
+	}
+	a, seq, err := shard.LoadSnapshot(s.opts.SnapshotPath, s.cube.Shape())
+	if err != nil {
+		return err
+	}
+	return f.Rebase(a, seq, gen, 0)
+}
+
+// bumpWALGen records that the WAL was reset or recreated: replicas must not
+// trust their byte offsets into it anymore. Called with the write lock held,
+// after the snapshot that supersedes the old log contents is durable.
+func (s *Server) bumpWALGen() {
+	if s.walGen.Load() == 0 {
+		return // no followers: generations are not tracked
+	}
+	s.walGen.Add(1)
+	s.notifyFollowers()
+}

@@ -55,7 +55,16 @@ type serverMetrics struct {
 	// exits (fresh snapshot + new WAL); the faults/repairs counters live in
 	// walMet. cube_degraded itself is a callback gauge over Server.degraded.
 	recoveries *telemetry.Counter
-	costCells  *telemetry.HistogramVec // op, engine — the paper's §8 Cells
+
+	// Sharded serving tier: per-replica lag and served batches, plus the
+	// fallbacks where a picked follower was behind the committed epoch and
+	// the leader served instead. The cube_shard_* series export the
+	// router's own scatter–gather counts by callback.
+	replicaLag       *telemetry.GaugeVec   // replica
+	replicaBatches   *telemetry.CounterVec // replica
+	replicaFallbacks *telemetry.Counter
+
+	costCells *telemetry.HistogramVec // op, engine — the paper's §8 Cells
 	costAux    *telemetry.HistogramVec // op, engine — §8 auxiliary reads
 	costSteps  *telemetry.HistogramVec // op, engine — §8 combining steps
 
@@ -143,6 +152,54 @@ func newServerMetrics(s *Server, reg *telemetry.Registry) *serverMetrics {
 	}
 	m.recoveries = reg.Counter("cube_storage_recoveries_total",
 		"Degraded-mode recoveries completed (fresh snapshot + new WAL).")
+
+	// Sharded serving tier. The shard counters read the leader router by
+	// callback (0 while unsharded); replica series are pinned per follower
+	// at construction.
+	reg.GaugeFunc("cube_shards",
+		"Engine shards the logical cube is partitioned across (1 = unsharded).",
+		func() int64 {
+			if s.router != nil {
+				return int64(s.router.Shards())
+			}
+			return 1
+		})
+	reg.GaugeFunc("cube_followers",
+		"In-process follower replicas fed by the WAL replication stream.",
+		func() int64 { return int64(len(s.followers)) })
+	reg.CounterFunc("cube_shard_queries_total",
+		"Queries scatter–gathered across the leader's shards.",
+		func() int64 {
+			if s.router == nil {
+				return 0
+			}
+			q, _, _ := s.router.Stats()
+			return int64(q)
+		})
+	reg.CounterFunc("cube_shard_subqueries_total",
+		"Per-shard sub-queries those queries decomposed into (ratio to cube_shard_queries_total is the live fan-out).",
+		func() int64 {
+			if s.router == nil {
+				return 0
+			}
+			_, sq, _ := s.router.Stats()
+			return int64(sq)
+		})
+	reg.CounterFunc("cube_shard_scatter_cells_total",
+		"Coalesced cell deltas scattered to owning shards by commits.",
+		func() int64 {
+			if s.router == nil {
+				return 0
+			}
+			_, _, sc := s.router.Stats()
+			return int64(sc)
+		})
+	m.replicaLag = reg.GaugeVec("cube_replica_lag",
+		"Committed batches a follower replica has not yet applied.", "replica")
+	m.replicaBatches = reg.CounterVec("cube_replica_batches_total",
+		"/query/batch requests served by each follower replica.", "replica")
+	m.replicaFallbacks = reg.Counter("cube_replica_fallbacks_total",
+		"Balanced reads that fell back to the leader because the picked follower was behind the committed epoch.")
 	reg.GaugeFunc("cube_degraded",
 		"1 while the server is in degraded read-only mode, 0 otherwise.",
 		func() int64 {
@@ -221,13 +278,17 @@ func (o costObserver) ObserveCost(cells, aux, steps int64) {
 // engineLabel names the structure that answered op, the "engine" dimension
 // of the cost histograms.
 func (s *Server) engineLabel(op string) string {
+	sharded := ""
+	if s.opts.Shards > 1 {
+		sharded = "sharded:"
+	}
 	switch op {
 	case "sum", "avg":
-		return s.opts.SumEngine
+		return sharded + s.opts.SumEngine
 	case "max":
-		return "maxtree"
+		return sharded + "maxtree"
 	case "min":
-		return "mintree"
+		return sharded + "mintree"
 	default: // count is answered from the region geometry alone
 		return "volume"
 	}

@@ -1,0 +1,298 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"rangecube/internal/core/batchsum"
+	"rangecube/internal/core/blocked"
+	"rangecube/internal/core/maxtree"
+	"rangecube/internal/core/prefixsum"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/parallel"
+)
+
+// PointDelta is one cell update in the logical cube's coordinates — the §5
+// value-to-add form the server's commit path produces after coalescing.
+type PointDelta struct {
+	Coords []int
+	Delta  int64
+}
+
+// engine is one shard's private copy of the serving structures, built over
+// a materialized slab of the logical cube: the §3 prefix sum and §4 blocked
+// index for sums, the §6 max and min trees for extremes. It mirrors the
+// unsharded server's per-structure update protocol exactly, just at slab
+// scale — which is why sharded answers are bit-identical.
+type engine struct {
+	cells *ndarray.Array[int64] // slab copy; blk applies deltas into it
+	sum   *prefixsum.IntArray
+	blk   *blocked.IntArray
+	max   *maxtree.Tree[int64]
+	min   *maxtree.Tree[int64]
+}
+
+func newEngine(a *ndarray.Array[int64], blockSize, fanout int) *engine {
+	return &engine{
+		cells: a,
+		sum:   prefixsum.BuildInt(a),
+		blk:   blocked.BuildInt(a, blockSize),
+		max:   maxtree.Build(a.Clone(), fanout),
+		min:   maxtree.BuildMin(a.Clone(), fanout),
+	}
+}
+
+// apply commits one coalesced batch to every structure: §5 deltas to the
+// prefix sums (the blocked index also folds them into the shared slab
+// cells), then the §7 reassignment protocol feeds the resulting absolute
+// values to the max and min trees.
+func (e *engine) apply(deltas []batchsum.IntUpdate) {
+	batchsum.ApplyInt(e.sum, deltas, nil)
+	batchsum.ApplyBlockedInt(e.blk, deltas, nil)
+	assigns := make([]maxtree.PointUpdate[int64], len(deltas))
+	for i, d := range deltas {
+		assigns[i] = maxtree.PointUpdate[int64]{Coords: d.Coords, Value: e.cells.At(d.Coords...)}
+	}
+	e.max.BatchUpdate(assigns, nil)
+	e.min.BatchUpdate(assigns, nil)
+}
+
+// Router partitions one logical cube across N engine shards along a slab
+// map and serves the full query surface over them: sums, counts, averages
+// and §11 bounds merge by split-additivity; max/min by folding per-shard
+// extremes; point-update batches scatter to the owning shards. Sub-queries
+// evaluate concurrently on the internal/parallel pool.
+//
+// The router performs no locking: like the flat structures it replaces,
+// callers serialize queries against updates (the server holds its RWMutex,
+// a follower its own).
+type Router struct {
+	m         Map
+	sumEngine string // "prefixsum" or "blocked" — which structure answers Sum
+	shards    []*engine
+
+	// Scatter–gather accounting, atomic because queries run concurrently
+	// under the caller's read lock. Exported via Stats for telemetry.
+	queries      atomic.Uint64 // gathered queries
+	subqueries   atomic.Uint64 // per-shard sub-queries they decomposed into
+	scatterCells atomic.Uint64 // point deltas scattered by Apply
+}
+
+// Stats reports the router's lifetime scatter–gather counts: queries
+// gathered, the sub-queries they fanned out into (subqueries/queries is the
+// live shard fan-out of the workload), and point deltas scattered to shards.
+func (rt *Router) Stats() (queries, subqueries, scatterCells uint64) {
+	return rt.queries.Load(), rt.subqueries.Load(), rt.scatterCells.Load()
+}
+
+// NewRouter materializes the slab partition of a: each shard copies its
+// slab and builds private structures over it. sumEngine selects the
+// structure answering Sum ("prefixsum" or "blocked"), mirroring the
+// server's SumEngine option.
+func NewRouter(a *ndarray.Array[int64], m Map, blockSize, fanout int, sumEngine string) (*Router, error) {
+	if sumEngine == "" {
+		sumEngine = "prefixsum"
+	}
+	if sumEngine != "prefixsum" && sumEngine != "blocked" {
+		return nil, fmt.Errorf("shard: unknown sum engine %q (prefixsum, blocked)", sumEngine)
+	}
+	if !shapeEq(a.Shape(), m.Shape()) {
+		return nil, fmt.Errorf("shard: cube shape %v does not match map shape %v", a.Shape(), m.Shape())
+	}
+	rt := &Router{m: m, sumEngine: sumEngine, shards: make([]*engine, m.Shards())}
+	for i := range rt.shards {
+		rt.shards[i] = newEngine(slabCopy(a, m, i), blockSize, fanout)
+	}
+	return rt, nil
+}
+
+// slabCopy materializes shard i's sub-cube. Region iteration and the local
+// array share row-major order, so the copy is a single ordered pass.
+func slabCopy(a *ndarray.Array[int64], m Map, i int) *ndarray.Array[int64] {
+	local := ndarray.New[int64](m.LocalShape(i)...)
+	region := a.Bounds()
+	region[m.Dim()] = m.Slab(i)
+	dst := local.Data()
+	src := a.Data()
+	k := 0
+	ndarray.ForEachOffset(a, region, func(off int) {
+		dst[k] = src[off]
+		k++
+	})
+	return local
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Map returns the slab partition the router serves.
+func (rt *Router) Map() Map { return rt.m }
+
+// Shards returns the number of engine shards.
+func (rt *Router) Shards() int { return len(rt.shards) }
+
+// gather runs one body per sub-query concurrently and folds the per-shard
+// counters into c in sub-query order (deterministic totals, like every
+// parallel kernel in this repository). The first non-nil error wins.
+func (rt *Router) gather(r ndarray.Region, c *metrics.Counter,
+	body func(sub SubQuery, c *metrics.Counter) error) ([]SubQuery, error) {
+	subs := rt.m.Decompose(r)
+	if len(subs) == 0 {
+		return nil, nil
+	}
+	rt.queries.Add(1)
+	rt.subqueries.Add(uint64(len(subs)))
+	counters := make([]metrics.Counter, len(subs))
+	errs := make([]error, len(subs))
+	work := 0
+	for _, s := range subs {
+		work += s.Local.Volume()
+	}
+	parallel.For(len(subs), work, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = body(subs[i], &counters[i])
+		}
+	})
+	for i := range counters {
+		c.Merge(&counters[i])
+	}
+	for _, err := range errs {
+		if err != nil {
+			return subs, err
+		}
+	}
+	return subs, nil
+}
+
+// Sum answers a range sum over the logical cube: the split-additive merge
+// of the per-shard sub-range sums. An empty region sums to 0.
+func (rt *Router) Sum(ctx context.Context, r ndarray.Region, c *metrics.Counter) (int64, error) {
+	partial := make([]int64, len(rt.shards))
+	_, err := rt.gather(r, c, func(sub SubQuery, c *metrics.Counter) error {
+		e := rt.shards[sub.Shard]
+		if rt.sumEngine == "blocked" {
+			v, err := e.blk.SumContext(ctx, sub.Local, c)
+			partial[sub.Shard] = v
+			return err
+		}
+		partial[sub.Shard] = e.sum.Sum(sub.Local, c)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, v := range partial {
+		total += v
+	}
+	return total, nil
+}
+
+// SumBounds answers the §11 [lower, upper] bounds for a range sum: each
+// shard's blocked index bounds its sub-range, and by SUM additivity the
+// per-shard bounds add to valid bounds for the whole region.
+func (rt *Router) SumBounds(ctx context.Context, r ndarray.Region) (lo, hi int64, err error) {
+	los := make([]int64, len(rt.shards))
+	his := make([]int64, len(rt.shards))
+	_, err = rt.gather(r, nil, func(sub SubQuery, c *metrics.Counter) error {
+		l, h, err := blocked.BoundsContext(ctx, rt.shards[sub.Shard].blk, sub.Local, c)
+		los[sub.Shard], his[sub.Shard] = l, h
+		return err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := range los {
+		lo += los[i]
+		hi += his[i]
+	}
+	return lo, hi, nil
+}
+
+// Extreme answers a range max (min=false) or min (min=true): the fold of
+// the per-shard extremes, in shard order with strict improvement — the
+// same first-wins tie-break a single tree's descent uses, so the reported
+// cell is deterministic. Coords are in logical-cube coordinates; ok=false
+// means the region is empty.
+func (rt *Router) Extreme(ctx context.Context, r ndarray.Region, min bool, c *metrics.Counter) (coords []int, v int64, ok bool, err error) {
+	type hit struct {
+		off int
+		v   int64
+		ok  bool
+	}
+	hits := make([]hit, len(rt.shards))
+	subs, err := rt.gather(r, c, func(sub SubQuery, c *metrics.Counter) error {
+		e := rt.shards[sub.Shard]
+		tree := e.max
+		if min {
+			tree = e.min
+		}
+		off, v, ok, err := tree.MaxIndexContext(ctx, sub.Local, c)
+		hits[sub.Shard] = hit{off: off, v: v, ok: ok}
+		return err
+	})
+	if err != nil {
+		return nil, 0, false, err
+	}
+	best := -1
+	for _, sub := range subs {
+		h := hits[sub.Shard]
+		if !h.ok {
+			continue
+		}
+		better := best < 0 || (min && h.v < v) || (!min && h.v > v)
+		if better {
+			best, v = sub.Shard, h.v
+		}
+	}
+	if best < 0 {
+		return nil, 0, false, nil
+	}
+	local := rt.shards[best].max.Cube().Coords(hits[best].off, nil)
+	return rt.m.Global(best, local, nil), v, true, nil
+}
+
+// Apply scatters one coalesced update batch to the owning shards and
+// commits each shard's piece concurrently. The batch is one epoch: the
+// caller must exclude queries for the duration (the same contract as the
+// flat structures' batch updates).
+func (rt *Router) Apply(cells []PointDelta) {
+	rt.scatterCells.Add(uint64(len(cells)))
+	groups := make([][]batchsum.IntUpdate, len(rt.shards))
+	dim := rt.m.Dim()
+	work := 0
+	for _, c := range cells {
+		i := rt.m.Owner(c.Coords[dim])
+		local := append([]int(nil), c.Coords...)
+		local[dim] -= rt.m.Slab(i).Lo
+		groups[i] = append(groups[i], batchsum.IntUpdate{Coords: local, Delta: c.Delta})
+		work += 1 << len(c.Coords) // update-class fan-out proxy
+	}
+	parallel.For(len(rt.shards), work, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			if len(groups[i]) > 0 {
+				rt.shards[i].apply(groups[i])
+			}
+		}
+	})
+}
+
+// Cell returns one logical-cube cell's current value (test hook; the
+// serving path never reads single cells through the router).
+func (rt *Router) Cell(coords []int) int64 {
+	i := rt.m.Owner(coords[rt.m.Dim()])
+	local := append([]int(nil), coords...)
+	local[rt.m.Dim()] -= rt.m.Slab(i).Lo
+	return rt.shards[i].cells.At(local...)
+}

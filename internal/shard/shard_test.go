@@ -1,0 +1,355 @@
+package shard
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rangecube/internal/ndarray"
+	"rangecube/internal/workload"
+)
+
+// seedFlag makes the randomized partition and router tests reproducible:
+// the fixed default pins the historical workload, and failures log the
+// effective seed (the PR-3 convention).
+var seedFlag = flag.Int64("seed", 17, "base seed for randomized shard tests")
+
+// decompCase is one property-test input: a slab map (possibly uneven) and
+// a query region over its cube shape.
+type decompCase struct {
+	shape []int
+	dim   int
+	slabs []ndarray.Range
+	r     ndarray.Region
+}
+
+func (c decompCase) String() string {
+	return fmt.Sprintf("shape=%v dim=%d slabs=%v region=%v", c.shape, c.dim, c.slabs, c.r)
+}
+
+func (c decompCase) mapOf() (Map, error) { return NewMapSlabs(c.shape, c.dim, c.slabs) }
+
+// decomposeViolation checks the partition property on one case: the
+// sub-queries, translated back to global coordinates, must cover every
+// cell of the region exactly once and no cell outside it, each within its
+// shard's local bounds, with volumes summing to the region's volume and
+// Owner agreeing on every split coordinate. It returns "" when the
+// property holds, else a description of the first violation.
+func decomposeViolation(m Map, r ndarray.Region) string {
+	subs := m.Decompose(r)
+	if r.Empty() || len(r) != len(m.Shape()) {
+		if len(subs) != 0 {
+			return fmt.Sprintf("empty/mismatched region decomposed into %d subs", len(subs))
+		}
+		return ""
+	}
+	logical := ndarray.New[int64](m.Shape()...)
+	count := make([]int, len(logical.Data()))
+	volSum := 0
+	for _, sub := range subs {
+		if sub.Shard < 0 || sub.Shard >= m.Shards() {
+			return fmt.Sprintf("sub-query for nonexistent shard %d", sub.Shard)
+		}
+		ls := m.LocalShape(sub.Shard)
+		if len(sub.Local) != len(ls) {
+			return fmt.Sprintf("shard %d: local region rank %d, shard rank %d", sub.Shard, len(sub.Local), len(ls))
+		}
+		for j, rng := range sub.Local {
+			if rng.Lo < 0 || rng.Hi < rng.Lo || rng.Hi >= ls[j] {
+				return fmt.Sprintf("shard %d: local range %v outside local shape %v in dim %d", sub.Shard, rng, ls, j)
+			}
+		}
+		volSum += sub.Local.Volume()
+		lo := make([]int, len(sub.Local))
+		hi := make([]int, len(sub.Local))
+		for j, rng := range sub.Local {
+			lo[j], hi[j] = rng.Lo, rng.Hi
+		}
+		glo := m.Global(sub.Shard, lo, nil)
+		ghi := m.Global(sub.Shard, hi, nil)
+		greg := make(ndarray.Region, len(glo))
+		for j := range glo {
+			greg[j] = ndarray.Range{Lo: glo[j], Hi: ghi[j]}
+		}
+		for x := greg[m.Dim()].Lo; x <= greg[m.Dim()].Hi; x++ {
+			if own := m.Owner(x); own != sub.Shard {
+				return fmt.Sprintf("split coordinate %d routed to shard %d but decomposed to shard %d", x, own, sub.Shard)
+			}
+		}
+		ndarray.ForEachOffset(logical, greg, func(off int) { count[off]++ })
+	}
+	if volSum != r.Volume() {
+		return fmt.Sprintf("sub-query volumes sum to %d, region volume is %d", volSum, r.Volume())
+	}
+	inRegion := make([]bool, len(count))
+	ndarray.ForEachOffset(logical, r, func(off int) { inRegion[off] = true })
+	for off, n := range count {
+		coords := logical.Coords(off, nil)
+		if inRegion[off] && n != 1 {
+			return fmt.Sprintf("cell %v inside the region covered %d times (gap or overlap)", coords, n)
+		}
+		if !inRegion[off] && n != 0 {
+			return fmt.Sprintf("cell %v outside the region covered %d times", coords, n)
+		}
+	}
+	return ""
+}
+
+// randomSlabs cuts extent into 1..maxSlabs uneven contiguous slabs.
+func randomSlabs(rng *rand.Rand, extent, maxSlabs int) []ndarray.Range {
+	n := 1 + rng.Intn(maxSlabs)
+	if n > extent {
+		n = extent
+	}
+	// Choose n-1 distinct interior boundaries.
+	cuts := rng.Perm(extent - 1)[:n-1]
+	marks := make([]bool, extent)
+	for _, c := range cuts {
+		marks[c+1] = true
+	}
+	var slabs []ndarray.Range
+	lo := 0
+	for x := 1; x <= extent; x++ {
+		if x == extent || marks[x] {
+			slabs = append(slabs, ndarray.Range{Lo: lo, Hi: x - 1})
+			lo = x
+		}
+	}
+	return slabs
+}
+
+// shrinkDecomp greedily minimizes a failing case: narrow the region one
+// index at a time, merge adjacent slabs, and trim unused extent off
+// non-split dimensions, keeping each step only while the violation
+// persists. The result is the smallest multi-shard counterexample this
+// move set can reach — small enough to eyeball.
+func shrinkDecomp(c decompCase) decompCase {
+	fails := func(c decompCase) bool {
+		m, err := c.mapOf()
+		if err != nil {
+			return false
+		}
+		return decomposeViolation(m, c.r) != ""
+	}
+	for {
+		shrunk := false
+		// Narrow the region from either end in every dimension.
+		for j := 0; j < len(c.r) && !shrunk; j++ {
+			for _, cand := range []ndarray.Range{
+				{Lo: c.r[j].Lo + 1, Hi: c.r[j].Hi},
+				{Lo: c.r[j].Lo, Hi: c.r[j].Hi - 1},
+			} {
+				next := c
+				next.r = c.r.Clone()
+				next.r[j] = cand
+				if fails(next) {
+					c, shrunk = next, true
+					break
+				}
+			}
+		}
+		// Merge adjacent slabs (fewer shards).
+		for i := 0; i+1 < len(c.slabs) && !shrunk; i++ {
+			merged := append(append([]ndarray.Range(nil), c.slabs[:i]...),
+				ndarray.Range{Lo: c.slabs[i].Lo, Hi: c.slabs[i+1].Hi})
+			merged = append(merged, c.slabs[i+2:]...)
+			next := c
+			next.slabs = merged
+			if fails(next) {
+				c, shrunk = next, true
+			}
+		}
+		// Trim the top of non-split dimensions the region does not reach.
+		for j := 0; j < len(c.shape) && !shrunk; j++ {
+			if j == c.dim || c.shape[j] <= 1 || c.r[j].Hi >= c.shape[j]-1 {
+				continue
+			}
+			next := c
+			next.shape = append([]int(nil), c.shape...)
+			next.shape[j]--
+			if fails(next) {
+				c, shrunk = next, true
+			}
+		}
+		if !shrunk {
+			return c
+		}
+	}
+}
+
+// TestDecomposePartitionProperty is the router-decomposition property
+// test: over random shapes, uneven slab maps and query regions, the
+// sub-ranges exactly partition the query region — no overlap, no gap,
+// volumes summing to the region volume. A failure is greedily shrunk to a
+// minimal multi-shard counterexample before reporting.
+func TestDecomposePartitionProperty(t *testing.T) {
+	g := workload.SeededGen(t, *seedFlag, 0)
+	rng := rand.New(rand.NewSource(*seedFlag + 0xdec0))
+	for i := 0; i < 400; i++ {
+		nd := 1 + rng.Intn(4)
+		shape := make([]int, nd)
+		for j := range shape {
+			shape[j] = 1 + rng.Intn(9)
+		}
+		c := decompCase{shape: shape, dim: rng.Intn(nd)}
+		c.slabs = randomSlabs(rng, shape[c.dim], 5)
+		c.r = g.UniformRegion(shape)
+		m, err := c.mapOf()
+		if err != nil {
+			t.Fatalf("case %d (%v): invalid map: %v", i, c, err)
+		}
+		if v := decomposeViolation(m, c.r); v != "" {
+			min := shrinkDecomp(c)
+			mm, _ := min.mapOf()
+			t.Fatalf("case %d violates the partition property: %s\n  original: %v\n  minimal counterexample: %v\n  minimal violation: %s",
+				i, v, c, min, decomposeViolation(mm, min.r))
+		}
+	}
+}
+
+// TestDecomposeDegenerate pins the degenerate contracts: empty regions and
+// rank mismatches decompose to nothing.
+func TestDecomposeDegenerate(t *testing.T) {
+	m, err := NewMap([]int{6, 4}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if subs := m.Decompose(ndarray.Region{{Lo: 3, Hi: 2}, {Lo: 0, Hi: 3}}); subs != nil {
+		t.Fatalf("empty region decomposed into %v", subs)
+	}
+	if subs := m.Decompose(ndarray.Region{{Lo: 0, Hi: 5}}); subs != nil {
+		t.Fatalf("rank-mismatched region decomposed into %v", subs)
+	}
+}
+
+// TestOwnerMatchesSlabs proves the arithmetic-guess-plus-walk Owner agrees
+// with a linear scan over every coordinate of random uneven maps.
+func TestOwnerMatchesSlabs(t *testing.T) {
+	rng := rand.New(rand.NewSource(*seedFlag + 0x05e7))
+	for i := 0; i < 200; i++ {
+		extent := 1 + rng.Intn(50)
+		slabs := randomSlabs(rng, extent, 8)
+		m, err := NewMapSlabs([]int{extent}, 0, slabs)
+		if err != nil {
+			t.Fatalf("slabs %v: %v", slabs, err)
+		}
+		for x := 0; x < extent; x++ {
+			want := -1
+			for s, slab := range slabs {
+				if x >= slab.Lo && x <= slab.Hi {
+					want = s
+					break
+				}
+			}
+			if got := m.Owner(x); got != want {
+				t.Fatalf("slabs %v: Owner(%d) = %d, want %d", slabs, x, got, want)
+			}
+		}
+	}
+}
+
+func naiveSum(a *ndarray.Array[int64], r ndarray.Region) int64 {
+	var s int64
+	ndarray.ForEachOffset(a, r, func(off int) { s += a.Data()[off] })
+	return s
+}
+
+func naiveExtreme(a *ndarray.Array[int64], r ndarray.Region, min bool) (int64, bool) {
+	var best int64
+	ok := false
+	ndarray.ForEachOffset(a, r, func(off int) {
+		v := a.Data()[off]
+		if !ok || (min && v < best) || (!min && v > best) {
+			best, ok = v, true
+		}
+	})
+	return best, ok
+}
+
+// TestRouterMatchesNaive holds the full scatter–gather query surface to a
+// naive mirror across interleaved scatter updates: sums and extremes must
+// be exact, §11 bounds must contain the true sum, and Cell must read the
+// scattered state back.
+func TestRouterMatchesNaive(t *testing.T) {
+	g := workload.SeededGen(t, *seedFlag, 1)
+	rng := rand.New(rand.NewSource(*seedFlag + 0x4007))
+	ctx := context.Background()
+	for _, sumEngine := range []string{"prefixsum", "blocked"} {
+		for trial := 0; trial < 6; trial++ {
+			nd := 1 + rng.Intn(3)
+			shape := make([]int, nd)
+			for j := range shape {
+				shape[j] = 2 + rng.Intn(7)
+			}
+			dim := rng.Intn(nd)
+			m, err := NewMapSlabs(shape, dim, randomSlabs(rng, shape[dim], 4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mirror := g.UniformCube(shape, 100)
+			rt, err := NewRouter(mirror.Clone(), m, 1+rng.Intn(3), 2+rng.Intn(2), sumEngine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 20; step++ {
+				r := g.UniformRegion(shape)
+				got, err := rt.Sum(ctx, r, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := naiveSum(mirror, r); got != want {
+					t.Fatalf("%s shards=%v step %d: Sum(%v) = %d, want %d", sumEngine, m.slabs, step, r, got, want)
+				}
+				lo, hi, err := rt.SumBounds(ctx, r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := naiveSum(mirror, r); want < lo || want > hi {
+					t.Fatalf("%s shards=%v step %d: bounds [%d,%d] exclude true sum %d over %v", sumEngine, m.slabs, step, lo, hi, want, r)
+				}
+				for _, min := range []bool{false, true} {
+					coords, v, ok, err := rt.Extreme(ctx, r, min, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, wantOK := naiveExtreme(mirror, r, min)
+					if ok != wantOK || (ok && v != want) {
+						t.Fatalf("%s shards=%v step %d min=%v: Extreme(%v) = (%d,%v), want (%d,%v)", sumEngine, m.slabs, step, min, r, v, ok, want, wantOK)
+					}
+					if ok {
+						for j, x := range coords {
+							if x < r[j].Lo || x > r[j].Hi {
+								t.Fatalf("extreme coords %v outside region %v", coords, r)
+							}
+						}
+						if mirror.At(coords...) != v {
+							t.Fatalf("extreme reports %d at %v, cube holds %d", v, coords, mirror.At(coords...))
+						}
+					}
+				}
+				// Deltas are floored so no cell goes negative: the §11
+				// bounds identity only holds for non-negative measures.
+				ups := g.Updates(shape, 1+rng.Intn(5), 20)
+				cells := make([]PointDelta, len(ups))
+				for i, u := range ups {
+					if cur := mirror.At(u.Coords...); cur+u.Delta < 0 {
+						u.Delta = -cur
+					}
+					cells[i] = PointDelta{Coords: u.Coords, Delta: u.Delta}
+					mirror.Set(mirror.At(u.Coords...)+u.Delta, u.Coords...)
+				}
+				rt.Apply(cells)
+				probe := cells[rng.Intn(len(cells))].Coords
+				if got, want := rt.Cell(probe), mirror.At(probe...); got != want {
+					t.Fatalf("Cell(%v) = %d after scatter, want %d", probe, got, want)
+				}
+			}
+			q, sq, sc := rt.Stats()
+			if q == 0 || sq < q || sc == 0 {
+				t.Fatalf("stats (%d,%d,%d) do not reflect the workload", q, sq, sc)
+			}
+		}
+	}
+}

@@ -176,18 +176,35 @@ func WriteHeader(w io.Writer) error {
 // error. err is non-nil only when the stream is not a WAL at all (bad or
 // missing header) or a read fails with something other than EOF.
 func Scan(r io.Reader) (batches []Batch, valid int64, err error) {
+	if err := readLogHeader(r); err != nil {
+		return nil, 0, err
+	}
+	batches, n, err := scanRecords(r)
+	return batches, headerSize + n, err
+}
+
+// readLogHeader consumes and validates the file header.
+func readLogHeader(r io.Reader) error {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, 0, fmt.Errorf("wal: reading header: %w", err)
+		return fmt.Errorf("wal: reading header: %w", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != fileMagic {
-		return nil, 0, errors.New("wal: bad magic")
+		return errors.New("wal: bad magic")
 	}
 	if v := binary.LittleEndian.Uint16(hdr[4:]); v != fileVersion {
-		return nil, 0, fmt.Errorf("wal: unsupported version %d", v)
+		return fmt.Errorf("wal: unsupported version %d", v)
 	}
-	valid = headerSize
+	return nil
+}
+
+// scanRecords reads framed records from the current stream position until
+// the committed prefix ends, returning the decoded batches and how many
+// bytes of clean records were consumed. Shared by Scan (recovery from the
+// header) and ScanFrom (replication tailing from an arbitrary boundary).
+func scanRecords(r io.Reader) (batches []Batch, n int64, err error) {
 	var seq uint64
+	valid := int64(0)
 	for {
 		var frame [frameSize]byte
 		if _, err := io.ReadFull(r, frame[:]); err != nil {
