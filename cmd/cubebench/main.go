@@ -97,12 +97,26 @@ func main() {
 			if *quick {
 				readers, per = 4, 8
 			}
-			tab, rec := harness.Scale(n/4, [][2]int{{1, 0}, {2, 1}, {4, 2}}, readers, 1, per, 32)
+			curve := []harness.ScalePoint{
+				{Shards: 1},
+				{Shards: 2, Followers: 1},
+				{Shards: 4, Followers: 2},
+				// The same 4-way, 2-follower tier with every shard a separate
+				// cubeserver process: the sub-query fan-out crosses a real
+				// process + loopback-TCP boundary instead of a method call,
+				// everything else — follower balancing included — identical.
+				{Shards: 4, Followers: 2, Remote: true},
+			}
+			tab, rec := harness.Scale(n/4, curve, readers, 1, per, 32)
 			writeJSON(*jsonOut, "BENCH_scale.json", rec)
 			// Quick rounds are too short to carry a curve (a round sees one
 			// or two commits); they smoke-test the harness, not the shape.
 			if !rec.MonotoneQPS && !*quick {
 				fmt.Fprintln(os.Stderr, "cubebench: scale: QPS curve is not monotone (see table above)")
+			}
+			if rec.RemoteVsLocalQPS > 0 && rec.RemoteVsLocalQPS < 0.5 && !*quick {
+				fmt.Fprintf(os.Stderr, "cubebench: scale: process-per-shard tier at %.2fx of in-process QPS (bar: ≥ 0.50x)\n",
+					rec.RemoteVsLocalQPS)
 			}
 			return tab
 		}},

@@ -62,6 +62,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -92,6 +93,12 @@ func run() error {
 	cacheSize := flag.Int("cache-size", 0, "result cache entries, flushed on every update batch (0 = caching off)")
 	sumEngine := flag.String("sum-engine", "prefixsum", "structure answering range sums: prefixsum or blocked")
 	shards := flag.Int("shards", 1, "slab-partition the cube across N engine shards along the planner-chosen dimension (1 = unsharded)")
+	shardURLs := flag.String("shard-urls", "", "comma-separated base URLs of shard processes; the leader pushes each its slab and scatter–gathers queries across them (overrides -shards)")
+	shardTimeout := flag.Duration("shard-timeout", 2*time.Second, "per-sub-query deadline against a remote shard")
+	shardHedge := flag.Duration("shard-hedge-after", 0, "launch one hedged duplicate sub-query after a remote shard is silent this long (0 = no hedging)")
+	shardProbe := flag.Duration("shard-probe", time.Second, "how often down remote shards are re-pushed their slab state (0 = probe off)")
+	serveShard := flag.Int("serve-shard", -1, "run as shard process N: boot empty, await the leader's slab push on POST /state (-data not required)")
+	join := flag.String("join", "", "run as a read-only follower of the leader at this URL, bootstrapping from /snapshot and tailing /wal (-data not required)")
 	followers := flag.Int("followers", 0, "in-process follower replicas fed by the WAL; /query/batch reads balance across them (requires -wal)")
 	balanceSeed := flag.Uint64("balance-seed", 0, "seed for the deterministic follower load-balancer (0 = fixed default; pass the workload seed for replayable runs)")
 	ingestQueue := flag.Int("ingest-queue", 256, "ingestion pipeline queue depth; concurrent /update writers group-commit with one fsync per flushed group (0 = commit per request)")
@@ -104,8 +111,11 @@ func run() error {
 	degradedProbe := flag.Duration("degraded-probe", time.Second, "how often a poisoned WAL triggers a storage-recovery attempt while degraded (negative = probe off)")
 	chaosWAL := flag.String("chaos-wal", "", "TESTING ONLY: inject WAL fsync faults, as after:count — let AFTER syncs succeed, then fail the next COUNT (requires -wal)")
 	flag.Parse()
-	if *data == "" {
-		fmt.Fprintln(os.Stderr, "cubeserver: -data is required (generate one with cubegen)")
+	if *serveShard >= 0 && *join != "" {
+		return errors.New("-serve-shard and -join are exclusive modes")
+	}
+	if *data == "" && *serveShard < 0 && *join == "" {
+		fmt.Fprintln(os.Stderr, "cubeserver: -data is required (generate one with cubegen), unless running as -serve-shard or -join")
 		os.Exit(2)
 	}
 	if *snapPath != "" && *walPath == "" {
@@ -115,14 +125,23 @@ func run() error {
 		return errors.New("-followers requires -wal (replicas tail the write-ahead log)")
 	}
 
-	f, err := os.Open(*data)
-	if err != nil {
-		return err
-	}
-	c, n, err := cube.InferCSV(bufio.NewReader(f), *measure)
-	f.Close()
-	if err != nil {
-		return err
+	// The cube: inferred from the CSV in leader mode; a shard process boots a
+	// one-cell placeholder and waits for the leader's slab push; a follower
+	// bootstraps from the leader's snapshot inside JoinLeader.
+	var c *cube.Cube
+	n := 0
+	if *data != "" {
+		f, err := os.Open(*data)
+		if err != nil {
+			return err
+		}
+		c, n, err = cube.InferCSV(bufio.NewReader(f), *measure)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else if *serveShard >= 0 {
+		c = cube.New(cube.NewIntDimension("d0", 0, 0))
 	}
 
 	opts := server.Options{
@@ -146,6 +165,27 @@ func run() error {
 		IngestDurability: *ingestDurability,
 
 		DegradedProbe: *degradedProbe,
+
+		ShardTimeout:    *shardTimeout,
+		ShardHedgeAfter: *shardHedge,
+		ShardProbe:      *shardProbe,
+	}
+	if *shardURLs != "" {
+		if *serveShard >= 0 || *join != "" {
+			return errors.New("-shard-urls is a leader flag; it cannot combine with -serve-shard or -join")
+		}
+		for _, u := range strings.Split(*shardURLs, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				opts.ShardURLs = append(opts.ShardURLs, strings.TrimRight(u, "/"))
+			}
+		}
+	}
+	if *serveShard >= 0 {
+		// Shard process: its slab is derived state the leader regenerates on
+		// every attach, so it accepts wholesale /state pushes and sheds
+		// queries until the first one lands.
+		opts.AcceptState = true
+		opts.AwaitState = true
 	}
 	if *chaosWAL != "" {
 		// Testing hook for CI's degraded-mode smoke: the WAL's backing file
@@ -165,16 +205,28 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "cubeserver: CHAOS: WAL will fail %d fsyncs after the next %d succeed\n", count, after)
 	}
 
-	srv, err := server.NewWithOptions(c, opts)
+	var srv *server.Server
+	var err error
+	if *join != "" {
+		jctx, jcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		srv, err = server.JoinLeader(jctx, *join, opts)
+		jcancel()
+	} else {
+		srv, err = server.NewWithOptions(c, opts)
+	}
 	if err != nil {
 		return err
 	}
 
+	var ds *http.Server
 	if *debugAddr != "" {
 		// Profiling gets its own mux on its own listener: it must never be
 		// shed by the admission semaphore, and the serving port must never
 		// expose pprof. The standard routes are registered explicitly so
-		// nothing else rides along on a DefaultServeMux import.
+		// nothing else rides along on a DefaultServeMux import. The listener
+		// gets the same slow-loris guard as the serving port — a debug port
+		// reachable by a misbehaving client is still a port — and is shut
+		// down in the drain path rather than leaked until process exit.
 		dmux := http.NewServeMux()
 		dmux.HandleFunc("/debug/pprof/", pprof.Index)
 		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -182,8 +234,14 @@ func run() error {
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.Handle("/debug/vars", expvar.Handler())
+		ds = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 5 * time.Second,
+			MaxHeaderBytes:    1 << 20,
+		}
 		go func() {
-			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+			if err := ds.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "cubeserver: debug listener: %v\n", err)
 			}
 		}()
@@ -204,8 +262,15 @@ func run() error {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 
-	fmt.Printf("cubeserver: %d records in a %v cube (seq %d); listening on %s\n",
-		n, c.Shape(), srv.Seq(), *addr)
+	switch {
+	case *join != "":
+		fmt.Printf("cubeserver: following %s (seq %d); listening on %s\n", *join, srv.Seq(), *addr)
+	case *serveShard >= 0:
+		fmt.Printf("cubeserver: shard %d awaiting state push; listening on %s\n", *serveShard, *addr)
+	default:
+		fmt.Printf("cubeserver: %d records in a %v cube (seq %d); listening on %s\n",
+			n, c.Shape(), srv.Seq(), *addr)
+	}
 
 	select {
 	case err := <-errc:
@@ -221,6 +286,12 @@ func run() error {
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "cubeserver: drain: %v\n", err)
+	}
+	if ds != nil {
+		// An in-flight pprof profile is not worth holding the drain for.
+		if err := ds.Shutdown(drainCtx); err != nil {
+			ds.Close()
+		}
 	}
 	// Checkpoint after the drain so the final snapshot includes every
 	// request that completed; Close folds one in.

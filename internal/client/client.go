@@ -78,21 +78,48 @@ func retryable(status int) bool {
 	return false
 }
 
-// retryAfter parses a Retry-After header as delay seconds (the only form
-// this server emits); 0 when absent or unparseable.
+// maxRetryAfter caps how much backoff a server's Retry-After hint can
+// demand. The hint is applied as a floor under the jittered backoff, so an
+// unbounded value (a misconfigured proxy saying 86400, an HTTP-date far in
+// the future) would stall the caller for the rest of its deadline budget
+// instead of one more honest wait.
+const maxRetryAfter = 30 * time.Second
+
+// retryAfter parses a Retry-After header in either RFC 9110 form —
+// delay-seconds ("7") or HTTP-date ("Mon, 02 Jan 2006 15:04:05 GMT", the
+// form proxies and other servers emit) — clamped to [0, maxRetryAfter];
+// 0 when absent or unparseable.
 func retryAfter(resp *http.Response) time.Duration {
 	if resp == nil {
 		return 0
 	}
-	v := resp.Header.Get("Retry-After")
+	return parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
+}
+
+// parseRetryAfter is the testable core of retryAfter: the header value and
+// the instant an HTTP-date is measured against.
+func parseRetryAfter(v string, now time.Time) time.Duration {
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	var d time.Duration
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		d = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(v); err == nil {
+		d = at.Sub(now) // a past date means "now": clamps to 0 below
+	} else {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if d < 0 {
+		d = 0
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
 }
 
 // jitter draws from [0, window) using the seeded source when configured.

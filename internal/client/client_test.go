@@ -169,3 +169,50 @@ func TestBackoffBounds(t *testing.T) {
 		}
 	}
 }
+
+// The Retry-After grammar (RFC 9110): delay-seconds, HTTP-date, garbage.
+// The hint becomes a backoff floor, so both forms must parse and both must
+// clamp — an unbounded hint would stall a caller for its whole deadline
+// budget on one wait.
+func TestParseRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"absent", "", 0},
+		{"delta seconds", "7", 7 * time.Second},
+		{"delta zero", "0", 0},
+		{"delta negative", "-3", 0},
+		{"delta clamped", "86400", maxRetryAfter},
+		{"http date", now.Add(9 * time.Second).UTC().Format(http.TimeFormat), 9 * time.Second},
+		{"http date past", now.Add(-time.Minute).UTC().Format(http.TimeFormat), 0},
+		{"http date clamped", now.Add(2 * time.Hour).UTC().Format(http.TimeFormat), maxRetryAfter},
+		{"garbage", "soon", 0},
+		{"garbage mixed", "12 parsecs", 0},
+		{"float not delta", "1.5", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := parseRetryAfter(tc.v, now); got != tc.want {
+				t.Fatalf("parseRetryAfter(%q) = %v, want %v", tc.v, got, tc.want)
+			}
+		})
+	}
+}
+
+// An HTTP-date hint flows through the full response path and still floors
+// the backoff like a delta-seconds hint does.
+func TestRetryAfterHTTPDateHeader(t *testing.T) {
+	resp := &http.Response{Header: http.Header{}}
+	resp.Header.Set("Retry-After", time.Now().Add(5*time.Second).UTC().Format(http.TimeFormat))
+	d := retryAfter(resp)
+	if d <= 3*time.Second || d > 5*time.Second {
+		t.Fatalf("HTTP-date Retry-After parsed to %v, want ~5s", d)
+	}
+	c := New(Options{})
+	if got := c.backoff(1, d); got < d {
+		t.Fatalf("backoff %v below the server's %v hint", got, d)
+	}
+}

@@ -100,6 +100,13 @@ func DefaultSumEngines() []SumFactory {
 			o.Followers = 2
 			o.BalanceSeed = 1
 		}),
+		// The multi-process tier: the leader scatter–gathers over HTTP shard
+		// servers it bootstraps by pushing slab state, and Checkpoint
+		// crash-recovers the leader alone — the re-attach push must restore
+		// exact answers against shards that lived through the crash.
+		{Name: "remote-shard/2", New: func(env Env, a *ndarray.Array[int64]) (SumEngine, error) {
+			return newRemoteShardVariant(env, a, 2)
+		}},
 		// The serving stack on a misbehaving disk: periodic injected WAL
 		// faults (inline-repaired and poisoning alike) with degraded-mode
 		// recovery in between — every acknowledged write must still match

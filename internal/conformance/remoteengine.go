@@ -1,0 +1,89 @@
+package conformance
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"time"
+
+	"rangecube/internal/cube"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/server"
+)
+
+// remoteShardEngine is the multi-process serving tier in miniature: the
+// leader server holds the authoritative cube and scatter–gathers every sum
+// across N shard servers it talks to over HTTP — each the moral equivalent
+// of a `cubeserver -serve-shard` process, booted empty and fed its slab by
+// the leader's /state push. Checkpoint crashes and recovers only the
+// leader; re-attach must then re-push every recovered slab, so differential
+// agreement after a checkpoint certifies the push-resync path, not just the
+// local recovery path.
+type remoteShardEngine struct {
+	*serverEngine
+	shards []*conformShard
+}
+
+type conformShard struct {
+	s  *server.Server
+	ts *httptest.Server
+}
+
+func startConformShard() (*conformShard, error) {
+	s, err := server.NewWithOptions(cube.New(cube.NewIntDimension("d0", 0, 0)), server.Options{
+		BlockSize:   2,
+		Fanout:      2,
+		AcceptState: true,
+		AwaitState:  true,
+		Logf:        func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("remote-shard engine: shard boot: %w", err)
+	}
+	return &conformShard{s: s, ts: httptest.NewServer(s.Handler())}, nil
+}
+
+func newRemoteShardVariant(env Env, a *ndarray.Array[int64], n int) (SumEngine, error) {
+	dir, cleanup, err := env.tempDir()
+	if err != nil {
+		return nil, err
+	}
+	var shards []*conformShard
+	var urls []string
+	closeShards := func() {
+		for _, sh := range shards {
+			sh.ts.Close()
+			sh.s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		sh, err := startConformShard()
+		if err != nil {
+			closeShards()
+			cleanup()
+			return nil, err
+		}
+		shards = append(shards, sh)
+		urls = append(urls, sh.ts.URL)
+	}
+	base, err := newServerVariant(a, dir, fmt.Sprintf("remote-shard/%d", n), false, func(o *server.Options) {
+		o.ShardURLs = urls
+		o.ShardTimeout = 5 * time.Second
+		o.ShardProbe = 5 * time.Millisecond
+	})
+	if err != nil {
+		closeShards()
+		cleanup()
+		return nil, err
+	}
+	e := &remoteShardEngine{serverEngine: base.(*serverEngine), shards: shards}
+	return &cleanupEngine{SumEngine: e, cleanup: cleanup}, nil
+}
+
+func (e *remoteShardEngine) Close() error {
+	err := e.serverEngine.Close()
+	for _, sh := range e.shards {
+		sh.ts.Close()
+		sh.s.Close()
+	}
+	return err
+}

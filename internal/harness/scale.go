@@ -49,13 +49,31 @@ type ScaleResult struct {
 	Writers     int        `json:"writers"`
 	SyncDelayMS float64    `json:"sync_delay_ms"`
 	Rows        []ScaleRow `json:"rows"`
-	MonotoneQPS bool       `json:"monotone_qps"`
+	// MonotoneQPS covers the in-process rows only: the remote row pays a
+	// real loopback-TCP hop per sub-query and is held to its own bar below.
+	MonotoneQPS bool `json:"monotone_qps"`
+	// RemoteVsLocalQPS compares the process-per-shard row's throughput to
+	// the in-process row at the same shard count (remote QPS / local QPS);
+	// 0 when the curve carries no remote row. The acceptance bar is ≥ 0.5 —
+	// crossing a process boundary per sub-query may not cost more than 2x.
+	RemoteVsLocalQPS float64 `json:"remote_vs_local_qps,omitempty"`
+}
+
+// ScalePoint is one configuration on the scaling curve. Remote runs the
+// shards as separate `cubeserver -serve-shard` processes under the process
+// supervisor instead of in-process engines; the leader pushes each its slab
+// and scatter–gathers over loopback HTTP.
+type ScalePoint struct {
+	Shards    int
+	Followers int
+	Remote    bool
 }
 
 // ScaleRow is one (shards, followers) point on the scaling curve.
 type ScaleRow struct {
 	Shards       int     `json:"shards"`
 	Followers    int     `json:"followers"`
+	Remote       bool    `json:"remote,omitempty"`
 	Queries      int     `json:"queries"`
 	Commits      uint64  `json:"commits"`
 	TotalNS      int64   `json:"total_ns"`
@@ -68,12 +86,23 @@ type ScaleRow struct {
 type scaleConfig struct {
 	shards    int
 	followers int
+	remote    bool
 	srv       *server.Server
 	ts        *httptest.Server
 	dir       string
-	bodies    [][][]byte // [reader][request] pre-encoded /query/batch payloads
+	procs     []*ShardProc // process-per-shard children (remote rows only)
+	bodies    [][][]byte   // [reader][request] pre-encoded /query/batch payloads
 	seq0      uint64
 	bestNS    int64
+}
+
+func (c *scaleConfig) close() {
+	c.ts.Close()
+	c.srv.Close()
+	for _, p := range c.procs {
+		p.Kill()
+	}
+	os.RemoveAll(c.dir)
 }
 
 // Scale measures balanced batch-read throughput for each (shards,
@@ -89,7 +118,7 @@ type scaleConfig struct {
 // pressure, GC) hits all rows rather than poisoning one, writers are
 // ticker-paced so every row sees the same commit rate, and each row keeps
 // its best round.
-func Scale(n int, curve [][2]int, readers, writers, perReader, batchSize int) (Table, ScaleResult) {
+func Scale(n int, curve []ScalePoint, readers, writers, perReader, batchSize int) (Table, ScaleResult) {
 	g := workload.New(1311)
 	cells := g.UniformCube([]int{n, n}, 1000)
 
@@ -118,18 +147,33 @@ func Scale(n int, curve [][2]int, readers, writers, perReader, batchSize int) (T
 			"stall; rounds alternate across configurations, best round kept; speedup is vs the unsharded "+
 			"leader-only row.",
 			readers, perReader, batchSize, writers, res.SyncDelayMS),
-		Headers: []string{"shards", "followers", "queries", "commits", "total ms", "queries/s", "speedup"},
+		Headers: []string{"tier", "shards", "followers", "queries", "commits", "total ms", "queries/s", "speedup"},
+	}
+
+	// The remote rows need the real binary: build it once, up front, so the
+	// compile never lands inside a timed round.
+	bin := ""
+	for _, p := range curve {
+		if p.Remote {
+			dir, err := os.MkdirTemp("", "cubebench-bin-*")
+			if err != nil {
+				panic(fmt.Sprintf("harness: temp dir: %v", err))
+			}
+			defer os.RemoveAll(dir)
+			if bin, err = BuildCubeserver(dir); err != nil {
+				panic(err.Error())
+			}
+			break
+		}
 	}
 
 	cfgs := make([]*scaleConfig, len(curve))
-	for i, c := range curve {
-		cfgs[i] = newScaleConfig(n, cells.Data(), c[0], c[1], readers, perReader, batchSize, regions)
+	for i, p := range curve {
+		cfgs[i] = newScaleConfig(n, cells.Data(), p, bin, readers, perReader, batchSize, regions)
 	}
 	defer func() {
 		for _, c := range cfgs {
-			c.ts.Close()
-			c.srv.Close()
-			os.RemoveAll(c.dir)
+			c.close()
 		}
 	}()
 
@@ -145,10 +189,13 @@ func Scale(n int, curve [][2]int, readers, writers, perReader, batchSize int) (T
 	base := 0.0
 	res.MonotoneQPS = true
 	queries := readers * perReader * batchSize
+	lastLocal := -1.0
+	localQPS := map[int]float64{} // shard count → in-process QPS
 	for i, c := range cfgs {
 		row := ScaleRow{
 			Shards:      c.shards,
 			Followers:   c.followers,
+			Remote:      c.remote,
 			Queries:     queries,
 			Commits:     c.srv.Seq() - c.seq0,
 			TotalNS:     c.bestNS,
@@ -160,11 +207,23 @@ func Scale(n int, curve [][2]int, readers, writers, perReader, batchSize int) (T
 		if base > 0 {
 			row.SpeedupVsOne = row.QueriesPSec / base
 		}
-		if i > 0 && row.QueriesPSec < res.Rows[i-1].QueriesPSec {
-			res.MonotoneQPS = false
+		if c.remote {
+			if lq, ok := localQPS[c.shards]; ok && lq > 0 {
+				res.RemoteVsLocalQPS = row.QueriesPSec / lq
+			}
+		} else {
+			if lastLocal >= 0 && row.QueriesPSec < lastLocal {
+				res.MonotoneQPS = false
+			}
+			lastLocal = row.QueriesPSec
+			localQPS[c.shards] = row.QueriesPSec
 		}
 		res.Rows = append(res.Rows, row)
-		tab.Add(row.Shards, row.Followers, row.Queries, row.Commits,
+		tier := "local"
+		if c.remote {
+			tier = "procs"
+		}
+		tab.Add(tier, row.Shards, row.Followers, row.Queries, row.Commits,
 			fmt.Sprintf("%.1f", float64(row.TotalNS)/1e6),
 			fmt.Sprintf("%.0f", row.QueriesPSec),
 			fmt.Sprintf("%.2fx", row.SpeedupVsOne))
@@ -173,33 +232,49 @@ func Scale(n int, curve [][2]int, readers, writers, perReader, batchSize int) (T
 }
 
 // newScaleConfig boots one configuration: a WAL-backed server (sharded and
-// replicated per the arguments) and the query script pre-encoded per
-// reader, so nothing is marshalled inside a timed round.
-func newScaleConfig(n int, cells []int64, shards, followers, readers, perReader, batchSize int, regions []ndarray.Region) *scaleConfig {
+// replicated per the point) and the query script pre-encoded per reader, so
+// nothing is marshalled inside a timed round. A Remote point first spawns
+// its shard processes so the leader's boot can push each its slab.
+func newScaleConfig(n int, cells []int64, p ScalePoint, bin string, readers, perReader, batchSize int, regions []ndarray.Region) *scaleConfig {
 	dir, err := os.MkdirTemp("", "cubebench-scale-*")
 	if err != nil {
 		panic(fmt.Sprintf("harness: temp dir: %v", err))
 	}
 	inj := faultio.NewInjector()
 	inj.SetDelay(scaleSyncDelay)
-	srv := newBenchServer(n, cells, server.Options{
+	opts := server.Options{
 		BlockSize:    7,
 		Fanout:       4,
 		WALPath:      filepath.Join(dir, "updates.wal"),
 		WALOpenFile:  func(p string) (wal.File, error) { return inj.Open(p) },
 		SnapshotPath: filepath.Join(dir, "cube.snap"),
 		CompactEvery: 1 << 30, // no compaction mid-measurement
-		Shards:       shards,
-		Followers:    followers,
+		Shards:       p.Shards,
+		Followers:    p.Followers,
 		BalanceSeed:  1311,
 		SumEngine:    "prefixsum",
-	})
+	}
+	var procs []*ShardProc
+	if p.Remote {
+		for i := 0; i < p.Shards; i++ {
+			sp, err := StartShardProc(bin, i, "")
+			if err != nil {
+				panic(err.Error())
+			}
+			procs = append(procs, sp)
+			opts.ShardURLs = append(opts.ShardURLs, sp.URL())
+		}
+		opts.ShardTimeout = 10 * time.Second // the bench measures throughput, not deadlines
+	}
+	srv := newBenchServer(n, cells, opts)
 	c := &scaleConfig{
-		shards:    shards,
-		followers: followers,
+		shards:    p.Shards,
+		followers: p.Followers,
+		remote:    p.Remote,
 		srv:       srv,
 		ts:        httptest.NewServer(srv.Handler()),
 		dir:       dir,
+		procs:     procs,
 		seq0:      srv.Seq(),
 	}
 	c.bodies = make([][][]byte, readers)

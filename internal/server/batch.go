@@ -6,19 +6,28 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"rangecube/internal/cube"
+	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
 	"rangecube/internal/parallel"
+	"rangecube/internal/shard"
 )
 
 // batchQuery is one element of a POST /query/batch request body (a JSON
 // array). Select maps dimension names to the same selector grammar as the
 // GET /query parameters: "lo..hi", "*", or a single value. Op defaults to
-// "sum".
+// "sum". Exact (op=sum only) skips the §11 interval estimate and reports
+// the exact sum as its own [v, v] bounds — about a fifth of a batched
+// sum's evaluation cost when the caller has no use for the estimate. The
+// leader's shard scatter sets it: a healthy shard's exact sub-sum is
+// already the tightest possible bound on its slab's contribution, so the
+// partial-failure envelope gets tighter, not looser.
 type batchQuery struct {
 	Op     string            `json:"op"`
 	Select map[string]string `json:"select"`
+	Exact  bool              `json:"exact,omitempty"`
 }
 
 // batchResult is one element of the response array, in request order:
@@ -38,6 +47,7 @@ var errInternal = errors.New("internal error")
 type batchSlot struct {
 	op     string
 	region ndarray.Region
+	exact  bool
 }
 
 // evalSlots evaluates every runnable slot concurrently on the worker pool
@@ -45,7 +55,7 @@ type batchSlot struct {
 // caller pins the epoch (read lock or follower view) around the call.
 func (s *Server) evalSlots(ctx context.Context, slots []batchSlot, work int,
 	results []batchResult, errs []error,
-	eval func(ctx context.Context, op string, region ndarray.Region) (queryResponse, error)) {
+	eval func(ctx context.Context, q batchSlot) (queryResponse, error)) {
 	parallel.For(len(slots), work+len(slots), func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			if slots[i].region == nil {
@@ -63,7 +73,7 @@ func (s *Server) evalSlots(ctx context.Context, slots []batchSlot, work int,
 						errs[i] = errInternal
 					}
 				}()
-				resp, err := eval(ctx, slots[i].op, slots[i].region)
+				resp, err := eval(ctx, slots[i])
 				if err != nil {
 					errs[i] = err
 					return
@@ -81,6 +91,10 @@ func (s *Server) evalSlots(ctx context.Context, slots []batchSlot, work int,
 // a cancellation or deadline fails the whole request, since the remaining
 // answers were abandoned mid-flight.
 func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	if s.awaitingState.Load() {
+		s.writeAwaiting(w, r)
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUpdateBytes)
 	var items []batchQuery
 	if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
@@ -108,10 +122,22 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	// evaluation (region == nil marks a dead slot). Volume drives the
 	// pool's work estimate, so a batch of point lookups stays inline while
 	// big scans fan out.
+	// Parsing is lock-free on every server that cannot accept a /state push:
+	// its cube and dimensions are immutable, so a batch never queues behind
+	// the commit path's write-preferring lock just to read them — that wait
+	// would also tax follower-bound batches whose whole point is dodging the
+	// leader's commit stalls. Only an AcceptState server (a shard process, a
+	// joined follower) takes a read epoch here: a push may swap the cube, and
+	// a region parsed against the old dimensions must never reach the new
+	// structures. (The lock is dropped before evaluation, which pins its own
+	// epoch; same-shape state copies keep old regions valid.)
 	results := make([]batchResult, len(items))
 	slots := make([]batchSlot, len(items))
 	work := 0
 	runnable := 0
+	if s.opts.AcceptState {
+		s.mu.RLock()
+	}
 	for i, q := range items {
 		op := q.Op
 		if op == "" {
@@ -127,9 +153,12 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.qlog.Add(region)
-		slots[i] = batchSlot{op: op, region: region}
+		slots[i] = batchSlot{op: op, region: region, exact: q.Exact && op == "sum"}
 		work += region.Volume()
 		runnable++
+	}
+	if s.opts.AcceptState {
+		s.mu.RUnlock()
 	}
 
 	var ctxErr error
@@ -143,15 +172,32 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 			// leader's result cache (its entries are keyed to the leader's
 			// epoch, not this replica's).
 			rt, release := rep.f.View()
-			s.evalSlots(ctx, slots, work, results, errs, func(ctx context.Context, op string, region ndarray.Region) (queryResponse, error) {
-				return s.evalQueryOn(ctx, rt, op, region)
+			s.evalSlots(ctx, slots, work, results, errs, func(ctx context.Context, q batchSlot) (queryResponse, error) {
+				return s.evalQueryOn(ctx, rt, q.op, q.region, q.exact)
 			})
 			release()
 			rep.batches.Inc()
 		} else {
-			s.mu.RLock()
-			s.evalSlots(ctx, slots, work, results, errs, s.evalCached)
-			s.mu.RUnlock()
+			// The remote scatter runs before the read lock is taken: it holds
+			// no leader state, and pinning the lock across its network round
+			// trips would serialize every leader-bound batch against the
+			// write-preferring commit path (whose fsync holds the lock for
+			// the full disk latency). Consistency comes from the scatter
+			// seqlock instead — see evalRemoteSums.
+			s.evalRemoteSums(ctx, slots, results, errs)
+			live := 0
+			for i := range slots {
+				if slots[i].region != nil {
+					live++
+				}
+			}
+			if live > 0 {
+				s.mu.RLock()
+				s.evalSlots(ctx, slots, work, results, errs, func(ctx context.Context, q batchSlot) (queryResponse, error) {
+					return s.evalCached(ctx, q.op, q.region, q.exact)
+				})
+				s.mu.RUnlock()
+			}
 		}
 		for i, err := range errs {
 			switch {
@@ -174,10 +220,127 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.met.batchItemErrs.Observe(itemErrs)
-	s.writeJSON(w, r, http.StatusOK, map[string]any{
-		"count":   len(items),
-		"results": results,
-	})
+	// A typed envelope, not map[string]any: the batch response is encoded on
+	// every request (twice per query in the multi-process tier — shard to
+	// leader, leader to client), and map encoding sorts keys reflectively.
+	s.writeJSON(w, r, http.StatusOK, batchEnvelope{Count: len(items), Results: results})
+}
+
+// batchEnvelope is the /query/batch response body.
+type batchEnvelope struct {
+	Count   int           `json:"count"`
+	Results []batchResult `json:"results"`
+}
+
+// evalRemoteSums pre-answers every op=sum slot of a batch through the
+// router's batched scatter when the shard tier is remote: all of the batch's
+// sum sub-queries reach each shard process as one POST /query/batch instead
+// of one GET /query per item, which is what keeps the multi-process tier's
+// batch throughput within sight of the in-process tier's. Answered slots are
+// cleared so evalSlots skips them. The result cache is bypassed both ways —
+// partial answers must never be cached, and the batched scatter is already
+// the cheap path.
+//
+// The call runs without the leader's read lock. Cross-shard snapshot
+// consistency is validated optimistically against the commit path's scatter
+// seqlock: a batch whose round trips overlap a delta scatter (the only window
+// in which the shards disagree) is retried, one that lands between scatters
+// saw every shard at the same group-commit boundary. After a few torn
+// attempts under sustained write pressure the last answer is kept — each
+// shard is internally consistent, so the worst case is a sum reflecting a
+// prefix of one racing group, never garbage.
+func (s *Server) evalRemoteSums(ctx context.Context, slots []batchSlot, results []batchResult, errs []error) {
+	if s.remoteEngines == nil {
+		return
+	}
+	var idx []int
+	var regs []ndarray.Region
+	for i := range slots {
+		if slots[i].op == "sum" && slots[i].region != nil && slots[i].region.Volume() > 0 {
+			idx = append(idx, i)
+			regs = append(regs, slots[i].region)
+		}
+	}
+	if len(regs) == 0 {
+		return
+	}
+	store := make([]metrics.Counter, len(regs))
+	counters := make([]*metrics.Counter, len(regs))
+	for k := range counters {
+		counters[k] = &store[k]
+	}
+	var rs []shard.SumResult
+	var err error
+	const maxTorn = 4
+	for attempt := 0; ; attempt++ {
+		// Wait out an in-flight delta scatter before reading rather than
+		// validating after the fact alone: a commit's propagation window
+		// would fail every concurrent batch at once, and the resulting
+		// re-scatter stampede costs far more than the sub-millisecond nap
+		// (the window is the /update round trips, not the commit's fsync).
+		e0 := s.awaitScatterQuiesce(ctx)
+		rs, err = s.router.SumFullBatch(ctx, regs, counters)
+		if err != nil {
+			break
+		}
+		if e1 := s.scatterSeq.Load(); e1 == e0 {
+			break
+		}
+		if attempt >= maxTorn {
+			s.met.tornScatters.Inc()
+			break
+		}
+		for k := range store {
+			store[k] = metrics.Counter{}
+		}
+	}
+	if err != nil {
+		// The scatter failed as a whole (cancellation, or a shard error with
+		// no partial form); the batch fails like any abandoned evaluation.
+		for _, i := range idx {
+			errs[i] = err
+			slots[i].region = nil
+		}
+		return
+	}
+	for k, i := range idx {
+		res := rs[k]
+		lo, hi := res.Lo, res.Hi
+		resp := queryResponse{
+			Op:       "sum",
+			Value:    res.Value,
+			Volume:   slots[i].region.Volume(),
+			Accesses: store[k].Total(),
+			LowerBnd: &lo,
+			UpperBnd: &hi,
+		}
+		if res.Partial() {
+			resp.Partial = true
+			resp.Missing = res.Missing
+		}
+		store[k].Publish(s.met.costObs["sum"])
+		results[i].Result = &resp
+		slots[i].region = nil
+	}
+}
+
+// awaitScatterQuiesce naps until no commit scatter is propagating to the
+// shard processes, returning the (even) epoch it observed — the epoch a
+// subsequent gather validates against. Cancellation returns early with
+// whatever epoch is current; the caller's round trips will surface the
+// context error themselves.
+func (s *Server) awaitScatterQuiesce(ctx context.Context) uint64 {
+	for {
+		e := s.scatterSeq.Load()
+		if e&1 == 0 {
+			return e
+		}
+		select {
+		case <-ctx.Done():
+			return e
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
 }
 
 // regionFromSpecs resolves a name→selector map to a rank-domain region

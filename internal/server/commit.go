@@ -34,6 +34,9 @@ var (
 // off and retry. Coordinates are not bounds-checked here: out-of-range
 // coords panic in the commit path, exactly like a direct structure update.
 func (s *Server) SubmitUpdates(ups []ingest.Update, sync bool) (<-chan ingest.Result, error) {
+	if s.opts.ReadOnly {
+		return nil, ErrReadOnly
+	}
 	if s.degraded.Load() {
 		reason := ""
 		if v, ok := s.degradedReason.Load().(string); ok {
@@ -143,9 +146,35 @@ func (s *Server) commitGroups(groups [][]ingest.Update) (uint64, error) {
 }
 
 // applyLocked durably commits one coalesced batch. The caller holds the
-// write lock; on a WAL failure nothing has been applied and the sequence
-// is unchanged.
+// write lock; on a WAL failure nothing has been applied to the leader's
+// structures and the sequence is unchanged.
 func (s *Server) applyLocked(cells []cellDelta) (uint64, error) {
+	// Remote tier: launch the scatter to the shard processes now, overlapped
+	// with the WAL fsync below. The two are independent — the scatter's
+	// round trips and the fsync's disk wait add nothing to each other — and
+	// both are joined before the write lock releases, so the lock is held
+	// for max(fsync, scatter) instead of their sum. That difference is the
+	// leader's read availability under write load: every queued reader waits
+	// out the full hold.
+	var scatterDone chan struct{}
+	if s.remoteEngines != nil {
+		pds := make([]shard.PointDelta, len(cells))
+		for i, c := range cells {
+			pds[i] = shard.PointDelta{Coords: c.coords, Delta: c.delta}
+		}
+		scatterDone = make(chan struct{})
+		go func() {
+			defer close(scatterDone)
+			// The seqlock brackets only the scatter itself — the window in
+			// which the shard processes disagree about the batch. Lock-free
+			// batched readers that overlap it retry; ones that land between
+			// scatters see every shard pre-batch or every shard post-batch.
+			s.scatterSeq.Add(1)
+			s.router.Apply(pds)
+			s.scatterSeq.Add(1)
+		}()
+	}
+
 	// Durability first: the batch must be on disk before any structure
 	// sees it, so a crash between here and the end of the commit replays
 	// it instead of losing it. One Append is one fsync for the whole
@@ -160,24 +189,63 @@ func (s *Server) applyLocked(cells []cellDelta) (uint64, error) {
 		*wupsP = wups[:0]
 		walUpsPool.Put(wupsP)
 		if err != nil {
+			if scatterDone != nil {
+				// The shards may already hold deltas the leader is not going
+				// to commit. Their slabs are derived state: mark every remote
+				// engine down so the resync probe re-pushes the authoritative
+				// slab, restoring agreement.
+				<-scatterDone
+				for _, e := range s.remoteEngines {
+					e.MarkDown(fmt.Errorf("scattered batch lost its WAL commit: %w", err))
+				}
+			}
 			return 0, err
 		}
 		s.sinceSnap++
 	}
 	s.seq++
+	s.applyCellsLocked(cells)
+	if scatterDone != nil {
+		<-scatterDone
+	}
 
+	// Publish the commit to the replication tier: the lock-free committed
+	// mirror gates follower eligibility, and the notify wakes each pump to
+	// tail the record just fsynced.
+	s.committed.Store(s.seq)
+	s.notifyFollowers()
+
+	if s.sinceSnap >= s.opts.CompactEvery {
+		if err := s.compactLocked(); err != nil {
+			// The WAL still has everything; compaction will be retried on
+			// the next batch.
+			s.logf("%v", err)
+		}
+	}
+	return s.seq, nil
+}
+
+// applyCellsLocked applies one coalesced batch to the serving structures and
+// flushes the result cache. The caller holds the write lock and owns
+// sequencing and durability — the local commit path WAL-logs first, the
+// replication path (ApplyReplicated) trusts the leader's log instead.
+func (s *Server) applyCellsLocked(cells []cellDelta) {
 	if s.router != nil {
 		// Sharded leader: keep the logical cube itself current (snapshots,
 		// recovery and follower boots read it), then scatter the batch to
 		// the owning shards — each shard applies only its slab's share, so
-		// the write-lock hold shrinks as the shard count grows.
+		// the write-lock hold shrinks as the shard count grows. For the
+		// remote tier the scatter is already in flight, launched by
+		// applyLocked alongside the WAL fsync; only the cube update remains.
 		a := s.cube.Data()
 		pds := make([]shard.PointDelta, len(cells))
 		for i, c := range cells {
 			a.Set(a.At(c.coords...)+c.delta, c.coords...)
 			pds[i] = shard.PointDelta{Coords: c.coords, Delta: c.delta}
 		}
-		s.router.Apply(pds)
+		if s.remoteEngines == nil {
+			s.router.Apply(pds)
+		}
 	} else {
 		bupsP := sumUpsPool.Get().(*[]batchsum.IntUpdate)
 		bups := (*bupsP)[:0]
@@ -209,19 +277,4 @@ func (s *Server) applyLocked(cells []cellDelta) (uint64, error) {
 	// the write lock is held, so no reader can observe the new cells with
 	// a pre-update cache entry.
 	s.cache.Flush()
-
-	// Publish the commit to the replication tier: the lock-free committed
-	// mirror gates follower eligibility, and the notify wakes each pump to
-	// tail the record just fsynced.
-	s.committed.Store(s.seq)
-	s.notifyFollowers()
-
-	if s.sinceSnap >= s.opts.CompactEvery {
-		if err := s.compactLocked(); err != nil {
-			// The WAL still has everything; compaction will be retried on
-			// the next batch.
-			s.logf("%v", err)
-		}
-	}
-	return s.seq, nil
 }

@@ -31,10 +31,17 @@ var ErrDegraded = errors.New("server: degraded read-only mode, updates shed")
 // introspection surface the chaos harness asserts against.
 type Health struct {
 	// Ready means the server is accepting its full API: not degraded, not
-	// draining. /readyz answers 200 iff Ready.
+	// draining, not awaiting a state push, every remote shard up. /readyz
+	// answers 200 iff Ready.
 	Ready    bool `json:"ready"`
 	Degraded bool `json:"degraded"`
 	Draining bool `json:"draining"`
+	// AwaitingState marks a shard process still holding its boot placeholder,
+	// before the leader's first POST /state.
+	AwaitingState bool `json:"awaiting_state,omitempty"`
+	// ShardsDown lists remote shards currently marked down; their slabs
+	// answer sum queries as partial and extremes as unavailable.
+	ShardsDown []int `json:"shards_down,omitempty"`
 	// Reason describes the fault that triggered degraded mode, "" when
 	// healthy.
 	Reason string `json:"reason,omitempty"`
@@ -60,7 +67,13 @@ func (s *Server) Health() Health {
 	if r, ok := s.degradedReason.Load().(string); ok && h.Degraded {
 		h.Reason = r
 	}
-	h.Ready = !h.Degraded && !h.Draining
+	h.AwaitingState = s.awaitingState.Load()
+	for _, e := range s.remoteEngines {
+		if e.Down() {
+			h.ShardsDown = append(h.ShardsDown, e.Shard())
+		}
+	}
+	h.Ready = !h.Degraded && !h.Draining && !h.AwaitingState && len(h.ShardsDown) == 0
 	return h
 }
 

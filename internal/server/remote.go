@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"rangecube/internal/client"
+	"rangecube/internal/core/blocked"
+	"rangecube/internal/core/maxtree"
+	"rangecube/internal/core/prefixsum"
+	"rangecube/internal/cube"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/persist"
+	"rangecube/internal/planner"
+	"rangecube/internal/shard"
+)
+
+// The remote shard tier: Options.ShardURLs turns the leader's router into a
+// fleet of RemoteEngines, each speaking the Engine contract to a cubeserver
+// shard process over its ordinary HTTP surface. The leader's cube and WAL
+// stay authoritative — shard processes hold derived state the leader can
+// regenerate at any time, which is what makes partial failure survivable:
+// a shard that dies loses nothing, it just stops answering until the resync
+// probe pushes its slab back (POST /state) and marks it up again.
+
+// shardStateTimeout bounds one slab-state push. State bodies scale with the
+// slab, so this is deliberately far looser than the per-query ShardTimeout.
+const shardStateTimeout = 30 * time.Second
+
+// maxStateBytes caps a POST /state body.
+const maxStateBytes = 1 << 30
+
+// initRemoteSharding builds the remote engines and the router over them.
+// Called by initSharding when ShardURLs is set; the state push happens later
+// (attachRemoteShards), after recovery has produced the cells to push.
+func (s *Server) initRemoteSharding(m shard.Map) error {
+	stats := &shard.RemoteStats{}
+	// The map may clamp below the configured URL count (a tiny split
+	// dimension cannot carry one slab per shard); surplus shard processes
+	// simply never get a slab.
+	engines := make([]shard.Engine, m.Shards())
+	remotes := make([]*shard.RemoteEngine, m.Shards())
+	for i, u := range s.opts.ShardURLs[:m.Shards()] {
+		e := shard.NewRemoteEngine(i, u, shard.RemoteOptions{
+			Timeout:    s.opts.ShardTimeout,
+			HedgeAfter: s.opts.ShardHedgeAfter,
+			Stats:      stats,
+			Logf:       s.logf,
+		})
+		remotes[i], engines[i] = e, e
+	}
+	rt, err := shard.NewRouterEngines(m, engines, s.opts.SumEngine, stats)
+	if err != nil {
+		return err
+	}
+	s.router, s.remoteEngines, s.remoteStats = rt, remotes, stats
+	return nil
+}
+
+// attachRemoteShards pushes every shard its authoritative slab state at
+// boot. A push that fails marks the shard down instead of failing the
+// leader: the probe keeps retrying, and until it lands the shard's slabs
+// answer as missing (partial sums, 503 extremes).
+func (s *Server) attachRemoteShards() {
+	for _, e := range s.remoteEngines {
+		if err := s.resyncShard(e); err != nil {
+			s.logf("server: shard %d (%s) attach failed: %v", e.Shard(), e.URL(), err)
+			e.MarkDown(err)
+		}
+	}
+}
+
+// resyncShard pushes shard e its slab of the leader's cube as a snapshot
+// (POST /state) and, on success, marks the engine up with the slab's exact
+// cell-value bounds — the tight restart of the conservative interval the
+// missing-slab bounds widen from.
+func (s *Server) resyncShard(e *shard.RemoteEngine) error {
+	s.mu.RLock()
+	slab := shard.SlabCopy(s.cube.Data(), s.shardMap, e.Shard())
+	seq := s.seq
+	s.mu.RUnlock()
+
+	var lo, hi int64
+	if data := slab.Data(); len(data) > 0 {
+		lo, hi = data[0], data[0]
+		for _, v := range data[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := persist.WriteSnapshot(&buf, seq, slab); err != nil {
+		return fmt.Errorf("encoding slab state for shard %d: %w", e.Shard(), err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), shardStateTimeout)
+	defer cancel()
+	cl := client.New(client.Options{MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond})
+	resp, err := cl.Do(ctx, http.MethodPost, e.URL()+"/state", buf.Bytes())
+	if err != nil {
+		// An error-path response comes back already drained and closed.
+		return fmt.Errorf("pushing state to shard %d: %w", e.Shard(), err)
+	}
+	defer drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("shard %d rejected state push: %s: %s", e.Shard(), resp.Status, bytes.TrimSpace(msg))
+	}
+	e.MarkUp(lo, hi)
+	s.logf("server: shard %d (%s) synced at seq %d (%d cells)", e.Shard(), e.URL(), seq, slab.Size())
+	return nil
+}
+
+// startShardProbe launches the resync probe: every ShardProbe tick each
+// down engine gets one fresh state push. Healthy ticks are a handful of
+// atomic loads.
+func (s *Server) startShardProbe() {
+	s.shardProbeStop = make(chan struct{})
+	s.shardProbeDone = make(chan struct{})
+	go s.shardProbeLoop()
+}
+
+// stopShardProbe terminates the probe and waits for it; safe to call more
+// than once and without startShardProbe having run.
+func (s *Server) stopShardProbe() {
+	if s.shardProbeStop == nil {
+		return
+	}
+	s.shardProbeOnce.Do(func() { close(s.shardProbeStop) })
+	<-s.shardProbeDone
+}
+
+func (s *Server) shardProbeLoop() {
+	defer close(s.shardProbeDone)
+	t := time.NewTicker(s.opts.ShardProbe)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.shardProbeStop:
+			return
+		case <-t.C:
+			for _, e := range s.remoteEngines {
+				if !e.Down() {
+					continue
+				}
+				if err := s.resyncShard(e); err != nil {
+					s.logf("server: shard %d resync failed: %v", e.Shard(), err)
+				}
+			}
+		}
+	}
+}
+
+// writeAwaiting sheds a request arriving before the first /state push has
+// installed real data: the placeholder cube must never answer as if it were
+// the slab.
+func (s *Server) writeAwaiting(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	s.writeError(w, r, http.StatusServiceUnavailable, "awaiting state push from the leader")
+}
+
+// handleState accepts a pushed snapshot as this server's entire new state.
+// Mounted only with Options.AcceptState — a shard process's slab is derived
+// state the leader may replace wholesale; an authoritative server must never
+// mount this.
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxStateBytes)
+	seq, cells, err := persist.ReadSnapshot(r.Body)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, "decoding state push: %v", err)
+		return
+	}
+	if err := s.resetState(seq, cells); err != nil {
+		s.writeError(w, r, http.StatusConflict, "%v", err)
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"seq": seq, "cells": cells.Size()})
+}
+
+// resetState replaces the server's cube state with a replicated snapshot
+// and rebuilds every serving structure over it, all under one write epoch.
+// A shape change is only legal while the server is still awaiting its first
+// state (the placeholder cube has no meaning); afterwards the shape is
+// pinned and a mismatched push is rejected. The follower pump also lands
+// here when the leader's WAL generation moved and the follower re-bootstraps
+// from /snapshot.
+func (s *Server) resetState(seq uint64, cells *ndarray.Array[int64]) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	shape := cells.Shape()
+	if shapeEqual(s.cube.Shape(), shape) {
+		copy(s.cube.Data().Data(), cells.Data())
+	} else {
+		if !s.awaitingState.Load() {
+			return fmt.Errorf("server: pushed state shape %v does not match cube %v", shape, s.cube.Shape())
+		}
+		// First push: the placeholder gives way to a cube of the pushed
+		// shape with canonical integer dimensions (value == rank), the frame
+		// remote slab queries are phrased in.
+		dims := make([]*cube.Dimension, len(shape))
+		for j, n := range shape {
+			dims[j] = cube.NewIntDimension(fmt.Sprintf("d%d", j), 0, n-1)
+		}
+		c := cube.New(dims...)
+		copy(c.Data().Data(), cells.Data())
+		s.cube = c
+		n := s.opts.Shards
+		if n < 1 {
+			n = 1
+		}
+		m, err := shard.NewMap(shape, planner.SplitDimension(shape, nil), n)
+		if err != nil {
+			return err
+		}
+		s.shardMap = m
+	}
+
+	if s.opts.Shards > 1 {
+		rt, err := shard.NewRouter(s.cube.Data(), s.shardMap, s.opts.BlockSize, s.opts.Fanout, s.opts.SumEngine)
+		if err != nil {
+			return err
+		}
+		s.router = rt
+	} else {
+		d := s.cube.Data()
+		s.sum = prefixsum.BuildInt(d)
+		s.blk = blocked.BuildInt(d, s.opts.BlockSize)
+		s.max = maxtree.Build(d.Clone(), s.opts.Fanout)
+		s.min = maxtree.BuildMin(d.Clone(), s.opts.Fanout)
+	}
+	s.cache.Flush()
+	s.seq = seq
+	s.committed.Store(seq)
+
+	// Re-anchor durability on the new state: everything previously logged
+	// or snapshotted locally describes a state this server no longer holds.
+	if s.wal != nil {
+		if s.opts.SnapshotPath != "" {
+			s.sinceSnap = 1 // force the compaction even if nothing was logged
+			if err := s.compactLocked(); err != nil {
+				s.logf("%v", err)
+			}
+		} else if err := s.wal.Reset(); err != nil {
+			s.logf("server: resetting WAL after state push: %v", err)
+		} else {
+			s.bumpWALGen()
+		}
+	}
+	s.awaitingState.Store(false)
+	s.logf("server: installed pushed state: shape %v, seq %d", shape, seq)
+	return nil
+}

@@ -1,0 +1,350 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"rangecube/internal/client"
+	"rangecube/internal/cube"
+	"rangecube/internal/ndarray"
+	"rangecube/internal/persist"
+	"rangecube/internal/wal"
+)
+
+// WAL shipping over HTTP: GET /wal?from=<offset>&gen=<generation> streams
+// the log's committed prefix from a byte offset, so a remote follower
+// resumes replication from wherever it left off. The generation token is
+// the correctness hinge — compaction and degraded-mode recovery truncate
+// and regrow the log, after which old byte offsets silently point at
+// different records; the bumped generation turns that silent corruption
+// into an explicit 410 that sends the follower back to /snapshot.
+
+// ErrReadOnly rejects writes submitted to a read-only follower.
+var ErrReadOnly = errors.New("server: read-only follower, updates go to the leader")
+
+// Replication response headers: the WAL generation the body belongs to, the
+// byte range it covers, and the sequence committed at capture time.
+const (
+	hdrWALGen  = "X-Cube-Wal-Gen"
+	hdrWALFrom = "X-Cube-Wal-From"
+	hdrWALSize = "X-Cube-Wal-Size"
+	hdrSeq     = "X-Cube-Seq"
+)
+
+// followFetchTimeout bounds one follower poll (WAL fetch or snapshot
+// re-bootstrap).
+const followFetchTimeout = 30 * time.Second
+
+// drainBody releases an HTTP response for connection reuse.
+func drainBody(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// handleWALFetch streams the WAL's committed prefix from ?from=<offset>.
+// The size and generation are captured under one read epoch — commits hold
+// the write lock through Append, so everything below the captured size is a
+// whole, fsynced record. The stream itself runs unlocked from a private
+// file handle; if a compaction truncates the log mid-stream the reader gets
+// a short body, applies the clean prefix, and its next poll turns into a
+// 410 re-bootstrap.
+func (s *Server) handleWALFetch(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	if s.wal == nil {
+		s.mu.RUnlock()
+		s.writeError(w, r, http.StatusNotFound, "no write-ahead log configured")
+		return
+	}
+	size := s.wal.Size()
+	seq := s.seq
+	gen := s.walGen.Load()
+	s.mu.RUnlock()
+
+	from := wal.HeaderSize
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			s.writeError(w, r, http.StatusBadRequest, "bad from offset %q", v)
+			return
+		}
+		if n > from {
+			from = n
+		}
+	}
+	w.Header().Set(hdrWALGen, strconv.FormatUint(gen, 10))
+	if v := r.URL.Query().Get("gen"); v != "" {
+		g, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.writeError(w, r, http.StatusBadRequest, "bad generation %q", v)
+			return
+		}
+		if g != gen {
+			s.writeError(w, r, http.StatusGone, "WAL generation %d superseded by %d, re-bootstrap from /snapshot", g, gen)
+			return
+		}
+	}
+	if from > size {
+		s.writeError(w, r, http.StatusGone, "offset %d past the log end %d, re-bootstrap from /snapshot", from, size)
+		return
+	}
+
+	f, err := os.Open(s.opts.WALPath)
+	if err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, "opening WAL: %v", err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.Seek(from, io.SeekStart); err != nil {
+		s.writeError(w, r, http.StatusInternalServerError, "seeking WAL: %v", err)
+		return
+	}
+	w.Header().Set(hdrWALFrom, strconv.FormatInt(from, 10))
+	w.Header().Set(hdrWALSize, strconv.FormatInt(size, 10))
+	w.Header().Set(hdrSeq, strconv.FormatUint(seq, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size-from, 10))
+	w.WriteHeader(http.StatusOK)
+	if _, err := io.CopyN(w, f, size-from); err != nil {
+		s.logf("server: /wal stream rid=%s: %v", RequestIDFrom(r.Context()), err)
+	}
+}
+
+// handleSnapshotFetch serves the full cube state as a snapshot, stamped
+// with the WAL generation and size captured in the same read epoch — the
+// exact resume point for a follower that applies this snapshot: every
+// record at or past that offset postdates these cells.
+func (s *Server) handleSnapshotFetch(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	var b bytes.Buffer
+	if err := persist.WriteSnapshot(&b, s.seq, s.cube.Data()); err != nil {
+		s.mu.RUnlock()
+		s.writeError(w, r, http.StatusInternalServerError, "encoding snapshot: %v", err)
+		return
+	}
+	seq := s.seq
+	gen := s.walGen.Load()
+	wsize := wal.HeaderSize
+	if s.wal != nil {
+		wsize = s.wal.Size()
+	}
+	s.mu.RUnlock()
+
+	w.Header().Set(hdrWALGen, strconv.FormatUint(gen, 10))
+	w.Header().Set(hdrWALSize, strconv.FormatInt(wsize, 10))
+	w.Header().Set(hdrSeq, strconv.FormatUint(seq, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(b.Len()))
+	w.WriteHeader(http.StatusOK)
+	if _, err := w.Write(b.Bytes()); err != nil {
+		s.logf("server: /snapshot stream rid=%s: %v", RequestIDFrom(r.Context()), err)
+	}
+}
+
+// ApplyReplicated applies a leader's WAL batches to this server in
+// sequence order, each as one write epoch. Batches at or below the current
+// sequence are skipped, so overlapping fetches (a snapshot resume racing a
+// pending stream) are idempotent. Durability is the leader's: nothing is
+// re-logged here. Returns how many batches were applied.
+func (s *Server) ApplyReplicated(batches []wal.Batch) int {
+	n := 0
+	for _, b := range batches {
+		s.mu.Lock()
+		if b.Seq <= s.seq {
+			s.mu.Unlock()
+			continue
+		}
+		cells := make([]cellDelta, len(b.Updates))
+		for i, u := range b.Updates {
+			cells[i] = cellDelta{coords: u.Coords, delta: u.Delta}
+		}
+		s.applyCellsLocked(cells)
+		s.seq = b.Seq
+		s.committed.Store(s.seq)
+		s.mu.Unlock()
+		n++
+	}
+	return n
+}
+
+// JoinLeader builds a read-only follower of the cubeserver at leaderURL:
+// it fetches the schema and a snapshot, boots a server over those cells,
+// and starts a pump polling GET /wal for new committed batches. The
+// follower answers queries from its own structures; updates are rejected
+// with a pointer at the leader. Follower dimensions are canonical integer
+// dimensions named after the leader's (value == rank) — category values do
+// not ship with the snapshot, so range selectors on a followed cube are
+// rank-domain.
+func JoinLeader(ctx context.Context, leaderURL string, opts Options) (*Server, error) {
+	leaderURL = strings.TrimRight(leaderURL, "/")
+	opts.ReadOnly = true
+	opts.LeaderURL = leaderURL
+	// A follower holds derived state: no local durability, no sub-replicas,
+	// no remote shards, no ingestion pipeline.
+	opts.WALPath = ""
+	opts.SnapshotPath = ""
+	opts.Followers = 0
+	opts.IngestQueue = 0
+	opts.ShardURLs = nil
+	opts.AcceptState = false
+	opts.AwaitState = false
+
+	cl := client.New(client.Options{})
+	var sch struct {
+		Dimensions []struct {
+			Name string `json:"name"`
+			Size int    `json:"size"`
+		} `json:"dimensions"`
+	}
+	if _, err := cl.DoJSON(ctx, http.MethodGet, leaderURL+"/schema", nil, &sch); err != nil {
+		return nil, fmt.Errorf("server: joining %s: %w", leaderURL, err)
+	}
+	seq, cells, gen, wsize, err := fetchSnapshot(ctx, cl, leaderURL)
+	if err != nil {
+		return nil, fmt.Errorf("server: joining %s: %w", leaderURL, err)
+	}
+	shape := cells.Shape()
+	if len(sch.Dimensions) != len(shape) {
+		return nil, fmt.Errorf("server: joining %s: schema has %d dimensions, snapshot has %d", leaderURL, len(sch.Dimensions), len(shape))
+	}
+	dims := make([]*cube.Dimension, len(shape))
+	for j, n := range shape {
+		name := sch.Dimensions[j].Name
+		if name == "" {
+			name = fmt.Sprintf("d%d", j)
+		}
+		dims[j] = cube.NewIntDimension(name, 0, n-1)
+	}
+	c := cube.New(dims...)
+	copy(c.Data().Data(), cells.Data())
+
+	s, err := NewWithOptions(c, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.seq = seq
+	s.mu.Unlock()
+	s.committed.Store(seq)
+	s.startFollowPump(leaderURL, gen, wsize)
+	s.logf("server: joined leader %s at seq %d (WAL gen %d, offset %d)", leaderURL, seq, gen, wsize)
+	return s, nil
+}
+
+// fetchSnapshot retrieves the leader's current state plus the WAL resume
+// point stamped on it.
+func fetchSnapshot(ctx context.Context, cl *client.Client, leaderURL string) (seq uint64, cells *ndarray.Array[int64], gen uint64, wsize int64, err error) {
+	resp, err := cl.Do(ctx, http.MethodGet, leaderURL+"/snapshot", nil)
+	if err != nil {
+		return 0, nil, 0, 0, err
+	}
+	defer drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return 0, nil, 0, 0, fmt.Errorf("GET /snapshot: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	seq, cells, err = persist.ReadSnapshot(resp.Body)
+	if err != nil {
+		return 0, nil, 0, 0, fmt.Errorf("decoding snapshot: %w", err)
+	}
+	gen, _ = strconv.ParseUint(resp.Header.Get(hdrWALGen), 10, 64)
+	wsize, _ = strconv.ParseInt(resp.Header.Get(hdrWALSize), 10, 64)
+	if wsize < wal.HeaderSize {
+		wsize = wal.HeaderSize
+	}
+	return seq, cells, gen, wsize, nil
+}
+
+// startFollowPump launches the WAL-shipping poll loop from the given
+// generation and byte offset.
+func (s *Server) startFollowPump(leaderURL string, gen uint64, offset int64) {
+	s.followStop = make(chan struct{})
+	s.followDone = make(chan struct{})
+	go s.followLoop(leaderURL, gen, offset)
+}
+
+// stopFollowPump terminates the pump and waits for it; safe to call more
+// than once and without a pump running.
+func (s *Server) stopFollowPump() {
+	if s.followStop == nil {
+		return
+	}
+	s.followOnce.Do(func() { close(s.followStop) })
+	<-s.followDone
+}
+
+func (s *Server) followLoop(leaderURL string, gen uint64, offset int64) {
+	defer close(s.followDone)
+	cl := client.New(client.Options{MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 200 * time.Millisecond})
+	t := time.NewTicker(s.opts.FollowPoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.followStop:
+			return
+		case <-t.C:
+		}
+		gen, offset = s.followFetch(cl, leaderURL, gen, offset)
+	}
+}
+
+// followFetch performs one replication poll and returns the advanced
+// (generation, offset) cursor. Transport errors leave the cursor where it
+// was; a 410 means the log the cursor points into was superseded, so the
+// follower re-bootstraps from a fresh snapshot.
+func (s *Server) followFetch(cl *client.Client, leaderURL string, gen uint64, offset int64) (uint64, int64) {
+	ctx, cancel := context.WithTimeout(context.Background(), followFetchTimeout)
+	defer cancel()
+	u := fmt.Sprintf("%s/wal?from=%d&gen=%d", leaderURL, offset, gen)
+	resp, err := cl.Do(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		s.logf("server: follower fetch: %v", err)
+		return gen, offset
+	}
+	defer drainBody(resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		// A short or torn body decodes to its clean record prefix; the
+		// cursor advances exactly past what was applied, so the remainder
+		// is refetched next poll.
+		batches, n, serr := wal.ScanStream(resp.Body)
+		if len(batches) > 0 {
+			s.ApplyReplicated(batches)
+		}
+		if serr != nil {
+			s.logf("server: follower scan at offset %d: %v", offset, serr)
+		}
+		return gen, offset + n
+	case http.StatusGone:
+		ngen, noff, rerr := s.rebootstrap(ctx, cl, leaderURL)
+		if rerr != nil {
+			s.logf("server: follower re-bootstrap: %v", rerr)
+			return gen, offset
+		}
+		s.logf("server: follower re-bootstrapped (WAL gen %d, offset %d)", ngen, noff)
+		return ngen, noff
+	default:
+		s.logf("server: follower fetch: unexpected status %s", resp.Status)
+		return gen, offset
+	}
+}
+
+// rebootstrap refreshes the follower from the leader's snapshot after its
+// WAL cursor was invalidated.
+func (s *Server) rebootstrap(ctx context.Context, cl *client.Client, leaderURL string) (uint64, int64, error) {
+	seq, cells, gen, wsize, err := fetchSnapshot(ctx, cl, leaderURL)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := s.resetState(seq, cells); err != nil {
+		return 0, 0, err
+	}
+	return gen, wsize, nil
+}

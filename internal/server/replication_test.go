@@ -1,0 +1,565 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rangecube/internal/cube"
+	"rangecube/internal/ingest"
+	"rangecube/internal/naive"
+	"rangecube/internal/wal"
+)
+
+// replLeader boots a durable 8x8 leader over httptest and commits n update
+// batches with distinct, reconstructible deltas.
+func replLeader(t *testing.T, n int, mutate func(*Options)) (*Server, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	c := cube.New(
+		cube.NewIntDimension("x", 0, 7),
+		cube.NewIntDimension("y", 0, 7),
+	)
+	opts := Options{
+		BlockSize:    3,
+		Fanout:       3,
+		WALPath:      filepath.Join(dir, "updates.wal"),
+		SnapshotPath: filepath.Join(dir, "cube.snap"),
+		CompactEvery: 1 << 30,
+		Logf:         func(string, ...any) {},
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	s, err := NewWithOptions(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	for i := 0; i < n; i++ {
+		commitOne(t, s, i)
+	}
+	return s, ts
+}
+
+// commitOne applies batch i of the reconstructible sequence: cell
+// (i%8, (i*3)%8) += i+1.
+func commitOne(t *testing.T, s *Server, i int) {
+	t.Helper()
+	ack, err := s.SubmitUpdates([]ingest.Update{
+		{Coords: []int{i % 8, (i * 3) % 8}, Delta: int64(i + 1)},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := <-ack; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+// fetchWAL GETs /wal with the given query string and returns the response.
+func fetchWAL(t *testing.T, ts *httptest.Server, query string) *http.Response {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/wal" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// checkBatches asserts that got is exactly batches from+1..n of the
+// reconstructible sequence.
+func checkBatches(t *testing.T, got []wal.Batch, from, n int) {
+	t.Helper()
+	if len(got) != n-from {
+		t.Fatalf("got %d batches resuming after %d, want %d", len(got), from, n-from)
+	}
+	for j, b := range got {
+		i := from + j // zero-based batch index; seqs are one-based
+		if b.Seq != uint64(i+1) {
+			t.Fatalf("batch %d has seq %d, want %d", j, b.Seq, i+1)
+		}
+		if len(b.Updates) != 1 || b.Updates[0].Delta != int64(i+1) ||
+			b.Updates[0].Coords[0] != i%8 || b.Updates[0].Coords[1] != (i*3)%8 {
+			t.Fatalf("batch %d decoded as %+v", j, b)
+		}
+	}
+}
+
+// TestWALFetchResumeSweep resumes the replication stream from every byte
+// offset of the log. Offsets on record boundaries must yield exactly the
+// remaining batches; every other offset must decode to nothing (the CRC
+// framing rejects mid-record starts) — never to a wrong or duplicated
+// batch.
+func TestWALFetchResumeSweep(t *testing.T) {
+	const K = 12
+	_, ts := replLeader(t, K, nil)
+
+	resp := fetchWAL(t, ts, "")
+	full, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full fetch: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cube-Seq"); got != strconv.Itoa(K) {
+		t.Fatalf("X-Cube-Seq %q, want %d", got, K)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, n, _ := wal.ScanStream(bytes.NewReader(full))
+	if n != int64(len(full)) {
+		t.Fatalf("full stream consumed %d of %d bytes", n, len(full))
+	}
+	checkBatches(t, all, 0, K)
+
+	// Record boundaries, as stream-relative offsets: the prefix lengths that
+	// scan clean to the full prefix.
+	boundary := map[int64]int{0: 0} // relative offset -> batches before it
+	for limit := 1; limit <= len(full); limit++ {
+		b, n, _ := wal.ScanStream(bytes.NewReader(full[:limit]))
+		if n == int64(limit) {
+			boundary[n] = len(b)
+		}
+	}
+	if len(boundary) != K+1 {
+		t.Fatalf("found %d record boundaries, want %d", len(boundary), K+1)
+	}
+
+	size := wal.HeaderSize + int64(len(full))
+	for off := int64(0); off <= size; off++ {
+		resp := fetchWAL(t, ts, fmt.Sprintf("?from=%d", off))
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("from=%d: status %d err %v", off, resp.StatusCode, err)
+		}
+		want := off
+		if want < wal.HeaderSize {
+			want = wal.HeaderSize
+		}
+		if got := resp.Header.Get("X-Cube-Wal-From"); got != strconv.FormatInt(want, 10) {
+			t.Fatalf("from=%d: X-Cube-Wal-From %q, want %d", off, got, want)
+		}
+		if int64(len(body)) != size-want {
+			t.Fatalf("from=%d: body %d bytes, want %d", off, len(body), size-want)
+		}
+		got, _, _ := wal.ScanStream(bytes.NewReader(body))
+		if applied, ok := boundary[want-wal.HeaderSize]; ok {
+			checkBatches(t, got, applied, K)
+		} else if len(got) != 0 {
+			t.Fatalf("from=%d (mid-record): decoded %d batches, want 0", off, len(got))
+		}
+	}
+
+	// Past the end: 410, go re-bootstrap.
+	resp = fetchWAL(t, ts, fmt.Sprintf("?from=%d", size+1))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("from past end: status %d, want 410", resp.StatusCode)
+	}
+	// Unparseable offset: 400.
+	resp = fetchWAL(t, ts, "?from=x")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad offset: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestWALFetchTornStream cuts the replication stream at every byte — a
+// dropped connection mid-transfer — and checks the follower contract: the
+// torn prefix applies only whole records, and resuming from the advanced
+// offset yields exactly the missing batches, each applied once.
+func TestWALFetchTornStream(t *testing.T) {
+	const K = 8
+	_, ts := replLeader(t, K, nil)
+
+	resp := fetchWAL(t, ts, "")
+	full, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		head, n, serr := wal.ScanStream(bytes.NewReader(full[:cut]))
+		if serr != nil {
+			t.Fatalf("cut %d: %v", cut, serr)
+		}
+		if n > int64(cut) {
+			t.Fatalf("cut %d: consumed %d bytes past the tear", cut, n)
+		}
+		// Resume exactly where the clean prefix ended.
+		resp := fetchWAL(t, ts, fmt.Sprintf("?from=%d", wal.HeaderSize+n))
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("cut %d: resume status %d err %v", cut, resp.StatusCode, err)
+		}
+		tail, m, _ := wal.ScanStream(bytes.NewReader(body))
+		if m != int64(len(body)) {
+			t.Fatalf("cut %d: resume consumed %d of %d", cut, m, len(body))
+		}
+		checkBatches(t, append(append([]wal.Batch{}, head...), tail...), 0, K)
+	}
+}
+
+// TestWALFetchGenMismatch pins a fetch to a WAL generation and compacts the
+// log out from under it: the stale generation must answer 410 with the
+// current generation in the header, and a fresh snapshot fetch must carry a
+// resume point that works.
+func TestWALFetchGenMismatch(t *testing.T) {
+	s, ts := replLeader(t, 3, nil)
+
+	resp := fetchWAL(t, ts, "?gen=1")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("matching gen: status %d", resp.StatusCode)
+	}
+
+	// Compaction snapshots then truncates the log, superseding every byte
+	// offset a follower holds.
+	s.mu.Lock()
+	s.sinceSnap = 1
+	err := s.compactLocked()
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp = fetchWAL(t, ts, "?gen=1")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("stale gen: status %d, want 410", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Cube-Wal-Gen"); got != "2" {
+		t.Fatalf("stale gen response advertises gen %q, want 2", got)
+	}
+
+	// The snapshot's stamped resume point must be fetchable at the new gen.
+	sresp, err := ts.Client().Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, sresp.Body)
+	sresp.Body.Close()
+	gen := sresp.Header.Get("X-Cube-Wal-Gen")
+	from := sresp.Header.Get("X-Cube-Wal-Size")
+	resp = fetchWAL(t, ts, "?from="+from+"&gen="+gen)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume at snapshot point: status %d", resp.StatusCode)
+	}
+}
+
+// sumOf asks ts for the whole-cube sum.
+func sumOf(t *testing.T, ts string, cl *http.Client) (queryResponse, int) {
+	t.Helper()
+	resp, err := cl.Get(ts + "/query?op=sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return out, resp.StatusCode
+}
+
+// TestJoinLeaderFollowsAndRebootstraps runs the full follower lifecycle
+// in-process: bootstrap from /snapshot, tail /wal, reject writes, survive a
+// leader compaction (generation bump → 410 → snapshot re-bootstrap), and
+// converge to the leader's exact answers throughout.
+func TestJoinLeaderFollowsAndRebootstraps(t *testing.T) {
+	leader, lts := replLeader(t, 5, nil)
+
+	f, err := JoinLeader(context.Background(), lts.URL, Options{
+		BlockSize:  3,
+		Fanout:     3,
+		FollowPoll: 2 * time.Millisecond,
+		Logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := httptest.NewServer(f.Handler())
+	t.Cleanup(func() { fts.Close(); f.Close() })
+
+	want, code := sumOf(t, lts.URL, lts.Client())
+	if code != http.StatusOK {
+		t.Fatalf("leader sum: status %d", code)
+	}
+	got, code := sumOf(t, fts.URL, fts.Client())
+	if code != http.StatusOK || got.Value != want.Value {
+		t.Fatalf("fresh follower sum %d (status %d), want %d", got.Value, code, want.Value)
+	}
+
+	// Writes bounce with a pointer at the leader.
+	resp, err := fts.Client().Post(fts.URL+"/update", "application/json",
+		strings.NewReader(`{"updates":[{"coords":[0,0],"delta":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden || !strings.Contains(string(body), lts.URL) {
+		t.Fatalf("follower write: status %d body %s", resp.StatusCode, body)
+	}
+	if _, err := f.SubmitUpdates([]ingest.Update{{Coords: []int{0, 0}, Delta: 1}}, true); err != ErrReadOnly {
+		t.Fatalf("SubmitUpdates on follower: %v, want ErrReadOnly", err)
+	}
+
+	catchUp := func(stage string) {
+		t.Helper()
+		want, _ := sumOf(t, lts.URL, lts.Client())
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			got, code := sumOf(t, fts.URL, fts.Client())
+			if code == http.StatusOK && got.Value == want.Value && f.Seq() == leader.Seq() {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: follower stuck at sum %d seq %d, leader %d seq %d",
+					stage, got.Value, f.Seq(), want.Value, leader.Seq())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	for i := 5; i < 9; i++ {
+		commitOne(t, leader, i)
+	}
+	catchUp("tailing")
+
+	// Compact: the follower's byte offset dies with the old log; the pump
+	// must take the 410, re-bootstrap from /snapshot and keep tailing.
+	leader.mu.Lock()
+	leader.sinceSnap = 1
+	err = leader.compactLocked()
+	leader.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 9; i < 13; i++ {
+		commitOne(t, leader, i)
+	}
+	catchUp("re-bootstrapped")
+}
+
+// --- remote shard tier ---
+
+// shardProc is an in-test stand-in for a `cubeserver -serve-shard` process:
+// a placeholder server accepting /state pushes, on a listener whose address
+// survives restarts.
+type shardProc struct {
+	addr string
+	s    *Server
+	hs   *http.Server
+}
+
+func startShardProc(t *testing.T, addr string) *shardProc {
+	t.Helper()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithOptions(cube.New(cube.NewIntDimension("d0", 0, 0)), Options{
+		BlockSize:   2,
+		Fanout:      2,
+		AcceptState: true,
+		AwaitState:  true,
+		Logf:        func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(l)
+	return &shardProc{addr: l.Addr().String(), s: s, hs: hs}
+}
+
+func (p *shardProc) stop() {
+	p.hs.Close()
+	p.s.Close()
+}
+
+// TestRemoteShardTier is the in-process version of the kill-one-shard
+// smoke: a leader scatter–gathers over two shard servers, answers exactly
+// while both are up, degrades sums to partial answers with sound bounds
+// while one is down (and reports it on /readyz), and converges back to
+// exact answers once the shard returns and the probe re-pushes its slab.
+func TestRemoteShardTier(t *testing.T) {
+	c := cube.New(
+		cube.NewIntDimension("x", 0, 9),
+		cube.NewIntDimension("y", 0, 7),
+	)
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 8; y++ {
+			c.Data().Set(int64(x*17+y*3-40), x, y)
+		}
+	}
+	oracle := c.Data().Clone()
+
+	p0 := startShardProc(t, "127.0.0.1:0")
+	p1 := startShardProc(t, "127.0.0.1:0")
+	t.Cleanup(func() { p0.stop(); p1.stop() })
+
+	leader, err := NewWithOptions(c, Options{
+		BlockSize:    3,
+		Fanout:       3,
+		ShardURLs:    []string{"http://" + p0.addr, "http://" + p1.addr},
+		ShardTimeout: 2 * time.Second,
+		ShardProbe:   10 * time.Millisecond,
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := httptest.NewServer(leader.Handler())
+	t.Cleanup(func() { lts.Close(); leader.Close() })
+
+	query := func(q string) (queryResponse, int) {
+		t.Helper()
+		return sumOf2(t, lts, q)
+	}
+
+	// Both shards up: exact answers, no partial marker, 200 /readyz.
+	naiveSum := func(x0, x1, y0, y1 int) int64 {
+		r, err := c.Region(cube.Between("x", x0, x1), cube.Between("y", y0, y1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return naive.SumInt64(oracle, r, nil)
+	}
+	out, code := query("/query?op=sum&x=2..8&y=1..6")
+	if code != http.StatusOK || out.Partial || out.Value != naiveSum(2, 8, 1, 6) {
+		t.Fatalf("healthy sum: %+v status %d, want exact %d", out, code, naiveSum(2, 8, 1, 6))
+	}
+	if h := leader.Health(); !h.Ready || len(h.ShardsDown) != 0 {
+		t.Fatalf("healthy Health = %+v", h)
+	}
+
+	// Updates scatter through the remote engines and stay exact.
+	ack, err := leader.SubmitUpdates([]ingest.Update{{Coords: []int{3, 3}, Delta: 100}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := <-ack; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	oracle.Set(oracle.At(3, 3)+100, 3, 3)
+	out, code = query("/query?op=sum&x=2..8&y=1..6")
+	if code != http.StatusOK || out.Partial || out.Value != naiveSum(2, 8, 1, 6) {
+		t.Fatalf("post-update sum: %+v, want exact %d", out, naiveSum(2, 8, 1, 6))
+	}
+
+	// Kill shard 1: sums covering its slab degrade to partial answers whose
+	// bounds still contain the oracle; /readyz flips.
+	p1.stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out, code = query("/query?op=sum&x=2..8&y=1..6")
+		if code == http.StatusOK && out.Partial {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sum never degraded to partial: %+v status %d", out, code)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if out.LowerBnd == nil || out.UpperBnd == nil {
+		t.Fatalf("partial answer missing bounds: %+v", out)
+	}
+	if want := naiveSum(2, 8, 1, 6); *out.LowerBnd > want || want > *out.UpperBnd {
+		t.Fatalf("partial bounds [%d,%d] miss oracle %d", *out.LowerBnd, *out.UpperBnd, want)
+	}
+	if len(out.Missing) == 0 {
+		t.Fatalf("partial answer names no missing shards: %+v", out)
+	}
+	if h := leader.Health(); h.Ready || len(h.ShardsDown) != 1 {
+		t.Fatalf("degraded Health = %+v", h)
+	}
+	// A sum entirely inside the live shard's slab stays exact. The split
+	// dimension is x (size 10 > 8): shard 0 owns the low half.
+	out, code = query("/query?op=sum&x=0..3&y=0..7")
+	if code != http.StatusOK || out.Partial || out.Value != naiveSum(0, 3, 0, 7) {
+		t.Fatalf("live-slab sum while degraded: %+v, want exact %d", out, naiveSum(0, 3, 0, 7))
+	}
+	// Extremes need every covered slab: 503, not a wrong answer.
+	if _, code = sumOf2(t, lts, "/query?op=max&x=2..8"); code != http.StatusServiceUnavailable {
+		t.Fatalf("max over a missing slab: status %d, want 503", code)
+	}
+
+	// Updates keep committing while a shard is down (its slab re-syncs from
+	// the leader's authoritative cube on return).
+	ack, err = leader.SubmitUpdates([]ingest.Update{{Coords: []int{9, 0}, Delta: 7}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := <-ack; res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	oracle.Set(oracle.At(9, 0)+7, 9, 0)
+
+	// Restart the shard on the same address: the probe re-pushes the slab
+	// (including the update committed while it was down) and exact answers
+	// return.
+	p1b := startShardProc(t, p1.addr)
+	t.Cleanup(p1b.stop)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		out, code = query("/query?op=sum&x=2..9&y=0..7")
+		if code == http.StatusOK && !out.Partial {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sum never recovered from partial: %+v status %d", out, code)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if want := naiveSum(2, 9, 0, 7); out.Value != want {
+		t.Fatalf("recovered sum %d, want %d", out.Value, want)
+	}
+	if h := leader.Health(); !h.Ready || len(h.ShardsDown) != 0 {
+		t.Fatalf("recovered Health = %+v", h)
+	}
+}
+
+// sumOf2 GETs q from ts and decodes a queryResponse.
+func sumOf2(t *testing.T, ts *httptest.Server, q string) (queryResponse, int) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return out, resp.StatusCode
+}

@@ -76,6 +76,47 @@ type Options struct {
 	// owning shards, so each shard's apply cost shrinks with its slab.
 	// 0 or 1 keeps the flat structures.
 	Shards int
+	// ShardURLs, when non-empty, serves the sharded tier over remote shard
+	// processes instead of in-process slabs: entry i is the base URL of the
+	// cubeserver process serving shard i (booted with -serve-shard i). The
+	// shard count is len(ShardURLs); Shards is ignored. On boot the leader
+	// pushes each shard its authoritative slab state (POST /state), and a
+	// background probe re-pushes whenever a shard was marked down. A shard
+	// that stays unreachable degrades sums to partial answers with §11
+	// bounds covering the absent slab; other ops fail with 503.
+	ShardURLs []string
+	// ShardTimeout bounds each remote sub-query or scatter round trip,
+	// hedge included. 0 means 2s.
+	ShardTimeout time.Duration
+	// ShardHedgeAfter is how long a remote sub-query may stall before one
+	// hedged duplicate is launched (first answer wins). 0 means 100ms;
+	// negative disables hedging.
+	ShardHedgeAfter time.Duration
+	// ShardProbe is how often the leader retries down shards with a fresh
+	// slab-state push. 0 means 1s; negative disables the probe (a down
+	// shard then stays down until restart).
+	ShardProbe time.Duration
+
+	// AcceptState mounts POST /state: a leader may replace this server's
+	// entire cube state with a pushed snapshot. Shard processes (cubeserver
+	// -serve-shard) run with it; it must stay off on any server whose own
+	// state is authoritative.
+	AcceptState bool
+	// AwaitState boots the server answering queries and updates with 503
+	// until the first accepted /state push installs real state. Requires
+	// AcceptState; it is how a shard process avoids serving its placeholder
+	// cube as if it were data.
+	AwaitState bool
+	// ReadOnly rejects every update with 403: the server is a replica whose
+	// state arrives through replication (JoinLeader), never through /update.
+	ReadOnly bool
+	// LeaderURL names the writable leader in ReadOnly rejection bodies and
+	// is set by JoinLeader.
+	LeaderURL string
+	// FollowPoll is the WAL-shipping poll cadence of a follower built with
+	// JoinLeader. 0 means 50ms.
+	FollowPoll time.Duration
+
 	// Followers > 0 runs that many in-process read replicas of the whole
 	// logical cube, fed by the WAL's committed prefix as a replication
 	// stream (requires WALPath). /query/batch reads are balanced across
@@ -198,6 +239,12 @@ func (o Options) withDefaults() Options {
 	if o.IngestMaxBatch <= 0 {
 		o.IngestMaxBatch = 4096
 	}
+	if o.ShardProbe == 0 {
+		o.ShardProbe = time.Second
+	}
+	if o.FollowPoll <= 0 {
+		o.FollowPoll = 50 * time.Millisecond
+	}
 	if o.IngestDurability == "" {
 		o.IngestDurability = "sync"
 	}
@@ -226,6 +273,30 @@ type Server struct {
 
 	shardMap shard.Map     // slab partition of the cube (1 slab when unsharded)
 	router   *shard.Router // sharded serving structures; nil when Shards <= 1
+
+	// Remote shard tier (remote.go): the engines behind the router when
+	// ShardURLs is set, their shared failure counters, and the resync probe
+	// that pushes slab state back to shards marked down.
+	remoteEngines  []*shard.RemoteEngine
+	remoteStats    *shard.RemoteStats
+	shardProbeStop chan struct{}
+	shardProbeDone chan struct{}
+	shardProbeOnce sync.Once
+
+	// scatterSeq is a seqlock around the commit path's remote scatter: odd
+	// while a batch's deltas are propagating to the shard processes (the
+	// shards are heterogeneous), even once every shard has applied them.
+	// Batched remote reads run lock-free and validate against it instead of
+	// holding the read lock across network round trips (batch.go).
+	scatterSeq atomic.Uint64
+
+	// Remote replication (replication.go): awaitingState gates serving until
+	// the first /state push installs real data; the follow pump tails a
+	// leader's /wal stream when this server was built with JoinLeader.
+	awaitingState atomic.Bool
+	followStop    chan struct{}
+	followDone    chan struct{}
+	followOnce    sync.Once
 
 	wal       *wal.Log // nil when WALPath is empty
 	seq       uint64   // sequence number of the last applied batch
@@ -290,6 +361,12 @@ func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 	if opts.Shards < 0 || opts.Followers < 0 {
 		return nil, fmt.Errorf("server: negative shard (%d) or follower (%d) count", opts.Shards, opts.Followers)
 	}
+	if opts.AwaitState && !opts.AcceptState {
+		return nil, errors.New("server: AwaitState requires AcceptState (the state must be allowed to arrive)")
+	}
+	if opts.AcceptState && len(opts.ShardURLs) > 0 {
+		return nil, errors.New("server: a remote-shard leader's state is authoritative, it cannot also accept pushes")
+	}
 	s := &Server{opts: opts, logf: opts.Logf, cube: c}
 	s.qlog = newQueryLog(opts.QueryLogSize)
 	s.cache = newResultCache(opts.CacheSize)
@@ -317,6 +394,10 @@ func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 		}
 		s.wal = l
 		l.SetMetrics(&s.met.walMet)
+		// Generation tracking is always on with a WAL: GET /wal hands out a
+		// generation token even when no in-process follower runs, so remote
+		// followers detect a compacted (superseded) log and re-bootstrap.
+		s.walGen.Store(1)
 		replayed := 0
 		for _, b := range batches {
 			if b.Seq <= s.seq {
@@ -353,6 +434,18 @@ func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 		return nil, err
 	}
 	s.committed.Store(s.seq)
+	if opts.AwaitState {
+		s.awaitingState.Store(true)
+	}
+	if len(opts.ShardURLs) > 0 {
+		// Push every shard its authoritative slab state. A shard that is not
+		// up yet is just marked down — the probe keeps retrying, and until
+		// then its slabs answer as missing.
+		s.attachRemoteShards()
+		if opts.ShardProbe > 0 {
+			s.startShardProbe()
+		}
+	}
 
 	if opts.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInflight)
@@ -451,6 +544,8 @@ func (s *Server) Checkpoint() error {
 // Close drains the ingestion pipeline, checkpoints if possible and
 // releases the WAL file. The server must not serve requests afterwards.
 func (s *Server) Close() error {
+	s.stopFollowPump()
+	s.stopShardProbe()
 	s.stopProbe()
 	s.stopPumps()
 	for _, r := range s.followers {
@@ -539,6 +634,15 @@ func (s *Server) Handler() http.Handler {
 	// overloaded or degraded.
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// The replication surface bypasses admission control: a follower must be
+	// able to catch up (and a leader to push state) precisely when the server
+	// is busiest, and neither competes for the structures' read epochs —
+	// /wal streams raw log bytes, /snapshot reads one epoch briefly.
+	mux.HandleFunc("GET /wal", s.handleWALFetch)
+	mux.HandleFunc("GET /snapshot", s.handleSnapshotFetch)
+	if s.opts.AcceptState {
+		mux.HandleFunc("POST /state", s.handleState)
+	}
 	if s.opts.Metrics && s.met.reg != nil {
 		mux.Handle("GET /metrics", s.met.reg.Handler())
 	}
@@ -580,14 +684,19 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 		Low  string `json:"low"`
 		High string `json:"high"`
 	}
-	dims := make([]dim, s.cube.Dims())
+	// The cube pointer can move under a /state push; one epoch of it answers
+	// the whole response.
+	s.mu.RLock()
+	c := s.cube
+	s.mu.RUnlock()
+	dims := make([]dim, c.Dims())
 	for i := range dims {
-		d := s.cube.Dimension(i)
+		d := c.Dimension(i)
 		dims[i] = dim{Name: d.Name(), Size: d.Size(), Low: d.ValueAt(0), High: d.ValueAt(d.Size() - 1)}
 	}
 	s.writeJSON(w, r, http.StatusOK, map[string]any{
 		"dimensions": dims,
-		"cells":      s.cube.Data().Size(),
+		"cells":      c.Data().Size(),
 	})
 }
 
@@ -657,12 +766,19 @@ type queryResponse struct {
 	// cache hit reports 0 accesses and Cached=true.
 	Accesses int64 `json:"accesses"`
 	Cached   bool  `json:"cached,omitempty"`
+	// Partial marks a sum answered with one or more remote shards
+	// unreachable: Value is the exact sum over the reachable slabs only,
+	// while the §11 [lower, upper] bounds still contain the true answer —
+	// each missing slab contributes volume × its conservative cell-value
+	// bounds. Missing lists the absent shard indices. Partial answers are
+	// never cached.
+	Partial bool  `json:"partial,omitempty"`
+	Missing []int `json:"missing_shards,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	region, err := s.parseRegion(r)
-	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, "%v", err)
+	if s.awaitingState.Load() {
+		s.writeAwaiting(w, r)
 		return
 	}
 	op := r.URL.Query().Get("op")
@@ -673,10 +789,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "unknown op %q (sum, count, avg, max, min)", op)
 		return
 	}
+	// Only an AcceptState server (shard process, joined follower) parses
+	// under the read epoch: its /state push may swap the cube, and a region
+	// parsed against the old dimensions must never meet the new structures.
+	// Every other server's cube is immutable, so parsing stays off the
+	// write-preferring lock and never queues behind a commit's fsync.
+	locked := s.opts.AcceptState
+	if locked {
+		s.mu.RLock()
+	}
+	region, err := s.parseRegion(r)
+	if err != nil {
+		if locked {
+			s.mu.RUnlock()
+		}
+		s.writeError(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
 	s.qlog.Add(region)
-
-	s.mu.RLock()
-	resp, err := s.evalCached(r.Context(), op, region)
+	if !locked {
+		s.mu.RLock()
+	}
+	resp, err := s.evalCached(r.Context(), op, region, false)
 	s.mu.RUnlock()
 	if err != nil {
 		s.writeCtxError(w, r, err)
@@ -688,15 +822,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // evalQuery answers one validated query on the leader's structures. The
 // caller must hold the read lock; a non-nil error is always a context
 // cancellation or deadline.
-func (s *Server) evalQuery(ctx context.Context, op string, region ndarray.Region) (queryResponse, error) {
-	return s.evalQueryOn(ctx, s.backend(), op, region)
+func (s *Server) evalQuery(ctx context.Context, op string, region ndarray.Region, exact bool) (queryResponse, error) {
+	return s.evalQueryOn(ctx, s.backend(), op, region, exact)
 }
 
 // evalQueryOn answers one validated query against an explicit structure
 // set — the leader's (flat or sharded) or a follower replica's. The caller
 // must pin the backend's epoch (the server's read lock, or the follower's
-// view) for the duration.
-func (s *Server) evalQueryOn(ctx context.Context, be backend, op string, region ndarray.Region) (queryResponse, error) {
+// view) for the duration. exact (op=sum only, from the batch API) skips
+// the §11 interval estimate and reports the exact sum as its own [v, v]
+// bounds.
+func (s *Server) evalQueryOn(ctx context.Context, be backend, op string, region ndarray.Region, exact bool) (queryResponse, error) {
 	var c metrics.Counter
 	resp := queryResponse{Op: op, Volume: region.Volume()}
 	if resp.Volume == 0 {
@@ -709,6 +845,33 @@ func (s *Server) evalQueryOn(ctx context.Context, be backend, op string, region 
 	}
 	switch op {
 	case "sum":
+		if exact {
+			v, err := be.Sum(ctx, region, &c)
+			if err != nil {
+				return resp, err
+			}
+			resp.Value = v
+			lo, hi := v, v
+			resp.LowerBnd, resp.UpperBnd = &lo, &hi
+			break
+		}
+		if fs, ok := be.(fullSummer); ok {
+			// One gather answers the sum, its §11 bounds and the
+			// partial-failure envelope together — for remote shards that is
+			// one round trip per sub-query instead of two.
+			res, err := fs.SumFull(ctx, region, &c)
+			if err != nil {
+				return resp, err
+			}
+			resp.Value = res.Value
+			lo, hi := res.Lo, res.Hi
+			resp.LowerBnd, resp.UpperBnd = &lo, &hi
+			if res.Partial() {
+				resp.Partial = true
+				resp.Missing = res.Missing
+			}
+			break
+		}
 		lo, hi, err := be.SumBounds(ctx, region)
 		if err != nil {
 			return resp, err
@@ -756,19 +919,30 @@ func (s *Server) evalQueryOn(ctx context.Context, be backend, op string, region 
 // current epoch's cache with Cached=true and zero reported accesses; misses
 // are evaluated and stored. The caller must hold the read lock — that is
 // what makes reading s.seq and publishing against it race-free.
-func (s *Server) evalCached(ctx context.Context, op string, region ndarray.Region) (queryResponse, error) {
+func (s *Server) evalCached(ctx context.Context, op string, region ndarray.Region, exact bool) (queryResponse, error) {
 	if s.cache == nil {
-		return s.evalQuery(ctx, op, region)
+		return s.evalQuery(ctx, op, region, exact)
 	}
 	key := cacheKey(op, region)
+	if exact {
+		// Exact answers carry [v, v] bounds; an interval answer for the same
+		// region must never be served in their place (or vice versa).
+		key = "x\x00" + key
+	}
 	if resp, ok := s.cache.Get(key, s.seq); ok {
 		resp.Cached = true
 		resp.Accesses = 0
 		return resp, nil
 	}
-	resp, err := s.evalQuery(ctx, op, region)
+	resp, err := s.evalQuery(ctx, op, region, exact)
 	if err != nil {
 		return resp, err
+	}
+	if resp.Partial {
+		// A partial answer reflects which shards happened to be down, not
+		// the epoch's data; caching it would keep serving degraded bounds
+		// after the shards return.
+		return resp, nil
 	}
 	s.cache.Put(key, s.seq, resp)
 	return resp, nil
@@ -778,6 +952,14 @@ func (s *Server) evalCached(ctx context.Context, op string, region ndarray.Regio
 // fault (503, the client may retry); a cancellation means the client is
 // gone and the status is a formality.
 func (s *Server) writeCtxError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, shard.ErrShardDown) {
+		// A query shape with no partial form (avg, max, min) hit a missing
+		// shard. The honest retry hint is the resync probe's cadence — the
+		// earliest a pushed recovery could have landed.
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(s.opts.ShardProbe)))
+		s.writeError(w, r, http.StatusServiceUnavailable, "shard unavailable: %v", err)
+		return
+	}
 	if errors.Is(err, context.DeadlineExceeded) {
 		s.met.timeouts.Inc()
 		// A deadline means the server is momentarily too loaded for this
@@ -816,6 +998,21 @@ type updateResponse struct {
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.awaitingState.Load() {
+		s.writeAwaiting(w, r)
+		return
+	}
+	if s.opts.ReadOnly {
+		// A replica's state arrives through replication; a write here would
+		// fork it from the leader. 403, not 503: retrying this server will
+		// never work, the client must talk to the leader.
+		hint := ""
+		if s.opts.LeaderURL != "" {
+			hint = " (leader: " + s.opts.LeaderURL + ")"
+		}
+		s.writeError(w, r, http.StatusForbidden, "read-only follower, updates go to the leader%s", hint)
+		return
+	}
 	if s.degraded.Load() {
 		// Degraded read-only mode: shed the write before spending any work
 		// on its body. Queries are unaffected.
@@ -838,6 +1035,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, "empty update batch")
 		return
 	}
+	// Lock-free cube read: the pointer only moves before awaitingState flips
+	// false (a swap this handler's gate already ruled out), and this path
+	// must not touch s.mu — the queue-full 429 has to come back even while a
+	// commit is parked on the write lock.
 	shape := s.cube.Shape()
 	for i, u := range req.Updates {
 		if len(u.Coords) != len(shape) {
@@ -936,7 +1137,10 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusConflict, "no queries logged yet")
 		return
 	}
-	p, err := planner.New(s.cube, log, space)
+	s.mu.RLock()
+	c := s.cube
+	s.mu.RUnlock()
+	p, err := planner.New(c, log, space)
 	if err != nil {
 		s.writeError(w, r, http.StatusInternalServerError, "%v", err)
 		return
@@ -948,9 +1152,9 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 	choices := make([]choice, 0, len(p.Choices()))
 	for _, ch := range p.Choices() {
 		var names []string
-		for j := 0; j < s.cube.Dims(); j++ {
+		for j := 0; j < c.Dims(); j++ {
 			if ch.Dims&(1<<uint(j)) != 0 {
-				names = append(names, s.cube.Dimension(j).Name())
+				names = append(names, c.Dimension(j).Name())
 			}
 		}
 		choices = append(choices, choice{Dimensions: names, BlockSize: ch.BlockSize})

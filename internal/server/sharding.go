@@ -37,6 +37,16 @@ type backend interface {
 	Extreme(ctx context.Context, r ndarray.Region, min bool, c *metrics.Counter) ([]int, int64, bool, error)
 }
 
+// fullSummer is the optional backend fast path for op=sum: one gather
+// answering the sum, its §11 bounds and the partial-failure envelope
+// together. The shard router implements it — a remote shard then costs one
+// round trip per sub-query instead of two, and a down shard degrades the
+// answer instead of failing it. The flat structures answer through the
+// separate Sum/SumBounds calls.
+type fullSummer interface {
+	SumFull(ctx context.Context, r ndarray.Region, c *metrics.Counter) (shard.SumResult, error)
+}
+
 // flatBackend adapts the unsharded structures (prefix sum, blocked index,
 // max/min trees) to the backend interface.
 type flatBackend struct{ s *Server }
@@ -122,11 +132,23 @@ func (s *Server) pickFollower() *replica {
 	if s.balance == nil {
 		return nil
 	}
-	i := s.balance.pick(len(s.followers) + 1)
+	// The rotation is cost-weighted, not uniform: a remote-sharded leader
+	// answers a batch by decoding, scattering, gathering and re-encoding it
+	// over loopback HTTP — measured at roughly six times a follower's local
+	// evaluation — so treating it as just another replica would make it the
+	// rotation's permanent straggler. Weighted round robin assigns shares
+	// proportional to capacity: each follower takes six shares in that
+	// tier, and the leader keeps a single share (it still holds the result
+	// cache, and it is the fallback for every lagging follower).
+	fw := 1
+	if s.remoteEngines != nil {
+		fw = 6
+	}
+	i := s.balance.pick(fw*len(s.followers) + 1)
 	if i == 0 {
 		return nil
 	}
-	r := s.followers[i-1]
+	r := s.followers[(i-1)%len(s.followers)]
 	if r.f.AppliedSeq() < s.committed.Load() {
 		s.met.replicaFallbacks.Inc()
 		return nil
@@ -141,6 +163,9 @@ func (s *Server) pickFollower() *replica {
 func (s *Server) initSharding() error {
 	shape := s.cube.Shape()
 	n := s.opts.Shards
+	if len(s.opts.ShardURLs) > 0 {
+		n = len(s.opts.ShardURLs)
+	}
 	if n < 1 {
 		n = 1
 	}
@@ -149,7 +174,15 @@ func (s *Server) initSharding() error {
 		return err
 	}
 	s.shardMap = m
-	if n > 1 {
+	switch {
+	case len(s.opts.ShardURLs) > 0:
+		// Remote tier: every shard is a cubeserver process spoken to over
+		// HTTP through the same Engine contract the in-process slabs serve.
+		if err := s.initRemoteSharding(m); err != nil {
+			return err
+		}
+		s.logf("server: %d remote shards along dimension %d (%s)", m.Shards(), m.Dim(), s.cube.Dimension(m.Dim()).Name())
+	case n > 1:
 		rt, err := shard.NewRouter(s.cube.Data(), m, s.opts.BlockSize, s.opts.Fanout, s.opts.SumEngine)
 		if err != nil {
 			return err

@@ -63,6 +63,7 @@ type serverMetrics struct {
 	replicaLag       *telemetry.GaugeVec   // replica
 	replicaBatches   *telemetry.CounterVec // replica
 	replicaFallbacks *telemetry.Counter
+	tornScatters     *telemetry.Counter // lock-free remote reads that gave up the seqlock retry
 
 	costCells *telemetry.HistogramVec // op, engine — the paper's §8 Cells
 	costAux    *telemetry.HistogramVec // op, engine — §8 auxiliary reads
@@ -194,12 +195,40 @@ func newServerMetrics(s *Server, reg *telemetry.Registry) *serverMetrics {
 			_, _, sc := s.router.Stats()
 			return int64(sc)
 		})
+	// Remote shard tier: the engines record into RemoteStats, exported by
+	// callback (0 while the shards are in-process or the tier is off).
+	reg.CounterFunc("cube_shard_remote_errors_total",
+		"Remote shard sub-queries and state pushes that failed (marking the shard down).",
+		func() int64 {
+			if s.remoteStats == nil {
+				return 0
+			}
+			return int64(s.remoteStats.Errors.Load())
+		})
+	reg.CounterFunc("cube_shard_remote_hedges_total",
+		"Hedged duplicate requests launched against slow remote shards.",
+		func() int64 {
+			if s.remoteStats == nil {
+				return 0
+			}
+			return int64(s.remoteStats.Hedges.Load())
+		})
+	reg.CounterFunc("cube_shard_remote_partials_total",
+		"Sum answers degraded to partial (bounds-only) by a down remote shard.",
+		func() int64 {
+			if s.remoteStats == nil {
+				return 0
+			}
+			return int64(s.remoteStats.Partials.Load())
+		})
 	m.replicaLag = reg.GaugeVec("cube_replica_lag",
 		"Committed batches a follower replica has not yet applied.", "replica")
 	m.replicaBatches = reg.CounterVec("cube_replica_batches_total",
 		"/query/batch requests served by each follower replica.", "replica")
 	m.replicaFallbacks = reg.Counter("cube_replica_fallbacks_total",
 		"Balanced reads that fell back to the leader because the picked follower was behind the committed epoch.")
+	m.tornScatters = reg.Counter("cube_shard_remote_torn_reads_total",
+		"Lock-free remote batch reads that exhausted the scatter-seqlock retry budget and kept a possibly-torn answer.")
 	reg.GaugeFunc("cube_degraded",
 		"1 while the server is in degraded read-only mode, 0 otherwise.",
 		func() int64 {
@@ -299,7 +328,7 @@ func (s *Server) engineLabel(op string) string {
 func pathLabel(p string) string {
 	switch p {
 	case "/schema", "/query", "/query/batch", "/update", "/advise", "/metrics",
-		"/healthz", "/readyz":
+		"/healthz", "/readyz", "/wal", "/snapshot", "/state":
 		return p
 	}
 	return "other"

@@ -1,0 +1,447 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rangecube/internal/client"
+	"rangecube/internal/core/batchsum"
+	"rangecube/internal/metrics"
+	"rangecube/internal/ndarray"
+)
+
+// RemoteStats aggregates the remote tier's failure handling across all of a
+// router's engines, for the cube_shard_remote_* telemetry series.
+type RemoteStats struct {
+	// Errors counts sub-queries and scatters that exhausted their retries
+	// and hedge against a shard (each one marks the shard down).
+	Errors atomic.Uint64
+	// Hedges counts hedged duplicate requests launched after a primary
+	// stalled past the hedge delay.
+	Hedges atomic.Uint64
+	// Partials counts sum answers degraded by at least one missing slab.
+	Partials atomic.Uint64
+}
+
+// RemoteOptions tunes one RemoteEngine. The zero value is usable: 2s
+// per-sub-query deadline, one hedged retry after 100ms, a fresh retrying
+// client over the default transport.
+type RemoteOptions struct {
+	// Timeout bounds each sub-query or scatter round trip (including the
+	// retrying client's attempts and the hedge). 0 means 2s.
+	Timeout time.Duration
+	// HedgeAfter is how long the primary request may stall before one
+	// hedged duplicate is launched; first success wins. 0 means 100ms;
+	// negative disables hedging.
+	HedgeAfter time.Duration
+	// HTTPClient overrides the transport (httptest servers, pooled
+	// keep-alive tuning). Nil uses a transport with a generous idle pool —
+	// scatter traffic is many small requests to one host.
+	HTTPClient *http.Client
+	// Stats, when non-nil, receives the engine's error/hedge counts
+	// (shared across a router's engines).
+	Stats *RemoteStats
+	// Logf receives operational lines (shard marked down). Nil discards.
+	Logf func(format string, args ...any)
+}
+
+// RemoteEngine speaks the Engine contract to a cubeserver shard process
+// over its existing HTTP surface: sums and extremes through GET /query
+// (whose op=sum response carries the §11 bounds, so SumWithBounds is one
+// round trip), scatters through POST /update. The shard process serves its
+// slab as a cube with canonical integer dimensions d0..dk (value == rank),
+// so local-frame regions translate directly to selector parameters.
+//
+// Partial-failure handling lives here: every round trip gets a per-shard
+// deadline and one hedged retry, and a round trip that still fails marks
+// the engine down. A down engine fails fast with ErrShardDown — no network
+// attempts — until the serving tier's resync probe pushes fresh slab state
+// and calls MarkUp. While down, CellBounds keeps widening under Apply so
+// the missing-slab intervals stay valid against the leader's true state.
+type RemoteEngine struct {
+	shard int
+	base  string // shard process base URL, no trailing slash
+	opt   RemoteOptions
+	cl    *client.Client
+
+	down atomic.Bool
+
+	mu             sync.Mutex
+	cellLo, cellHi int64
+}
+
+// NewRemoteEngine builds the transport for shard i served at baseURL.
+func NewRemoteEngine(i int, baseURL string, opt RemoteOptions) *RemoteEngine {
+	if opt.Timeout <= 0 {
+		opt.Timeout = 2 * time.Second
+	}
+	if opt.HedgeAfter == 0 {
+		opt.HedgeAfter = 100 * time.Millisecond
+	}
+	hc := opt.HTTPClient
+	if hc == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = 64
+		hc = &http.Client{Transport: tr}
+	}
+	return &RemoteEngine{
+		shard: i,
+		base:  strings.TrimRight(baseURL, "/"),
+		opt:   opt,
+		// Few, fast attempts: the gather's hedge and the leader's resync
+		// probe own slow-failure handling; long client backoffs would just
+		// hold the query past its deadline.
+		cl: client.New(client.Options{MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, HTTPClient: hc}),
+	}
+}
+
+// Shard returns the shard index this engine serves.
+func (e *RemoteEngine) Shard() int { return e.shard }
+
+// URL returns the shard process's base URL.
+func (e *RemoteEngine) URL() string { return e.base }
+
+// Down reports whether the engine is marked down (failing fast).
+func (e *RemoteEngine) Down() bool { return e.down.Load() }
+
+// MarkUp clears the down state after a resync, resetting the cell-value
+// bounds to the exact slab bounds the resync computed.
+func (e *RemoteEngine) MarkUp(cellLo, cellHi int64) {
+	e.mu.Lock()
+	e.cellLo, e.cellHi = cellLo, cellHi
+	e.mu.Unlock()
+	if e.down.CompareAndSwap(true, false) {
+		e.logf("shard %d (%s): marked up after resync", e.shard, e.base)
+	}
+}
+
+// MarkDown forces the down state (the serving tier uses it when an attach
+// push fails; round-trip failures set it themselves).
+func (e *RemoteEngine) MarkDown(cause error) {
+	if e.down.CompareAndSwap(false, true) {
+		if e.opt.Stats != nil {
+			e.opt.Stats.Errors.Add(1)
+		}
+		e.logf("shard %d (%s): marked down: %v", e.shard, e.base, cause)
+	}
+}
+
+func (e *RemoteEngine) logf(format string, args ...any) {
+	if e.opt.Logf != nil {
+		e.opt.Logf(format, args...)
+	}
+}
+
+func (e *RemoteEngine) CellBounds() (int64, int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cellLo, e.cellHi
+}
+
+// queryURL renders a local-frame region as /query selector parameters on
+// the shard's canonical d0..dk integer dimensions.
+func (e *RemoteEngine) queryURL(op string, r ndarray.Region) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/query?op=%s", e.base, url.QueryEscape(op))
+	for j, rng := range r {
+		fmt.Fprintf(&b, "&d%d=%d..%d", j, rng.Lo, rng.Hi)
+	}
+	return b.String()
+}
+
+// remoteAnswer is the subset of the shard's /query response the router
+// consumes.
+type remoteAnswer struct {
+	Value    int64    `json:"value"`
+	At       []string `json:"at"`
+	Empty    bool     `json:"empty"`
+	LowerBnd *int64   `json:"lower_bound"`
+	UpperBnd *int64   `json:"upper_bound"`
+	Accesses int64    `json:"accesses"`
+}
+
+func (e *RemoteEngine) query(ctx context.Context, op string, r ndarray.Region, c *metrics.Counter) (remoteAnswer, error) {
+	var ans remoteAnswer
+	data, err := e.roundTrip(ctx, http.MethodGet, e.queryURL(op, r), nil)
+	if err != nil {
+		return ans, err
+	}
+	if err := json.Unmarshal(data, &ans); err != nil {
+		return ans, fmt.Errorf("decoding shard answer: %w", err)
+	}
+	// The shard's reported cost folds into the gather's counter as
+	// auxiliary accesses: the leader did not touch those cells itself, but
+	// the work was done on the query's behalf.
+	c.AddAux(ans.Accesses)
+	return ans, nil
+}
+
+// SumBatchFull answers many local-frame sum sub-queries against the shard
+// in one POST /query/batch exchange — the transport that keeps a client
+// batch's fan-out at one round trip per shard instead of one per item.
+// cs[k] (nillable) receives item k's reported access cost as auxiliary
+// work. The whole exchange shares one deadline, hedge and down-marking,
+// exactly like a single query.
+func (e *RemoteEngine) SumBatchFull(ctx context.Context, regions []ndarray.Region, cs []*metrics.Counter) ([]SumPart, error) {
+	// Hand-rolled encoding: the scatter is the leader's hottest write of
+	// leader-generated content (canonical d0..dk names, integer ranks), and
+	// reflection-based marshalling of per-item maps is measurable CPU on the
+	// batch path. The grammar is the same one queryURL renders.
+	body := make([]byte, 0, 8+48*len(regions))
+	body = append(body, '[')
+	for k, r := range regions {
+		if k > 0 {
+			body = append(body, ',')
+		}
+		// exact: the shard's §11 interval estimate is dead weight here — a
+		// healthy shard's exact sub-sum is already the tightest bound on its
+		// slab's contribution, and the estimate is a fifth of a batched sum's
+		// cost on the shard.
+		body = append(body, `{"op":"sum","exact":true,"select":{`...)
+		for j, rng := range r {
+			if j > 0 {
+				body = append(body, ',')
+			}
+			body = append(body, `"d`...)
+			body = strconv.AppendInt(body, int64(j), 10)
+			body = append(body, `":"`...)
+			body = strconv.AppendInt(body, int64(rng.Lo), 10)
+			body = append(body, `..`...)
+			body = strconv.AppendInt(body, int64(rng.Hi), 10)
+			body = append(body, '"')
+		}
+		body = append(body, `}}`...)
+	}
+	body = append(body, ']')
+	data, err := e.roundTrip(ctx, http.MethodPost, e.base+"/query/batch", body)
+	if err != nil {
+		return nil, err
+	}
+	var out struct {
+		Results []struct {
+			Result *remoteAnswer `json:"result"`
+			Error  string        `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("decoding shard batch answer: %w", err)
+	}
+	if len(out.Results) != len(regions) {
+		return nil, fmt.Errorf("shard %d answered %d of %d batched sums", e.shard, len(out.Results), len(regions))
+	}
+	parts := make([]SumPart, len(regions))
+	for k, r := range out.Results {
+		// The selectors are leader-generated; an item error means a real
+		// disagreement about the slab, not client input to isolate.
+		if r.Error != "" || r.Result == nil {
+			return nil, fmt.Errorf("shard %d batched sum %d failed: %s", e.shard, k, r.Error)
+		}
+		if r.Result.LowerBnd == nil || r.Result.UpperBnd == nil {
+			return nil, fmt.Errorf("shard %d batched sum %d missing bounds", e.shard, k)
+		}
+		parts[k] = SumPart{Value: r.Result.Value, Lo: *r.Result.LowerBnd, Hi: *r.Result.UpperBnd}
+		if k < len(cs) {
+			cs[k].AddAux(r.Result.Accesses)
+		}
+	}
+	return parts, nil
+}
+
+func (e *RemoteEngine) SumWithBounds(ctx context.Context, r ndarray.Region, c *metrics.Counter) (int64, int64, int64, error) {
+	ans, err := e.query(ctx, "sum", r, c)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if ans.LowerBnd == nil || ans.UpperBnd == nil {
+		return 0, 0, 0, fmt.Errorf("shard answer missing sum bounds")
+	}
+	return ans.Value, *ans.LowerBnd, *ans.UpperBnd, nil
+}
+
+func (e *RemoteEngine) Sum(ctx context.Context, r ndarray.Region, c *metrics.Counter) (int64, error) {
+	ans, err := e.query(ctx, "sum", r, c)
+	return ans.Value, err
+}
+
+func (e *RemoteEngine) SumBounds(ctx context.Context, r ndarray.Region) (int64, int64, error) {
+	_, lo, hi, err := e.SumWithBounds(ctx, r, nil)
+	return lo, hi, err
+}
+
+func (e *RemoteEngine) Extreme(ctx context.Context, r ndarray.Region, min bool, c *metrics.Counter) ([]int, int64, bool, error) {
+	op := "max"
+	if min {
+		op = "min"
+	}
+	ans, err := e.query(ctx, op, r, c)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if ans.Empty {
+		return nil, 0, false, nil
+	}
+	local := make([]int, len(ans.At))
+	for j, at := range ans.At {
+		// The shard's dimensions are canonical integers (value == rank), so
+		// "d3=17" parses directly back to local coordinate 17.
+		_, val, ok := strings.Cut(at, "=")
+		if !ok {
+			return nil, 0, false, fmt.Errorf("malformed shard extreme position %q", at)
+		}
+		x, err := strconv.Atoi(val)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("malformed shard extreme position %q: %v", at, err)
+		}
+		local[j] = x
+	}
+	return local, ans.Value, true, nil
+}
+
+// Apply scatters one local-frame update batch to the shard process. The
+// conservative cell-value bounds widen first, unconditionally: whether or
+// not the shard hears about these deltas, the leader's true cell values
+// move by them, and the bounds must keep covering the truth for the
+// missing-slab intervals to stay honest.
+func (e *RemoteEngine) Apply(ctx context.Context, ups []batchsum.IntUpdate) error {
+	e.mu.Lock()
+	for _, u := range ups {
+		if u.Delta < 0 {
+			e.cellLo += u.Delta
+		} else {
+			e.cellHi += u.Delta
+		}
+	}
+	e.mu.Unlock()
+
+	type wireUpdate struct {
+		Coords []int `json:"coords"`
+		Delta  int64 `json:"delta"`
+	}
+	wire := struct {
+		Updates []wireUpdate `json:"updates"`
+	}{Updates: make([]wireUpdate, len(ups))}
+	for i, u := range ups {
+		wire.Updates[i] = wireUpdate{Coords: u.Coords, Delta: u.Delta}
+	}
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return err
+	}
+	_, err = e.roundTrip(ctx, http.MethodPost, e.base+"/update?durability=sync", body)
+	return err
+}
+
+// permanentError marks a 4xx answer: the shard is healthy, the request is
+// wrong, so neither hedging nor marking down applies.
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return e.msg }
+
+// roundTrip performs one logical request against the shard with the
+// partial-failure machinery: fail fast when down, a per-shard deadline, one
+// hedged duplicate after the hedge delay (first success wins, the child
+// context cancels the loser), and a down-marking on exhaustion.
+func (e *RemoteEngine) roundTrip(ctx context.Context, method, u string, body []byte) ([]byte, error) {
+	if e.down.Load() {
+		return nil, fmt.Errorf("%w (shard %d marked down)", ErrShardDown, e.shard)
+	}
+	rctx, cancel := context.WithTimeout(ctx, e.opt.Timeout)
+	defer cancel()
+
+	type result struct {
+		data []byte
+		err  error
+	}
+	ch := make(chan result, 2)
+	attempt := func() {
+		data, err := e.once(rctx, method, u, body)
+		ch <- result{data, err}
+	}
+	go attempt()
+	var hedge <-chan time.Time
+	if e.opt.HedgeAfter > 0 {
+		t := time.NewTimer(e.opt.HedgeAfter)
+		defer t.Stop()
+		hedge = t.C
+	}
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			if r.err == nil {
+				return r.data, nil
+			}
+			var perm *permanentError
+			if errors.As(r.err, &perm) {
+				return nil, r.err
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			pending--
+			if pending == 0 {
+				if ctx.Err() != nil {
+					// The caller abandoned the gather; that is not the
+					// shard's failure.
+					return nil, ctx.Err()
+				}
+				e.MarkDown(firstErr)
+				return nil, fmt.Errorf("%w: %v", ErrShardDown, firstErr)
+			}
+		case <-hedge:
+			hedge = nil
+			if e.opt.Stats != nil {
+				e.opt.Stats.Hedges.Add(1)
+			}
+			pending++
+			go attempt()
+		}
+	}
+}
+
+// once is a single retrying-client exchange; the response body is fully
+// read so the connection returns to the keep-alive pool.
+func (e *RemoteEngine) once(ctx context.Context, method, u string, body []byte) ([]byte, error) {
+	resp, err := e.cl.Do(ctx, method, u, body)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := fmt.Sprintf("shard %d: %s %s: %s: %s", e.shard, method, u, resp.Status, firstLine(data))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, &permanentError{msg: msg}
+		}
+		return nil, fmt.Errorf("%s", msg)
+	}
+	return data, nil
+}
+
+func firstLine(data []byte) string {
+	s := strings.TrimSpace(string(data))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

@@ -2,13 +2,12 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"rangecube/internal/core/batchsum"
-	"rangecube/internal/core/blocked"
-	"rangecube/internal/core/maxtree"
-	"rangecube/internal/core/prefixsum"
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
 	"rangecube/internal/parallel"
@@ -21,49 +20,16 @@ type PointDelta struct {
 	Delta  int64
 }
 
-// engine is one shard's private copy of the serving structures, built over
-// a materialized slab of the logical cube: the §3 prefix sum and §4 blocked
-// index for sums, the §6 max and min trees for extremes. It mirrors the
-// unsharded server's per-structure update protocol exactly, just at slab
-// scale — which is why sharded answers are bit-identical.
-type engine struct {
-	cells *ndarray.Array[int64] // slab copy; blk applies deltas into it
-	sum   *prefixsum.IntArray
-	blk   *blocked.IntArray
-	max   *maxtree.Tree[int64]
-	min   *maxtree.Tree[int64]
-}
-
-func newEngine(a *ndarray.Array[int64], blockSize, fanout int) *engine {
-	return &engine{
-		cells: a,
-		sum:   prefixsum.BuildInt(a),
-		blk:   blocked.BuildInt(a, blockSize),
-		max:   maxtree.Build(a.Clone(), fanout),
-		min:   maxtree.BuildMin(a.Clone(), fanout),
-	}
-}
-
-// apply commits one coalesced batch to every structure: §5 deltas to the
-// prefix sums (the blocked index also folds them into the shared slab
-// cells), then the §7 reassignment protocol feeds the resulting absolute
-// values to the max and min trees.
-func (e *engine) apply(deltas []batchsum.IntUpdate) {
-	batchsum.ApplyInt(e.sum, deltas, nil)
-	batchsum.ApplyBlockedInt(e.blk, deltas, nil)
-	assigns := make([]maxtree.PointUpdate[int64], len(deltas))
-	for i, d := range deltas {
-		assigns[i] = maxtree.PointUpdate[int64]{Coords: d.Coords, Value: e.cells.At(d.Coords...)}
-	}
-	e.max.BatchUpdate(assigns, nil)
-	e.min.BatchUpdate(assigns, nil)
-}
-
 // Router partitions one logical cube across N engine shards along a slab
 // map and serves the full query surface over them: sums, counts, averages
 // and §11 bounds merge by split-additivity; max/min by folding per-shard
-// extremes; point-update batches scatter to the owning shards. Sub-queries
-// evaluate concurrently on the internal/parallel pool.
+// extremes; point-update batches scatter to the owning shards.
+//
+// Shards are Engines: in-process structures over a materialized slab, or
+// remote cubeserver processes spoken to over HTTP. A remote shard that is
+// down degrades sums to partial answers (SumFull) with the §11 bounds
+// machinery covering the absent slabs; every other operation fails with an
+// error naming the shard.
 //
 // The router performs no locking: like the flat structures it replaces,
 // callers serialize queries against updates (the server holds its RWMutex,
@@ -71,13 +37,25 @@ func (e *engine) apply(deltas []batchsum.IntUpdate) {
 type Router struct {
 	m         Map
 	sumEngine string // "prefixsum" or "blocked" — which structure answers Sum
-	shards    []*engine
+	shards    []Engine
 
 	// Scatter–gather accounting, atomic because queries run concurrently
 	// under the caller's read lock. Exported via Stats for telemetry.
 	queries      atomic.Uint64 // gathered queries
 	subqueries   atomic.Uint64 // per-shard sub-queries they decomposed into
 	scatterCells atomic.Uint64 // point deltas scattered by Apply
+
+	// remote aggregates the remote engines' failure/hedge/partial counts;
+	// nil for an all-local router.
+	remote *RemoteStats
+
+	// netIO marks a router whose engines block on network round trips
+	// (NewRouterEngines). Scatters and gathers then get a goroutine per
+	// shard so the round trips overlap; an all-local router keeps its
+	// sub-queries on the shared worker pool instead — they are
+	// microsecond-scale structure walks, and paying goroutine and context
+	// churn per query is measurable against them.
+	netIO bool
 }
 
 // Stats reports the router's lifetime scatter–gather counts: queries
@@ -87,30 +65,59 @@ func (rt *Router) Stats() (queries, subqueries, scatterCells uint64) {
 	return rt.queries.Load(), rt.subqueries.Load(), rt.scatterCells.Load()
 }
 
+// RemoteStats returns the shared remote-shard failure counters, nil for an
+// all-local router.
+func (rt *Router) RemoteStats() *RemoteStats { return rt.remote }
+
 // NewRouter materializes the slab partition of a: each shard copies its
 // slab and builds private structures over it. sumEngine selects the
 // structure answering Sum ("prefixsum" or "blocked"), mirroring the
 // server's SumEngine option.
 func NewRouter(a *ndarray.Array[int64], m Map, blockSize, fanout int, sumEngine string) (*Router, error) {
-	if sumEngine == "" {
-		sumEngine = "prefixsum"
-	}
-	if sumEngine != "prefixsum" && sumEngine != "blocked" {
-		return nil, fmt.Errorf("shard: unknown sum engine %q (prefixsum, blocked)", sumEngine)
+	sumEngine, err := normalizeSumEngine(sumEngine)
+	if err != nil {
+		return nil, err
 	}
 	if !shapeEq(a.Shape(), m.Shape()) {
 		return nil, fmt.Errorf("shard: cube shape %v does not match map shape %v", a.Shape(), m.Shape())
 	}
-	rt := &Router{m: m, sumEngine: sumEngine, shards: make([]*engine, m.Shards())}
+	rt := &Router{m: m, sumEngine: sumEngine, shards: make([]Engine, m.Shards())}
 	for i := range rt.shards {
-		rt.shards[i] = newEngine(slabCopy(a, m, i), blockSize, fanout)
+		rt.shards[i] = newLocalEngine(SlabCopy(a, m, i), blockSize, fanout, sumEngine)
 	}
 	return rt, nil
 }
 
-// slabCopy materializes shard i's sub-cube. Region iteration and the local
-// array share row-major order, so the copy is a single ordered pass.
-func slabCopy(a *ndarray.Array[int64], m Map, i int) *ndarray.Array[int64] {
+// NewRouterEngines builds a router over caller-provided engines — the
+// multi-process tier, where each engine is a RemoteEngine speaking to a
+// cubeserver shard process. stats (may be nil) aggregates the engines'
+// failure counters for telemetry.
+func NewRouterEngines(m Map, engines []Engine, sumEngine string, stats *RemoteStats) (*Router, error) {
+	sumEngine, err := normalizeSumEngine(sumEngine)
+	if err != nil {
+		return nil, err
+	}
+	if len(engines) != m.Shards() {
+		return nil, fmt.Errorf("shard: %d engines for a %d-shard map", len(engines), m.Shards())
+	}
+	return &Router{m: m, sumEngine: sumEngine, shards: engines, remote: stats, netIO: true}, nil
+}
+
+func normalizeSumEngine(sumEngine string) (string, error) {
+	if sumEngine == "" {
+		return "prefixsum", nil
+	}
+	if sumEngine != "prefixsum" && sumEngine != "blocked" {
+		return "", fmt.Errorf("shard: unknown sum engine %q (prefixsum, blocked)", sumEngine)
+	}
+	return sumEngine, nil
+}
+
+// SlabCopy materializes shard i's sub-cube. Region iteration and the local
+// array share row-major order, so the copy is a single ordered pass. The
+// leader's resync path exports it to push authoritative slab state to a
+// rebooted remote shard.
+func SlabCopy(a *ndarray.Array[int64], m Map, i int) *ndarray.Array[int64] {
 	local := ndarray.New[int64](m.LocalShape(i)...)
 	region := a.Bounds()
 	region[m.Dim()] = m.Slab(i)
@@ -142,52 +149,96 @@ func (rt *Router) Map() Map { return rt.m }
 // Shards returns the number of engine shards.
 func (rt *Router) Shards() int { return len(rt.shards) }
 
+// Engine returns shard i's engine (the serving tier inspects remote
+// engines' down state through it).
+func (rt *Router) Engine(i int) Engine { return rt.shards[i] }
+
 // gather runs one body per sub-query concurrently and folds the per-shard
 // counters into c in sub-query order (deterministic totals, like every
-// parallel kernel in this repository). The first non-nil error wins.
-func (rt *Router) gather(r ndarray.Region, c *metrics.Counter,
-	body func(sub SubQuery, c *metrics.Counter) error) ([]SubQuery, error) {
-	subs := rt.m.Decompose(r)
+// parallel kernel in this repository). Errors are wrapped with the failing
+// shard's index. The sub-queries share one cancelable child context: the
+// first hard failure cancels the siblings, so a shard that fails fast never
+// leaves the others running to completion — with remote shards those
+// abandoned sub-queries would hold sockets, not just CPU.
+//
+// With partialOK, a sub-query failing with ErrShardDown is not an error: it
+// is returned in missing and does not cancel its siblings (the answer
+// degrades, the rest of the gather is still wanted).
+func (rt *Router) gather(ctx context.Context, r ndarray.Region, c *metrics.Counter, partialOK bool,
+	body func(ctx context.Context, sub SubQuery, c *metrics.Counter) error) (subs, missing []SubQuery, err error) {
+	subs = rt.m.Decompose(r)
 	if len(subs) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	rt.queries.Add(1)
 	rt.subqueries.Add(uint64(len(subs)))
-	counters := make([]metrics.Counter, len(subs))
 	errs := make([]error, len(subs))
-	work := 0
-	for _, s := range subs {
-		work += s.Local.Volume()
-	}
-	parallel.For(len(subs), work, func(lo, hi, _ int) {
-		for i := lo; i < hi; i++ {
-			errs[i] = body(subs[i], &counters[i])
+	switch {
+	case len(subs) == 1:
+		errs[0] = body(ctx, subs[0], c)
+	case !rt.netIO:
+		// In-process engines: each sub-query is a microsecond-scale
+		// structure walk, so the gather runs on the shared worker pool under
+		// its work estimate — small gathers stay inline on the calling
+		// goroutine rather than paying goroutine and cancel-context churn
+		// per query. Errors here are only context expiry, so there is
+		// nothing to cancel early either.
+		counters := make([]metrics.Counter, len(subs))
+		work := 0
+		for _, s := range subs {
+			work += s.Local.Volume()
 		}
-	})
-	for i := range counters {
-		c.Merge(&counters[i])
-	}
-	for _, err := range errs {
-		if err != nil {
-			return subs, err
+		parallel.For(len(subs), work, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				errs[i] = body(ctx, subs[i], &counters[i])
+			}
+		})
+		for i := range counters {
+			c.Merge(&counters[i])
+		}
+	default:
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		counters := make([]metrics.Counter, len(subs))
+		var wg sync.WaitGroup
+		for i := range subs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				if err := body(ctx, subs[i], &counters[i]); err != nil {
+					errs[i] = err
+					if !(partialOK && errors.Is(err, ErrShardDown)) {
+						cancel()
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i := range counters {
+			c.Merge(&counters[i])
 		}
 	}
-	return subs, nil
+	for i, e := range errs {
+		if e == nil {
+			continue
+		}
+		if partialOK && errors.Is(e, ErrShardDown) {
+			missing = append(missing, subs[i])
+			continue
+		}
+		return subs, nil, fmt.Errorf("shard %d: %w", subs[i].Shard, e)
+	}
+	return subs, missing, nil
 }
 
 // Sum answers a range sum over the logical cube: the split-additive merge
 // of the per-shard sub-range sums. An empty region sums to 0.
 func (rt *Router) Sum(ctx context.Context, r ndarray.Region, c *metrics.Counter) (int64, error) {
 	partial := make([]int64, len(rt.shards))
-	_, err := rt.gather(r, c, func(sub SubQuery, c *metrics.Counter) error {
-		e := rt.shards[sub.Shard]
-		if rt.sumEngine == "blocked" {
-			v, err := e.blk.SumContext(ctx, sub.Local, c)
-			partial[sub.Shard] = v
-			return err
-		}
-		partial[sub.Shard] = e.sum.Sum(sub.Local, c)
-		return nil
+	_, _, err := rt.gather(ctx, r, c, false, func(ctx context.Context, sub SubQuery, c *metrics.Counter) error {
+		v, err := rt.shards[sub.Shard].Sum(ctx, sub.Local, c)
+		partial[sub.Shard] = v
+		return err
 	})
 	if err != nil {
 		return 0, err
@@ -205,8 +256,8 @@ func (rt *Router) Sum(ctx context.Context, r ndarray.Region, c *metrics.Counter)
 func (rt *Router) SumBounds(ctx context.Context, r ndarray.Region) (lo, hi int64, err error) {
 	los := make([]int64, len(rt.shards))
 	his := make([]int64, len(rt.shards))
-	_, err = rt.gather(r, nil, func(sub SubQuery, c *metrics.Counter) error {
-		l, h, err := blocked.BoundsContext(ctx, rt.shards[sub.Shard].blk, sub.Local, c)
+	_, _, err = rt.gather(ctx, r, nil, false, func(ctx context.Context, sub SubQuery, c *metrics.Counter) error {
+		l, h, err := rt.shards[sub.Shard].SumBounds(ctx, sub.Local)
 		los[sub.Shard], his[sub.Shard] = l, h
 		return err
 	})
@@ -220,26 +271,212 @@ func (rt *Router) SumBounds(ctx context.Context, r ndarray.Region) (lo, hi int64
 	return lo, hi, nil
 }
 
-// Extreme answers a range max (min=false) or min (min=true): the fold of
+// SumResult is a range sum with its §11 bounds and, when shards were
+// unreachable, the partial-answer envelope: Value and the bounds cover only
+// the reachable slabs exactly, and each missing slab widens [Lo, Hi] by
+// volume × the shard's conservative cell-value bounds — so the true answer
+// always lies in [Lo, Hi], reachable or not.
+type SumResult struct {
+	Value  int64
+	Lo, Hi int64
+	// Missing lists the shard indices whose slabs are absent from Value;
+	// nil for a complete (exact) answer.
+	Missing []int
+}
+
+// Partial reports whether the answer is missing any slab.
+func (r SumResult) Partial() bool { return len(r.Missing) > 0 }
+
+// SumFull answers a range sum, its §11 bounds, and — when remote shards are
+// down — the partial-answer degradation in one gather: each reachable shard
+// contributes its exact sub-sum and sub-bounds (one round trip for a remote
+// shard), each unreachable slab contributes [V·cellLo, V·cellHi] to the
+// bounds and is listed in Missing.
+func (rt *Router) SumFull(ctx context.Context, r ndarray.Region, c *metrics.Counter) (SumResult, error) {
+	type part struct{ v, lo, hi int64 }
+	parts := make([]part, len(rt.shards))
+	subs, missing, err := rt.gather(ctx, r, c, true, func(ctx context.Context, sub SubQuery, c *metrics.Counter) error {
+		v, lo, hi, err := rt.shards[sub.Shard].SumWithBounds(ctx, sub.Local, c)
+		parts[sub.Shard] = part{v, lo, hi}
+		return err
+	})
+	if err != nil {
+		return SumResult{}, err
+	}
+	down := make(map[int]bool, len(missing))
+	for _, sub := range missing {
+		down[sub.Shard] = true
+	}
+	var res SumResult
+	for _, sub := range subs {
+		if down[sub.Shard] {
+			cl, ch := rt.shards[sub.Shard].CellBounds()
+			vol := int64(sub.Local.Volume())
+			res.Lo += vol * cl
+			res.Hi += vol * ch
+			res.Missing = append(res.Missing, sub.Shard)
+			continue
+		}
+		p := parts[sub.Shard]
+		res.Value += p.v
+		res.Lo += p.lo
+		res.Hi += p.hi
+	}
+	if res.Partial() && rt.remote != nil {
+		rt.remote.Partials.Add(1)
+	}
+	return res, nil
+}
+
+// SumPart is one sub-query's batched answer: the exact sub-sum and its §11
+// bounds over one shard-local region.
+type SumPart struct {
+	Value, Lo, Hi int64
+}
+
+// batchFullSummer is the optional Engine fast path for batched sums: all of
+// one scatter's sub-queries against a shard answered in a single exchange.
+// RemoteEngine implements it with one POST /query/batch round trip.
+type batchFullSummer interface {
+	SumBatchFull(ctx context.Context, regions []ndarray.Region, cs []*metrics.Counter) ([]SumPart, error)
+}
+
+// SumFullBatch answers many range sums in one scatter, with the same
+// partial-failure envelope as SumFull per region. Every region's sub-queries
+// are grouped by shard so each shard is consulted once — for a remote shard
+// that is one batched round trip for the whole client batch instead of one
+// per item, which is what keeps the multi-process tier's batch throughput
+// within sight of the in-process tier's. cs[qi] (nillable entries) receives
+// region qi's access cost; totals are merged in sub-query order, so they are
+// identical to per-item SumFull calls.
+func (rt *Router) SumFullBatch(ctx context.Context, regions []ndarray.Region, cs []*metrics.Counter) ([]SumResult, error) {
+	groups := make([][]*subRef, len(rt.shards))
+	subsOf := make([][]*subRef, len(regions))
+	total := 0
+	for qi, r := range regions {
+		for _, sub := range rt.m.Decompose(r) {
+			ref := &subRef{shard: sub.Shard, local: sub.Local}
+			groups[sub.Shard] = append(groups[sub.Shard], ref)
+			subsOf[qi] = append(subsOf[qi], ref)
+			total++
+		}
+	}
+	rt.queries.Add(uint64(len(regions)))
+	rt.subqueries.Add(uint64(total))
+
+	// One goroutine per shard with work; the first hard failure cancels the
+	// siblings, a down shard degrades its sub-queries instead (the SumFull
+	// contract, batched).
+	gctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(rt.shards))
+	var wg sync.WaitGroup
+	for i := range rt.shards {
+		if len(groups[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := groups[i]
+			if bs, ok := rt.shards[i].(batchFullSummer); ok && len(g) > 1 {
+				regs := make([]ndarray.Region, len(g))
+				counters := make([]*metrics.Counter, len(g))
+				for k, ref := range g {
+					regs[k], counters[k] = ref.local, &ref.c
+				}
+				parts, err := bs.SumBatchFull(gctx, regs, counters)
+				if err != nil {
+					errs[i] = err
+				} else {
+					for k, ref := range g {
+						ref.part = parts[k]
+					}
+				}
+			} else {
+				for _, ref := range g {
+					v, lo, hi, err := rt.shards[i].SumWithBounds(gctx, ref.local, &ref.c)
+					if err != nil {
+						errs[i] = err
+						break
+					}
+					ref.part = SumPart{Value: v, Lo: lo, Hi: hi}
+				}
+			}
+			if errs[i] != nil && !errors.Is(errs[i], ErrShardDown) {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	down := make([]bool, len(rt.shards))
+	for i, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrShardDown):
+			down[i] = true
+		default:
+			if ctx.Err() != nil {
+				// The caller's own deadline/cancel, not a shard failure.
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	// Merge per region in decompose order — counters, values and missing
+	// lists all come out identical to per-item SumFull calls.
+	out := make([]SumResult, len(regions))
+	for qi := range regions {
+		var c *metrics.Counter
+		if qi < len(cs) {
+			c = cs[qi]
+		}
+		res := &out[qi]
+		for _, ref := range subsOf[qi] {
+			if down[ref.shard] {
+				cl, ch := rt.shards[ref.shard].CellBounds()
+				vol := int64(ref.local.Volume())
+				res.Lo += vol * cl
+				res.Hi += vol * ch
+				res.Missing = append(res.Missing, ref.shard)
+				continue
+			}
+			res.Value += ref.part.Value
+			res.Lo += ref.part.Lo
+			res.Hi += ref.part.Hi
+			c.Merge(&ref.c)
+		}
+		if res.Partial() && rt.remote != nil {
+			rt.remote.Partials.Add(1)
+		}
+	}
+	return out, nil
+}
+
+// subRef is one region's sub-query within a batched scatter, carrying its
+// answer and private counter back to the merge.
+type subRef struct {
+	shard int
+	local ndarray.Region
+	part  SumPart
+	c     metrics.Counter
+}
 // the per-shard extremes, in shard order with strict improvement — the
 // same first-wins tie-break a single tree's descent uses, so the reported
 // cell is deterministic. Coords are in logical-cube coordinates; ok=false
-// means the region is empty.
+// means the region is empty. Unlike sums, an extreme has no partial form: a
+// down shard fails the query.
 func (rt *Router) Extreme(ctx context.Context, r ndarray.Region, min bool, c *metrics.Counter) (coords []int, v int64, ok bool, err error) {
 	type hit struct {
-		off int
-		v   int64
-		ok  bool
+		local []int
+		v     int64
+		ok    bool
 	}
 	hits := make([]hit, len(rt.shards))
-	subs, err := rt.gather(r, c, func(sub SubQuery, c *metrics.Counter) error {
-		e := rt.shards[sub.Shard]
-		tree := e.max
-		if min {
-			tree = e.min
-		}
-		off, v, ok, err := tree.MaxIndexContext(ctx, sub.Local, c)
-		hits[sub.Shard] = hit{off: off, v: v, ok: ok}
+	subs, _, err := rt.gather(ctx, r, c, false, func(ctx context.Context, sub SubQuery, c *metrics.Counter) error {
+		local, v, ok, err := rt.shards[sub.Shard].Extreme(ctx, sub.Local, min, c)
+		hits[sub.Shard] = hit{local: local, v: v, ok: ok}
 		return err
 	})
 	if err != nil {
@@ -259,14 +496,18 @@ func (rt *Router) Extreme(ctx context.Context, r ndarray.Region, min bool, c *me
 	if best < 0 {
 		return nil, 0, false, nil
 	}
-	local := rt.shards[best].max.Cube().Coords(hits[best].off, nil)
-	return rt.m.Global(best, local, nil), v, true, nil
+	return rt.m.Global(best, hits[best].local, nil), v, true, nil
 }
 
 // Apply scatters one coalesced update batch to the owning shards and
 // commits each shard's piece concurrently. The batch is one epoch: the
 // caller must exclude queries for the duration (the same contract as the
 // flat structures' batch updates).
+//
+// A remote shard that fails its scatter does not fail the commit: the
+// leader's cube and WAL are authoritative, the engine marks itself down,
+// and the serving tier's resync probe pushes fresh slab state when the
+// shard returns. Until then the shard's slabs answer as missing.
 func (rt *Router) Apply(cells []PointDelta) {
 	rt.scatterCells.Add(uint64(len(cells)))
 	groups := make([][]batchsum.IntUpdate, len(rt.shards))
@@ -279,20 +520,42 @@ func (rt *Router) Apply(cells []PointDelta) {
 		groups[i] = append(groups[i], batchsum.IntUpdate{Coords: local, Delta: c.Delta})
 		work += 1 << len(c.Coords) // update-class fan-out proxy
 	}
+	if rt.netIO {
+		// Remote engines: one goroutine per shard, so the scatter window is
+		// one round trip, not a sequential sweep of them — that window is
+		// exactly how long the commit path's seqlock holds lock-free batch
+		// readers off the shards (server/commit.go).
+		var wg sync.WaitGroup
+		for i := range rt.shards {
+			if len(groups[i]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// A failed remote scatter is recorded by the engine itself
+				// (down flag + error counter); the commit proceeds on the
+				// leader's authoritative state.
+				_ = rt.shards[i].Apply(context.Background(), groups[i])
+			}(i)
+		}
+		wg.Wait()
+		return
+	}
 	parallel.For(len(rt.shards), work, func(lo, hi, _ int) {
 		for i := lo; i < hi; i++ {
 			if len(groups[i]) > 0 {
-				rt.shards[i].apply(groups[i])
+				_ = rt.shards[i].Apply(context.Background(), groups[i])
 			}
 		}
 	})
 }
 
-// Cell returns one logical-cube cell's current value (test hook; the
-// serving path never reads single cells through the router).
+// Cell returns one logical-cube cell's current value (test hook for local
+// engines; the serving path never reads single cells through the router).
 func (rt *Router) Cell(coords []int) int64 {
 	i := rt.m.Owner(coords[rt.m.Dim()])
 	local := append([]int(nil), coords...)
 	local[rt.m.Dim()] -= rt.m.Slab(i).Lo
-	return rt.shards[i].cells.At(local...)
+	return rt.shards[i].(*localEngine).cells.At(local...)
 }

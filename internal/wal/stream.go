@@ -1,0 +1,21 @@
+package wal
+
+import "io"
+
+// HeaderSize is the length of the log file header in bytes. Byte offset
+// HeaderSize is the first record boundary — the offset a replication
+// stream starts from (offset 0 is accepted everywhere and clamped here).
+const HeaderSize = int64(headerSize)
+
+// ScanStream decodes the committed prefix of a headerless record stream —
+// the body of a GET /wal replication fetch, which serves raw log bytes
+// from a record boundary past the header. It returns the decoded batches
+// and how many bytes of clean records were consumed; the caller advances
+// its resume offset by exactly that count, so a stream torn mid-record
+// (a dropped connection, a truncated read) parks the offset at the last
+// record boundary and the next fetch re-reads the partial record whole.
+// The same CRC framing that makes crash recovery replay only fsynced
+// prefixes makes a torn fetch apply only committed prefixes.
+func ScanStream(r io.Reader) (batches []Batch, n int64, err error) {
+	return scanRecords(r)
+}
