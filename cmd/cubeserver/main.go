@@ -95,7 +95,7 @@ func run() error {
 	shards := flag.Int("shards", 1, "slab-partition the cube across N engine shards along the planner-chosen dimension (1 = unsharded)")
 	shardURLs := flag.String("shard-urls", "", "comma-separated base URLs of shard processes; the leader pushes each its slab and scatter–gathers queries across them (overrides -shards)")
 	shardTimeout := flag.Duration("shard-timeout", 2*time.Second, "per-sub-query deadline against a remote shard")
-	shardHedge := flag.Duration("shard-hedge-after", 0, "launch one hedged duplicate sub-query after a remote shard is silent this long (0 = no hedging)")
+	shardHedge := flag.Duration("shard-hedge-after", 100*time.Millisecond, "launch one hedged duplicate read sub-query after a remote shard is silent this long (0 = no hedging; updates are never hedged)")
 	shardProbe := flag.Duration("shard-probe", time.Second, "how often down remote shards are re-pushed their slab state (0 = probe off)")
 	serveShard := flag.Int("serve-shard", -1, "run as shard process N: boot empty, await the leader's slab push on POST /state (-data not required)")
 	join := flag.String("join", "", "run as a read-only follower of the leader at this URL, bootstrapping from /snapshot and tailing /wal (-data not required)")
@@ -169,6 +169,11 @@ func run() error {
 		ShardTimeout:    *shardTimeout,
 		ShardHedgeAfter: *shardHedge,
 		ShardProbe:      *shardProbe,
+	}
+	if *shardHedge == 0 {
+		// The flag's contract is "0 = no hedging"; the engine option reserves
+		// 0 for its 100ms default and disables only on negative.
+		opts.ShardHedgeAfter = -1
 	}
 	if *shardURLs != "" {
 		if *serveShard >= 0 || *join != "" {

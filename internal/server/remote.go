@@ -78,33 +78,72 @@ func (s *Server) attachRemoteShards() {
 // (POST /state) and, on success, marks the engine up with the slab's exact
 // cell-value bounds — the tight restart of the conservative interval the
 // missing-slab bounds widen from.
+//
+// The push races the commit path: a batch that commits while the snapshot
+// is in flight scatters to the still-down engine, fails fast, and is
+// dropped, so the pushed state is already stale by the time it lands.
+// Marking up is therefore gated on s.seq not having moved past the
+// captured sequence — checked under the read lock, which excludes the
+// commit path (it holds the write lock across its whole scatter), so no
+// batch can slip between the check and the MarkUp. A lost race re-captures
+// and re-pushes a few times; if write load keeps winning, the engine stays
+// down and the probe retries next tick.
 func (s *Server) resyncShard(e *shard.RemoteEngine) error {
-	s.mu.RLock()
-	slab := shard.SlabCopy(s.cube.Data(), s.shardMap, e.Shard())
-	seq := s.seq
-	s.mu.RUnlock()
-
-	var lo, hi int64
-	if data := slab.Data(); len(data) > 0 {
-		lo, hi = data[0], data[0]
-		for _, v := range data[1:] {
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
+	const attempts = 3
+	var seq uint64
+	for attempt := 0; attempt < attempts; attempt++ {
+		s.mu.RLock()
+		slab := shard.SlabCopy(s.cube.Data(), s.shardMap, e.Shard())
+		seq = s.seq
+		var lo, hi int64
+		if data := slab.Data(); len(data) > 0 {
+			lo, hi = data[0], data[0]
+			for _, v := range data[1:] {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
 			}
 		}
-	}
-	var buf bytes.Buffer
-	if err := persist.WriteSnapshot(&buf, seq, slab); err != nil {
-		return fmt.Errorf("encoding slab state for shard %d: %w", e.Shard(), err)
-	}
+		// Seed the engine's conservative cell-value bounds while the capture
+		// is still atomic with the cube (Apply only widens them under the
+		// write lock): even if the push below fails, a never-synced shard's
+		// missing-slab intervals then cover the authoritative slab instead of
+		// charging it [0, 0].
+		e.SeedCellBounds(lo, hi)
+		s.mu.RUnlock()
 
+		var buf bytes.Buffer
+		if err := persist.WriteSnapshot(&buf, seq, slab); err != nil {
+			return fmt.Errorf("encoding slab state for shard %d: %w", e.Shard(), err)
+		}
+
+		if err := s.pushState(e, buf.Bytes()); err != nil {
+			return err
+		}
+
+		s.mu.RLock()
+		current := s.seq == seq
+		if current {
+			e.MarkUp(lo, hi)
+		}
+		s.mu.RUnlock()
+		if current {
+			s.logf("server: shard %d (%s) synced at seq %d (%d cells)", e.Shard(), e.URL(), seq, slab.Size())
+			return nil
+		}
+	}
+	return fmt.Errorf("shard %d: leader advanced past seq %d during every state push (%d attempts); leaving it down for the probe", e.Shard(), seq, attempts)
+}
+
+// pushState POSTs one encoded snapshot to shard e's /state endpoint.
+func (s *Server) pushState(e *shard.RemoteEngine, body []byte) error {
 	ctx, cancel := context.WithTimeout(context.Background(), shardStateTimeout)
 	defer cancel()
 	cl := client.New(client.Options{MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 100 * time.Millisecond})
-	resp, err := cl.Do(ctx, http.MethodPost, e.URL()+"/state", buf.Bytes())
+	resp, err := cl.Do(ctx, http.MethodPost, e.URL()+"/state", body)
 	if err != nil {
 		// An error-path response comes back already drained and closed.
 		return fmt.Errorf("pushing state to shard %d: %w", e.Shard(), err)
@@ -114,8 +153,6 @@ func (s *Server) resyncShard(e *shard.RemoteEngine) error {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("shard %d rejected state push: %s: %s", e.Shard(), resp.Status, bytes.TrimSpace(msg))
 	}
-	e.MarkUp(lo, hi)
-	s.logf("server: shard %d (%s) synced at seq %d (%d cells)", e.Shard(), e.URL(), seq, slab.Size())
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -539,6 +540,208 @@ func TestRemoteShardTier(t *testing.T) {
 	}
 	if want := naiveSum(2, 9, 0, 7); out.Value != want {
 		t.Fatalf("recovered sum %d, want %d", out.Value, want)
+	}
+	if h := leader.Health(); !h.Ready || len(h.ShardsDown) != 0 {
+		t.Fatalf("recovered Health = %+v", h)
+	}
+}
+
+// A shard that never attaches (its address refuses connections from boot)
+// must still contribute covering bounds to partial sums: the leader seeds
+// each engine's conservative cell-value bounds from the authoritative slab
+// during the attach attempt, so the SumResult contract — the true answer
+// always lies in [Lo, Hi] — holds even for a cube with nonzero initial
+// data and a shard that was never synced.
+func TestNeverSyncedShardBoundsCoverOracle(t *testing.T) {
+	c := cube.New(
+		cube.NewIntDimension("x", 0, 9),
+		cube.NewIntDimension("y", 0, 7),
+	)
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 8; y++ {
+			c.Data().Set(int64(x*17+y*3-40), x, y)
+		}
+	}
+	oracle := c.Data().Clone()
+
+	p0 := startShardProc(t, "127.0.0.1:0")
+	t.Cleanup(p0.stop)
+	// A dead address for shard 1: grab a port, then close the listener so
+	// every push and query is refused.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := l.Addr().String()
+	l.Close()
+
+	leader, err := NewWithOptions(c, Options{
+		BlockSize:    3,
+		Fanout:       3,
+		ShardURLs:    []string{"http://" + p0.addr, "http://" + deadAddr},
+		ShardTimeout: time.Second,
+		ShardProbe:   -1, // no probe: the shard must stay never-synced
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := httptest.NewServer(leader.Handler())
+	t.Cleanup(func() { lts.Close(); leader.Close() })
+
+	r, err := c.Region(cube.Between("x", 0, 9), cube.Between("y", 0, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.SumInt64(oracle, r, nil)
+	out, code := sumOf2(t, lts, "/query?op=sum&x=0..9&y=0..7")
+	if code != http.StatusOK || !out.Partial {
+		t.Fatalf("sum over a never-synced shard: %+v status %d, want a partial answer", out, code)
+	}
+	if out.LowerBnd == nil || out.UpperBnd == nil {
+		t.Fatalf("partial answer missing bounds: %+v", out)
+	}
+	if *out.LowerBnd > want || want > *out.UpperBnd {
+		t.Fatalf("never-synced shard bounds [%d, %d] miss oracle %d", *out.LowerBnd, *out.UpperBnd, want)
+	}
+}
+
+// A commit that lands while a resync's /state push is in flight scatters to
+// the still-down engine and is dropped — so the pushed snapshot is stale
+// the moment it arrives. The leader must not mark the shard up off that
+// push (it would serve the stale slab as exact forever); it re-captures and
+// re-pushes until a push survives with no commit racing it.
+func TestResyncHoldsDownWhenCommitRacesStatePush(t *testing.T) {
+	c := cube.New(
+		cube.NewIntDimension("x", 0, 9),
+		cube.NewIntDimension("y", 0, 7),
+	)
+	for x := 0; x < 10; x++ {
+		for y := 0; y < 8; y++ {
+			c.Data().Set(int64(x*17+y*3-40), x, y)
+		}
+	}
+	oracle := c.Data().Clone()
+
+	p0 := startShardProc(t, "127.0.0.1:0")
+	t.Cleanup(p0.stop)
+	p1 := startShardProc(t, "127.0.0.1:0")
+	backend := p1.addr
+
+	// A pass-through gate in front of shard 1 that can hold a /state push
+	// mid-flight: the capture already happened on the leader, so a commit
+	// submitted while the push is held is guaranteed to race it.
+	var hold atomic.Bool
+	held := make(chan struct{}, 1)
+	release := make(chan struct{})
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/state" && hold.Load() {
+			select {
+			case held <- struct{}{}:
+			default:
+			}
+			<-release
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req, err := http.NewRequest(r.Method, "http://"+backend+r.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(gate.Close)
+
+	leader, err := NewWithOptions(c, Options{
+		BlockSize:    3,
+		Fanout:       3,
+		ShardURLs:    []string{"http://" + p0.addr, gate.URL},
+		ShardTimeout: time.Second,
+		ShardProbe:   10 * time.Millisecond,
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lts := httptest.NewServer(leader.Handler())
+	t.Cleanup(func() { lts.Close(); leader.Close() })
+
+	commit := func(x, y int, delta int64) {
+		t.Helper()
+		ack, err := leader.SubmitUpdates([]ingest.Update{{Coords: []int{x, y}, Delta: delta}}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := <-ack; res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		oracle.Set(oracle.At(x, y)+delta, x, y)
+	}
+	naiveSum := func(x0, x1, y0, y1 int) int64 {
+		t.Helper()
+		r, err := c.Region(cube.Between("x", x0, x1), cube.Between("y", y0, y1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return naive.SumInt64(oracle, r, nil)
+	}
+
+	// Healthy sanity check, then kill shard 1; a commit into its slab fails
+	// the scatter and marks it down.
+	if out, code := sumOf2(t, lts, "/query?op=sum&x=0..9&y=0..7"); code != http.StatusOK || out.Partial {
+		t.Fatalf("healthy sum: %+v status %d", out, code)
+	}
+	p1.stop()
+	commit(9, 0, 7)
+	if h := leader.Health(); len(h.ShardsDown) != 1 {
+		t.Fatalf("shard 1 not down after its scatter failed: %+v", h)
+	}
+
+	// Bring the shard back, but hold the probe's next push mid-flight, and
+	// land a commit into its slab inside the push window.
+	hold.Store(true)
+	p1b := startShardProc(t, backend)
+	t.Cleanup(p1b.stop)
+	select {
+	case <-held:
+	case <-time.After(5 * time.Second):
+		t.Fatal("probe never pushed /state through the gate")
+	}
+	commit(5, 0, 1000)
+	hold.Store(false)
+	close(release)
+
+	// The held (stale) push must not bring the shard up as current; the
+	// resync re-captures and the tier converges to exact answers that
+	// include the racing commit. The buggy path converges to exact answers
+	// that are permanently wrong instead.
+	want := naiveSum(5, 9, 0, 7)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out, code := sumOf2(t, lts, "/query?op=sum&x=5..9&y=0..7")
+		if code == http.StatusOK && !out.Partial {
+			if out.Value == want {
+				break
+			}
+			// Exact but wrong would be the bug; give the probe a beat in
+			// case a later resync still corrects it, then fail on deadline.
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never converged to the exact oracle sum %d: %+v status %d", want, out, code)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	if h := leader.Health(); !h.Ready || len(h.ShardsDown) != 0 {
 		t.Fatalf("recovered Health = %+v", h)

@@ -90,7 +90,8 @@ type Options struct {
 	ShardTimeout time.Duration
 	// ShardHedgeAfter is how long a remote sub-query may stall before one
 	// hedged duplicate is launched (first answer wins). 0 means 100ms;
-	// negative disables hedging.
+	// negative disables hedging. Only idempotent reads hedge — update
+	// scatters are sent at most once and resolve failure via resync.
 	ShardHedgeAfter time.Duration
 	// ShardProbe is how often the leader retries down shards with a fresh
 	// slab-state push. 0 means 1s; negative disables the probe (a down

@@ -42,7 +42,9 @@ type RemoteOptions struct {
 	Timeout time.Duration
 	// HedgeAfter is how long the primary request may stall before one
 	// hedged duplicate is launched; first success wins. 0 means 100ms;
-	// negative disables hedging.
+	// negative disables hedging. Only idempotent reads (queries) hedge:
+	// an update scatter is never duplicated, because the shard has no way
+	// to dedupe a hedge pair that both commit.
 	HedgeAfter time.Duration
 	// HTTPClient overrides the transport (httptest servers, pooled
 	// keep-alive tuning). Nil uses a transport with a generous idle pool —
@@ -63,16 +65,23 @@ type RemoteOptions struct {
 // so local-frame regions translate directly to selector parameters.
 //
 // Partial-failure handling lives here: every round trip gets a per-shard
-// deadline and one hedged retry, and a round trip that still fails marks
-// the engine down. A down engine fails fast with ErrShardDown — no network
-// attempts — until the serving tier's resync probe pushes fresh slab state
-// and calls MarkUp. While down, CellBounds keeps widening under Apply so
-// the missing-slab intervals stay valid against the leader's true state.
+// deadline, reads get one hedged retry (updates are never hedged or
+// re-sent on ambiguous transport errors — they are not idempotent), and a
+// round trip that still fails marks the engine down. A down engine fails
+// fast with ErrShardDown — no network attempts — until the serving tier's
+// resync probe pushes fresh slab state and calls MarkUp. While down,
+// CellBounds keeps widening under Apply so the missing-slab intervals stay
+// valid against the leader's true state.
 type RemoteEngine struct {
 	shard int
 	base  string // shard process base URL, no trailing slash
 	opt   RemoteOptions
-	cl    *client.Client
+	// cl carries idempotent reads (retries transport errors freely); wcl
+	// carries update scatters and fails fast on ambiguous transport
+	// errors — a blind re-send could double-apply a delta batch the shard
+	// already committed.
+	cl  *client.Client
+	wcl *client.Client
 
 	down atomic.Bool
 
@@ -102,6 +111,13 @@ func NewRemoteEngine(i int, baseURL string, opt RemoteOptions) *RemoteEngine {
 		// probe own slow-failure handling; long client backoffs would just
 		// hold the query past its deadline.
 		cl: client.New(client.Options{MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, HTTPClient: hc}),
+		// The write client may still retry a shed status (429/503 means the
+		// shard never enqueued the batch) but never an ambiguous transport
+		// error: with durability=sync the shard may have committed the batch
+		// before the connection died, and it has no idempotency token to
+		// dedupe a re-send. The failed scatter marks the engine down instead;
+		// the resync push restores the authoritative slab.
+		wcl: client.New(client.Options{MaxAttempts: 2, BaseBackoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, HTTPClient: hc, NoRetryTransportErrors: true}),
 	}
 }
 
@@ -123,6 +139,19 @@ func (e *RemoteEngine) MarkUp(cellLo, cellHi int64) {
 	if e.down.CompareAndSwap(true, false) {
 		e.logf("shard %d (%s): marked up after resync", e.shard, e.base)
 	}
+}
+
+// SeedCellBounds installs conservative cell-value bounds without touching
+// the down state. The resync path calls it atomically with its slab
+// capture, before the push: a shard whose push then fails (or that never
+// attaches at all) still charges its missing slabs with bounds that cover
+// the authoritative slab, and Apply keeps widening them from there — so a
+// partial answer's [Lo, Hi] contains the truth even for a never-synced
+// shard over a cube with nonzero initial data.
+func (e *RemoteEngine) SeedCellBounds(cellLo, cellHi int64) {
+	e.mu.Lock()
+	e.cellLo, e.cellHi = cellLo, cellHi
+	e.mu.Unlock()
 }
 
 // MarkDown forces the down state (the serving tier uses it when an attach
@@ -172,7 +201,7 @@ type remoteAnswer struct {
 
 func (e *RemoteEngine) query(ctx context.Context, op string, r ndarray.Region, c *metrics.Counter) (remoteAnswer, error) {
 	var ans remoteAnswer
-	data, err := e.roundTrip(ctx, http.MethodGet, e.queryURL(op, r), nil)
+	data, err := e.roundTrip(ctx, http.MethodGet, e.queryURL(op, r), nil, true)
 	if err != nil {
 		return ans, err
 	}
@@ -223,7 +252,7 @@ func (e *RemoteEngine) SumBatchFull(ctx context.Context, regions []ndarray.Regio
 		body = append(body, `}}`...)
 	}
 	body = append(body, ']')
-	data, err := e.roundTrip(ctx, http.MethodPost, e.base+"/query/batch", body)
+	data, err := e.roundTrip(ctx, http.MethodPost, e.base+"/query/batch", body, true)
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +341,12 @@ func (e *RemoteEngine) Extreme(ctx context.Context, r ndarray.Region, min bool, 
 // not the shard hears about these deltas, the leader's true cell values
 // move by them, and the bounds must keep covering the truth for the
 // missing-slab intervals to stay honest.
+//
+// The batch is not idempotent — the shard has no token to dedupe it on —
+// so the scatter is sent at most once per transport exchange: no hedged
+// duplicate, no re-send after an ambiguous transport error. A scatter that
+// fails marks the engine down and the resync push restores agreement; a
+// duplicate commit would double-apply silently and diverge forever.
 func (e *RemoteEngine) Apply(ctx context.Context, ups []batchsum.IntUpdate) error {
 	e.mu.Lock()
 	for _, u := range ups {
@@ -337,7 +372,7 @@ func (e *RemoteEngine) Apply(ctx context.Context, ups []batchsum.IntUpdate) erro
 	if err != nil {
 		return err
 	}
-	_, err = e.roundTrip(ctx, http.MethodPost, e.base+"/update?durability=sync", body)
+	_, err = e.roundTrip(ctx, http.MethodPost, e.base+"/update?durability=sync", body, false)
 	return err
 }
 
@@ -351,25 +386,34 @@ func (e *permanentError) Error() string { return e.msg }
 // partial-failure machinery: fail fast when down, a per-shard deadline, one
 // hedged duplicate after the hedge delay (first success wins, the child
 // context cancels the loser), and a down-marking on exhaustion.
-func (e *RemoteEngine) roundTrip(ctx context.Context, method, u string, body []byte) ([]byte, error) {
+//
+// idempotent=false (update scatters) disables the hedge and routes through
+// the non-retrying write client: the shard cannot dedupe a duplicate delta
+// batch, so the batch is sent at most once per transport exchange and a
+// failure is resolved by down-marking + resync, never by a blind re-send.
+func (e *RemoteEngine) roundTrip(ctx context.Context, method, u string, body []byte, idempotent bool) ([]byte, error) {
 	if e.down.Load() {
 		return nil, fmt.Errorf("%w (shard %d marked down)", ErrShardDown, e.shard)
 	}
 	rctx, cancel := context.WithTimeout(ctx, e.opt.Timeout)
 	defer cancel()
 
+	cl := e.cl
+	if !idempotent {
+		cl = e.wcl
+	}
 	type result struct {
 		data []byte
 		err  error
 	}
 	ch := make(chan result, 2)
 	attempt := func() {
-		data, err := e.once(rctx, method, u, body)
+		data, err := e.once(rctx, cl, method, u, body)
 		ch <- result{data, err}
 	}
 	go attempt()
 	var hedge <-chan time.Time
-	if e.opt.HedgeAfter > 0 {
+	if idempotent && e.opt.HedgeAfter > 0 {
 		t := time.NewTimer(e.opt.HedgeAfter)
 		defer t.Stop()
 		hedge = t.C
@@ -410,10 +454,11 @@ func (e *RemoteEngine) roundTrip(ctx context.Context, method, u string, body []b
 	}
 }
 
-// once is a single retrying-client exchange; the response body is fully
-// read so the connection returns to the keep-alive pool.
-func (e *RemoteEngine) once(ctx context.Context, method, u string, body []byte) ([]byte, error) {
-	resp, err := e.cl.Do(ctx, method, u, body)
+// once is a single client exchange through cl (the retrying read client or
+// the non-retrying write client); the response body is fully read so the
+// connection returns to the keep-alive pool.
+func (e *RemoteEngine) once(ctx context.Context, cl *client.Client, method, u string, body []byte) ([]byte, error) {
+	resp, err := cl.Do(ctx, method, u, body)
 	if err != nil {
 		return nil, err
 	}
