@@ -49,6 +49,16 @@
 //	cubeserver -data records.csv -debug-addr localhost:6060 &
 //	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
 //	curl -s localhost:8080/metrics | grep cube_query_cost
+//
+// Distributed tracing: -trace-sample (default 1%) records per-request span
+// trees — router decompose, per-shard scatter including hedges and
+// down-marking, commit WAL/scatter/apply phases — into a fixed-size ring
+// served at GET /debug/traces. Slow (-slow-query), partial and error
+// requests are always kept, and each slow request additionally logs a
+// greppable "slow-query:" exemplar line. Trace IDs propagate to shard
+// processes over X-Trace-Id / X-Parent-Span, so one batched query's spans
+// across the whole tier share a trace ID (also echoed on the response and
+// in the access log as trace=).
 package main
 
 import (
@@ -106,7 +116,10 @@ func run() error {
 	ingestDurability := flag.String("ingest-durability", "sync", "default /update ack mode: sync (200 after the group fsync) or async (202 at enqueue); clients override per request with ?durability=")
 	drain := flag.Duration("drain", 10*time.Second, "grace period for in-flight requests on shutdown")
 	metrics := flag.Bool("metrics", true, "serve the Prometheus exposition at GET /metrics")
-	accessLog := flag.Bool("access-log", false, "log one line per request (method, path, status, bytes, latency, request ID)")
+	accessLog := flag.Bool("access-log", false, "log one line per request (method, path, status, bytes, latency, request ID, shard fan-out, trace ID when sampled)")
+	traceSample := flag.Float64("trace-sample", 0.01, "fraction of requests traced into GET /debug/traces; slow, partial and error requests are always kept (0 = tracing off)")
+	traceStore := flag.Int("trace-store", 256, "spans retained in the in-memory trace ring")
+	slowQuery := flag.Duration("slow-query", 250*time.Millisecond, "requests at or over this latency log a slow-query exemplar line and are always traced (0 = off)")
 	debugAddr := flag.String("debug-addr", "", "separate listener for /debug/pprof and /debug/vars (off when empty)")
 	degradedProbe := flag.Duration("degraded-probe", time.Second, "how often a poisoned WAL triggers a storage-recovery attempt while degraded (negative = probe off)")
 	chaosWAL := flag.String("chaos-wal", "", "TESTING ONLY: inject WAL fsync faults, as after:count — let AFTER syncs succeed, then fail the next COUNT (requires -wal)")
@@ -159,6 +172,9 @@ func run() error {
 		BalanceSeed:  *balanceSeed,
 		Metrics:      *metrics,
 		AccessLog:    *accessLog,
+		TraceSample:  *traceSample,
+		TraceStore:   *traceStore,
+		SlowQuery:    *slowQuery,
 
 		IngestQueue:      *ingestQueue,
 		IngestMaxWait:    *ingestMaxWait,
@@ -174,6 +190,14 @@ func run() error {
 		// The flag's contract is "0 = no hedging"; the engine option reserves
 		// 0 for its 100ms default and disables only on negative.
 		opts.ShardHedgeAfter = -1
+	}
+	if *traceSample == 0 {
+		// Same idiom: the flag's 0 means "tracing off", the option reserves 0
+		// for its 1% default and disables only on negative.
+		opts.TraceSample = -1
+	}
+	if *slowQuery == 0 {
+		opts.SlowQuery = -1
 	}
 	if *shardURLs != "" {
 		if *serveShard >= 0 || *join != "" {

@@ -19,6 +19,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"rangecube/internal/trace"
 )
 
 // Options tunes a Client. The zero value is usable: 5 attempts, 25ms base
@@ -198,6 +200,12 @@ func (c *Client) Do(ctx context.Context, method, url string, body []byte) (*http
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		// Correlation travels with the context: the request ID always, the
+		// trace linkage headers only for traces being recorded. This is the
+		// single choke point every sub-request in the tier passes through,
+		// so a leader's query and the shard requests it fans out to share
+		// one request ID and one span tree.
+		trace.Inject(ctx, req.Header)
 		resp, err := c.opt.HTTPClient.Do(req)
 		if err != nil {
 			if ctx.Err() != nil {

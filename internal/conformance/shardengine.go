@@ -53,7 +53,7 @@ func (e *shardedSumEngine) Apply(b []batchsum.IntUpdate) error {
 	for i, u := range b {
 		cells[i] = shard.PointDelta{Coords: u.Coords, Delta: u.Delta}
 	}
-	e.rt.Apply(cells)
+	e.rt.Apply(context.Background(), cells)
 	return nil
 }
 
@@ -107,6 +107,6 @@ func (e *shardedMaxEngine) Assign(batch []maxtree.PointUpdate[int64]) error {
 		e.cells.Set(u.Value, u.Coords...)
 		cells = append(cells, shard.PointDelta{Coords: u.Coords, Delta: u.Value - old})
 	}
-	e.rt.Apply(cells)
+	e.rt.Apply(context.Background(), cells)
 	return nil
 }

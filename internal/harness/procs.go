@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"syscall"
 	"time"
 )
 
@@ -142,6 +143,26 @@ func (p *ShardProc) Kill() error {
 	p.cmd.Wait()
 	p.cmd = nil
 	return nil
+}
+
+// Stop freezes the child with SIGSTOP: the process stays alive and its
+// sockets stay open, but nothing answers — the stall shape that makes the
+// leader's hedged duplicate requests fire, where SIGKILL's instant
+// connection-refused never would. Undo with Resume (or escalate to Kill;
+// a SIGKILL reaps a stopped process fine).
+func (p *ShardProc) Stop() error {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return fmt.Errorf("harness: shard %d is not running", p.Index)
+	}
+	return p.cmd.Process.Signal(syscall.SIGSTOP)
+}
+
+// Resume thaws a Stop-frozen child with SIGCONT.
+func (p *ShardProc) Resume() error {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return fmt.Errorf("harness: shard %d is not running", p.Index)
+	}
+	return p.cmd.Process.Signal(syscall.SIGCONT)
 }
 
 // Restart boots a fresh process on the same address. The leader's resync

@@ -29,6 +29,10 @@ type QueriesResult struct {
 	Queries  int                 `json:"queries"`
 	Engines  []QueryEngineResult `json:"engines"`
 	Overhead *TelemetryOverhead  `json:"telemetry_overhead,omitempty"`
+	// TraceOverhead is the same guard for the tracing layer: default
+	// head-sampling vs tracing disabled, same interleaved best-of protocol,
+	// same <3% budget.
+	TraceOverhead *TelemetryOverhead `json:"trace_overhead,omitempty"`
 }
 
 // TelemetryOverhead records the instrumentation-overhead guard: the same
@@ -140,6 +144,9 @@ func Queries(n, nq int) (Table, QueriesResult) {
 	res.Overhead = measureOverhead(n, seed.Data(), regions)
 	tab.Note += fmt.Sprintf(" Telemetry overhead on the batch-256 prefix-sum path: %.2f%% (on %.0f qps vs off %.0f qps, budget <3%%).",
 		res.Overhead.OverheadPct, res.Overhead.OnQPS, res.Overhead.OffQPS)
+	res.TraceOverhead = measureTraceOverhead(n, seed.Data(), regions)
+	tab.Note += fmt.Sprintf(" Tracing overhead at default sampling on the same path: %.2f%% (on %.0f qps vs off %.0f qps, budget <3%%).",
+		res.TraceOverhead.OverheadPct, res.TraceOverhead.OnQPS, res.TraceOverhead.OffQPS)
 	return tab, res
 }
 
@@ -173,6 +180,44 @@ func measureOverhead(n int, cells []int64, regions []cubeRegionSpec) *TelemetryO
 	off.NoTelemetry = true
 
 	tsOn := httptest.NewServer(newBenchServer(n, cells, base).Handler())
+	defer tsOn.Close()
+	tsOff := httptest.NewServer(newBenchServer(n, cells, off).Handler())
+	defer tsOff.Close()
+
+	bestOn, bestOff := math.MaxInt64, math.MaxInt64
+	for r := 0; r < rounds; r++ {
+		runOff := measureQueries(tsOff, "sum", regions, batchSize)
+		runOn := measureQueries(tsOn, "sum", regions, batchSize)
+		bestOff = min(bestOff, int(runOff.TotalNS))
+		bestOn = min(bestOn, int(runOn.TotalNS))
+	}
+
+	nq := float64(len(regions))
+	o := &TelemetryOverhead{
+		BatchSize: batchSize,
+		Rounds:    rounds,
+		OnQPS:     nq / (float64(bestOn) / 1e9),
+		OffQPS:    nq / (float64(bestOff) / 1e9),
+	}
+	o.OverheadPct = (o.OffQPS - o.OnQPS) / o.OffQPS * 100
+	return o
+}
+
+// measureTraceOverhead is the tracing twin of measureOverhead: identical
+// batch-256 prefix-sum servers, one tracing at the default head-sampling
+// rate (every request allocates a root span; ~1% record), one with tracing
+// disabled outright (every span call no-ops on a nil tracer). Interleaved
+// rounds with best-of per side, so the reported delta is the sampling
+// decision plus the root allocation — the cost every request pays.
+func measureTraceOverhead(n int, cells []int64, regions []cubeRegionSpec) *TelemetryOverhead {
+	const batchSize = 256
+	const rounds = 5
+
+	on := server.Options{BlockSize: 7, Fanout: 4, SumEngine: "prefixsum"} // TraceSample 0 = the 1% default
+	off := on
+	off.TraceSample = -1
+
+	tsOn := httptest.NewServer(newBenchServer(n, cells, on).Handler())
 	defer tsOn.Close()
 	tsOff := httptest.NewServer(newBenchServer(n, cells, off).Handler())
 	defer tsOff.Close()

@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"rangecube/internal/server"
+	"rangecube/internal/workload"
+)
+
+// traceSpan / traceDump mirror the subset of GET /debug/traces the trace
+// smoke asserts against.
+type traceSpan struct {
+	TraceID    string            `json:"trace_id"`
+	SpanID     string            `json:"span_id"`
+	ParentID   string            `json:"parent_id"`
+	Name       string            `json:"name"`
+	DurationNS int64             `json:"duration_ns"`
+	Shard      int               `json:"shard"`
+	Error      string            `json:"error"`
+	Attrs      map[string]string `json:"attrs"`
+}
+
+type traceDump struct {
+	Spans  int `json:"spans"`
+	Traces []struct {
+		TraceID string      `json:"trace_id"`
+		Spans   []traceSpan `json:"spans"`
+	} `json:"traces"`
+}
+
+// fetchTrace polls base's /debug/traces until the given trace ID shows up
+// (spans land in the ring on End, which races the response write by a hair)
+// and returns its spans. Fails the test if the trace never appears.
+func fetchTrace(t *testing.T, base, tid string) []traceSpan {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/debug/traces")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /debug/traces: %s: %s", resp.Status, data)
+		}
+		var dump traceDump
+		if err := json.Unmarshal(data, &dump); err != nil {
+			t.Fatalf("decoding /debug/traces: %v", err)
+		}
+		for _, g := range dump.Traces {
+			if g.TraceID == tid {
+				return g.Spans
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never appeared in %s/debug/traces (%d spans retained)", tid, base, dump.Spans)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// assertConnected checks that every span in the group parents onto another
+// span in the group or onto one of the extra (cross-process leader) span IDs,
+// that exactly the expected number of roots exist, and that no duration is
+// negative.
+func assertConnected(t *testing.T, spans []traceSpan, extra map[string]bool, wantRoots int, where string) {
+	t.Helper()
+	ids := make(map[string]bool, len(spans))
+	for _, sp := range spans {
+		ids[sp.SpanID] = true
+	}
+	roots := 0
+	for _, sp := range spans {
+		if sp.DurationNS < 0 {
+			t.Fatalf("%s: span %q has negative duration %d", where, sp.Name, sp.DurationNS)
+		}
+		if sp.ParentID == "" {
+			roots++
+			continue
+		}
+		if !ids[sp.ParentID] && !extra[sp.ParentID] {
+			t.Fatalf("%s: span %q parent %s resolves to no known span", where, sp.Name, sp.ParentID)
+		}
+	}
+	if roots != wantRoots {
+		t.Fatalf("%s: trace has %d roots, want %d", where, roots, wantRoots)
+	}
+}
+
+// TestMultiProcessTraceSmoke is the tracing acceptance run: one batched
+// query against a leader scatter–gathering over three real shard processes
+// must yield a single connected span tree — root request span, per-item
+// query spans, per-shard RPC children on the leader, and adopted server
+// spans (same trace ID, parented onto the leader's RPC spans) in each shard
+// process's own ring. Then a SIGSTOP-stalled shard must leave a trace
+// carrying the hedged duplicate's span and a down-marked RPC span.
+func TestMultiProcessTraceSmoke(t *testing.T) {
+	bin, err := BuildCubeserver(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 3
+	var procs []*ShardProc
+	var urls []string
+	for i := 0; i < shards; i++ {
+		p, err := StartShardProc(bin, i, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Kill()
+		procs = append(procs, p)
+		urls = append(urls, p.URL())
+	}
+
+	const n = 64
+	g := workload.New(131)
+	cells := g.UniformCube([]int{n, n}, 1000)
+	srv := newBenchServer(n, cells.Data(), server.Options{
+		BlockSize: 7, Fanout: 4, SumEngine: "prefixsum",
+		ShardURLs:       urls,
+		ShardTimeout:    300 * time.Millisecond,
+		ShardHedgeAfter: 50 * time.Millisecond,
+		ShardProbe:      200 * time.Millisecond,
+		TraceSample:     1, // record everything; the smoke asserts exact traces
+		TraceStore:      512,
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Phase 1: healthy tier. One batched query must produce one connected
+	// tree on the leader and adopted spans in every shard process.
+	// Sum items scatter to the shard tier (shard.* RPC spans); the count item
+	// evaluates per-slot in-process (a query.count span).
+	items := []map[string]any{
+		{"op": "sum", "select": map[string]string{"d0": fmt.Sprintf("0..%d", n-1), "d1": fmt.Sprintf("0..%d", n-1)}},
+		{"op": "sum", "select": map[string]string{"d0": "3..17", "d1": "8..40"}},
+		{"op": "count", "select": map[string]string{"d0": "3..17", "d1": "8..40"}},
+	}
+	body, _ := json.Marshal(items)
+	resp, err := http.Post(ts.URL+"/query/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /query/batch: %s: %s", resp.Status, data)
+	}
+	tid := resp.Header.Get("X-Trace-Id")
+	if tid == "" {
+		t.Fatal("batch response carries no X-Trace-Id at sample rate 1")
+	}
+
+	leaderSpans := fetchTrace(t, ts.URL, tid)
+	assertConnected(t, leaderSpans, nil, 1, "leader")
+	leaderIDs := make(map[string]bool, len(leaderSpans))
+	var sawRoot, sawItem, sawRPC bool
+	for _, sp := range leaderSpans {
+		leaderIDs[sp.SpanID] = true
+		switch {
+		case sp.ParentID == "":
+			sawRoot = true
+			if sp.Name != "POST /query/batch" {
+				t.Fatalf("leader root span named %q, want %q", sp.Name, "POST /query/batch")
+			}
+		case strings.HasPrefix(sp.Name, "query."):
+			sawItem = true
+		case strings.HasPrefix(sp.Name, "shard."):
+			sawRPC = true
+			if sp.Shard < 0 || sp.Shard >= shards {
+				t.Fatalf("leader RPC span %q has shard %d outside [0, %d)", sp.Name, sp.Shard, shards)
+			}
+		}
+	}
+	if !sawRoot || !sawItem || !sawRPC {
+		t.Fatalf("leader trace missing spans: root=%v query.*=%v shard.*=%v (got %d spans)",
+			sawRoot, sawItem, sawRPC, len(leaderSpans))
+	}
+
+	// Each shard process adopted the propagated trace: same trace ID in its
+	// own ring, every span parented onto a leader RPC span (wire propagation
+	// via X-Trace-Id / X-Parent-Span).
+	for i, p := range procs {
+		shardSpans := fetchTrace(t, p.URL(), tid)
+		assertConnected(t, shardSpans, leaderIDs, 0, fmt.Sprintf("shard %d", i))
+		if len(shardSpans) == 0 {
+			t.Fatalf("shard %d retained no spans for trace %s", i, tid)
+		}
+	}
+
+	// Phase 2: freeze shard 1. The very next query stalls against it, fires
+	// the hedged duplicate at 50ms, exhausts both attempts at the 300ms
+	// deadline and marks the shard down — all of which must be visible in
+	// that one trace.
+	if err := procs[1].Stop(); err != nil {
+		t.Fatal(err)
+	}
+	defer procs[1].Resume()
+	u := fmt.Sprintf("%s/query?op=sum&d0=0..%d&d1=0..%d", ts.URL, n-1, n-1)
+	resp, err = http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /query with stalled shard: %s: %s", resp.Status, data)
+	}
+	tid2 := resp.Header.Get("X-Trace-Id")
+	if tid2 == "" {
+		t.Fatal("stalled-shard response carries no X-Trace-Id")
+	}
+
+	stallSpans := fetchTrace(t, ts.URL, tid2)
+	assertConnected(t, stallSpans, nil, 1, "stalled leader")
+	var sawHedge, sawDown bool
+	for _, sp := range stallSpans {
+		if sp.Name == "shard.hedge" && sp.Shard == 1 {
+			sawHedge = true
+		}
+		if sp.Attrs["down"] == "true" {
+			sawDown = true
+			if sp.Error == "" {
+				t.Fatalf("down-marked span %q carries no error", sp.Name)
+			}
+			if sp.Shard != 1 {
+				t.Fatalf("down-marked span points at shard %d, want 1", sp.Shard)
+			}
+		}
+	}
+	if !sawHedge || !sawDown {
+		t.Fatalf("stalled-shard trace missing spans: shard.hedge=%v down-marked=%v (got %d spans)",
+			sawHedge, sawDown, len(stallSpans))
+	}
+}

@@ -27,6 +27,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -72,8 +73,10 @@ type Result struct {
 // groups' updates, write them as one WAL batch with one fsync, apply them
 // to every query structure under one write-lock epoch, and return the
 // committed sequence number. It runs on the flusher goroutine only, so
-// implementations need no locking against other commits.
-type CommitFunc func(groups [][]Update) (seq uint64, err error)
+// implementations need no locking against other commits. ctx carries
+// observability (trace spans) only, never cancellation — a flushed group
+// has sync writers waiting on its durability and must run to completion.
+type CommitFunc func(ctx context.Context, groups [][]Update) (seq uint64, err error)
 
 // Metrics carries the batcher's optional telemetry hooks. All fields may
 // be nil (telemetry primitives no-op on nil receivers), as may the
@@ -284,7 +287,7 @@ func (b *Batcher) flush(group []*request) {
 		}
 	}
 
-	seq, err := b.opts.Commit(groups)
+	seq, err := b.opts.Commit(context.Background(), groups)
 	committed := time.Now()
 
 	if m := b.opts.Metrics; m != nil {

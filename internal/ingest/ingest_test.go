@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -22,7 +23,7 @@ type gatedCommit struct {
 	err     error
 }
 
-func (g *gatedCommit) commit(groups [][]Update) (uint64, error) {
+func (g *gatedCommit) commit(_ context.Context, groups [][]Update) (uint64, error) {
 	if g.entered != nil {
 		select {
 		case g.entered <- struct{}{}:
@@ -248,7 +249,7 @@ func TestMaxWaitFlushesLoneSubmission(t *testing.T) {
 // (the -race soak shape) and checks nothing is lost or double-committed.
 func TestConcurrentSubmittersAllCommit(t *testing.T) {
 	var total atomic.Int64
-	commit := func(groups [][]Update) (uint64, error) {
+	commit := func(_ context.Context, groups [][]Update) (uint64, error) {
 		n := int64(0)
 		for _, g := range groups {
 			for _, u := range g {

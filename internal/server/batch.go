@@ -13,6 +13,7 @@ import (
 	"rangecube/internal/ndarray"
 	"rangecube/internal/parallel"
 	"rangecube/internal/shard"
+	"rangecube/internal/trace"
 )
 
 // batchQuery is one element of a POST /query/batch request body (a JSON
@@ -73,11 +74,19 @@ func (s *Server) evalSlots(ctx context.Context, slots []batchSlot, work int,
 						errs[i] = errInternal
 					}
 				}()
-				resp, err := eval(ctx, slots[i])
+				// One child span per evaluated item: evalQueryOn publishes the
+				// §8 cost counters into it, so a slow batch's trace shows
+				// which item paid. Child is nil (free) unless the request's
+				// trace is being recorded.
+				sp := trace.FromContext(ctx).Child("query." + slots[i].op)
+				resp, err := eval(trace.NewContext(ctx, sp), slots[i])
 				if err != nil {
+					sp.SetError(err.Error())
+					sp.End()
 					errs[i] = err
 					return
 				}
+				sp.End()
 				results[i].Result = &resp
 			}()
 		}
@@ -286,8 +295,10 @@ func (s *Server) evalRemoteSums(ctx context.Context, slots []batchSlot, results 
 		if e1 := s.scatterSeq.Load(); e1 == e0 {
 			break
 		}
+		trace.StatsFrom(ctx).AddTorn()
 		if attempt >= maxTorn {
 			s.met.tornScatters.Inc()
+			trace.FromContext(ctx).Set("torn_kept", "true")
 			break
 		}
 		for k := range store {

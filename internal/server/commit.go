@@ -1,8 +1,10 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"rangecube/internal/core/maxtree"
 	"rangecube/internal/ingest"
 	"rangecube/internal/shard"
+	"rangecube/internal/trace"
 	"rangecube/internal/wal"
 )
 
@@ -49,7 +52,7 @@ func (s *Server) SubmitUpdates(ups []ingest.Update, sync bool) (<-chan ingest.Re
 			return nil, errors.New("server: async submission requires the ingestion pipeline (IngestQueue > 0)")
 		}
 		enq := time.Now()
-		seq, err := s.commitGroups([][]ingest.Update{ups})
+		seq, err := s.commitGroups(context.Background(), [][]ingest.Update{ups})
 		ack := make(chan ingest.Result, 1)
 		done := time.Now()
 		ack <- ingest.Result{Seq: seq, Enqueued: enq, Flushed: enq, Committed: done, Err: err}
@@ -83,11 +86,26 @@ type cellDelta struct {
 // no cache flush, no max/min-tree walk — the acked sequence is simply the
 // current one, which recovery reproduces exactly because nothing was
 // logged.
-func (s *Server) commitGroups(groups [][]ingest.Update) (uint64, error) {
+//
+// ctx carries observability only, never cancellation: a group whose sync
+// writers are waiting on durability must run to completion. A request-path
+// commit arrives with the request's span (the commit becomes a child); a
+// batcher-flushed group arrives bare and roots its own sampled span, so the
+// ingest pipeline's fsync and apply phases are traceable without a request.
+func (s *Server) commitGroups(ctx context.Context, groups [][]ingest.Update) (uint64, error) {
+	sp := trace.FromContext(ctx).Child("commit")
+	if sp == nil {
+		sp = s.tracer.Root("commit")
+	}
+	defer sp.End()
+	ctx = trace.NewContext(ctx, sp)
+
 	raw := 0
 	for _, g := range groups {
 		raw += len(g)
 	}
+	sp.Set("groups", strconv.Itoa(len(groups)))
+	sp.Set("raw_updates", strconv.Itoa(raw))
 	// Offsets depend only on the cube's immutable shape/strides, so the
 	// coalescing pass runs outside the lock.
 	a := s.cube.Data()
@@ -118,6 +136,8 @@ func (s *Server) commitGroups(groups [][]ingest.Update) (uint64, error) {
 		s.met.coalesceRatio.Observe(int64(raw) * 100 / int64(den))
 	}
 
+	sp.Set("cells", strconv.Itoa(len(live)))
+
 	if len(live) == 0 {
 		s.mu.RLock()
 		seq := s.seq
@@ -127,10 +147,11 @@ func (s *Server) commitGroups(groups [][]ingest.Update) (uint64, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	seq, err := s.applyLocked(live)
+	seq, err := s.applyLocked(ctx, live)
 	if err != nil {
 		// The error fans out to every sync writer in the group via their
 		// acks; log it too so async writers' losses are never silent.
+		sp.SetError(err.Error())
 		s.logf("server: group commit failed (seq stays %d): %v", s.seq, err)
 		if errors.Is(err, wal.ErrPoisoned) {
 			// An unrepairable storage fault: flip to degraded read-only mode
@@ -147,8 +168,10 @@ func (s *Server) commitGroups(groups [][]ingest.Update) (uint64, error) {
 
 // applyLocked durably commits one coalesced batch. The caller holds the
 // write lock; on a WAL failure nothing has been applied to the leader's
-// structures and the sequence is unchanged.
-func (s *Server) applyLocked(cells []cellDelta) (uint64, error) {
+// structures and the sequence is unchanged. ctx carries the commit span;
+// the WAL append, the remote scatter and the structure apply each record a
+// child, so a slow commit's trace shows which phase held the lock.
+func (s *Server) applyLocked(ctx context.Context, cells []cellDelta) (uint64, error) {
 	// Remote tier: launch the scatter to the shard processes now, overlapped
 	// with the WAL fsync below. The two are independent — the scatter's
 	// round trips and the fsync's disk wait add nothing to each other — and
@@ -163,14 +186,17 @@ func (s *Server) applyLocked(cells []cellDelta) (uint64, error) {
 			pds[i] = shard.PointDelta{Coords: c.coords, Delta: c.delta}
 		}
 		scatterDone = make(chan struct{})
+		ssp := trace.FromContext(ctx).Child("commit.scatter")
+		sctx := trace.NewContext(ctx, ssp)
 		go func() {
 			defer close(scatterDone)
+			defer ssp.End()
 			// The seqlock brackets only the scatter itself — the window in
 			// which the shard processes disagree about the batch. Lock-free
 			// batched readers that overlap it retry; ones that land between
 			// scatters see every shard pre-batch or every shard post-batch.
 			s.scatterSeq.Add(1)
-			s.router.Apply(pds)
+			s.router.Apply(sctx, pds)
 			s.scatterSeq.Add(1)
 		}()
 	}
@@ -185,7 +211,12 @@ func (s *Server) applyLocked(cells []cellDelta) (uint64, error) {
 		for _, c := range cells {
 			wups = append(wups, wal.Update{Coords: c.coords, Delta: c.delta})
 		}
+		wsp := trace.FromContext(ctx).Child("wal.append")
 		err := s.wal.Append(wal.Batch{Seq: s.seq + 1, Updates: wups})
+		if err != nil {
+			wsp.SetError(err.Error())
+		}
+		wsp.End()
 		*wupsP = wups[:0]
 		walUpsPool.Put(wupsP)
 		if err != nil {
@@ -204,7 +235,9 @@ func (s *Server) applyLocked(cells []cellDelta) (uint64, error) {
 		s.sinceSnap++
 	}
 	s.seq++
-	s.applyCellsLocked(cells)
+	asp := trace.FromContext(ctx).Child("structures.apply")
+	s.applyCellsLocked(ctx, cells)
+	asp.End()
 	if scatterDone != nil {
 		<-scatterDone
 	}
@@ -229,7 +262,7 @@ func (s *Server) applyLocked(cells []cellDelta) (uint64, error) {
 // flushes the result cache. The caller holds the write lock and owns
 // sequencing and durability — the local commit path WAL-logs first, the
 // replication path (ApplyReplicated) trusts the leader's log instead.
-func (s *Server) applyCellsLocked(cells []cellDelta) {
+func (s *Server) applyCellsLocked(ctx context.Context, cells []cellDelta) {
 	if s.router != nil {
 		// Sharded leader: keep the logical cube itself current (snapshots,
 		// recovery and follower boots read it), then scatter the batch to
@@ -244,7 +277,7 @@ func (s *Server) applyCellsLocked(cells []cellDelta) {
 			pds[i] = shard.PointDelta{Coords: c.coords, Delta: c.delta}
 		}
 		if s.remoteEngines == nil {
-			s.router.Apply(pds)
+			s.router.Apply(ctx, pds)
 		}
 	} else {
 		bupsP := sumUpsPool.Get().(*[]batchsum.IntUpdate)

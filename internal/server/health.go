@@ -52,6 +52,10 @@ type Health struct {
 	WALFaults  uint64 `json:"wal_faults"`
 	WALRepairs uint64 `json:"wal_repairs"`
 	Recoveries uint64 `json:"recoveries"`
+	// ReplicaLagSeq is how many committed batches the leader is ahead of
+	// this WAL-shipped (-join) follower; 0 when caught up or not following.
+	// Mirrors cube_replica_wal_lag_seq, readable without a metrics scrape.
+	ReplicaLagSeq uint64 `json:"replica_lag_seq,omitempty"`
 }
 
 // Health reports the server's current availability state.
@@ -68,6 +72,9 @@ func (s *Server) Health() Health {
 		h.Reason = r
 	}
 	h.AwaitingState = s.awaitingState.Load()
+	if lead := s.followLeaderSeq.Load(); lead > h.Seq {
+		h.ReplicaLagSeq = lead - h.Seq
+	}
 	for _, e := range s.remoteEngines {
 		if e.Down() {
 			h.ShardsDown = append(h.ShardsDown, e.Shard())

@@ -2,10 +2,13 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"time"
+
+	"rangecube/internal/trace"
 )
 
 // statusWriter records the committed status code and body size of a
@@ -65,15 +68,28 @@ func (sw *statusWriter) Flush() {
 // real status code.
 func (s *Server) instrumented(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rid := clientRequestID(r.Header.Get("X-Request-Id"))
+		rid := clientRequestID(r.Header.Get(trace.HeaderRequestID))
 		if rid == "" {
 			rid = s.newRequestID()
 		}
-		w.Header().Set("X-Request-Id", rid)
-		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+		w.Header().Set(trace.HeaderRequestID, rid)
+		ctx := trace.WithRequestID(r.Context(), rid)
+
+		path := pathLabel(r.URL.Path)
+		// The request span: a fresh sampled root, or — when the wire headers
+		// carry a caller's trace (a leader fanning out to this shard) — an
+		// always-recorded child of the remote parent. The per-request Stats
+		// record rides along for the scatter layer to fill in.
+		sp := s.tracer.StartRequest(r.Method+" "+path, r.Header.Get)
+		ctx, stats := trace.WithStats(ctx)
+		if sp.Recording() {
+			// Echo the trace ID so a caller (or the CI smoke) can find this
+			// request's tree in /debug/traces without parsing logs.
+			w.Header().Set(trace.HeaderTraceID, sp.TraceID())
+		}
+		r = r.WithContext(trace.NewContext(ctx, sp))
 
 		sw := &statusWriter{ResponseWriter: w}
-		path := pathLabel(r.URL.Path)
 		s.met.inflight.Inc()
 		t0 := time.Now()
 
@@ -81,10 +97,44 @@ func (s *Server) instrumented(next http.Handler) http.Handler {
 
 		dur := time.Since(t0)
 		s.met.inflight.Dec()
-		s.met.requests.With(r.Method, path, strconv.Itoa(sw.status())).Inc()
+		status := sw.status()
+		s.met.requests.With(r.Method, path, strconv.Itoa(status)).Inc()
 		s.met.latency.With(path).Observe(dur.Nanoseconds())
-		if s.opts.AccessLog {
-			s.logf("access: %s %s %d %dB %s rid=%s", r.Method, r.URL.Path, sw.status(), sw.bytes, dur, rid)
+
+		sp.SetStatus(strconv.Itoa(status))
+		if status >= 500 {
+			sp.SetError("HTTP " + strconv.Itoa(status))
+		}
+		if stats.Partial() {
+			sp.SetPartial()
+		}
+		if n := stats.Fanout(); n > 0 {
+			sp.Set("fanout", strconv.FormatInt(n, 10))
+		}
+		if n := stats.Torn(); n > 0 {
+			sp.Set("torn_retries", strconv.FormatInt(n, 10))
+		}
+		sp.End()
+
+		slow := s.opts.SlowQuery > 0 && dur >= s.opts.SlowQuery
+		if s.opts.AccessLog || slow {
+			traceField := ""
+			if sp.Recording() || (sp != nil && slow) {
+				// Sampled requests and slow exemplars both land in the trace
+				// store; print the ID that finds them there.
+				traceField = " trace=" + sp.TraceID()
+			}
+			line := fmt.Sprintf("%s %s %d %dB %s rid=%s %s%s",
+				r.Method, r.URL.Path, status, sw.bytes, dur, rid, stats, traceField)
+			if s.opts.AccessLog {
+				s.logf("access: %s", line)
+			}
+			if slow {
+				// The slow-query exemplar: one greppable line per
+				// over-threshold request on the same stream as the access
+				// log, emitted even when the access log is off.
+				s.logf("slow-query: %s threshold=%s", line, s.opts.SlowQuery)
+			}
 		}
 	})
 }

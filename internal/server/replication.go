@@ -165,7 +165,7 @@ func (s *Server) ApplyReplicated(batches []wal.Batch) int {
 		for i, u := range b.Updates {
 			cells[i] = cellDelta{coords: u.Coords, delta: u.Delta}
 		}
-		s.applyCellsLocked(cells)
+		s.applyCellsLocked(context.Background(), cells)
 		s.seq = b.Seq
 		s.committed.Store(s.seq)
 		s.mu.Unlock()
@@ -233,6 +233,10 @@ func JoinLeader(ctx context.Context, leaderURL string, opts Options) (*Server, e
 	s.seq = seq
 	s.mu.Unlock()
 	s.committed.Store(seq)
+	// Seed the lag gauges: at join time the snapshot IS the leader's state,
+	// so the follower starts caught up with a fresh progress stamp.
+	s.followLeaderSeq.Store(seq)
+	s.followProgress.Store(time.Now().UnixNano())
 	s.startFollowPump(leaderURL, gen, wsize)
 	s.logf("server: joined leader %s at seq %d (WAL gen %d, offset %d)", leaderURL, seq, gen, wsize)
 	return s, nil
@@ -311,16 +315,30 @@ func (s *Server) followFetch(cl *client.Client, leaderURL string, gen uint64, of
 	defer drainBody(resp)
 	switch resp.StatusCode {
 	case http.StatusOK:
+		// The leader stamps its committed sequence on every fetch; recording
+		// it (plus the wall-clock instant of this successful poll) is what
+		// feeds the cube_replica_wal_lag_* gauges.
+		if lead, perr := strconv.ParseUint(resp.Header.Get(hdrSeq), 10, 64); perr == nil {
+			s.followLeaderSeq.Store(lead)
+		}
 		// A short or torn body decodes to its clean record prefix; the
 		// cursor advances exactly past what was applied, so the remainder
 		// is refetched next poll.
 		batches, n, serr := wal.ScanStream(resp.Body)
 		if len(batches) > 0 {
+			// Root a span per applying poll (not per idle poll — those are
+			// the steady state and would drown the ring) so catch-up work is
+			// visible in /debug/traces alongside the leader's commits.
+			sp := s.tracer.Root("follow.fetch")
+			sp.Set("batches", strconv.Itoa(len(batches)))
+			sp.Set("bytes", strconv.FormatInt(n, 10))
 			s.ApplyReplicated(batches)
+			sp.End()
 		}
 		if serr != nil {
 			s.logf("server: follower scan at offset %d: %v", offset, serr)
 		}
+		s.followProgress.Store(time.Now().UnixNano())
 		return gen, offset + n
 	case http.StatusGone:
 		ngen, noff, rerr := s.rebootstrap(ctx, cl, leaderURL)
@@ -328,6 +346,8 @@ func (s *Server) followFetch(cl *client.Client, leaderURL string, gen uint64, of
 			s.logf("server: follower re-bootstrap: %v", rerr)
 			return gen, offset
 		}
+		s.met.resyncFollower.Inc()
+		s.followProgress.Store(time.Now().UnixNano())
 		s.logf("server: follower re-bootstrapped (WAL gen %d, offset %d)", ngen, noff)
 		return ngen, noff
 	default:

@@ -367,6 +367,103 @@ func TestJoinLeaderFollowsAndRebootstraps(t *testing.T) {
 	catchUp("re-bootstrapped")
 }
 
+// TestFollowerLagGauges pins the replication-lag observability contract: a
+// caught-up follower reports zero lag through both Health().ReplicaLagSeq
+// and the cube_replica_wal_lag_seq gauge, a compaction-forced re-bootstrap
+// shows up in cube_shard_resync_total{kind="follower"}, and the lag gauges
+// return to zero after the follower catches back up.
+func TestFollowerLagGauges(t *testing.T) {
+	leader, lts := replLeader(t, 5, nil)
+
+	f, err := JoinLeader(context.Background(), lts.URL, Options{
+		BlockSize:  3,
+		Fanout:     3,
+		FollowPoll: 2 * time.Millisecond,
+		Metrics:    true,
+		Logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fts := httptest.NewServer(f.Handler())
+	t.Cleanup(func() { fts.Close(); f.Close() })
+
+	scrape := func() string {
+		t.Helper()
+		resp, err := fts.Client().Get(fts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+		}
+		return string(data)
+	}
+	catchUp := func(stage string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for f.Seq() != leader.Seq() {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: follower stuck at seq %d, leader at %d", stage, f.Seq(), leader.Seq())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	assertCaughtUp := func(stage string) {
+		t.Helper()
+		// The lag gauges derive from the leader seq learned on the *next*
+		// poll after the batches applied, so give the pump a poll or two.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			h := f.Health()
+			m := scrape()
+			if h.ReplicaLagSeq == 0 &&
+				strings.Contains(m, "cube_replica_wal_lag_seq 0") &&
+				strings.Contains(m, "cube_replica_wal_lag_seconds 0") {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: lag never returned to 0: health lag %d, metrics:\n%s", stage, h.ReplicaLagSeq, m)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	catchUp("join")
+	assertCaughtUp("join")
+
+	// Ship sweep: one batch at a time, demanding the gauges return to zero
+	// after every single catch-up, not just at the end.
+	for i := 5; i < 9; i++ {
+		commitOne(t, leader, i)
+		catchUp("tailing")
+		assertCaughtUp("tailing")
+	}
+	if m := scrape(); !strings.Contains(m, `cube_shard_resync_total{kind="follower"} 0`) {
+		t.Fatalf("follower resync counter should read 0 before any re-bootstrap, metrics:\n%s", m)
+	}
+
+	// Compact the leader: the follower's byte offset dies with the old log,
+	// the pump re-bootstraps on the 410 and the resync counter must tick.
+	leader.mu.Lock()
+	leader.sinceSnap = 1
+	err = leader.compactLocked()
+	leader.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 9; i < 13; i++ {
+		commitOne(t, leader, i)
+	}
+	catchUp("re-bootstrapped")
+	assertCaughtUp("re-bootstrapped")
+	if m := scrape(); !strings.Contains(m, `cube_shard_resync_total{kind="follower"} 1`) {
+		t.Fatalf("follower resync counter missing after re-bootstrap, metrics:\n%s", m)
+	}
+}
+
 // --- remote shard tier ---
 
 // shardProc is an in-test stand-in for a `cubeserver -serve-shard` process:

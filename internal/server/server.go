@@ -51,6 +51,7 @@ import (
 	"rangecube/internal/planner"
 	"rangecube/internal/shard"
 	"rangecube/internal/telemetry"
+	"rangecube/internal/trace"
 	"rangecube/internal/wal"
 )
 
@@ -201,6 +202,22 @@ type Options struct {
 	// with IngestQueue > 0.
 	IngestDurability string
 
+	// TraceSample is the distributed-tracing head-sampling rate in [0, 1]:
+	// that fraction of inbound requests records a full span tree into the
+	// trace ring store (slow, partial and error requests are always kept,
+	// though without children once sampled out). 0 means the default 1%;
+	// negative disables tracing entirely. Requests arriving with an
+	// X-Trace-Id header join the caller's trace and always record.
+	TraceSample float64
+	// TraceStore is the trace ring-store capacity in spans, the window GET
+	// /debug/traces serves. 0 means 256.
+	TraceStore int
+	// SlowQuery is the slow-request threshold: a request at least this slow
+	// is kept in the trace store regardless of sampling and emits one
+	// "slow-query:" exemplar line on the access-log stream (even with
+	// AccessLog off). 0 means 250ms; negative disables both.
+	SlowQuery time.Duration
+
 	// Metrics exposes GET /metrics (Prometheus text exposition) on the
 	// serving handler. The telemetry itself is recorded either way; this
 	// only controls whether the scrape endpoint is mounted.
@@ -325,6 +342,22 @@ type Server struct {
 	ridPrefix string         // per-server random prefix for minted request IDs
 	ridSeq    atomic.Uint64  // sequence for minted request IDs
 
+	// tracer records sampled request span trees into the /debug/traces ring
+	// store; nil when TraceSample < 0 (every span call then no-ops).
+	tracer *trace.Tracer
+
+	// Replication-lag visibility. For a JoinLeader follower: the leader's
+	// committed seq as of the last successful /wal poll, and the unixnano
+	// instant replication last made progress (a batch applied, or confirmed
+	// caught-up) — the cube_replica_wal_lag_* gauges derive from these. For
+	// a remote-shard leader: per-shard down-transition timestamps and the
+	// committed seq at that instant (set via the engines' OnDown hook),
+	// backing the cube_shard_lag_* gauges.
+	followLeaderSeq atomic.Uint64
+	followProgress  atomic.Int64
+	shardDownAt     []atomic.Int64
+	shardDownSeq    []atomic.Uint64
+
 	// Degraded read-only mode (see health.go): set when the WAL is poisoned,
 	// cleared by a successful storage recovery.
 	degraded       atomic.Bool
@@ -372,6 +405,14 @@ func NewWithOptions(c *cube.Cube, opts Options) (*Server, error) {
 	s.qlog = newQueryLog(opts.QueryLogSize)
 	s.cache = newResultCache(opts.CacheSize)
 	s.ridPrefix = ridPrefix()
+	// The tracer exists before telemetry registration so the span counters
+	// can be exported by callback; trace.New returns nil (all span calls
+	// no-op) when sampling is negative.
+	s.tracer = trace.New(trace.Options{
+		Sample: opts.TraceSample,
+		Store:  opts.TraceStore,
+		Slow:   opts.SlowQuery,
+	})
 
 	// Telemetry registration precedes recovery so the WAL can be wired the
 	// moment it opens. With NoTelemetry the registry is nil and every
@@ -647,6 +688,10 @@ func (s *Server) Handler() http.Handler {
 	if s.opts.Metrics && s.met.reg != nil {
 		mux.Handle("GET /metrics", s.met.reg.Handler())
 	}
+	// The trace store, like /metrics and the probes, bypasses admission
+	// control: the spans explaining an overloaded server must be readable
+	// while it sheds.
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return s.instrumented(s.recovered(mux))
 }
 
@@ -913,6 +958,15 @@ func (s *Server) evalQueryOn(ctx context.Context, be backend, op string, region 
 	// evaluation work only. The observers are pinned per op at construction,
 	// so this is three atomic histogram records, no label resolution.
 	c.Publish(s.met.costObs[op])
+	// The same counter annotates the active span (the request span for
+	// GET /query, the per-item span for a batch item) with the §8 cost.
+	if sp := trace.FromContext(ctx); sp != nil {
+		c.Publish(sp)
+		sp.SetEngine(s.engineLabel(op))
+		if resp.Partial {
+			sp.SetPartial()
+		}
+	}
 	return resp, nil
 }
 
@@ -1071,7 +1125,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, r, http.StatusBadRequest, "async durability requires the ingestion pipeline (IngestQueue > 0)")
 			return
 		}
-		seq, err := s.commitGroups([][]ingest.Update{ups})
+		seq, err := s.commitGroups(r.Context(), [][]ingest.Update{ups})
 		if err != nil {
 			s.logf("server: WAL append failed: %v", err)
 			w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(s.opts.DegradedProbe)))

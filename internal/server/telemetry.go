@@ -5,11 +5,13 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"strconv"
+	"time"
 
 	"rangecube/internal/ingest"
 	"rangecube/internal/metrics"
 	"rangecube/internal/parallel"
 	"rangecube/internal/telemetry"
+	"rangecube/internal/trace"
 	"rangecube/internal/wal"
 )
 
@@ -64,6 +66,13 @@ type serverMetrics struct {
 	replicaBatches   *telemetry.CounterVec // replica
 	replicaFallbacks *telemetry.Counter
 	tornScatters     *telemetry.Counter // lock-free remote reads that gave up the seqlock retry
+
+	// Resynchronizations: a follower re-bootstrapping after its shipped WAL
+	// was superseded (kind=follower), or a leader pushing full state to a
+	// remote shard that came back from down (kind=shard). Pinned children so
+	// the hot paths skip the vec's label lookup.
+	resyncFollower *telemetry.Counter
+	resyncShard    *telemetry.Counter
 
 	costCells *telemetry.HistogramVec // op, engine — the paper's §8 Cells
 	costAux    *telemetry.HistogramVec // op, engine — §8 auxiliary reads
@@ -229,6 +238,94 @@ func newServerMetrics(s *Server, reg *telemetry.Registry) *serverMetrics {
 		"Balanced reads that fell back to the leader because the picked follower was behind the committed epoch.")
 	m.tornScatters = reg.Counter("cube_shard_remote_torn_reads_total",
 		"Lock-free remote batch reads that exhausted the scatter-seqlock retry budget and kept a possibly-torn answer.")
+
+	// Replication-lag visibility. On a -join follower the WAL-ship loop
+	// records the leader's committed sequence (from the fetch response
+	// header) and the wall-clock instant of its last successful fetch; the
+	// gauges derive lag in both units and read 0 once caught up. On a leader
+	// with remote shards, the down hooks stamp when each shard went down and
+	// what was committed then; the gauges report the worst shard still down.
+	resyncVec := reg.CounterVec("cube_shard_resync_total",
+		"Full-state resynchronizations: kind=follower (WAL stream superseded, re-bootstrapped) or kind=shard (recovered remote shard re-seeded by the leader).",
+		"kind")
+	m.resyncFollower = resyncVec.With("follower")
+	m.resyncShard = resyncVec.With("shard")
+	reg.GaugeFunc("cube_replica_wal_lag_seq",
+		"Committed batches the leader is ahead of this WAL-shipped follower (0 when caught up or not following).",
+		func() int64 {
+			lead := s.followLeaderSeq.Load()
+			if have := s.Seq(); lead > have {
+				return int64(lead - have)
+			}
+			return 0
+		})
+	reg.GaugeFunc("cube_replica_wal_lag_seconds",
+		"Whole seconds since this follower last completed a WAL-ship fetch while behind the leader (0 when caught up or not following).",
+		func() int64 {
+			if s.followLeaderSeq.Load() <= s.Seq() {
+				return 0
+			}
+			at := s.followProgress.Load()
+			if at == 0 {
+				return 0
+			}
+			return int64(time.Since(time.Unix(0, at)) / time.Second)
+		})
+	reg.GaugeFunc("cube_shard_lag_seq",
+		"Committed batches the most-behind down remote shard is missing (0 when every shard is up).",
+		func() int64 {
+			var worst uint64
+			have := s.Seq()
+			for i := range s.shardDownAt {
+				if s.shardDownAt[i].Load() == 0 {
+					continue
+				}
+				if at := s.shardDownSeq[i].Load(); have > at && have-at > worst {
+					worst = have - at
+				}
+			}
+			return int64(worst)
+		})
+	reg.GaugeFunc("cube_shard_lag_seconds",
+		"Whole seconds the longest-down remote shard has been down (0 when every shard is up).",
+		func() int64 {
+			var worst int64
+			for i := range s.shardDownAt {
+				if at := s.shardDownAt[i].Load(); at != 0 {
+					if d := int64(time.Since(time.Unix(0, at)) / time.Second); d > worst {
+						worst = d
+					}
+				}
+			}
+			return worst
+		})
+
+	reg.GaugeFunc("cube_wal_last_append_age_seconds",
+		"Whole seconds since the last durable WAL append (0 with no WAL or before the first append) — the leader-side staleness anchor for WAL shipping.",
+		func() int64 {
+			s.mu.RLock()
+			l := s.wal
+			s.mu.RUnlock()
+			if l == nil {
+				return 0
+			}
+			at := l.LastAppendNano()
+			if at == 0 {
+				return 0
+			}
+			return int64(time.Since(time.Unix(0, at)) / time.Second)
+		})
+
+	// Tracing volume, so an operator can see sampling work without scraping
+	// /debug/traces: started counts roots considered, kept counts spans that
+	// reached the ring (sampled, slow, partial or error).
+	reg.CounterFunc("cube_trace_spans_total",
+		"Root spans started (every request when tracing is enabled).",
+		func() int64 { return s.tracer.Started() })
+	reg.CounterFunc("cube_trace_spans_kept_total",
+		"Spans retained in the trace ring (sampled roots, their children, and late-kept slow/partial/error roots).",
+		func() int64 { return s.tracer.Kept() })
+
 	reg.GaugeFunc("cube_degraded",
 		"1 while the server is in degraded read-only mode, 0 otherwise.",
 		func() int64 {
@@ -328,20 +425,18 @@ func (s *Server) engineLabel(op string) string {
 func pathLabel(p string) string {
 	switch p {
 	case "/schema", "/query", "/query/batch", "/update", "/advise", "/metrics",
-		"/healthz", "/readyz", "/wal", "/snapshot", "/state":
+		"/healthz", "/readyz", "/wal", "/snapshot", "/state", "/debug/traces":
 		return p
 	}
 	return "other"
 }
 
-// ridKey is the context key the request ID travels under.
-type ridKey struct{}
-
 // RequestIDFrom returns the request's correlation ID, or "" outside the
-// middleware (direct handler tests).
+// middleware (direct handler tests). The ID lives in the trace package's
+// context slot so internal/client can forward it on sub-requests without
+// importing this package.
 func RequestIDFrom(ctx context.Context) string {
-	rid, _ := ctx.Value(ridKey{}).(string)
-	return rid
+	return trace.RequestID(ctx)
 }
 
 // clientRequestID returns a client-supplied X-Request-Id if it is sane —

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -167,7 +168,7 @@ func (f *Follower) ApplyBatches(batches []wal.Batch) int {
 			cells[i] = PointDelta{Coords: u.Coords, Delta: u.Delta}
 		}
 		f.mu.Lock()
-		f.rt.Apply(cells)
+		f.rt.Apply(context.Background(), cells)
 		f.applied.Store(b.Seq)
 		f.mu.Unlock()
 		applied++

@@ -18,6 +18,7 @@ import (
 	"rangecube/internal/core/batchsum"
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
+	"rangecube/internal/trace"
 )
 
 // RemoteStats aggregates the remote tier's failure handling across all of a
@@ -53,6 +54,13 @@ type RemoteOptions struct {
 	// Stats, when non-nil, receives the engine's error/hedge counts
 	// (shared across a router's engines).
 	Stats *RemoteStats
+	// OnDown, when non-nil, fires once per up→down transition, before the
+	// transition is logged. The serving tier uses it to timestamp the
+	// outage for its replication-lag gauges.
+	OnDown func(shard int)
+	// OnUp, when non-nil, fires once per down→up transition (MarkUp after a
+	// successful resync).
+	OnUp func(shard int)
 	// Logf receives operational lines (shard marked down). Nil discards.
 	Logf func(format string, args ...any)
 }
@@ -137,6 +145,9 @@ func (e *RemoteEngine) MarkUp(cellLo, cellHi int64) {
 	e.cellLo, e.cellHi = cellLo, cellHi
 	e.mu.Unlock()
 	if e.down.CompareAndSwap(true, false) {
+		if e.opt.OnUp != nil {
+			e.opt.OnUp(e.shard)
+		}
 		e.logf("shard %d (%s): marked up after resync", e.shard, e.base)
 	}
 }
@@ -160,6 +171,9 @@ func (e *RemoteEngine) MarkDown(cause error) {
 	if e.down.CompareAndSwap(false, true) {
 		if e.opt.Stats != nil {
 			e.opt.Stats.Errors.Add(1)
+		}
+		if e.opt.OnDown != nil {
+			e.opt.OnDown(e.shard)
 		}
 		e.logf("shard %d (%s): marked down: %v", e.shard, e.base, cause)
 	}
@@ -392,10 +406,18 @@ func (e *permanentError) Error() string { return e.msg }
 // batch, so the batch is sent at most once per transport exchange and a
 // failure is resolved by down-marking + resync, never by a blind re-send.
 func (e *RemoteEngine) roundTrip(ctx context.Context, method, u string, body []byte, idempotent bool) ([]byte, error) {
+	name := "shard.query"
+	if !idempotent {
+		name = "shard.scatter"
+	}
+	sp := trace.FromContext(ctx).Child(name)
+	sp.SetShard(e.shard)
+	defer sp.End()
 	if e.down.Load() {
+		sp.SetError("fast fail: shard marked down")
 		return nil, fmt.Errorf("%w (shard %d marked down)", ErrShardDown, e.shard)
 	}
-	rctx, cancel := context.WithTimeout(ctx, e.opt.Timeout)
+	rctx, cancel := context.WithTimeout(trace.NewContext(ctx, sp), e.opt.Timeout)
 	defer cancel()
 
 	cl := e.cl
@@ -407,17 +429,22 @@ func (e *RemoteEngine) roundTrip(ctx context.Context, method, u string, body []b
 		err  error
 	}
 	ch := make(chan result, 2)
-	attempt := func() {
-		data, err := e.once(rctx, cl, method, u, body)
+	attempt := func(actx context.Context) {
+		data, err := e.once(actx, cl, method, u, body)
 		ch <- result{data, err}
 	}
-	go attempt()
+	go attempt(rctx)
 	var hedge <-chan time.Time
 	if idempotent && e.opt.HedgeAfter > 0 {
 		t := time.NewTimer(e.opt.HedgeAfter)
 		defer t.Stop()
 		hedge = t.C
 	}
+	// The hedge gets its own span so a trace shows the duplicate request as
+	// a distinct timed child; it ends when the round trip resolves (first
+	// success wins, so the loser's remaining time is part of the story).
+	var hedgeSpan *trace.Span
+	defer func() { hedgeSpan.End() }()
 	pending := 1
 	var firstErr error
 	for {
@@ -428,6 +455,7 @@ func (e *RemoteEngine) roundTrip(ctx context.Context, method, u string, body []b
 			}
 			var perm *permanentError
 			if errors.As(r.err, &perm) {
+				sp.SetError(r.err.Error())
 				return nil, r.err
 			}
 			if firstErr == nil {
@@ -438,9 +466,12 @@ func (e *RemoteEngine) roundTrip(ctx context.Context, method, u string, body []b
 				if ctx.Err() != nil {
 					// The caller abandoned the gather; that is not the
 					// shard's failure.
+					sp.SetError(ctx.Err().Error())
 					return nil, ctx.Err()
 				}
 				e.MarkDown(firstErr)
+				sp.Set("down", "true")
+				sp.SetError(firstErr.Error())
 				return nil, fmt.Errorf("%w: %v", ErrShardDown, firstErr)
 			}
 		case <-hedge:
@@ -448,8 +479,10 @@ func (e *RemoteEngine) roundTrip(ctx context.Context, method, u string, body []b
 			if e.opt.Stats != nil {
 				e.opt.Stats.Hedges.Add(1)
 			}
+			hedgeSpan = sp.Child("shard.hedge")
+			hedgeSpan.SetShard(e.shard)
 			pending++
-			go attempt()
+			go attempt(trace.NewContext(rctx, hedgeSpan))
 		}
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -11,6 +13,7 @@ import (
 	"rangecube/internal/metrics"
 	"rangecube/internal/ndarray"
 	"rangecube/internal/parallel"
+	"rangecube/internal/trace"
 )
 
 // PointDelta is one cell update in the logical cube's coordinates — the §5
@@ -172,6 +175,9 @@ func (rt *Router) gather(ctx context.Context, r ndarray.Region, c *metrics.Count
 	}
 	rt.queries.Add(1)
 	rt.subqueries.Add(uint64(len(subs)))
+	// The per-request record (access log, request span) sees the true shard
+	// fan-out this query decomposed into.
+	trace.StatsFrom(ctx).AddFanout(len(subs))
 	errs := make([]error, len(subs))
 	switch {
 	case len(subs) == 1:
@@ -205,12 +211,17 @@ func (rt *Router) gather(ctx context.Context, r ndarray.Region, c *metrics.Count
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				if err := body(ctx, subs[i], &counters[i]); err != nil {
-					errs[i] = err
-					if !(partialOK && errors.Is(err, ErrShardDown)) {
-						cancel()
+				// pprof labels on the scatter goroutines: a CPU or goroutine
+				// profile of a stalled gather shows which shard it is waiting
+				// on, without any tracing enabled.
+				pprof.Do(ctx, pprof.Labels("cube_op", "gather", "cube_shard", strconv.Itoa(subs[i].Shard)), func(ctx context.Context) {
+					if err := body(ctx, subs[i], &counters[i]); err != nil {
+						errs[i] = err
+						if !(partialOK && errors.Is(err, ErrShardDown)) {
+							cancel()
+						}
 					}
-				}
+				})
 			}(i)
 		}
 		wg.Wait()
@@ -322,8 +333,11 @@ func (rt *Router) SumFull(ctx context.Context, r ndarray.Region, c *metrics.Coun
 		res.Lo += p.lo
 		res.Hi += p.hi
 	}
-	if res.Partial() && rt.remote != nil {
-		rt.remote.Partials.Add(1)
+	if res.Partial() {
+		if rt.remote != nil {
+			rt.remote.Partials.Add(1)
+		}
+		trace.StatsFrom(ctx).SetPartial()
 	}
 	return res, nil
 }
@@ -363,6 +377,12 @@ func (rt *Router) SumFullBatch(ctx context.Context, regions []ndarray.Region, cs
 	}
 	rt.queries.Add(uint64(len(regions)))
 	rt.subqueries.Add(uint64(total))
+	trace.StatsFrom(ctx).AddFanout(total)
+	sp := trace.FromContext(ctx).Child("router.scatter")
+	sp.Set("regions", strconv.Itoa(len(regions)))
+	sp.Set("subqueries", strconv.Itoa(total))
+	defer sp.End()
+	ctx = trace.NewContext(ctx, sp)
 
 	// One goroutine per shard with work; the first hard failure cancels the
 	// siblings, a down shard degrades its sub-queries instead (the SumFull
@@ -378,6 +398,9 @@ func (rt *Router) SumFullBatch(ctx context.Context, regions []ndarray.Region, cs
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			// Label the scatter goroutine for pprof: a profile of a stalled
+			// batch shows which shard's round trip it is blocked on.
+			pprof.SetGoroutineLabels(pprof.WithLabels(gctx, pprof.Labels("cube_op", "scatter", "cube_shard", strconv.Itoa(i))))
 			g := groups[i]
 			if bs, ok := rt.shards[i].(batchFullSummer); ok && len(g) > 1 {
 				regs := make([]ndarray.Region, len(g))
@@ -447,8 +470,12 @@ func (rt *Router) SumFullBatch(ctx context.Context, regions []ndarray.Region, cs
 			res.Hi += ref.part.Hi
 			c.Merge(&ref.c)
 		}
-		if res.Partial() && rt.remote != nil {
-			rt.remote.Partials.Add(1)
+		if res.Partial() {
+			if rt.remote != nil {
+				rt.remote.Partials.Add(1)
+			}
+			sp.SetPartial()
+			trace.StatsFrom(ctx).SetPartial()
 		}
 	}
 	return out, nil
@@ -508,7 +535,11 @@ func (rt *Router) Extreme(ctx context.Context, r ndarray.Region, min bool, c *me
 // leader's cube and WAL are authoritative, the engine marks itself down,
 // and the serving tier's resync probe pushes fresh slab state when the
 // shard returns. Until then the shard's slabs answer as missing.
-func (rt *Router) Apply(cells []PointDelta) {
+//
+// ctx carries tracing only — the scatter itself never gives up early on
+// the caller's behalf (each engine bounds its own round trip), so passing
+// context.Background() is always correct.
+func (rt *Router) Apply(ctx context.Context, cells []PointDelta) {
 	rt.scatterCells.Add(uint64(len(cells)))
 	groups := make([][]batchsum.IntUpdate, len(rt.shards))
 	dim := rt.m.Dim()
@@ -533,10 +564,12 @@ func (rt *Router) Apply(cells []PointDelta) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				pprof.SetGoroutineLabels(pprof.WithLabels(ctx, pprof.Labels("cube_op", "apply", "cube_shard", strconv.Itoa(i))))
 				// A failed remote scatter is recorded by the engine itself
 				// (down flag + error counter); the commit proceeds on the
-				// leader's authoritative state.
-				_ = rt.shards[i].Apply(context.Background(), groups[i])
+				// leader's authoritative state. Detach from the caller's
+				// deadline, keep its trace.
+				_ = rt.shards[i].Apply(trace.NewContext(context.Background(), trace.FromContext(ctx)), groups[i])
 			}(i)
 		}
 		wg.Wait()

@@ -340,7 +340,7 @@ func TestRouterMatchesNaive(t *testing.T) {
 					cells[i] = PointDelta{Coords: u.Coords, Delta: u.Delta}
 					mirror.Set(mirror.At(u.Coords...)+u.Delta, u.Coords...)
 				}
-				rt.Apply(cells)
+				rt.Apply(context.Background(), cells)
 				probe := cells[rng.Intn(len(cells))].Coords
 				if got, want := rt.Cell(probe), mirror.At(probe...); got != want {
 					t.Fatalf("Cell(%v) = %d after scatter, want %d", probe, got, want)

@@ -40,6 +40,7 @@ import (
 	"math"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rangecube/internal/telemetry"
@@ -295,6 +296,10 @@ type Log struct {
 	size    int64 // committed length; the file never holds more durable bytes
 	lastSeq uint64
 	met     *Metrics
+	// lastAppend is the wall-clock unixnano of the last durable append.
+	// Atomic, unlike every other field: telemetry gauges poll it without
+	// the owner's commit serialization.
+	lastAppend atomic.Int64
 	// poisoned is the fault that disabled appends, nil while healthy. Reads
 	// and writes happen under the owner's commit serialization (the server's
 	// write lock), like every other Log field.
@@ -527,8 +532,15 @@ func (l *Log) Append(b Batch) error {
 	}
 	l.size += int64(len(rec))
 	l.lastSeq = b.Seq
+	l.lastAppend.Store(time.Now().UnixNano())
 	return nil
 }
+
+// LastAppendNano returns the wall-clock instant (unixnano) of the last
+// durable append, 0 before the first. On a leader whose followers ship the
+// WAL, this is when the newest shippable batch became durable — the
+// leader-side anchor for replication staleness.
+func (l *Log) LastAppendNano() int64 { return l.lastAppend.Load() }
 
 // Reset truncates the log back to its header after a snapshot has made its
 // contents redundant (snapshot-then-truncate compaction). The sequence
